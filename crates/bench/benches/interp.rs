@@ -1,0 +1,52 @@
+//! Criterion bench for the VM: end-to-end pipeline cost (compile +
+//! run) and the runtime cost of checks inside the VM, comparing a
+//! fully-private program against the same computation on dynamic
+//! (checked) data.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sharc_interp::{compile_and_run, VmConfig};
+
+const PRIVATE_SRC: &str = "
+void main() {
+    int i;
+    int acc;
+    acc = 0;
+    for (i = 0; i < 20000; i++) acc = acc + i % 7;
+    print(acc);
+}
+";
+
+const DYNAMIC_SRC: &str = "
+void worker(int * d) { int i; for (i = 0; i < 10000; i++) *d = *d + i % 7; }
+void main() {
+    int * p;
+    int t;
+    p = new(int);
+    t = spawn(worker, p);
+    join(t);
+    t = spawn(worker, p);
+    join(t);
+    print(*p);
+}
+";
+
+fn bench_interp(c: &mut Criterion) {
+    let mut g = c.benchmark_group("interp");
+    g.sample_size(10);
+    g.bench_function("private-loop", |b| {
+        b.iter(|| compile_and_run("p.c", PRIVATE_SRC, VmConfig::default()).unwrap())
+    });
+    g.bench_function("dynamic-loop", |b| {
+        b.iter(|| compile_and_run("d.c", DYNAMIC_SRC, VmConfig::default()).unwrap())
+    });
+    g.bench_function("compile-only", |b| {
+        b.iter(|| {
+            let checked = sharc_core::compile("d.c", DYNAMIC_SRC).unwrap();
+            sharc_interp::compile::compile(&checked).unwrap()
+        })
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_interp);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches backing Table 1: each benchmark's native
+//! workload at quick scale, orig vs SharC, so regressions in check
+//! cost show up in CI-sized runs. Use the `table1` binary for the
+//! full table.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use sharc_runtime::{Checked, Unchecked};
+use sharc_workloads::benchmarks::{aget, dillo, fftw, pbzip2, pfscan, stunnel};
+
+fn bench_table1(c: &mut Criterion) {
+    let mut g = c.benchmark_group("table1");
+    g.sample_size(10);
+
+    let pf = pfscan_params();
+    g.bench_function("pfscan/orig", |b| {
+        b.iter(|| pfscan::run_native::<Unchecked>(&pf))
+    });
+    g.bench_function("pfscan/sharc", |b| {
+        b.iter(|| pfscan::run_native::<Checked>(&pf))
+    });
+
+    let ag = aget_params();
+    g.bench_function("aget/orig", |b| b.iter(|| aget::run_native::<Unchecked>(&ag)));
+    g.bench_function("aget/sharc", |b| b.iter(|| aget::run_native::<Checked>(&ag)));
+
+    let pb = pbzip2_params();
+    g.bench_function("pbzip2/orig", |b| b.iter(|| pbzip2::run_native(&pb, false)));
+    g.bench_function("pbzip2/sharc", |b| b.iter(|| pbzip2::run_native(&pb, true)));
+
+    let di = dillo_params();
+    g.bench_function("dillo/orig", |b| b.iter(|| dillo::run_native::<Unchecked>(&di)));
+    g.bench_function("dillo/sharc", |b| b.iter(|| dillo::run_native::<Checked>(&di)));
+
+    let ff = fftw_params();
+    g.bench_function("fftw/orig", |b| b.iter(|| fftw::run_native(&ff, false)));
+    g.bench_function("fftw/sharc", |b| b.iter(|| fftw::run_native(&ff, true)));
+
+    let st = stunnel_params();
+    g.bench_function("stunnel/orig", |b| {
+        b.iter(|| stunnel::run_native::<Unchecked>(&st))
+    });
+    g.bench_function("stunnel/sharc", |b| {
+        b.iter(|| stunnel::run_native::<Checked>(&st))
+    });
+
+    g.finish();
+}
+
+fn pfscan_params() -> pfscan::Params {
+    pfscan::Params {
+        fs: sharc_workloads::substrates::filesys::FsConfig {
+            n_dirs: 2,
+            files_per_dir: 4,
+            file_size: 2048,
+            ..Default::default()
+        },
+        workers: 2,
+    }
+}
+
+fn aget_params() -> aget::Params {
+    aget::Params {
+        file_size: 32 * 1024,
+        chunk: 4096,
+        latency: std::time::Duration::from_micros(5),
+        workers: 2,
+    }
+}
+
+fn pbzip2_params() -> pbzip2::Params {
+    pbzip2::Params {
+        input_size: 64 * 1024,
+        block: 16 * 1024,
+        workers: 3,
+    }
+}
+
+fn dillo_params() -> dillo::Params {
+    dillo::Params {
+        n_hosts: 64,
+        n_requests: 64,
+        workers: 3,
+        latency: std::time::Duration::from_micros(5),
+    }
+}
+
+fn fftw_params() -> fftw::Params {
+    fftw::Params {
+        n_transforms: 16,
+        size: 512,
+        workers: 2,
+    }
+}
+
+fn stunnel_params() -> stunnel::Params {
+    stunnel::Params {
+        clients: 3,
+        messages: 50,
+        msg_len: 256,
+    }
+}
+
+criterion_group!(benches, bench_table1);
+criterion_main!(benches);

@@ -1,0 +1,80 @@
+//! Ablation for §4.5: race-report precision vs shadow granularity.
+//!
+//! "Since we track races at a 16-byte granularity, races may be
+//! reported for two separate objects that are close together, but
+//! used in a non-racy way. To alleviate this problem, SharC ensures
+//! that malloc allocates objects on a 16-byte boundary."
+//!
+//! The harness runs a MiniC program where two threads write adjacent
+//! small fields of one struct (the custom-allocator pattern SharC
+//! cannot realign) under granule sizes from 1 to 4 cells, reporting
+//! the false-positive count and the shadow-memory cost at each
+//! setting.
+//!
+//! ```text
+//! cargo run -p sharc-bench --release --bin ablation_granularity
+//! ```
+
+use sharc_interp::{compile_and_run, VmConfig};
+
+const SRC: &str = "
+struct packed {
+    int a;
+    int b;
+    int c;
+    int d;
+};
+void w0(struct packed * p) { int i; for (i = 0; i < 50; i++) p->a = i; }
+void w1(struct packed * p) { int i; for (i = 0; i < 50; i++) p->b = i; }
+void w2(struct packed * p) { int i; for (i = 0; i < 50; i++) p->c = i; }
+void w3(struct packed * p) { int i; for (i = 0; i < 50; i++) p->d = i; }
+void main() {
+    struct packed * p = new(struct packed);
+    spawn(w0, p);
+    spawn(w1, p);
+    spawn(w2, p);
+    spawn(w3, p);
+    join_all();
+}
+";
+
+fn main() {
+    println!("Granularity ablation: 4 threads writing adjacent fields of one struct");
+    println!("(fields are used in a non-racy way; every report is a false positive)\n");
+    println!(
+        "{:>16} {:>16} {:>16} {:>18}",
+        "granule (cells)", "granule (bytes)", "false positives", "shadow granules"
+    );
+    for granule in [1u32, 2, 4] {
+        let mut total_reports = 0usize;
+        let mut shadow = 0u64;
+        let seeds = [1u64, 2, 3, 4, 5];
+        for &seed in &seeds {
+            let out = compile_and_run(
+                "packed.c",
+                SRC,
+                VmConfig {
+                    granule,
+                    seed,
+                    ..VmConfig::default()
+                },
+            )
+            .expect("program checks cleanly");
+            total_reports += out.reports.len();
+            shadow = out.stats.shadow_granules;
+        }
+        println!(
+            "{:>16} {:>16} {:>16.1} {:>18}",
+            granule,
+            granule * 8,
+            total_reports as f64 / seeds.len() as f64,
+            shadow
+        );
+    }
+    println!(
+        "\nShape: at 1 cell/granule the fields are independent (no false\n\
+         positives, most shadow memory); at the paper's 16 bytes (2 cells)\n\
+         and above, adjacent single-word objects share shadow state and\n\
+         non-races get reported — why SharC 16-byte-aligns malloc."
+    );
+}

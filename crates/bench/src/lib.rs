@@ -1,0 +1,198 @@
+//! # sharc-bench
+//!
+//! Shared workloads for the benchmark harnesses that regenerate the
+//! paper's table and the ablations DESIGN.md calls out:
+//!
+//! * `table1` — the six-benchmark evaluation table (§5, Table 1);
+//! * `ablation_rc` — naive atomic RC vs the adapted Levanoni–Petrank
+//!   counter (§4.3's ">60% overhead" claim);
+//! * `ablation_granularity` — false-sharing false positives vs shadow
+//!   granularity (§4.5);
+//! * `detector_comparison` — SharC's checks vs Eraser-lockset and
+//!   vector-clock monitoring of *every* access (§6.2's 10×–30×).
+
+use sharc_detectors::{Detector, Event, Online};
+use sharc_runtime::{AccessPolicy, Arena, ObjId, RcScheme, ThreadCtx, ThreadId};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+/// A pointer-update-heavy workload for the RC ablation: `threads`
+/// workers each perform `stores` slot updates over a private slot
+/// range but a shared object set (count contention), plus one
+/// `refcount` query per `casts_every` stores (the scast pattern).
+pub fn rc_workload<R: RcScheme + 'static>(
+    rc: Arc<R>,
+    threads: usize,
+    stores: usize,
+    slots_per_thread: usize,
+    n_objs: usize,
+    casts_every: usize,
+) -> Duration {
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..threads {
+            let rc = Arc::clone(&rc);
+            scope.spawn(move || {
+                let base = t * slots_per_thread;
+                for i in 0..stores {
+                    let slot = base + (i * 7 + 3) % slots_per_thread;
+                    let obj = ObjId(((i * 13 + t * 31) % n_objs) as u32);
+                    rc.store(t, slot, Some(obj));
+                    if casts_every > 0 && i % casts_every == casts_every - 1 {
+                        let _ = rc.refcount(obj);
+                    }
+                }
+            });
+        }
+    });
+    start.elapsed()
+}
+
+/// The memory-scan workload used for detector comparison: `threads`
+/// workers sum disjoint regions of shared memory, every access
+/// monitored. Returns (elapsed, sum-checksum).
+pub fn scan_workload_sharc<P: AccessPolicy>(
+    arena: Arc<Arena>,
+    threads: usize,
+    words_per_thread: usize,
+    passes: usize,
+) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let arena = Arc::clone(&arena);
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ThreadCtx::new(ThreadId(t as u8 + 1));
+            let base = t * words_per_thread;
+            let mut sum = 0u64;
+            for _ in 0..passes {
+                for i in 0..words_per_thread {
+                    P::write(&arena, &mut ctx, base + i, (i as u64) ^ sum);
+                    sum = sum.wrapping_add(P::read(&arena, &mut ctx, base + i));
+                }
+            }
+            arena.thread_exit(&mut ctx);
+            sum
+        }));
+    }
+    let mut checksum = 0u64;
+    for h in handles {
+        checksum = checksum.wrapping_add(h.join().expect("worker"));
+    }
+    (start.elapsed(), checksum)
+}
+
+/// The same scan monitored by a trace detector on *every* access
+/// (how Eraser-class tools work).
+pub fn scan_workload_detector<D: Detector + Default + Send + 'static>(
+    detector: Arc<Online<D>>,
+    threads: usize,
+    words_per_thread: usize,
+    passes: usize,
+) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        let d = Arc::clone(&detector);
+        handles.push(std::thread::spawn(move || {
+            let tid = t as u32 + 1;
+            let base = t * words_per_thread;
+            let mut mem = vec![0u64; words_per_thread];
+            let mut sum = 0u64;
+            for _ in 0..passes {
+                for (i, cell) in mem.iter_mut().enumerate() {
+                    d.write(tid, base + i);
+                    *cell = (i as u64) ^ sum;
+                    d.read(tid, base + i);
+                    sum = sum.wrapping_add(*cell);
+                }
+            }
+            sum
+        }));
+    }
+    let mut checksum = 0u64;
+    for h in handles {
+        checksum = checksum.wrapping_add(h.join().expect("worker"));
+    }
+    (start.elapsed(), checksum)
+}
+
+/// Uninstrumented baseline of the same scan.
+pub fn scan_workload_baseline(
+    threads: usize,
+    words_per_thread: usize,
+    passes: usize,
+) -> (Duration, u64) {
+    let start = Instant::now();
+    let mut handles = Vec::new();
+    for t in 0..threads {
+        handles.push(std::thread::spawn(move || {
+            let mut mem = vec![0u64; words_per_thread];
+            let mut sum = 0u64;
+            for _ in 0..passes {
+                for (i, cell) in mem.iter_mut().enumerate() {
+                    *cell = (i as u64) ^ sum;
+                    sum = sum.wrapping_add(std::hint::black_box(*cell));
+                }
+            }
+            let _ = t;
+            sum
+        }));
+    }
+    let mut checksum = 0u64;
+    for h in handles {
+        checksum = checksum.wrapping_add(h.join().expect("worker"));
+    }
+    (start.elapsed(), checksum)
+}
+
+/// An ownership-transfer trace (producer/consumer via two locks):
+/// legal under SharC's sharing casts, a false positive for the
+/// baselines.
+pub fn handoff_trace(rounds: usize) -> Vec<Event> {
+    let mut t = vec![Event::Fork { tid: 1, child: 2 }];
+    for r in 0..rounds {
+        let loc = r % 8;
+        t.push(Event::Acquire { tid: 1, lock: 1 });
+        t.push(Event::Write { tid: 1, loc });
+        t.push(Event::Release { tid: 1, lock: 1 });
+        t.push(Event::Acquire { tid: 2, lock: 2 });
+        t.push(Event::Write { tid: 2, loc });
+        t.push(Event::Release { tid: 2, lock: 2 });
+    }
+    t
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharc_runtime::{Checked, LpRc, NaiveRc, Unchecked};
+
+    #[test]
+    fn rc_workload_runs_both_schemes() {
+        let naive = Arc::new(NaiveRc::new(64, 16));
+        let lp = Arc::new(LpRc::new(64, 16, 2));
+        let d1 = rc_workload(naive, 2, 500, 32, 16, 50);
+        let d2 = rc_workload(lp, 2, 500, 32, 16, 50);
+        assert!(d1 > Duration::ZERO && d2 > Duration::ZERO);
+    }
+
+    #[test]
+    fn scan_checksums_agree() {
+        let a1: Arc<Arena> = Arc::new(Arena::new(64));
+        let a2: Arc<Arena> = Arc::new(Arena::new(64));
+        let (_, c1) = scan_workload_sharc::<Unchecked>(a1, 2, 32, 3);
+        let (_, c2) = scan_workload_sharc::<Checked>(a2, 2, 32, 3);
+        let (_, c3) = scan_workload_baseline(2, 32, 3);
+        assert_eq!(c1, c2);
+        assert_eq!(c1, c3);
+    }
+
+    #[test]
+    fn handoff_trace_is_false_positive_for_baselines() {
+        use sharc_detectors::{Eraser, VcDetector};
+        let trace = handoff_trace(10);
+        assert!(!Eraser::new().run(&trace).is_empty());
+        assert!(!VcDetector::new().run(&trace).is_empty());
+    }
+}

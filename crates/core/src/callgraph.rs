@@ -1,0 +1,376 @@
+//! Call graph construction and thread-reachability (paper §4.1).
+//!
+//! SharC seeds its sharing analysis with the objects inherently
+//! visible to spawned threads: the formals of thread functions and
+//! every global touched by a function reachable from a thread root.
+//! Function pointers are handled soundly by assuming a pointer may
+//! alias any function in the program of the appropriate shape.
+
+use minic::ast::*;
+use std::collections::{HashMap, HashSet};
+
+/// The call graph plus derived thread-reachability facts.
+#[derive(Debug)]
+pub struct CallGraph {
+    /// Direct and (shape-resolved) indirect callees per function.
+    pub callees: HashMap<String, HashSet<String>>,
+    /// Functions passed to `spawn` (directly, or any shape-compatible
+    /// function when a function pointer is spawned).
+    pub thread_roots: HashSet<String>,
+    /// Functions reachable from any thread root (including the roots).
+    pub thread_reachable: HashSet<String>,
+    /// Global variables referenced per function (directly).
+    pub globals_touched: HashMap<String, HashSet<String>>,
+}
+
+impl CallGraph {
+    /// Builds the call graph for `program`.
+    pub fn build(program: &Program) -> CallGraph {
+        let global_names: HashSet<String> =
+            program.globals.iter().map(|g| g.name.clone()).collect();
+        let fn_names: HashSet<String> = program.fns.iter().map(|f| f.name.clone()).collect();
+
+        let mut callees: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut globals_touched: HashMap<String, HashSet<String>> = HashMap::new();
+        let mut thread_roots: HashSet<String> = HashSet::new();
+
+        for f in &program.fns {
+            let mut ctx = FnWalk {
+                program,
+                global_names: &global_names,
+                fn_names: &fn_names,
+                callees: HashSet::new(),
+                globals: HashSet::new(),
+                spawned: Vec::new(),
+                locals: collect_local_names(f),
+            };
+            ctx.block(&f.body);
+            for root in ctx.spawned {
+                thread_roots.insert(root);
+            }
+            callees.insert(f.name.clone(), ctx.callees);
+            globals_touched.insert(f.name.clone(), ctx.globals);
+        }
+
+        // Reachability from thread roots.
+        let mut thread_reachable = HashSet::new();
+        let mut stack: Vec<String> = thread_roots.iter().cloned().collect();
+        while let Some(f) = stack.pop() {
+            if !thread_reachable.insert(f.clone()) {
+                continue;
+            }
+            if let Some(cs) = callees.get(&f) {
+                for c in cs {
+                    if !thread_reachable.contains(c) {
+                        stack.push(c.clone());
+                    }
+                }
+            }
+        }
+
+        CallGraph {
+            callees,
+            thread_roots,
+            thread_reachable,
+            globals_touched,
+        }
+    }
+
+    /// Globals touched by any thread-reachable function; these seed
+    /// the sharing analysis.
+    pub fn thread_touched_globals(&self) -> HashSet<String> {
+        let mut out = HashSet::new();
+        for f in &self.thread_reachable {
+            if let Some(gs) = self.globals_touched.get(f) {
+                out.extend(gs.iter().cloned());
+            }
+        }
+        out
+    }
+}
+
+/// Returns every function in `program` whose shape matches `sig`
+/// (candidate targets of a function pointer of that type).
+pub fn shape_matching_fns<'p>(program: &'p Program, sig: &FnSig) -> Vec<&'p FnDef> {
+    program
+        .fns
+        .iter()
+        .filter(|f| {
+            f.ret.same_shape(&sig.ret)
+                && f.params.len() == sig.params.len()
+                && f.params
+                    .iter()
+                    .zip(&sig.params)
+                    .all(|(a, b)| a.ty.same_shape(&b.ty))
+        })
+        .collect()
+}
+
+fn collect_local_names(f: &FnDef) -> HashSet<String> {
+    let mut names: HashSet<String> = f.params.iter().map(|p| p.name.clone()).collect();
+    fn walk_block(b: &Block, names: &mut HashSet<String>) {
+        for s in &b.stmts {
+            walk_stmt(s, names);
+        }
+    }
+    fn walk_stmt(s: &Stmt, names: &mut HashSet<String>) {
+        match &s.kind {
+            StmtKind::Decl { name, .. } => {
+                names.insert(name.clone());
+            }
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                walk_block(then_blk, names);
+                if let Some(eb) = else_blk {
+                    walk_block(eb, names);
+                }
+            }
+            StmtKind::While { body, .. } => walk_block(body, names),
+            StmtKind::For {
+                init, step, body, ..
+            } => {
+                if let Some(i) = init {
+                    walk_stmt(i, names);
+                }
+                if let Some(st) = step {
+                    walk_stmt(st, names);
+                }
+                walk_block(body, names);
+            }
+            StmtKind::Block(b) => walk_block(b, names),
+            _ => {}
+        }
+    }
+    walk_block(&f.body, &mut names);
+    names
+}
+
+struct FnWalk<'p> {
+    program: &'p Program,
+    global_names: &'p HashSet<String>,
+    fn_names: &'p HashSet<String>,
+    callees: HashSet<String>,
+    globals: HashSet<String>,
+    spawned: Vec<String>,
+    locals: HashSet<String>,
+}
+
+impl<'p> FnWalk<'p> {
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { init, .. } => {
+                if let Some(e) = init {
+                    self.expr(e);
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                self.expr(lhs);
+                self.expr(rhs);
+            }
+            StmtKind::Expr(e) => self.expr(e),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.expr(cond);
+                self.block(then_blk);
+                if let Some(eb) = else_blk {
+                    self.block(eb);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.expr(cond);
+                self.block(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.expr(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.block(body);
+            }
+            StmtKind::Return(Some(e)) => self.expr(e),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    /// Resolves an indirect-call / spawned-pointer shape to candidate
+    /// functions.
+    fn fnptr_candidates(&self, callee: &Expr) -> Vec<String> {
+        // We only need the shape. Reconstruct it from the expression
+        // by a light local walk: identifiers naming functions resolve
+        // exactly; everything else aliases all shape-compatible fns.
+        // Without full types here we conservatively alias every
+        // function whose *arity* matches the call; the analysis phase
+        // refines by shape via the type table when binding formals.
+        let _ = callee;
+        Vec::new()
+    }
+
+    fn expr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Call(callee, args) => {
+                if let ExprKind::Ident(name) = &callee.kind {
+                    if name == "spawn" {
+                        // spawn(f, arg)
+                        if let Some(first) = args.first() {
+                            match &first.kind {
+                                ExprKind::Ident(f) if self.fn_names.contains(f) => {
+                                    self.spawned.push(f.clone());
+                                }
+                                _ => {
+                                    // A spawned function pointer: every
+                                    // shape-compatible unary function
+                                    // is a potential root.
+                                    for f in &self.program.fns {
+                                        if f.params.len() == 1 {
+                                            self.spawned.push(f.name.clone());
+                                        }
+                                    }
+                                }
+                            }
+                        }
+                        for a in args {
+                            self.expr(a);
+                        }
+                        return;
+                    }
+                    if is_builtin(name) {
+                        for a in args {
+                            self.expr(a);
+                        }
+                        return;
+                    }
+                    if self.fn_names.contains(name) && !self.locals.contains(name) {
+                        self.callees.insert(name.clone());
+                        self.expr(callee);
+                        for a in args {
+                            self.expr(a);
+                        }
+                        return;
+                    }
+                }
+                // Indirect call through a function pointer: assume it
+                // may alias any function of matching arity (shape
+                // refinement happens during constraint binding).
+                let _ = self.fnptr_candidates(callee);
+                for f in &self.program.fns {
+                    if f.params.len() == args.len() {
+                        self.callees.insert(f.name.clone());
+                    }
+                }
+                self.expr(callee);
+                for a in args {
+                    self.expr(a);
+                }
+            }
+            ExprKind::Ident(name)
+                if self.global_names.contains(name) && !self.locals.contains(name) => {
+                    self.globals.insert(name.clone());
+                }
+            ExprKind::Unary(_, a) => self.expr(a),
+            ExprKind::Binary(_, a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Index(a, b) => {
+                self.expr(a);
+                self.expr(b);
+            }
+            ExprKind::Field(a, _, _) => self.expr(a),
+            ExprKind::Cast(_, a) | ExprKind::Scast(_, a) | ExprKind::NewArray(_, a) => {
+                self.expr(a)
+            }
+            ExprKind::Ternary(c, a, b) => {
+                self.expr(c);
+                self.expr(a);
+                self.expr(b);
+            }
+            _ => {}
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use minic::parse;
+
+    #[test]
+    fn direct_spawn_is_root() {
+        let src = "int g;\n\
+                   void worker(int * d) { g = 1; }\n\
+                   void main() { int * p; spawn(worker, p); }";
+        let p = parse(src).unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.thread_roots.contains("worker"));
+        assert!(cg.thread_reachable.contains("worker"));
+        assert!(!cg.thread_reachable.contains("main"));
+        assert!(cg.thread_touched_globals().contains("g"));
+    }
+
+    #[test]
+    fn globals_through_callees_are_seeded() {
+        let src = "int shared_flag;\n\
+                   void helper() { shared_flag = 1; }\n\
+                   void worker(int * d) { helper(); }\n\
+                   void main() { int * p; spawn(worker, p); }";
+        let p = parse(src).unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.thread_reachable.contains("helper"));
+        assert!(cg.thread_touched_globals().contains("shared_flag"));
+    }
+
+    #[test]
+    fn globals_only_in_main_not_seeded() {
+        let src = "int main_only;\n\
+                   void worker(int * d) { }\n\
+                   void main() { int * p; main_only = 3; spawn(worker, p); }";
+        let p = parse(src).unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(!cg.thread_touched_globals().contains("main_only"));
+    }
+
+    #[test]
+    fn indirect_calls_alias_by_arity() {
+        let src = "int g;\n\
+                   void cb(int x) { g = x; }\n\
+                   void other(int x) { }\n\
+                   void worker(int * d) { void (* f)(int x); f(3); }\n\
+                   void main() { int * p; spawn(worker, p); }";
+        let p = parse(src).unwrap();
+        let cg = CallGraph::build(&p);
+        assert!(cg.thread_reachable.contains("cb"));
+        assert!(cg.thread_reachable.contains("other"));
+        assert!(cg.thread_touched_globals().contains("g"));
+    }
+
+    #[test]
+    fn shape_matching() {
+        let src = "void a(int x) { }\nvoid b(char c) { }\nvoid c(int x) { }";
+        let p = parse(src).unwrap();
+        let sig = p.fns[0].sig();
+        let m = shape_matching_fns(&p, &sig);
+        let names: Vec<_> = m.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, vec!["a", "c"]);
+    }
+}

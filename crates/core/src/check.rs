@@ -1,0 +1,1244 @@
+//! The static checker and instrumenter (paper §3 typing judgments,
+//! generalized to all five sharing modes).
+//!
+//! Runs after the sharing analysis, when every qualifier is concrete.
+//! It verifies:
+//!
+//! * **Well-formedness** — no shared (non-`private`) reference may
+//!   point to a `private` target (the REF-CTOR rule); `locked(l)`
+//!   lock expressions must be verifiably constant.
+//! * **Access rules** — writes through `readonly` are rejected except
+//!   the paper's exception (a `readonly` field of a `private` struct
+//!   instance); reads and writes through `locked` and `dynamic`
+//!   storage get runtime checks.
+//! * **Assignment/call compatibility** — referent types must agree
+//!   exactly (qualifiers are invariant below the outermost level);
+//!   where only the referent's own mode differs, SharC *suggests* the
+//!   sharing cast that would fix it, as the paper's tool does.
+//! * **Sharing casts** — `SCAST(t, lv)` may only change the referent's
+//!   outermost mode; the source is nulled, so a definite later use
+//!   produces a warning.
+//!
+//! The output is an [`Instrumentation`] table mapping l-value
+//! occurrences to the runtime checks the VM must execute — exactly
+//! the `when chkread/chkwrite/oneref` guards of the formal model.
+
+use crate::analysis::SharingAnalysis;
+use crate::typer::{type_function, TypeEnv, TypeTable};
+use minic::ast::*;
+use minic::diag::{Diagnostic, Diagnostics};
+use minic::env::StructTable;
+use minic::pretty;
+use minic::span::Span;
+use std::collections::{HashMap, HashSet};
+
+/// Which runtime check an access needs.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CheckKind {
+    /// Reader/writer-set check on `dynamic` storage.
+    Dynamic,
+    /// Held-lock check; index into [`Instrumentation::lock_exprs`].
+    Locked(usize),
+}
+
+/// Checks attached to one l-value occurrence.
+#[derive(Debug, Clone)]
+pub struct AccessCheck {
+    pub read: Option<CheckKind>,
+    pub write: Option<CheckKind>,
+    /// The l-value as written (`S->sdata`, `*(fdata + i)`), used in
+    /// conflict reports.
+    pub lvalue: String,
+    pub span: Span,
+}
+
+/// The instrumentation table consumed by the VM compiler.
+#[derive(Debug, Default)]
+pub struct Instrumentation {
+    /// Checks per l-value expression node.
+    pub checks: HashMap<NodeId, AccessCheck>,
+    /// Synthesized lock expressions (evaluated uninstrumented).
+    pub lock_exprs: Vec<Expr>,
+    /// Call arguments covered by a trusted library *read summary*
+    /// (paper §4.4): the callee reads through the pointer, so for a
+    /// dynamic actual the reader set must be updated over the range
+    /// the library touches.
+    pub lib_read_summaries: HashSet<NodeId>,
+    /// Number of statically-checked access sites, by kind (for
+    /// reporting).
+    pub n_dynamic_sites: usize,
+    pub n_locked_sites: usize,
+}
+
+/// Result of the checking phase.
+#[derive(Debug)]
+pub struct CheckResult {
+    pub diags: Diagnostics,
+    pub instr: Instrumentation,
+}
+
+/// Checks the fully-annotated `program` and builds instrumentation.
+pub fn check(
+    program: &Program,
+    structs: &StructTable,
+    sharing: &SharingAnalysis,
+) -> CheckResult {
+    let mut diags = Diagnostics::new();
+
+    // Well-formedness of declared types.
+    for g in &program.globals {
+        wf_type(&g.ty, g.span, &mut diags);
+    }
+    for sd in &program.structs {
+        for f in &sd.fields {
+            wf_field_type(&f.ty, f.span, &mut diags);
+        }
+    }
+    for f in &program.fns {
+        wf_type(&f.ret, f.span, &mut diags);
+        for p in &f.params {
+            wf_type(&p.ty, p.span, &mut diags);
+        }
+    }
+
+    let env = TypeEnv::new(program, structs);
+    let mut instr = Instrumentation::default();
+    // Reserve synthesized-expression ids beyond any parser id.
+    let mut next_expr_id = 1_000_000u32;
+
+    for f in &program.fns {
+        let table = type_function(&env, f);
+        for e in &table.errors {
+            diags.push(e.clone());
+        }
+        let assigned = collect_assigned_names(f);
+        let mut ck = FnChecker {
+            env: &env,
+            table: &table,
+            sharing,
+            diags: &mut diags,
+            instr: &mut instr,
+            next_expr_id: &mut next_expr_id,
+            assigned_names: assigned,
+            fn_name: &f.name,
+        };
+        ck.block(&f.body);
+        wf_decl_types(&f.body, &mut diags);
+    }
+
+    CheckResult { diags, instr }
+}
+
+// ----- well-formedness -----
+
+/// No shared reference to a private target (REF-CTOR generalized).
+fn wf_type(ty: &Type, span: Span, diags: &mut Diagnostics) {
+    if let TypeKind::Ptr(inner) = &ty.kind {
+        let ptr_shared = !matches!(ty.qual, Qual::Private | Qual::Infer | Qual::Var(_));
+        if ptr_shared
+            && matches!(inner.qual, Qual::Private)
+            && !inner.is_void()
+            && !matches!(inner.kind, TypeKind::Fn(_))
+        {
+            diags.push(Diagnostic::error(
+                format!(
+                    "ill-formed type `{}`: a shared ({}) reference may not point to a \
+                     private target",
+                    pretty::type_str(ty),
+                    ty.qual
+                ),
+                span,
+            ));
+        }
+    }
+    match &ty.kind {
+        TypeKind::Ptr(inner) | TypeKind::Array(inner, _) => wf_type(inner, span, diags),
+        TypeKind::Fn(sig) => {
+            wf_type(&sig.ret, span, diags);
+            for p in &sig.params {
+                wf_type(&p.ty, span, diags);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Field types may use `Poly` at the outermost level; a `Poly`
+/// pointer is as restrictive as a shared one (the instance may be
+/// shared), so a `Poly` pointer to `private` is ill-formed — this is
+/// why the paper disallows `private` as the outermost annotation of a
+/// field.
+fn wf_field_type(ty: &Type, span: Span, diags: &mut Diagnostics) {
+    if let TypeKind::Ptr(inner) = &ty.kind {
+        let ptr_maybe_shared =
+            !matches!(ty.qual, Qual::Private | Qual::Infer | Qual::Var(_));
+        if ptr_maybe_shared
+            && matches!(inner.qual, Qual::Private)
+            && !inner.is_void()
+            && !matches!(inner.kind, TypeKind::Fn(_))
+        {
+            diags.push(Diagnostic::error(
+                format!(
+                    "ill-formed field type `{}`: a possibly-shared reference may not point \
+                     to a private target",
+                    pretty::type_str(ty)
+                ),
+                span,
+            ));
+        }
+    }
+    match &ty.kind {
+        TypeKind::Ptr(inner) | TypeKind::Array(inner, _) => wf_field_type(inner, span, diags),
+        TypeKind::Fn(_) => wf_type(ty, span, diags),
+        _ => {}
+    }
+}
+
+fn wf_decl_types(b: &Block, diags: &mut Diagnostics) {
+    for s in &b.stmts {
+        match &s.kind {
+            StmtKind::Decl { ty, .. } => wf_type(ty, s.span, diags),
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
+                wf_decl_types(then_blk, diags);
+                if let Some(eb) = else_blk {
+                    wf_decl_types(eb, diags);
+                }
+            }
+            StmtKind::While { body, .. } => wf_decl_types(body, diags),
+            StmtKind::For {
+                init, body, ..
+            } => {
+                if let Some(i) = init {
+                    if let StmtKind::Decl { ty, .. } = &i.kind {
+                        wf_type(ty, i.span, diags);
+                    }
+                }
+                wf_decl_types(body, diags);
+            }
+            StmtKind::Block(b) => wf_decl_types(b, diags),
+            _ => {}
+        }
+    }
+}
+
+/// Names assigned (or address-taken) anywhere in the function; used
+/// for the `locked(l)` verifiable-constancy requirement.
+fn collect_assigned_names(f: &FnDef) -> HashSet<String> {
+    let mut names = HashSet::new();
+    fn expr_walk(e: &Expr, names: &mut HashSet<String>) {
+        match &e.kind {
+            // Taking an address (e.g. `mutex_lock(&gm)`) does not by
+            // itself modify the variable; only assignments and
+            // sharing casts (which null their source) do.
+            ExprKind::Unary(_, a) => expr_walk(a, names),
+            ExprKind::Binary(_, a, b) => {
+                expr_walk(a, names);
+                expr_walk(b, names);
+            }
+            ExprKind::Index(a, b) => {
+                expr_walk(a, names);
+                expr_walk(b, names);
+            }
+            ExprKind::Field(a, _, _) => expr_walk(a, names),
+            ExprKind::Call(f, args) => {
+                expr_walk(f, names);
+                for a in args {
+                    expr_walk(a, names);
+                }
+            }
+            ExprKind::Cast(_, a) | ExprKind::NewArray(_, a) => expr_walk(a, names),
+            ExprKind::Scast(_, a) => {
+                // The source of a sharing cast is nulled out: it is a
+                // modification.
+                if let ExprKind::Ident(n) = &a.kind {
+                    names.insert(n.clone());
+                }
+                expr_walk(a, names);
+            }
+            ExprKind::Ternary(c, a, b) => {
+                expr_walk(c, names);
+                expr_walk(a, names);
+                expr_walk(b, names);
+            }
+            _ => {}
+        }
+    }
+    fn stmt_walk(s: &Stmt, names: &mut HashSet<String>) {
+        match &s.kind {
+            StmtKind::Decl { init: Some(e), .. } => expr_walk(e, names),
+            StmtKind::Assign { lhs, rhs } => {
+                if let ExprKind::Ident(n) = &lhs.kind {
+                    names.insert(n.clone());
+                }
+                expr_walk(lhs, names);
+                expr_walk(rhs, names);
+            }
+            StmtKind::Expr(e) => expr_walk(e, names),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                expr_walk(cond, names);
+                block_walk(then_blk, names);
+                if let Some(eb) = else_blk {
+                    block_walk(eb, names);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                expr_walk(cond, names);
+                block_walk(body, names);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    stmt_walk(i, names);
+                }
+                if let Some(c) = cond {
+                    expr_walk(c, names);
+                }
+                if let Some(st) = step {
+                    stmt_walk(st, names);
+                }
+                block_walk(body, names);
+            }
+            StmtKind::Return(Some(e)) => expr_walk(e, names),
+            StmtKind::Block(b) => block_walk(b, names),
+            _ => {}
+        }
+    }
+    fn block_walk(b: &Block, names: &mut HashSet<String>) {
+        for s in &b.stmts {
+            stmt_walk(s, names);
+        }
+    }
+    block_walk(&f.body, &mut names);
+    names
+}
+
+// ----- per-function checking -----
+
+struct FnChecker<'a> {
+    env: &'a TypeEnv<'a>,
+    table: &'a TypeTable,
+    sharing: &'a SharingAnalysis,
+    diags: &'a mut Diagnostics,
+    instr: &'a mut Instrumentation,
+    next_expr_id: &'a mut u32,
+    assigned_names: HashSet<String>,
+    fn_name: &'a str,
+}
+
+impl<'a> FnChecker<'a> {
+    fn ty_of(&self, e: &Expr) -> Option<Type> {
+        self.table.exprs.get(&e.id).cloned()
+    }
+
+    fn block(&mut self, b: &Block) {
+        for s in &b.stmts {
+            self.stmt(s);
+        }
+        // Scan straight-line statement sequences for uses of a
+        // pointer after it was nulled by a sharing cast.
+        self.warn_use_after_scast(b);
+    }
+
+    fn stmt(&mut self, s: &Stmt) {
+        match &s.kind {
+            StmtKind::Decl { ty, init, .. } => {
+                if let Some(e) = init {
+                    self.rvalue(e);
+                    self.check_assign_compat(ty, e, s.span);
+                }
+            }
+            StmtKind::Assign { lhs, rhs } => {
+                self.rvalue(rhs);
+                self.lvalue_addr(lhs);
+                let lhs_ty = self.ty_of(lhs);
+                if let Some(lt) = &lhs_ty {
+                    self.record_write(lhs, lt);
+                    self.check_assign_compat(lt, rhs, s.span);
+                }
+            }
+            StmtKind::Expr(e) => self.rvalue(e),
+            StmtKind::If {
+                cond,
+                then_blk,
+                else_blk,
+            } => {
+                self.rvalue(cond);
+                self.block(then_blk);
+                if let Some(eb) = else_blk {
+                    self.block(eb);
+                }
+            }
+            StmtKind::While { cond, body } => {
+                self.rvalue(cond);
+                self.block(body);
+            }
+            StmtKind::For {
+                init,
+                cond,
+                step,
+                body,
+            } => {
+                if let Some(i) = init {
+                    self.stmt(i);
+                }
+                if let Some(c) = cond {
+                    self.rvalue(c);
+                }
+                if let Some(st) = step {
+                    self.stmt(st);
+                }
+                self.block(body);
+            }
+            StmtKind::Return(Some(e)) => self.rvalue(e),
+            StmtKind::Return(None) | StmtKind::Break | StmtKind::Continue => {}
+            StmtKind::Block(b) => self.block(b),
+        }
+    }
+
+    /// Visits an expression used as an r-value; records read checks
+    /// on every storage load inside it.
+    fn rvalue(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(name) => {
+                // Loading a variable; function names are constants.
+                if self.env.fn_sigs.contains_key(name) && self.ty_of(e).is_some_and(|t| {
+                    matches!(&t.kind, TypeKind::Ptr(p) if matches!(p.kind, TypeKind::Fn(_)))
+                }) && !self.table.exprs.contains_key(&e.id)
+                {
+                    return;
+                }
+                if let Some(t) = self.ty_of(e) {
+                    self.record_read(e, &t);
+                }
+            }
+            ExprKind::Unary(UnOp::Deref, p) => {
+                self.rvalue(p);
+                if let Some(t) = self.ty_of(e) {
+                    self.record_read(e, &t);
+                }
+            }
+            ExprKind::Unary(UnOp::AddrOf, lv) => {
+                self.lvalue_addr(lv);
+            }
+            ExprKind::Unary(_, a) => self.rvalue(a),
+            ExprKind::Binary(_, a, b) => {
+                self.rvalue(a);
+                self.rvalue(b);
+            }
+            ExprKind::Index(base, idx) => {
+                self.index_base(base);
+                self.rvalue(idx);
+                if let Some(t) = self.ty_of(e) {
+                    self.record_read(e, &t);
+                }
+            }
+            ExprKind::Field(base, _, arrow) => {
+                if *arrow {
+                    self.rvalue(base);
+                } else {
+                    self.lvalue_addr(base);
+                }
+                if let Some(t) = self.ty_of(e) {
+                    self.record_read(e, &t);
+                }
+            }
+            ExprKind::Call(callee, args) => self.call(e, callee, args),
+            ExprKind::Cast(ty, inner) => {
+                self.rvalue(inner);
+                self.check_ordinary_cast(ty, inner, e.span);
+            }
+            ExprKind::Scast(ty, src) => self.scast(e, ty, src),
+            ExprKind::New(_) | ExprKind::Sizeof(_) => {}
+            ExprKind::NewArray(_, n) => self.rvalue(n),
+            ExprKind::Ternary(c, a, b) => {
+                self.rvalue(c);
+                self.rvalue(a);
+                self.rvalue(b);
+            }
+            _ => {}
+        }
+    }
+
+    /// Visits an l-value in *address* context: its own storage is not
+    /// loaded, but inner pointers on the path are.
+    fn lvalue_addr(&mut self, e: &Expr) {
+        match &e.kind {
+            ExprKind::Ident(_) => {}
+            ExprKind::Unary(UnOp::Deref, p) => self.rvalue(p),
+            ExprKind::Index(base, idx) => {
+                self.index_base(base);
+                self.rvalue(idx);
+            }
+            ExprKind::Field(base, _, arrow) => {
+                if *arrow {
+                    self.rvalue(base);
+                } else {
+                    self.lvalue_addr(base);
+                }
+            }
+            _ => self.rvalue(e),
+        }
+    }
+
+    /// An index base is loaded if it is a pointer, addressed if it is
+    /// an array l-value.
+    fn index_base(&mut self, base: &Expr) {
+        let is_array = self
+            .ty_of(base)
+            .is_some_and(|t| matches!(t.kind, TypeKind::Array(..)));
+        if is_array && base.is_lvalue() {
+            self.lvalue_addr(base);
+        } else {
+            self.rvalue(base);
+        }
+    }
+
+    // ----- checks recording -----
+
+    fn access_entry(&mut self, e: &Expr) -> &mut AccessCheck {
+        self.instr
+            .checks
+            .entry(e.id)
+            .or_insert_with(|| AccessCheck {
+                read: None,
+                write: None,
+                lvalue: pretty::expr(e),
+                span: e.span,
+            })
+    }
+
+    fn check_kind_for(&mut self, qual: &Qual, span: Span) -> Option<CheckKind> {
+        match qual {
+            Qual::Dynamic => {
+                self.instr.n_dynamic_sites += 1;
+                Some(CheckKind::Dynamic)
+            }
+            Qual::Locked(path) => {
+                self.instr.n_locked_sites += 1;
+                let idx = self.lock_expr_index(path, span);
+                Some(CheckKind::Locked(idx))
+            }
+            _ => None,
+        }
+    }
+
+    fn lock_expr_index(&mut self, path: &LockPath, span: Span) -> usize {
+        let src = path.segs.join("->");
+        let id = *self.next_expr_id;
+        match minic::parse_expr(&src, id) {
+            Ok(expr) => {
+                *self.next_expr_id += 10_000;
+                self.check_lock_constancy(&expr, span);
+                self.instr.lock_exprs.push(expr);
+                self.instr.lock_exprs.len() - 1
+            }
+            Err(_) => {
+                self.diags.push(Diagnostic::error(
+                    format!("cannot resolve lock expression `{src}`"),
+                    span,
+                ));
+                self.instr.lock_exprs.push(Expr {
+                    kind: ExprKind::Null,
+                    span,
+                    id: NodeId(id),
+                });
+                *self.next_expr_id += 10_000;
+                self.instr.lock_exprs.len() - 1
+            }
+        }
+    }
+
+    /// The lock expression must be verifiably constant: its base must
+    /// be an unmodified local/formal or a readonly global, and every
+    /// field on the path must be readonly (forced by elaboration).
+    fn check_lock_constancy(&mut self, lock: &Expr, span: Span) {
+        let mut base = lock;
+        loop {
+            match &base.kind {
+                ExprKind::Field(inner, _, _) => base = inner,
+                ExprKind::Index(inner, _) => base = inner,
+                ExprKind::Unary(UnOp::Deref, inner) => base = inner,
+                _ => break,
+            }
+        }
+        if let ExprKind::Ident(name) = &base.kind {
+            if self.assigned_names.contains(name) {
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "lock base `{name}` must be verifiably constant, but it is \
+                         modified in `{}`",
+                        self.fn_name
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+
+    fn record_read(&mut self, e: &Expr, ty: &Type) {
+        if let Some(kind) = self.check_kind_for(&ty.qual.clone(), e.span) {
+            self.access_entry(e).read = Some(kind);
+        }
+    }
+
+    fn record_write(&mut self, e: &Expr, ty: &Type) {
+        match &ty.qual {
+            Qual::Readonly => {
+                // The paper's exception: a readonly field of a private
+                // structure instance is writable (initialization).
+                let allowed = match &e.kind {
+                    ExprKind::Field(base, _, arrow) => {
+                        let inst_qual = self.ty_of(base).map(|t| {
+                            if *arrow {
+                                t.pointee().map(|p| p.qual.clone()).unwrap_or(Qual::Private)
+                            } else {
+                                t.qual
+                            }
+                        });
+                        matches!(inst_qual, Some(Qual::Private))
+                    }
+                    _ => false,
+                };
+                if !allowed {
+                    self.diags.push(Diagnostic::error(
+                        format!(
+                            "write to readonly l-value `{}` (readonly fields are only \
+                             writable through a private struct instance)",
+                            pretty::expr(e)
+                        ),
+                        e.span,
+                    ));
+                }
+            }
+            q => {
+                if let Some(kind) = self.check_kind_for(&q.clone(), e.span) {
+                    self.access_entry(e).write = Some(kind);
+                }
+            }
+        }
+    }
+
+    // ----- compatibility -----
+
+    fn check_assign_compat(&mut self, lhs_ty: &Type, rhs: &Expr, span: Span) {
+        if matches!(rhs.kind, ExprKind::Null) {
+            if !lhs_ty.is_ptr() && !lhs_ty.is_integral() {
+                self.diags
+                    .push(Diagnostic::error("NULL assigned to non-pointer", span));
+            }
+            return;
+        }
+        let Some(rhs_ty) = self.ty_of(rhs) else {
+            return;
+        };
+        if lhs_ty.is_integral() && rhs_ty.is_integral() {
+            return;
+        }
+        let array_decay = lhs_ty.is_ptr() && matches!(rhs_ty.kind, TypeKind::Array(..));
+        if !(lhs_ty.same_shape(&rhs_ty) || array_decay) {
+            // Pointer-from-array decay is fine; anything else must
+            // match shapes (ordinary casts handle C-style punning).
+            if !(lhs_ty.is_ptr() && is_null_shape(&rhs_ty)) {
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "type mismatch: cannot assign `{}` to `{}`",
+                        pretty::type_str(&rhs_ty),
+                        pretty::type_str(lhs_ty)
+                    ),
+                    span,
+                ));
+            }
+            return;
+        }
+        // Referent types must agree exactly.
+        let (la, ra) = match (level_below(lhs_ty), level_below(&rhs_ty)) {
+            (Some(a), Some(b)) => (a, b),
+            _ => return,
+        };
+        if !deep_equal(&la, &ra) {
+            // If only the referent's own mode differs, suggest the
+            // sharing cast the paper's tool suggests.
+            if shallow_fixable(&la, &ra) {
+                // Print the cast as the paper writes it: the referent
+                // type with no qualifier on the pointer itself.
+                let cast_ty = Type::ptr(la.clone(), Qual::Infer);
+                self.diags.push(
+                    Diagnostic::error(
+                        format!(
+                            "sharing modes differ: cannot assign `{}` to `{}`",
+                            pretty::type_str(&rhs_ty),
+                            pretty::type_str(lhs_ty)
+                        ),
+                        span,
+                    )
+                    .with_note(
+                        format!(
+                            "insert a sharing cast: SCAST({}, {})",
+                            pretty::type_str(&cast_ty),
+                            pretty::expr(rhs)
+                        ),
+                        rhs.span,
+                    ),
+                );
+            } else {
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "referent types differ: cannot assign `{}` to `{}`",
+                        pretty::type_str(&rhs_ty),
+                        pretty::type_str(lhs_ty)
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+
+    fn check_ordinary_cast(&mut self, to: &Type, from: &Expr, span: Span) {
+        let Some(from_ty) = self.ty_of(from) else {
+            return;
+        };
+        // Integer <-> pointer casts are allowed (C legacy; see the
+        // dillo benchmark), as are pointer shape changes, but sharing
+        // modes may not change at matching referent levels.
+        if let (Some(tp), Some(fp)) = (to.pointee(), from_ty.pointee()) {
+            if tp.same_shape(fp) && !deep_equal(tp, fp) {
+                self.diags.push(
+                    Diagnostic::error(
+                        format!(
+                            "ordinary cast cannot change sharing modes: `{}` -> `{}`; \
+                             use SCAST",
+                            pretty::type_str(&from_ty),
+                            pretty::type_str(to)
+                        ),
+                        span,
+                    ),
+                );
+            }
+        }
+    }
+
+    fn scast(&mut self, e: &Expr, to: &Type, src: &Expr) {
+        self.lvalue_addr(src);
+        if let Some(src_ty) = self.ty_of(src) {
+            // Record read+write checks on the source (it is loaded and
+            // nulled).
+            self.record_read(src, &src_ty.clone());
+            if src.is_lvalue() {
+                self.record_write(src, &src_ty.clone());
+            }
+            // Only the referent's outermost mode may change; deeper
+            // levels are invariant (you cannot cast
+            // ref(dynamic ref(dynamic int)) to ref(private ref(private int))).
+            if let (Some(tp), Some(sp)) = (to.pointee(), src_ty.pointee()) {
+                if !tp.same_shape(sp) {
+                    self.diags.push(Diagnostic::error(
+                        "sharing cast cannot change the referent's shape",
+                        e.span,
+                    ));
+                } else if !deep_equal_below(tp, sp) {
+                    self.diags.push(Diagnostic::error(
+                        "sharing cast may only change the referent's own mode; deeper \
+                         sharing modes must be identical",
+                        e.span,
+                    ));
+                }
+            }
+        }
+    }
+
+    fn call(&mut self, e: &Expr, callee: &Expr, args: &[Expr]) {
+        if let ExprKind::Ident(name) = &callee.kind {
+            if is_builtin(name) {
+                self.check_builtin_args(name, args, e.span);
+                for a in args {
+                    self.rvalue(a);
+                }
+                return;
+            }
+            if let Some(sig) = self.env.fn_sigs.get(name).cloned() {
+                self.check_call_args(Some(name), &sig, args, e.span);
+                for a in args {
+                    self.rvalue(a);
+                }
+                return;
+            }
+        }
+        self.rvalue(callee);
+        if let Some(tc) = self.ty_of(callee) {
+            let sig = match &tc.kind {
+                TypeKind::Ptr(p) => match &p.kind {
+                    TypeKind::Fn(sig) => Some((**sig).clone()),
+                    _ => None,
+                },
+                TypeKind::Fn(sig) => Some((**sig).clone()),
+                _ => None,
+            };
+            if let Some(sig) = sig {
+                self.check_call_args(None, &sig, args, e.span);
+            }
+        }
+        for a in args {
+            self.rvalue(a);
+        }
+    }
+
+    fn check_call_args(
+        &mut self,
+        fn_name: Option<&str>,
+        sig: &FnSig,
+        args: &[Expr],
+        span: Span,
+    ) {
+        for (i, (arg, p)) in args.iter().zip(&sig.params).enumerate() {
+            if matches!(arg.kind, ExprKind::Null) {
+                continue;
+            }
+            let Some(ta) = self.ty_of(arg) else { continue };
+            let (fa, fp) = match (level_below(&ta), level_below(&p.ty)) {
+                (Some(a), Some(b)) => (a, b),
+                _ => continue,
+            };
+            if deep_equal(&fa, &fp) {
+                continue;
+            }
+            // dynamic_in acceptance: a dynamic, non-escaping formal
+            // accepts a private actual; accesses are checked inside
+            // the callee, which is sound for a single-thread object.
+            let dynamic_in_ok = matches!(fp.qual, Qual::Dynamic)
+                && matches!(fa.qual, Qual::Private)
+                && deep_equal_below(&fa, &fp)
+                && fn_name.is_some_and(|n| {
+                    !self
+                        .sharing
+                        .param_escapes
+                        .get(&(n.to_string(), i))
+                        .copied()
+                        .unwrap_or(true)
+                });
+            if dynamic_in_ok {
+                continue;
+            }
+            if shallow_fixable(&fa, &fp) {
+                let cast_ty = Type::ptr(fp.clone(), Qual::Infer);
+                self.diags.push(
+                    Diagnostic::error(
+                        format!(
+                            "argument {} has sharing mode `{}` but the parameter expects \
+                             `{}`",
+                            i + 1,
+                            fa.qual,
+                            fp.qual
+                        ),
+                        span,
+                    )
+                    .with_note(
+                        format!(
+                            "insert a sharing cast: SCAST({}, {})",
+                            pretty::type_str(&cast_ty),
+                            pretty::expr(arg)
+                        ),
+                        arg.span,
+                    ),
+                );
+            } else {
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "argument {} referent type `{}` does not match parameter `{}`",
+                        i + 1,
+                        pretty::type_str(&ta),
+                        pretty::type_str(&p.ty)
+                    ),
+                    span,
+                ));
+            }
+        }
+    }
+
+    /// Library-call argument rules (paper §4.4): a call with a
+    /// read/write summary accepts any sharing mode *except* `locked`;
+    /// a `dynamic` actual gets its reader set updated per the summary.
+    fn check_builtin_args(&mut self, name: &str, args: &[Expr], span: Span) {
+        // `print_str` is the library call with a read summary: it
+        // reads the string through its pointer argument.
+        let summarized: &[usize] = match name {
+            "print_str" => &[0],
+            _ => &[],
+        };
+        for &i in summarized {
+            let Some(arg) = args.get(i) else { continue };
+            let Some(ta) = self.ty_of(arg) else { continue };
+            let Some(pointee) = ta.pointee() else { continue };
+            match &pointee.qual {
+                Qual::Locked(_) => {
+                    self.diags.push(Diagnostic::error(
+                        format!(
+                            "library call `{name}` cannot take a locked argument;                              read/write summaries do not cover lock-protected data"
+                        ),
+                        span,
+                    ));
+                }
+                Qual::Dynamic => {
+                    self.instr.lib_read_summaries.insert(arg.id);
+                }
+                _ => {}
+            }
+        }
+    }
+
+    /// Warns when a pointer is definitely used after being nulled by a
+    /// sharing cast (straight-line scan within one block).
+    fn warn_use_after_scast(&mut self, b: &Block) {
+        for (i, s) in b.stmts.iter().enumerate() {
+            let Some(name) = scast_source_ident(s) else {
+                continue;
+            };
+            for later in &b.stmts[i + 1..] {
+                match first_use_or_def(later, &name) {
+                    Some(UseOrDef::Use(span)) => {
+                        self.diags.push(Diagnostic::warning(
+                            format!(
+                                "`{name}` is used here but was nulled out by a sharing \
+                                 cast; it is NULL at this point"
+                            ),
+                            span,
+                        ));
+                        break;
+                    }
+                    Some(UseOrDef::Def) => break,
+                    None => {}
+                }
+            }
+        }
+    }
+}
+
+fn is_null_shape(t: &Type) -> bool {
+    matches!(&t.kind, TypeKind::Ptr(p) if p.is_void())
+}
+
+/// The storage level below the outermost: `ptr -> pointee`,
+/// `array -> element`.
+fn level_below(t: &Type) -> Option<Type> {
+    match &t.kind {
+        TypeKind::Ptr(p) => Some((**p).clone()),
+        TypeKind::Array(e, _) => Some((**e).clone()),
+        _ => None,
+    }
+}
+
+/// Exact agreement of a referent type, qualifiers included.
+pub fn deep_equal(a: &Type, b: &Type) -> bool {
+    quals_equal(&a.qual, &b.qual) && deep_equal_below(a, b)
+}
+
+/// Agreement of everything strictly below this level.
+pub fn deep_equal_below(a: &Type, b: &Type) -> bool {
+    match (&a.kind, &b.kind) {
+        (TypeKind::Ptr(pa), TypeKind::Ptr(pb)) => deep_equal(pa, pb),
+        (TypeKind::Array(ea, n), TypeKind::Array(eb, m)) => n == m && deep_equal(ea, eb),
+        (TypeKind::Ptr(pa), TypeKind::Array(eb, _)) => deep_equal(pa, eb),
+        (TypeKind::Array(ea, _), TypeKind::Ptr(pb)) => deep_equal(ea, pb),
+        (TypeKind::Fn(sa), TypeKind::Fn(sb)) => {
+            sa.params.len() == sb.params.len()
+                && deep_equal(&sa.ret, &sb.ret)
+                && sa
+                    .params
+                    .iter()
+                    .zip(&sb.params)
+                    .all(|(x, y)| deep_equal(&x.ty, &y.ty))
+        }
+        (TypeKind::Named(x), TypeKind::Named(y)) => x == y,
+        _ => a.same_shape(b),
+    }
+}
+
+fn quals_equal(a: &Qual, b: &Qual) -> bool {
+    match (a, b) {
+        (Qual::Locked(p), Qual::Locked(q)) => p.segs == q.segs,
+        _ => a == b,
+    }
+}
+
+/// True if the two referent types differ *only* in their own
+/// (outermost) sharing mode — the case a sharing cast fixes.
+fn shallow_fixable(a: &Type, b: &Type) -> bool {
+    a.same_shape(b) && !quals_equal(&a.qual, &b.qual) && deep_equal_below(a, b)
+}
+
+fn scast_source_ident(s: &Stmt) -> Option<String> {
+    let e = match &s.kind {
+        StmtKind::Assign { rhs, .. } => rhs,
+        StmtKind::Decl { init: Some(e), .. } => e,
+        StmtKind::Expr(e) => e,
+        _ => return None,
+    };
+    if let ExprKind::Scast(_, src) = &e.kind {
+        if let ExprKind::Ident(name) = &src.kind {
+            return Some(name.clone());
+        }
+    }
+    None
+}
+
+enum UseOrDef {
+    Use(Span),
+    Def,
+}
+
+/// First use or (re)definition of `name` in a statement, scanning
+/// only straight-line structure (conditionals count as possible uses
+/// but not definite ones, so they are skipped for "definitely live").
+fn first_use_or_def(s: &Stmt, name: &str) -> Option<UseOrDef> {
+    fn in_expr(e: &Expr, name: &str) -> Option<Span> {
+        match &e.kind {
+            ExprKind::Ident(n) if n == name => Some(e.span),
+            ExprKind::Unary(_, a) => in_expr(a, name),
+            ExprKind::Binary(_, a, b) => in_expr(a, name).or_else(|| in_expr(b, name)),
+            ExprKind::Index(a, b) => in_expr(a, name).or_else(|| in_expr(b, name)),
+            ExprKind::Field(a, _, _) => in_expr(a, name),
+            ExprKind::Call(f, args) => in_expr(f, name)
+                .or_else(|| args.iter().find_map(|a| in_expr(a, name))),
+            ExprKind::Cast(_, a) | ExprKind::NewArray(_, a) => in_expr(a, name),
+            ExprKind::Scast(_, a) => in_expr(a, name),
+            ExprKind::Ternary(c, a, b) => in_expr(c, name)
+                .or_else(|| in_expr(a, name))
+                .or_else(|| in_expr(b, name)),
+            _ => None,
+        }
+    }
+    match &s.kind {
+        StmtKind::Assign { lhs, rhs } => {
+            if let Some(sp) = in_expr(rhs, name) {
+                return Some(UseOrDef::Use(sp));
+            }
+            if let ExprKind::Ident(n) = &lhs.kind {
+                if n == name {
+                    return Some(UseOrDef::Def);
+                }
+            }
+            in_expr(lhs, name).map(UseOrDef::Use)
+        }
+        StmtKind::Expr(e) => in_expr(e, name).map(UseOrDef::Use),
+        StmtKind::Decl { init: Some(e), .. } => in_expr(e, name).map(UseOrDef::Use),
+        StmtKind::Return(Some(e)) => in_expr(e, name).map(UseOrDef::Use),
+        // Control flow ends the "definite" straight-line scan.
+        _ => Some(UseOrDef::Def),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::analysis::analyze;
+    use crate::elaborate::elaborate;
+    use minic::parse;
+
+    fn run(src: &str) -> (Program, CheckResult) {
+        let mut p = parse(src).unwrap();
+        let elab = elaborate(&mut p);
+        assert!(!elab.diags.has_errors(), "elab failed");
+        let structs = StructTable::build(&p).unwrap();
+        let sharing = analyze(&mut p, &structs, elab.n_vars);
+        let r = check(&p, &structs, &sharing);
+        (p, r)
+    }
+
+    fn errors(r: &CheckResult) -> Vec<String> {
+        r.diags
+            .iter()
+            .filter(|d| d.severity == minic::Severity::Error)
+            .map(|d| d.message.clone())
+            .collect()
+    }
+
+    #[test]
+    fn clean_private_program_has_no_checks() {
+        let (_, r) = run("void main() { int x; int * p; p = &x; *p = 3; }");
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+        assert_eq!(r.instr.n_dynamic_sites, 0);
+    }
+
+    #[test]
+    fn dynamic_accesses_get_checks() {
+        let (p, r) = run(
+            "void worker(int * d) { *d = 1; }\n\
+             void main() { int * q; q = new(int); spawn(worker, q); }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+        assert!(r.instr.n_dynamic_sites > 0);
+        // The `*d = 1` write must be checked.
+        let worker = p.fn_by_name("worker").unwrap();
+        let StmtKind::Assign { lhs, .. } = &worker.body.stmts[0].kind else {
+            panic!()
+        };
+        let ac = &r.instr.checks[&lhs.id];
+        assert_eq!(ac.write, Some(CheckKind::Dynamic));
+        assert_eq!(ac.lvalue, "*d");
+    }
+
+    #[test]
+    fn locked_access_gets_lock_check() {
+        let (p, r) = run(
+            "struct q { mutex * m; int locked(m) count; };\n\
+             void worker(struct q * w) { mutex_lock(w->m); w->count = w->count + 1; \
+              mutex_unlock(w->m); }\n\
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+        assert!(r.instr.n_locked_sites > 0);
+        let worker = p.fn_by_name("worker").unwrap();
+        let StmtKind::Assign { lhs, .. } = &worker.body.stmts[1].kind else {
+            panic!()
+        };
+        let ac = &r.instr.checks[&lhs.id];
+        assert!(matches!(ac.write, Some(CheckKind::Locked(_))));
+        // The synthesized lock expression is w->m.
+        let Some(CheckKind::Locked(idx)) = &ac.write else {
+            panic!()
+        };
+        assert_eq!(pretty::expr(&r.instr.lock_exprs[*idx]), "w->m");
+    }
+
+    #[test]
+    fn readonly_write_rejected() {
+        let (_, r) = run(
+            "int readonly config;\n\
+             void main() { config = 5; }",
+        );
+        assert!(!errors(&r).is_empty());
+    }
+
+    #[test]
+    fn readonly_field_of_private_struct_writable() {
+        let (_, r) = run(
+            "struct s { mutex * m; int locked(m) v; };\n\
+             void main() { struct s private * x; mutex * mm; x = new(struct s); \
+             mm = new(mutex); x->m = mm; }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+    }
+
+    #[test]
+    fn readonly_field_of_shared_struct_not_writable() {
+        let (_, r) = run(
+            "struct s { mutex * m; int locked(m) v; };\n\
+             void worker(struct s * w) { mutex private * mm; mm = new(mutex); w->m = mm; }\n\
+             void main() { struct s * w; w = new(struct s); spawn(worker, w); }",
+        );
+        assert!(!errors(&r).is_empty());
+    }
+
+    #[test]
+    fn mode_mismatch_suggests_scast() {
+        let (_, r) = run(
+            "struct q { mutex * m; char locked(m) *locked(m) data; };\n\
+             void worker(struct q * w) { char private * l; l = w->data; }\n\
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+        );
+        let errs = errors(&r);
+        assert!(!errs.is_empty());
+        let has_suggestion = r
+            .diags
+            .iter()
+            .any(|d| d.notes.iter().any(|(m, _)| m.contains("SCAST(")));
+        assert!(has_suggestion, "{:?}", errs);
+    }
+
+    #[test]
+    fn scast_fixes_mode_mismatch() {
+        let (_, r) = run(
+            "struct q { mutex * m; char locked(m) *locked(m) data; };\n\
+             void worker(struct q * w) { char private * l; \
+              l = SCAST(char private *, w->data); }\n\
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+    }
+
+    #[test]
+    fn scast_cannot_change_deep_modes() {
+        let (_, r) = run(
+            "void main() { int dynamic * dynamic * private pp; \
+             int private * private * private qq; \
+             qq = SCAST(int private * private *, pp); }",
+        );
+        assert!(!errors(&r).is_empty());
+    }
+
+    #[test]
+    fn shared_ref_to_private_is_ill_formed() {
+        let (_, r) = run("int private * dynamic g;");
+        assert!(!errors(&r).is_empty());
+    }
+
+    #[test]
+    fn modified_lock_base_rejected() {
+        let (_, r) = run(
+            "struct q { mutex * m; int locked(m) v; };\n\
+             void worker(struct q * w) { w = NULL; w->v = 1; }\n\
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+        );
+        assert!(errors(&r).iter().any(|e| e.contains("verifiably constant")),
+            "{:?}", errors(&r));
+    }
+
+    #[test]
+    fn use_after_scast_warns() {
+        let (_, r) = run(
+            "void worker(char * d) { char private * l; \
+              l = SCAST(char private *, d); *d = 'x'; }\n\
+             void main() { char * c; c = new(char); spawn(worker, c); }",
+        );
+        let warned = r
+            .diags
+            .iter()
+            .any(|d| d.severity == minic::Severity::Warning && d.message.contains("nulled"));
+        assert!(warned);
+    }
+
+    #[test]
+    fn racy_access_unchecked() {
+        let (_, r) = run(
+            "int racy flag;\n\
+             void worker(int * d) { flag = 1; }\n\
+             void main() { int * p; spawn(worker, p); flag = 0; }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+        assert_eq!(r.instr.n_dynamic_sites, 0);
+    }
+
+    #[test]
+    fn dynamic_in_accepts_private_actual() {
+        let (_, r) = run(
+            "void helper(int * x) { *x = 1; }\n\
+             void worker(int * d) { helper(d); }\n\
+             void main() { int * p; int * q; p = new(int); q = new(int); \
+              spawn(worker, p); helper(q); }",
+        );
+        assert!(errors(&r).is_empty(), "{:?}", errors(&r));
+    }
+
+    #[test]
+    fn escaping_formal_rejects_private_actual() {
+        // stash stores its argument into a global reachable by the
+        // thread; a concretely-private actual must be rejected.
+        let (_, r) = run(
+            "int * keep;\n\
+             void stash(int * x) { keep = x; }\n\
+             void worker(int * d) { int v; v = *keep; }\n\
+             void main() { int private * p; p = new(int private); stash(p); \
+              spawn(worker, NULL); }",
+        );
+        assert!(!errors(&r).is_empty());
+    }
+}

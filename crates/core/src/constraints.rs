@@ -1,0 +1,349 @@
+//! The flow-insensitive qualifier constraint system (paper §4.1).
+//!
+//! Variables stand for unannotated qualifier positions. The solver
+//! computes which of them must be `dynamic` (checked at runtime); the
+//! rest become `private`. Following CQual-style rules with the
+//! paper's refinement for function calls, each variable tracks two
+//! flags:
+//!
+//! * **`dyn_direct`** — the position is dynamic in its own right:
+//!   seeded (thread formal / thread-touched global), or connected by
+//!   an equality edge to a dynamic position, or the target of a
+//!   shared reference (ref-constructor closure).
+//! * **`dyn_in`** — the position became dynamic only because a
+//!   dynamic actual was bound to this formal at some call site. This
+//!   is the paper's internal `dynamic_in` qualifier: accesses must be
+//!   checked, but the dynamicness does *not* flow back to other
+//!   callers' private actuals.
+//!
+//! Edge kinds:
+//!
+//! * `eq(a, b)` — assignment-compatible positions; both flags flow
+//!   both ways.
+//! * `call_bind(actual, formal)` — at a call site; any dynamicness of
+//!   the actual makes the formal `dyn_in`; `dyn_direct` on the formal
+//!   (it escaped into a dynamic location inside the callee) flows
+//!   back to the actual as `dyn_direct`.
+//! * `ref_ctor(ptr, target)` — a checked pointer must not point to a
+//!   private target, so each flag flows from pointer to target.
+
+use minic::ast::Qual;
+use minic::diag::{Diagnostic, Diagnostics};
+use minic::span::Span;
+
+/// Accumulates qualifier constraints, then solves them.
+#[derive(Debug, Default)]
+pub struct ConstraintSet {
+    n_vars: usize,
+    eq: Vec<(u32, u32)>,
+    call_bind: Vec<(u32, u32)>,
+    ref_ctor: Vec<(u32, u32)>,
+    seeds_direct: Vec<u32>,
+    seeds_in: Vec<u32>,
+    /// Variables call-bound to a concretely-`dynamic` formal: the
+    /// actual must itself be dynamic (the annotation is trusted as
+    /// "really shared").
+    pub diags: Diagnostics,
+}
+
+/// The solved assignment for every variable.
+#[derive(Debug)]
+pub struct Solution {
+    dyn_direct: Vec<bool>,
+    dyn_in: Vec<bool>,
+}
+
+impl ConstraintSet {
+    /// Creates a constraint set over `n_vars` variables.
+    pub fn new(n_vars: u32) -> Self {
+        ConstraintSet {
+            n_vars: n_vars as usize,
+            ..Default::default()
+        }
+    }
+
+    /// Records that two qualifier positions must agree (assignment
+    /// between storage levels below the outermost).
+    pub fn eq(&mut self, a: &Qual, b: &Qual) {
+        match (a, b) {
+            (Qual::Var(x), Qual::Var(y)) => self.eq.push((*x, *y)),
+            (Qual::Var(x), Qual::Dynamic) | (Qual::Dynamic, Qual::Var(x)) => {
+                self.seeds_direct.push(*x)
+            }
+            // Other concrete qualifiers do not flow into variables:
+            // variables resolve only to private or dynamic (paper
+            // §4.1); mismatches surface in the checker with a sharing
+            // cast suggestion.
+            _ => {}
+        }
+    }
+
+    /// Records an actual-to-formal binding at a call site.
+    pub fn call_bind(&mut self, actual: &Qual, formal: &Qual) {
+        match (actual, formal) {
+            (Qual::Var(a), Qual::Var(f)) => self.call_bind.push((*a, *f)),
+            (Qual::Dynamic, Qual::Var(f)) => self.seeds_in.push(*f),
+            // A concretely-annotated dynamic formal is trusted as
+            // really shared: the actual becomes dynamic.
+            (Qual::Var(a), Qual::Dynamic) => self.seeds_direct.push(*a),
+            _ => {}
+        }
+    }
+
+    /// Records that `target` is pointed to by a pointer in mode
+    /// `ptr`: if the pointer is checked, the target cannot be
+    /// private.
+    pub fn ref_ctor(&mut self, ptr: &Qual, target: &Qual) {
+        match (ptr, target) {
+            (Qual::Var(p), Qual::Var(t)) => self.ref_ctor.push((*p, *t)),
+            (Qual::Dynamic, Qual::Var(t)) => self.seeds_direct.push(*t),
+            _ => {}
+        }
+    }
+
+    /// Seeds a position as inherently shared (thread formals,
+    /// thread-touched globals). Errors if the position was annotated
+    /// `private` by the user.
+    pub fn seed_dynamic(&mut self, q: &Qual, what: &str, span: Span) {
+        match q {
+            Qual::Var(v) => self.seeds_direct.push(*v),
+            Qual::Private => self.diags.push(Diagnostic::error(
+                format!("{what} is accessible from multiple threads but is annotated private"),
+                span,
+            )),
+            _ => {}
+        }
+    }
+
+    /// Solves the constraints to a fixpoint.
+    pub fn solve(&self) -> Solution {
+        let n = self.n_vars;
+        let mut dyn_direct = vec![false; n];
+        let mut dyn_in = vec![false; n];
+
+        // Adjacency lists.
+        let mut eq_adj: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, b) in &self.eq {
+            if (a as usize) < n && (b as usize) < n {
+                eq_adj[a as usize].push(b);
+                eq_adj[b as usize].push(a);
+            }
+        }
+        let mut out_ref: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(p, t) in &self.ref_ctor {
+            if (p as usize) < n && (t as usize) < n {
+                out_ref[p as usize].push(t);
+            }
+        }
+        // call_bind grouped by actual and by formal.
+        let mut bind_by_actual: Vec<Vec<u32>> = vec![Vec::new(); n];
+        let mut bind_by_formal: Vec<Vec<u32>> = vec![Vec::new(); n];
+        for &(a, f) in &self.call_bind {
+            if (a as usize) < n && (f as usize) < n {
+                bind_by_actual[a as usize].push(f);
+                bind_by_formal[f as usize].push(a);
+            }
+        }
+
+        let mut work: Vec<u32> = Vec::new();
+        let mark =
+            |v: u32, direct: bool, dd: &mut Vec<bool>, di: &mut Vec<bool>, work: &mut Vec<u32>| {
+                let i = v as usize;
+                if i >= n {
+                    return;
+                }
+                let flag = if direct { &mut dd[i] } else { &mut di[i] };
+                if !*flag {
+                    *flag = true;
+                    work.push(v);
+                }
+            };
+        for &s in &self.seeds_direct {
+            mark(s, true, &mut dyn_direct, &mut dyn_in, &mut work);
+        }
+        for &s in &self.seeds_in {
+            mark(s, false, &mut dyn_direct, &mut dyn_in, &mut work);
+        }
+
+        while let Some(v) = work.pop() {
+            let i = v as usize;
+            let (dd, di) = (dyn_direct[i], dyn_in[i]);
+            // Equality edges: both flags, both directions.
+            for &u in &eq_adj[i] {
+                if dd {
+                    mark(u, true, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+                if di {
+                    mark(u, false, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+            }
+            // Ref-constructor edges: pointer -> target, flag-preserving.
+            for &t in &out_ref[i] {
+                if dd {
+                    mark(t, true, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+                if di {
+                    mark(t, false, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+            }
+            // v as actual: any dynamicness makes formals dyn_in.
+            if dd || di {
+                for &f in &bind_by_actual[i] {
+                    mark(f, false, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+            }
+            // v as formal: direct dynamicness flows back to actuals.
+            if dd {
+                for &a in &bind_by_formal[i] {
+                    mark(a, true, &mut dyn_direct, &mut dyn_in, &mut work);
+                }
+            }
+        }
+
+        Solution { dyn_direct, dyn_in }
+    }
+}
+
+impl Solution {
+    /// The concrete qualifier for variable `v`.
+    pub fn qual(&self, v: u32) -> Qual {
+        let i = v as usize;
+        if self.dyn_direct.get(i).copied().unwrap_or(false)
+            || self.dyn_in.get(i).copied().unwrap_or(false)
+        {
+            Qual::Dynamic
+        } else {
+            Qual::Private
+        }
+    }
+
+    /// True if the variable is dynamic in its own right (not merely
+    /// `dynamic_in`): such a formal requires dynamic actuals.
+    pub fn escapes(&self, v: u32) -> bool {
+        self.dyn_direct.get(v as usize).copied().unwrap_or(false)
+    }
+
+    /// True if the variable is only `dynamic_in`.
+    pub fn is_dynamic_in_only(&self, v: u32) -> bool {
+        let i = v as usize;
+        !self.dyn_direct.get(i).copied().unwrap_or(false)
+            && self.dyn_in.get(i).copied().unwrap_or(false)
+    }
+
+    /// Number of variables solved to dynamic.
+    pub fn dynamic_count(&self) -> usize {
+        (0..self.dyn_direct.len())
+            .filter(|&i| self.dyn_direct[i] || self.dyn_in[i])
+            .count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn var(v: u32) -> Qual {
+        Qual::Var(v)
+    }
+
+    #[test]
+    fn seeds_propagate_over_eq() {
+        let mut c = ConstraintSet::new(3);
+        c.eq(&var(0), &var(1));
+        c.eq(&var(1), &var(2));
+        c.seed_dynamic(&var(0), "x", Span::DUMMY);
+        let s = c.solve();
+        assert_eq!(s.qual(0), Qual::Dynamic);
+        assert_eq!(s.qual(2), Qual::Dynamic);
+        assert!(s.escapes(2));
+    }
+
+    #[test]
+    fn unseeded_vars_are_private() {
+        let mut c = ConstraintSet::new(2);
+        c.eq(&var(0), &var(1));
+        let s = c.solve();
+        assert_eq!(s.qual(0), Qual::Private);
+        assert_eq!(s.qual(1), Qual::Private);
+    }
+
+    #[test]
+    fn concrete_dynamic_seeds_var() {
+        let mut c = ConstraintSet::new(1);
+        c.eq(&var(0), &Qual::Dynamic);
+        let s = c.solve();
+        assert_eq!(s.qual(0), Qual::Dynamic);
+    }
+
+    #[test]
+    fn concrete_locked_does_not_seed_var() {
+        let mut c = ConstraintSet::new(1);
+        c.eq(
+            &var(0),
+            &Qual::Locked(minic::ast::LockPath::new(vec!["m".into()], Span::DUMMY)),
+        );
+        let s = c.solve();
+        assert_eq!(s.qual(0), Qual::Private);
+    }
+
+    #[test]
+    fn call_bind_gives_dynamic_in_not_backflow() {
+        // worker(p) called with dynamic actual 0 and private actual 2.
+        let mut c = ConstraintSet::new(3);
+        c.seed_dynamic(&var(0), "a1", Span::DUMMY);
+        c.call_bind(&var(0), &var(1)); // dynamic actual -> formal
+        c.call_bind(&var(2), &var(1)); // private actual -> same formal
+        let s = c.solve();
+        assert_eq!(s.qual(1), Qual::Dynamic, "formal is checked");
+        assert!(s.is_dynamic_in_only(1));
+        assert_eq!(s.qual(2), Qual::Private, "other actual unaffected");
+    }
+
+    #[test]
+    fn formal_escape_flows_back_to_actual() {
+        // Formal 1 is stored into a dynamic location (eq with seeded 3),
+        // so the actual 0 must become dynamic too.
+        let mut c = ConstraintSet::new(4);
+        c.call_bind(&var(0), &var(1));
+        c.eq(&var(1), &var(3));
+        c.seed_dynamic(&var(3), "g", Span::DUMMY);
+        let s = c.solve();
+        assert!(s.escapes(1));
+        assert_eq!(s.qual(0), Qual::Dynamic);
+        assert!(s.escapes(0));
+    }
+
+    #[test]
+    fn ref_ctor_pushes_dynamic_inward() {
+        // ptr var 0 dynamic => target var 1 dynamic; not vice versa.
+        let mut c = ConstraintSet::new(4);
+        c.ref_ctor(&var(0), &var(1));
+        c.ref_ctor(&var(2), &var(3));
+        c.seed_dynamic(&var(0), "p", Span::DUMMY);
+        c.seed_dynamic(&var(3), "q", Span::DUMMY);
+        let s = c.solve();
+        assert_eq!(s.qual(1), Qual::Dynamic);
+        assert_eq!(s.qual(2), Qual::Private, "target dynamic does not force pointer");
+    }
+
+    #[test]
+    fn seeding_concrete_private_is_error() {
+        let mut c = ConstraintSet::new(0);
+        c.seed_dynamic(&Qual::Private, "global `g`", Span::DUMMY);
+        assert!(c.diags.has_errors());
+    }
+
+    #[test]
+    fn dynamic_in_propagates_through_eq_and_calls() {
+        // formal 0 is dyn_in; it is assigned to local 1; local 1 is
+        // passed to another call's formal 2 -> formal 2 is dyn_in.
+        let mut c = ConstraintSet::new(3);
+        c.call_bind(&Qual::Dynamic, &var(0));
+        c.eq(&var(0), &var(1));
+        c.call_bind(&var(1), &var(2));
+        let s = c.solve();
+        assert!(s.is_dynamic_in_only(0));
+        assert!(s.is_dynamic_in_only(1));
+        assert!(s.is_dynamic_in_only(2));
+    }
+}

@@ -1,0 +1,35 @@
+//! # sharc-detectors
+//!
+//! Baseline dynamic race detectors the SharC paper compares against
+//! (§6): the Eraser lockset algorithm and a vector-clock
+//! happens-before detector, over a shared event-trace abstraction,
+//! plus thread-safe online front-ends for overhead measurement.
+//!
+//! The key qualitative reproduction: both baselines report *false
+//! positives* on ownership-transfer idioms (see the test fixtures),
+//! which SharC accepts by modelling the transfer directly with a
+//! checked sharing cast.
+//!
+//! ## Example
+//!
+//! ```
+//! use sharc_detectors::{Detector, Eraser, Event, VcDetector};
+//!
+//! let trace = vec![
+//!     Event::Fork { tid: 1, child: 2 },
+//!     Event::Write { tid: 1, loc: 0 },
+//!     Event::Write { tid: 2, loc: 0 },
+//! ];
+//! assert_eq!(Eraser::new().run(&trace).len(), 1);
+//! assert_eq!(VcDetector::new().run(&trace).len(), 1);
+//! ```
+
+pub mod eraser;
+pub mod online;
+pub mod trace;
+pub mod vectorclock;
+
+pub use eraser::Eraser;
+pub use online::Online;
+pub use trace::{Detector, Event, Loc, Lock, Race, Tid};
+pub use vectorclock::{VcDetector, VectorClock};

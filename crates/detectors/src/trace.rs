@@ -1,0 +1,125 @@
+//! A shared event-trace abstraction for the baseline race detectors
+//! (Eraser's lockset algorithm and vector-clock happens-before),
+//! which the paper compares against in §6.
+
+/// A memory location (word granularity).
+pub type Loc = usize;
+
+/// A lock identity.
+pub type Lock = usize;
+
+/// A thread identity.
+pub type Tid = u32;
+
+/// One event in a program trace.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Event {
+    Read { tid: Tid, loc: Loc },
+    Write { tid: Tid, loc: Loc },
+    Acquire { tid: Tid, lock: Lock },
+    Release { tid: Tid, lock: Lock },
+    /// `tid` spawns `child`.
+    Fork { tid: Tid, child: Tid },
+    /// `tid` joins `child`.
+    Join { tid: Tid, child: Tid },
+    /// Memory is (re)allocated: detector state for the location resets.
+    Alloc { loc: Loc },
+}
+
+/// A race reported by a detector.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Race {
+    pub loc: Loc,
+    pub tid: Tid,
+    /// True if the racing access was a write.
+    pub was_write: bool,
+}
+
+/// A dynamic race detector consuming a trace event-by-event.
+pub trait Detector {
+    /// Processes one event, returning a race if this event races.
+    fn on_event(&mut self, e: Event) -> Option<Race>;
+
+    /// The detector's name for reports.
+    fn name(&self) -> &'static str;
+
+    /// Convenience: run a whole trace, collecting all races.
+    fn run(&mut self, trace: &[Event]) -> Vec<Race> {
+        trace.iter().filter_map(|&e| self.on_event(e)).collect()
+    }
+}
+
+/// Builds the classic test traces shared by the detector test suites.
+#[cfg(test)]
+pub mod fixtures {
+    use super::*;
+
+    /// Two threads write `loc` 0 with no synchronization.
+    pub fn unsynchronized_write_race() -> Vec<Event> {
+        vec![
+            Event::Fork { tid: 1, child: 2 },
+            Event::Write { tid: 1, loc: 0 },
+            Event::Write { tid: 2, loc: 0 },
+        ]
+    }
+
+    /// Two threads increment `loc` 0 under the same lock.
+    pub fn lock_protected() -> Vec<Event> {
+        vec![
+            Event::Fork { tid: 1, child: 2 },
+            Event::Acquire { tid: 1, lock: 9 },
+            Event::Read { tid: 1, loc: 0 },
+            Event::Write { tid: 1, loc: 0 },
+            Event::Release { tid: 1, lock: 9 },
+            Event::Acquire { tid: 2, lock: 9 },
+            Event::Read { tid: 2, loc: 0 },
+            Event::Write { tid: 2, loc: 0 },
+            Event::Release { tid: 2, lock: 9 },
+        ]
+    }
+
+    /// Parent initializes, forks a child that reads — no race.
+    pub fn init_then_share_readonly() -> Vec<Event> {
+        vec![
+            Event::Write { tid: 1, loc: 0 },
+            Event::Fork { tid: 1, child: 2 },
+            Event::Read { tid: 2, loc: 0 },
+            Event::Read { tid: 1, loc: 0 },
+        ]
+    }
+
+    /// Ownership hand-off via fork/join, with accesses on both sides
+    /// but never concurrently.
+    pub fn fork_join_handoff() -> Vec<Event> {
+        vec![
+            Event::Write { tid: 1, loc: 0 },
+            Event::Fork { tid: 1, child: 2 },
+            Event::Write { tid: 2, loc: 0 },
+            Event::Join { tid: 1, child: 2 },
+            Event::Write { tid: 1, loc: 0 },
+        ]
+    }
+
+    /// The producer/consumer idiom mediated by a condition-variable
+    /// style lock hand-off, where *different* locks guard different
+    /// phases — the pattern that makes pure lockset detectors report
+    /// false positives while SharC's sharing casts accept it.
+    pub fn lock_handoff_two_locks() -> Vec<Event> {
+        vec![
+            Event::Fork { tid: 1, child: 2 },
+            // Producer writes under lock A, then hands off.
+            Event::Acquire { tid: 1, lock: 1 },
+            Event::Write { tid: 1, loc: 0 },
+            Event::Release { tid: 1, lock: 1 },
+            // Consumer accesses under lock B (it now owns the data).
+            Event::Acquire { tid: 2, lock: 2 },
+            Event::Write { tid: 2, loc: 0 },
+            Event::Release { tid: 2, lock: 2 },
+            // Producer refills the (returned) buffer under lock A:
+            // the candidate lockset intersects to empty.
+            Event::Acquire { tid: 1, lock: 1 },
+            Event::Write { tid: 1, loc: 0 },
+            Event::Release { tid: 1, lock: 1 },
+        ]
+    }
+}

@@ -1,0 +1,427 @@
+//! Hand-written lexer for MiniC.
+//!
+//! Supports `//` line comments, `/* */` block comments, decimal and hex
+//! integer literals, character literals with the common escapes, and
+//! string literals.
+
+use crate::diag::Diagnostic;
+use crate::span::Span;
+use crate::token::{Token, TokenKind};
+
+/// Lexes `src` into a token vector ending with an [`TokenKind::Eof`]
+/// token.
+///
+/// # Errors
+///
+/// Returns a [`Diagnostic`] for unterminated comments/strings, malformed
+/// literals, and unexpected characters.
+pub fn lex(src: &str) -> Result<Vec<Token>, Diagnostic> {
+    Lexer::new(src).run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Lexer<'a> {
+    fn new(src: &'a str) -> Self {
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+        }
+    }
+
+    fn run(mut self) -> Result<Vec<Token>, Diagnostic> {
+        let mut tokens = Vec::new();
+        loop {
+            self.skip_trivia()?;
+            let lo = self.pos as u32;
+            let Some(c) = self.peek() else {
+                tokens.push(Token {
+                    kind: TokenKind::Eof,
+                    span: Span::new(lo, lo),
+                });
+                return Ok(tokens);
+            };
+            let kind = self.next_token(c)?;
+            let hi = self.pos as u32;
+            tokens.push(Token {
+                kind,
+                span: Span::new(lo, hi),
+            });
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.src.get(self.pos).copied()
+    }
+
+    fn peek2(&self) -> Option<u8> {
+        self.src.get(self.pos + 1).copied()
+    }
+
+    fn bump(&mut self) -> Option<u8> {
+        let c = self.peek()?;
+        self.pos += 1;
+        Some(c)
+    }
+
+    fn eat(&mut self, c: u8) -> bool {
+        if self.peek() == Some(c) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn skip_trivia(&mut self) -> Result<(), Diagnostic> {
+        loop {
+            match self.peek() {
+                Some(b' ') | Some(b'\t') | Some(b'\r') | Some(b'\n') => {
+                    self.pos += 1;
+                }
+                Some(b'/') if self.peek2() == Some(b'/') => {
+                    while let Some(c) = self.peek() {
+                        if c == b'\n' {
+                            break;
+                        }
+                        self.pos += 1;
+                    }
+                }
+                Some(b'/') if self.peek2() == Some(b'*') => {
+                    let start = self.pos as u32;
+                    self.pos += 2;
+                    loop {
+                        match self.peek() {
+                            Some(b'*') if self.peek2() == Some(b'/') => {
+                                self.pos += 2;
+                                break;
+                            }
+                            Some(_) => self.pos += 1,
+                            None => {
+                                return Err(Diagnostic::error(
+                                    "unterminated block comment",
+                                    Span::new(start, self.pos as u32),
+                                ))
+                            }
+                        }
+                    }
+                }
+                _ => return Ok(()),
+            }
+        }
+    }
+
+    fn next_token(&mut self, c: u8) -> Result<TokenKind, Diagnostic> {
+        use TokenKind::*;
+        let lo = self.pos as u32;
+        self.pos += 1;
+        Ok(match c {
+            b'(' => LParen,
+            b')' => RParen,
+            b'{' => LBrace,
+            b'}' => RBrace,
+            b'[' => LBracket,
+            b']' => RBracket,
+            b';' => Semi,
+            b',' => Comma,
+            b'.' => Dot,
+            b'?' => Question,
+            b':' => Colon,
+            b'~' => Tilde,
+            b'^' => Caret,
+            b'+' => {
+                if self.eat(b'=') {
+                    PlusEq
+                } else if self.eat(b'+') {
+                    PlusPlus
+                } else {
+                    Plus
+                }
+            }
+            b'-' => {
+                if self.eat(b'>') {
+                    Arrow
+                } else if self.eat(b'=') {
+                    MinusEq
+                } else if self.eat(b'-') {
+                    MinusMinus
+                } else {
+                    Minus
+                }
+            }
+            b'*' => {
+                if self.eat(b'=') {
+                    StarEq
+                } else {
+                    Star
+                }
+            }
+            b'/' => {
+                if self.eat(b'=') {
+                    SlashEq
+                } else {
+                    Slash
+                }
+            }
+            b'%' => Percent,
+            b'&' => {
+                if self.eat(b'&') {
+                    AmpAmp
+                } else {
+                    Amp
+                }
+            }
+            b'|' => {
+                if self.eat(b'|') {
+                    PipePipe
+                } else {
+                    Pipe
+                }
+            }
+            b'!' => {
+                if self.eat(b'=') {
+                    NotEq
+                } else {
+                    Bang
+                }
+            }
+            b'=' => {
+                if self.eat(b'=') {
+                    EqEq
+                } else {
+                    Assign
+                }
+            }
+            b'<' => {
+                if self.eat(b'=') {
+                    Le
+                } else if self.eat(b'<') {
+                    Shl
+                } else {
+                    Lt
+                }
+            }
+            b'>' => {
+                if self.eat(b'=') {
+                    Ge
+                } else if self.eat(b'>') {
+                    Shr
+                } else {
+                    Gt
+                }
+            }
+            b'\'' => self.char_literal(lo)?,
+            b'"' => self.string_literal(lo)?,
+            b'0'..=b'9' => {
+                self.pos -= 1;
+                self.number(lo)?
+            }
+            c if c == b'_' || c.is_ascii_alphabetic() => {
+                self.pos -= 1;
+                self.ident()
+            }
+            other => {
+                return Err(Diagnostic::error(
+                    format!("unexpected character `{}`", other as char),
+                    Span::new(lo, self.pos as u32),
+                ))
+            }
+        })
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        let start = self.pos;
+        while let Some(c) = self.peek() {
+            if c == b'_' || c.is_ascii_alphanumeric() {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[start..self.pos])
+            .expect("identifier bytes are ASCII");
+        TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()))
+    }
+
+    fn number(&mut self, lo: u32) -> Result<TokenKind, Diagnostic> {
+        let start = self.pos;
+        let radix = if self.peek() == Some(b'0')
+            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        {
+            self.pos += 2;
+            16
+        } else {
+            10
+        };
+        let digits_start = self.pos;
+        while let Some(c) = self.peek() {
+            if c.is_ascii_hexdigit() && (radix == 16 || c.is_ascii_digit()) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        let text = std::str::from_utf8(&self.src[digits_start..self.pos]).unwrap();
+        if radix == 16 && text.is_empty() {
+            return Err(Diagnostic::error(
+                "hex literal requires at least one digit",
+                Span::new(lo, self.pos as u32),
+            ));
+        }
+        let digits = if radix == 16 {
+            text
+        } else {
+            std::str::from_utf8(&self.src[start..self.pos]).unwrap()
+        };
+        i64::from_str_radix(digits, radix)
+            .map(TokenKind::IntLit)
+            .map_err(|_| {
+                Diagnostic::error(
+                    format!("integer literal `{digits}` out of range"),
+                    Span::new(lo, self.pos as u32),
+                )
+            })
+    }
+
+    fn escape(&mut self, lo: u32) -> Result<u8, Diagnostic> {
+        let c = self.bump().ok_or_else(|| {
+            Diagnostic::error("unterminated escape", Span::new(lo, self.pos as u32))
+        })?;
+        Ok(match c {
+            b'n' => b'\n',
+            b't' => b'\t',
+            b'r' => b'\r',
+            b'0' => 0,
+            b'\\' => b'\\',
+            b'\'' => b'\'',
+            b'"' => b'"',
+            other => {
+                return Err(Diagnostic::error(
+                    format!("unknown escape `\\{}`", other as char),
+                    Span::new(lo, self.pos as u32),
+                ))
+            }
+        })
+    }
+
+    fn char_literal(&mut self, lo: u32) -> Result<TokenKind, Diagnostic> {
+        let c = self.bump().ok_or_else(|| {
+            Diagnostic::error("unterminated char literal", Span::new(lo, self.pos as u32))
+        })?;
+        let value = if c == b'\\' { self.escape(lo)? } else { c };
+        if !self.eat(b'\'') {
+            return Err(Diagnostic::error(
+                "unterminated char literal",
+                Span::new(lo, self.pos as u32),
+            ));
+        }
+        Ok(TokenKind::CharLit(value))
+    }
+
+    fn string_literal(&mut self, lo: u32) -> Result<TokenKind, Diagnostic> {
+        let mut out = Vec::new();
+        loop {
+            let c = self.bump().ok_or_else(|| {
+                Diagnostic::error(
+                    "unterminated string literal",
+                    Span::new(lo, self.pos as u32),
+                )
+            })?;
+            match c {
+                b'"' => break,
+                b'\\' => out.push(self.escape(lo)?),
+                other => out.push(other),
+            }
+        }
+        Ok(TokenKind::StrLit(
+            String::from_utf8(out).expect("string literal bytes are ASCII"),
+        ))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<TokenKind> {
+        lex(src)
+            .unwrap()
+            .into_iter()
+            .map(|t| t.kind)
+            .collect()
+    }
+
+    #[test]
+    fn punctuation_and_operators() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("-> - -= >= >> = =="),
+            vec![Arrow, Minus, MinusEq, Ge, Shr, Assign, EqEq, Eof]
+        );
+    }
+
+    #[test]
+    fn keywords_and_idents() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("int private dynamic foo SCAST"),
+            vec![
+                KwInt,
+                KwPrivate,
+                KwDynamic,
+                Ident("foo".into()),
+                KwScast,
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn numbers() {
+        use TokenKind::*;
+        assert_eq!(kinds("0 42 0x1F"), vec![IntLit(0), IntLit(42), IntLit(31), Eof]);
+    }
+
+    #[test]
+    fn char_and_string_literals() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds(r#"'a' '\n' "hi\tthere""#),
+            vec![
+                CharLit(b'a'),
+                CharLit(b'\n'),
+                StrLit("hi\tthere".into()),
+                Eof
+            ]
+        );
+    }
+
+    #[test]
+    fn comments_are_skipped() {
+        use TokenKind::*;
+        assert_eq!(
+            kinds("a // line\n /* block \n still */ b"),
+            vec![Ident("a".into()), Ident("b".into()), Eof]
+        );
+    }
+
+    #[test]
+    fn unterminated_comment_is_error() {
+        assert!(lex("/* oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_char_is_error() {
+        assert!(lex("int $x;").is_err());
+    }
+
+    #[test]
+    fn spans_are_correct() {
+        let toks = lex("ab cd").unwrap();
+        assert_eq!(toks[0].span, Span::new(0, 2));
+        assert_eq!(toks[1].span, Span::new(3, 5));
+    }
+}

@@ -1,0 +1,40 @@
+//! # MiniC
+//!
+//! A C-like language with SharC's sharing-mode type qualifiers,
+//! serving as the analysis substrate for the SharC reproduction
+//! (Anderson, Gay, Ennals, Brewer — PLDI 2008).
+//!
+//! MiniC supports pointers, structs (with qualifier polymorphism),
+//! arrays, function pointers, globals, threads (`spawn`), mutexes and
+//! condition variables — the language features the paper's analyses
+//! operate over — plus the five sharing modes as type qualifiers:
+//! `private`, `readonly`, `locked(l)`, `racy`, and `dynamic`.
+//!
+//! ## Example
+//!
+//! ```
+//! let src = r#"
+//!     struct point { int x; int y; };
+//!     int dynamic counter;
+//!     void main() { counter = counter + 1; }
+//! "#;
+//! let program = minic::parse(src)?;
+//! assert_eq!(program.structs.len(), 1);
+//! let table = minic::env::StructTable::build(&program)?;
+//! assert_eq!(table.layout(table.lookup("point").unwrap()).size, 2);
+//! # Ok::<(), minic::diag::Diagnostic>(())
+//! ```
+
+pub mod ast;
+pub mod diag;
+pub mod env;
+pub mod lexer;
+pub mod parser;
+pub mod pretty;
+pub mod span;
+pub mod token;
+
+pub use ast::{Expr, FnDef, Program, Qual, Stmt, Type, TypeKind};
+pub use diag::{Diagnostic, Diagnostics, Severity};
+pub use parser::{parse, parse_expr};
+pub use span::{SourceMap, Span};

@@ -1,0 +1,321 @@
+//! Pretty-printer for MiniC programs and fragments.
+//!
+//! Used to reproduce the paper's Figure 2 (the program with inferred
+//! qualifiers shown) and to render l-values in conflict reports
+//! (e.g. `S->sdata`, `*(fdata + i)`).
+
+use crate::ast::*;
+use std::fmt::Write as _;
+
+/// Renders a whole program, including all qualifier annotations.
+pub fn program(p: &Program) -> String {
+    let mut out = String::new();
+    for sd in &p.structs {
+        out.push_str(&struct_def(sd));
+        out.push('\n');
+    }
+    for g in &p.globals {
+        let init = g
+            .init
+            .as_ref()
+            .map(|e| format!(" = {}", expr(e)))
+            .unwrap_or_default();
+        let _ = writeln!(out, "{}{};", decl(&g.ty, &g.name), init);
+    }
+    if !p.globals.is_empty() {
+        out.push('\n');
+    }
+    for f in &p.fns {
+        out.push_str(&fn_def(f));
+        out.push('\n');
+    }
+    out
+}
+
+/// Renders one struct definition.
+pub fn struct_def(sd: &StructDef) -> String {
+    let mut out = String::new();
+    let racy = if sd.racy { "racy " } else { "" };
+    if let Some(alias) = &sd.alias {
+        let _ = writeln!(out, "typedef {racy}struct {} {{", sd.name);
+        for f in &sd.fields {
+            let _ = writeln!(out, "    {};", decl(&f.ty, &f.name));
+        }
+        let _ = writeln!(out, "}} {alias};");
+    } else {
+        let _ = writeln!(out, "{racy}struct {} {{", sd.name);
+        for f in &sd.fields {
+            let _ = writeln!(out, "    {};", decl(&f.ty, &f.name));
+        }
+        let _ = writeln!(out, "}};");
+    }
+    out
+}
+
+/// Renders one function definition.
+pub fn fn_def(f: &FnDef) -> String {
+    let params = f
+        .params
+        .iter()
+        .map(|p| decl(&p.ty, &p.name))
+        .collect::<Vec<_>>()
+        .join(", ");
+    let mut out = format!("{}({params}) ", decl(&f.ret, &f.name));
+    out.push_str(&block(&f.body, 0));
+    out
+}
+
+fn indent(n: usize) -> String {
+    "    ".repeat(n)
+}
+
+fn block(b: &Block, depth: usize) -> String {
+    let mut out = String::from("{\n");
+    for s in &b.stmts {
+        out.push_str(&stmt(s, depth + 1));
+    }
+    let _ = writeln!(out, "{}}}", indent(depth));
+    out
+}
+
+fn stmt(s: &Stmt, depth: usize) -> String {
+    let pad = indent(depth);
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            let init = init
+                .as_ref()
+                .map(|e| format!(" = {}", expr(e)))
+                .unwrap_or_default();
+            format!("{pad}{}{init};\n", decl(ty, name))
+        }
+        StmtKind::Assign { lhs, rhs } => format!("{pad}{} = {};\n", expr(lhs), expr(rhs)),
+        StmtKind::Expr(e) => format!("{pad}{};\n", expr(e)),
+        StmtKind::If {
+            cond,
+            then_blk,
+            else_blk,
+        } => {
+            let mut out = format!("{pad}if ({}) {}", expr(cond), block(then_blk, depth));
+            if let Some(eb) = else_blk {
+                out.pop();
+                let _ = write!(out, " else {}", block(eb, depth));
+            }
+            out
+        }
+        StmtKind::While { cond, body } => {
+            format!("{pad}while ({}) {}", expr(cond), block(body, depth))
+        }
+        StmtKind::For {
+            init,
+            cond,
+            step,
+            body,
+        } => {
+            let i = init
+                .as_ref()
+                .map(|s| stmt_inline(s))
+                .unwrap_or_default();
+            let c = cond.as_ref().map(expr).unwrap_or_default();
+            let st = step.as_ref().map(|s| stmt_inline(s)).unwrap_or_default();
+            format!("{pad}for ({i}; {c}; {st}) {}", block(body, depth))
+        }
+        StmtKind::Return(None) => format!("{pad}return;\n"),
+        StmtKind::Return(Some(e)) => format!("{pad}return {};\n", expr(e)),
+        StmtKind::Break => format!("{pad}break;\n"),
+        StmtKind::Continue => format!("{pad}continue;\n"),
+        StmtKind::Block(b) => format!("{pad}{}", block(b, depth)),
+    }
+}
+
+fn stmt_inline(s: &Stmt) -> String {
+    match &s.kind {
+        StmtKind::Decl { name, ty, init } => {
+            let init = init
+                .as_ref()
+                .map(|e| format!(" = {}", expr(e)))
+                .unwrap_or_default();
+            format!("{}{init}", decl(ty, name))
+        }
+        StmtKind::Assign { lhs, rhs } => format!("{} = {}", expr(lhs), expr(rhs)),
+        StmtKind::Expr(e) => expr(e),
+        _ => String::from("..."),
+    }
+}
+
+/// Renders a declaration `type name`, C-style with qualifiers after
+/// the level they qualify: `char locked(mut) *locked(mut) sdata`.
+pub fn decl(ty: &Type, name: &str) -> String {
+    // Unwind pointer/array layers to find the base.
+    match &ty.kind {
+        TypeKind::Ptr(inner) => {
+            if let TypeKind::Fn(sig) = &inner.kind {
+                let params = sig
+                    .params
+                    .iter()
+                    .map(|p| decl(&p.ty, &p.name))
+                    .collect::<Vec<_>>()
+                    .join(", ");
+                let q = qual_str(&ty.qual);
+                let qs = if q.is_empty() {
+                    String::new()
+                } else {
+                    format!("{q} ")
+                };
+                return format!("{}(*{qs}{name})({params})", base_prefix(&sig.ret));
+            }
+            let q = qual_str(&ty.qual);
+            let sep = if q.is_empty() { "" } else { " " };
+            let inner_decl = format!("*{q}{sep}{name}");
+            format!("{}{}", base_prefix(inner), inner_decl)
+        }
+        TypeKind::Array(elem, n) => {
+            format!("{}{name}[{n}]", base_prefix(elem))
+        }
+        _ => format!("{}{name}", base_prefix(ty)),
+    }
+}
+
+/// The leading `base qual ` part of a declaration for `ty` (recursing
+/// through pointers so that `int dynamic * private` renders pointee
+/// qualifiers in place).
+fn base_prefix(ty: &Type) -> String {
+    match &ty.kind {
+        TypeKind::Ptr(inner) => {
+            let q = qual_str(&ty.qual);
+            let sep = if q.is_empty() { "" } else { " " };
+            format!("{}*{q}{sep}", base_prefix(inner))
+        }
+        _ => {
+            let base = base_name(ty);
+            let q = qual_str(&ty.qual);
+            if q.is_empty() {
+                format!("{base} ")
+            } else {
+                format!("{base} {q} ")
+            }
+        }
+    }
+}
+
+fn base_name(ty: &Type) -> String {
+    match &ty.kind {
+        TypeKind::Int => "int".into(),
+        TypeKind::Char => "char".into(),
+        TypeKind::Bool => "bool".into(),
+        TypeKind::Void => "void".into(),
+        TypeKind::Mutex => "mutex".into(),
+        TypeKind::Cond => "cond".into(),
+        TypeKind::Named(n) => n.clone(),
+        TypeKind::Array(elem, n) => format!("{}[{n}]", base_name(elem)),
+        TypeKind::Ptr(inner) => format!("{}*", base_name(inner)),
+        TypeKind::Fn(_) => "<fn>".into(),
+    }
+}
+
+fn qual_str(q: &Qual) -> String {
+    match q {
+        Qual::Infer => String::new(),
+        other => other.to_string(),
+    }
+}
+
+/// Renders a type without a declared name (for casts and messages).
+pub fn type_str(ty: &Type) -> String {
+    decl(ty, "").trim_end().to_string()
+}
+
+/// Renders an expression (used verbatim in conflict reports).
+pub fn expr(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::IntLit(v) => v.to_string(),
+        ExprKind::CharLit(c) => format!("'{}'", (*c as char).escape_default()),
+        ExprKind::BoolLit(b) => b.to_string(),
+        ExprKind::StrLit(s) => format!("{s:?}"),
+        ExprKind::Null => "NULL".into(),
+        ExprKind::Ident(n) => n.clone(),
+        ExprKind::Unary(op, a) => format!("{op}{}", maybe_paren(a)),
+        ExprKind::Binary(op, a, b) => {
+            format!("{} {op} {}", maybe_paren(a), maybe_paren(b))
+        }
+        ExprKind::Index(a, i) => format!("{}[{}]", maybe_paren(a), expr(i)),
+        ExprKind::Field(a, f, true) => format!("{}->{f}", maybe_paren(a)),
+        ExprKind::Field(a, f, false) => format!("{}.{f}", maybe_paren(a)),
+        ExprKind::Call(f, args) => {
+            let args = args.iter().map(expr).collect::<Vec<_>>().join(", ");
+            format!("{}({args})", maybe_paren(f))
+        }
+        ExprKind::Cast(t, a) => format!("({}){}", type_str(t), maybe_paren(a)),
+        ExprKind::Scast(t, a) => format!("SCAST({}, {})", type_str(t), expr(a)),
+        ExprKind::New(t) => format!("new({})", type_str(t)),
+        ExprKind::NewArray(t, n) => format!("newarray({}, {})", type_str(t), expr(n)),
+        ExprKind::Sizeof(t) => format!("sizeof({})", type_str(t)),
+        ExprKind::Ternary(c, a, b) => {
+            format!("{} ? {} : {}", maybe_paren(c), expr(a), expr(b))
+        }
+    }
+}
+
+fn maybe_paren(e: &Expr) -> String {
+    match &e.kind {
+        ExprKind::Binary(..) | ExprKind::Ternary(..) | ExprKind::Cast(..) => {
+            format!("({})", expr(e))
+        }
+        _ => expr(e),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::parse;
+
+    #[test]
+    fn roundtrips_qualified_decl() {
+        let p = parse("int dynamic * private p;").unwrap();
+        let s = decl(&p.globals[0].ty, "p");
+        assert_eq!(s, "int dynamic *private p");
+        // Reparse the printed form.
+        let p2 = parse(&format!("{s};")).unwrap();
+        assert_eq!(p2.globals[0].ty, p.globals[0].ty);
+    }
+
+    #[test]
+    fn prints_locked_field() {
+        let p =
+            parse("struct s { mutex racy * readonly mut; char locked(mut) *locked(mut) sdata; };")
+                .unwrap();
+        let out = struct_def(&p.structs[0]);
+        assert!(out.contains("char locked(mut) *locked(mut) sdata;"), "{out}");
+    }
+
+    #[test]
+    fn prints_lvalue_exprs_like_the_paper() {
+        let p = parse(
+            "struct stage { struct stage * next; char * sdata; };\n\
+             void f(struct stage * S, char * fdata, int i) {\n\
+                 S->sdata = NULL;\n\
+                 *(fdata + i) = 'x';\n\
+             }",
+        )
+        .unwrap();
+        let body = &p.fns[0].body;
+        let (lhs1, lhs2) = match (&body.stmts[0].kind, &body.stmts[1].kind) {
+            (StmtKind::Assign { lhs: a, .. }, StmtKind::Assign { lhs: b, .. }) => (a, b),
+            _ => panic!("expected assigns"),
+        };
+        assert_eq!(expr(lhs1), "S->sdata");
+        assert_eq!(expr(lhs2), "*(fdata + i)");
+    }
+
+    #[test]
+    fn program_roundtrip_parses() {
+        let src = "typedef struct stage { struct stage * next; } stage_t;\n\
+                   int g;\n\
+                   void main() { g = 1; if (g) { g = 2; } while (g < 5) g += 1; }";
+        let p = parse(src).unwrap();
+        let printed = program(&p);
+        let p2 = parse(&printed).unwrap_or_else(|e| panic!("reparse failed: {e}\n{printed}"));
+        assert_eq!(p2.fns.len(), p.fns.len());
+        assert_eq!(p2.structs.len(), p.structs.len());
+    }
+}

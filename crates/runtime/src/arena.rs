@@ -1,0 +1,277 @@
+//! A payload arena with attached shadow memory and pluggable access
+//! policies, so the same workload code can run uninstrumented
+//! (baseline) or with SharC's dynamic checks — the methodology behind
+//! Table 1's "Time Orig./SharC" columns.
+
+use crate::locks::ThreadCtx;
+use crate::shadow::{Shadow, ShadowWord};
+use std::sync::atomic::{AtomicU8, AtomicU64, Ordering};
+
+/// Payload words per shadow granule: 2 × 8-byte words = the paper's
+/// 16 bytes.
+pub const GRANULE_WORDS: usize = 2;
+
+/// A word arena with shadow state.
+#[derive(Debug)]
+pub struct Arena<W: ShadowWord = AtomicU8> {
+    data: Vec<AtomicU64>,
+    shadow: Shadow<W>,
+}
+
+impl<W: ShadowWord> Arena<W> {
+    /// Creates an arena of `n_words` zeroed 8-byte words.
+    pub fn new(n_words: usize) -> Self {
+        let mut data = Vec::with_capacity(n_words);
+        data.resize_with(n_words, AtomicU64::default);
+        let n_granules = n_words.div_ceil(GRANULE_WORDS);
+        Arena {
+            data,
+            shadow: Shadow::new(n_granules),
+        }
+    }
+
+    /// Number of payload words.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True if the arena holds no words.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Bytes of shadow memory (the paper's memory overhead).
+    pub fn shadow_bytes(&self) -> usize {
+        self.shadow.shadow_bytes()
+    }
+
+    /// Payload bytes.
+    pub fn payload_bytes(&self) -> usize {
+        self.data.len() * 8
+    }
+
+    /// An unchecked (baseline / private-mode) read.
+    #[inline]
+    pub fn read_unchecked(&self, i: usize) -> u64 {
+        self.data[i].load(Ordering::Relaxed)
+    }
+
+    /// An unchecked (baseline / private-mode) write.
+    #[inline]
+    pub fn write_unchecked(&self, i: usize, v: u64) {
+        self.data[i].store(v, Ordering::Relaxed);
+    }
+
+    /// A dynamic-mode read: `chkread` on the word's granule, then the
+    /// load. Conflicts are counted in `ctx` (logging mode) rather
+    /// than aborting, like the tool's default reporting behaviour.
+    #[inline]
+    pub fn read_checked(&self, ctx: &mut ThreadCtx, i: usize) -> u64 {
+        ctx.checked_accesses += 1;
+        let g = i / GRANULE_WORDS;
+        match self.shadow.check_read(g, ctx.tid) {
+            Ok(true) => ctx.access_log.push(g),
+            Ok(false) => {}
+            Err(_) => ctx.conflicts += 1,
+        }
+        self.data[i].load(Ordering::Acquire)
+    }
+
+    /// A dynamic-mode write: `chkwrite`, then the store.
+    #[inline]
+    pub fn write_checked(&self, ctx: &mut ThreadCtx, i: usize, v: u64) {
+        ctx.checked_accesses += 1;
+        let g = i / GRANULE_WORDS;
+        match self.shadow.check_write(g, ctx.tid) {
+            Ok(true) => ctx.access_log.push(g),
+            Ok(false) => {}
+            Err(_) => ctx.conflicts += 1,
+        }
+        self.data[i].store(v, Ordering::Release);
+    }
+
+    /// Clears the shadow state covering `words` starting at `start`
+    /// (used by `free` and after successful sharing casts).
+    pub fn clear_range(&self, start: usize, words: usize) {
+        if words == 0 {
+            return;
+        }
+        let g0 = start / GRANULE_WORDS;
+        let g1 = (start + words - 1) / GRANULE_WORDS;
+        for g in g0..=g1 {
+            self.shadow.clear(g);
+        }
+    }
+
+    /// Thread exit: clears every shadow bit this thread set
+    /// (non-overlapping lifetimes are not races).
+    pub fn thread_exit(&self, ctx: &mut ThreadCtx) {
+        let tid = ctx.tid;
+        for g in ctx.access_log.drain(..) {
+            self.shadow.clear_thread(g, tid);
+        }
+    }
+
+    /// Direct access to the shadow, for tests and detectors.
+    pub fn shadow(&self) -> &Shadow<W> {
+        &self.shadow
+    }
+}
+
+/// How a workload touches memory: the baseline runs [`Unchecked`],
+/// the SharC build runs [`Checked`] on its dynamic-mode data. Both
+/// are zero-size and fully inlined, so the comparison measures
+/// exactly the cost of the checks.
+pub trait AccessPolicy: Copy + Send + 'static {
+    const NAME: &'static str;
+    fn read<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize) -> u64;
+    fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64);
+}
+
+/// Baseline: no instrumentation at all.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Unchecked;
+
+impl AccessPolicy for Unchecked {
+    const NAME: &'static str = "orig";
+    #[inline(always)]
+    fn read<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize) -> u64 {
+        ctx.total_accesses += 1;
+        arena.read_unchecked(i)
+    }
+    #[inline(always)]
+    fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64) {
+        ctx.total_accesses += 1;
+        arena.write_unchecked(i, v);
+    }
+}
+
+/// SharC dynamic-mode checking.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct Checked;
+
+impl AccessPolicy for Checked {
+    const NAME: &'static str = "sharc";
+    #[inline(always)]
+    fn read<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize) -> u64 {
+        ctx.total_accesses += 1;
+        arena.read_checked(ctx, i)
+    }
+    #[inline(always)]
+    fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64) {
+        ctx.total_accesses += 1;
+        arena.write_checked(ctx, i, v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::shadow::ThreadId;
+    use std::sync::Arc;
+
+    #[test]
+    fn unchecked_roundtrip() {
+        let a: Arena = Arena::new(8);
+        a.write_unchecked(3, 42);
+        assert_eq!(a.read_unchecked(3), 42);
+        assert_eq!(a.payload_bytes(), 64);
+        assert_eq!(a.shadow_bytes(), 4, "1 shadow byte per 16 payload bytes");
+    }
+
+    #[test]
+    fn checked_single_thread_no_conflicts() {
+        let a: Arena = Arena::new(8);
+        let mut ctx = ThreadCtx::new(ThreadId(1));
+        a.write_checked(&mut ctx, 0, 1);
+        assert_eq!(a.read_checked(&mut ctx, 0), 1);
+        assert_eq!(ctx.conflicts, 0);
+        assert_eq!(ctx.checked_accesses, 2);
+    }
+
+    #[test]
+    fn checked_cross_thread_write_conflicts() {
+        let a: Arena = Arena::new(2);
+        let mut c1 = ThreadCtx::new(ThreadId(1));
+        let mut c2 = ThreadCtx::new(ThreadId(2));
+        a.write_checked(&mut c1, 0, 1);
+        a.write_checked(&mut c2, 0, 2);
+        assert_eq!(c2.conflicts, 1);
+    }
+
+    #[test]
+    fn thread_exit_enables_reuse() {
+        let a: Arena = Arena::new(2);
+        let mut c1 = ThreadCtx::new(ThreadId(1));
+        a.write_checked(&mut c1, 0, 1);
+        a.thread_exit(&mut c1);
+        let mut c2 = ThreadCtx::new(ThreadId(2));
+        a.write_checked(&mut c2, 0, 2);
+        assert_eq!(c2.conflicts, 0);
+    }
+
+    #[test]
+    fn clear_range_covers_granules() {
+        let a: Arena = Arena::new(8);
+        let mut c1 = ThreadCtx::new(ThreadId(1));
+        for i in 0..8 {
+            a.write_checked(&mut c1, i, i as u64);
+        }
+        a.clear_range(0, 8);
+        let mut c2 = ThreadCtx::new(ThreadId(2));
+        for i in 0..8 {
+            a.write_checked(&mut c2, i, 0);
+        }
+        assert_eq!(c2.conflicts, 0);
+    }
+
+    #[test]
+    fn false_sharing_at_16_byte_granularity() {
+        // Words 0 and 1 share a granule: distinct objects, same
+        // 16-byte chunk — the §4.5 false-positive source.
+        let a: Arena = Arena::new(2);
+        let mut c1 = ThreadCtx::new(ThreadId(1));
+        let mut c2 = ThreadCtx::new(ThreadId(2));
+        a.write_checked(&mut c1, 0, 1);
+        a.write_checked(&mut c2, 1, 2);
+        assert_eq!(c2.conflicts, 1, "false sharing detected as a conflict");
+    }
+
+    #[test]
+    fn policies_are_equivalent_functionally() {
+        fn sum<P: AccessPolicy>(a: &Arena, ctx: &mut ThreadCtx) -> u64 {
+            for i in 0..16 {
+                P::write(a, ctx, i, i as u64);
+            }
+            (0..16).map(|i| P::read(a, ctx, i)).sum()
+        }
+        let a: Arena = Arena::new(16);
+        let mut ctx = ThreadCtx::new(ThreadId(1));
+        let s1 = sum::<Unchecked>(&a, &mut ctx);
+        let s2 = sum::<Checked>(&a, &mut ctx);
+        assert_eq!(s1, s2);
+        assert_eq!(s1, 120);
+        assert!(ctx.total_accesses > 0);
+    }
+
+    #[test]
+    fn concurrent_partitioned_checked_access_is_clean() {
+        let a: Arc<Arena> = Arc::new(Arena::new(64));
+        let mut handles = Vec::new();
+        for t in 1..=4u8 {
+            let a = Arc::clone(&a);
+            handles.push(std::thread::spawn(move || {
+                let mut ctx = ThreadCtx::new(ThreadId(t));
+                let base = (t as usize - 1) * 16;
+                for i in 0..16 {
+                    a.write_checked(&mut ctx, base + i, i as u64);
+                }
+                let c = ctx.conflicts;
+                a.thread_exit(&mut ctx);
+                c
+            }));
+        }
+        let conflicts: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert_eq!(conflicts, 0);
+    }
+}

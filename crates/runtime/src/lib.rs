@@ -1,0 +1,47 @@
+//! # sharc-runtime
+//!
+//! The SharC runtime substrate for *real* threads (paper §4.2–4.4):
+//! shadow memory with the exact n-byte reader/writer bitmap encoding
+//! updated by compare-exchange, per-thread held-lock logs, the
+//! sharing-cast (`oneref`) protocol, and two reference-counting
+//! schemes — naive eager atomic counting and the adapted
+//! Levanoni–Petrank on-the-fly algorithm the paper uses to make
+//! counting affordable.
+//!
+//! The [`arena::AccessPolicy`] abstraction lets a workload be
+//! compiled twice — baseline and checked — which is how the Table 1
+//! overhead numbers are regenerated.
+//!
+//! ## Example
+//!
+//! ```
+//! use sharc_runtime::arena::{AccessPolicy, Arena, Checked, Unchecked};
+//! use sharc_runtime::locks::ThreadCtx;
+//! use sharc_runtime::shadow::ThreadId;
+//!
+//! fn fill<P: AccessPolicy>(a: &Arena, ctx: &mut ThreadCtx) -> u64 {
+//!     for i in 0..64 {
+//!         P::write(a, ctx, i, i as u64);
+//!     }
+//!     (0..64).map(|i| P::read(a, ctx, i)).sum()
+//! }
+//!
+//! let arena = Arena::new(64);
+//! let mut ctx = ThreadCtx::new(ThreadId(1));
+//! assert_eq!(fill::<Unchecked>(&arena, &mut ctx), fill::<Checked>(&arena, &mut ctx));
+//! assert_eq!(ctx.conflicts, 0);
+//! ```
+
+pub mod arena;
+pub mod locks;
+pub mod rc;
+pub mod scalable;
+pub mod scast;
+pub mod shadow;
+
+pub use arena::{AccessPolicy, Arena, Checked, Unchecked, GRANULE_WORDS};
+pub use locks::{LockId, LockNotHeld, LockRegistry, ThreadCtx};
+pub use rc::{LpRc, NaiveRc, ObjId, RcScheme};
+pub use scalable::{ScalableShadow, WideThreadId};
+pub use scast::{sharing_cast, ScastError};
+pub use shadow::{RaceError, Shadow, ShadowWord, ThreadId};

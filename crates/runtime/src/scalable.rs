@@ -1,0 +1,303 @@
+//! A scalable shadow encoding — the future work named in §4.2.1 and
+//! §7: "This encoding of reader, writer sets does not scale well to
+//! larger numbers of threads. In the future, we plan to explore
+//! alternative, more efficient encodings" / "its runtime race
+//! detection should be able to handle a larger number of threads with
+//! low overhead."
+//!
+//! One 8-byte word per granule encodes an *adaptive* state instead of
+//! a bitmap, supporting 2³⁰ thread ids at constant shadow cost:
+//!
+//! ```text
+//! EMPTY                      nobody has touched the granule
+//! EXCL(tid)                  one thread reads and writes
+//! READ1(tid)                 one thread reads
+//! SHARED_READ                多 readers (identities not tracked)
+//! ```
+//!
+//! Trade-off versus the paper's bitmap: once a granule is read-shared
+//! the individual reader identities are forgotten, so a thread's exit
+//! cannot clear its contribution — a later writer will (soundly but
+//! imprecisely) conflict until the granule is reset by `free` or a
+//! sharing cast. The bitmap encoding is exact for up to `8n − 1`
+//! threads; this encoding is *sound for any number of threads* and
+//! exact whenever a granule has at most one concurrent reader.
+
+use crate::shadow::RaceError;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A thread id for the scalable encoding (1-based, up to 2³⁰ − 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct WideThreadId(pub u32);
+
+const TAG_EMPTY: u64 = 0;
+const TAG_EXCL: u64 = 1;
+const TAG_READ1: u64 = 2;
+const TAG_SHARED: u64 = 3;
+const TAG_SHIFT: u32 = 62;
+const TID_MASK: u64 = (1 << 30) - 1;
+
+fn pack(tag: u64, tid: u32) -> u64 {
+    (tag << TAG_SHIFT) | tid as u64
+}
+
+fn tag(word: u64) -> u64 {
+    word >> TAG_SHIFT
+}
+
+fn tid_of(word: u64) -> u32 {
+    (word & TID_MASK) as u32
+}
+
+/// Shadow state with the adaptive single-word-per-granule encoding.
+#[derive(Debug)]
+pub struct ScalableShadow {
+    words: Vec<AtomicU64>,
+}
+
+impl ScalableShadow {
+    /// Creates state for `n_granules` granules.
+    pub fn new(n_granules: usize) -> Self {
+        let mut words = Vec::with_capacity(n_granules);
+        words.resize_with(n_granules, AtomicU64::default);
+        ScalableShadow { words }
+    }
+
+    /// Number of granules covered.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if no granules are covered.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Shadow bytes consumed — 8 per granule regardless of thread
+    /// count (the bitmap needs `threads/8` rounded up).
+    pub fn shadow_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The `chkread` check-and-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
+    pub fn check_read(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+        assert!(
+            tid.0 >= 1 && (tid.0 as u64) <= TID_MASK,
+            "thread id out of range"
+        );
+        let w = &self.words[granule];
+        let mut cur = w.load(Ordering::Acquire);
+        loop {
+            let new = match tag(cur) {
+                TAG_EMPTY => pack(TAG_READ1, tid.0),
+                TAG_READ1 | TAG_EXCL if tid_of(cur) == tid.0 => return Ok(false),
+                TAG_READ1 => pack(TAG_SHARED, 0),
+                TAG_SHARED => return Ok(false),
+                TAG_EXCL => {
+                    // Another thread is writing.
+                    return Err(RaceError {
+                        granule,
+                        was_write: false,
+                        observed: cur,
+                    });
+                }
+                _ => unreachable!("two-bit tag"),
+            };
+            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(true),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// The `chkwrite` check-and-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
+    pub fn check_write(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+        assert!(
+            tid.0 >= 1 && (tid.0 as u64) <= TID_MASK,
+            "thread id out of range"
+        );
+        let w = &self.words[granule];
+        let mut cur = w.load(Ordering::Acquire);
+        loop {
+            let new = match tag(cur) {
+                TAG_EMPTY => pack(TAG_EXCL, tid.0),
+                TAG_EXCL if tid_of(cur) == tid.0 => return Ok(false),
+                TAG_READ1 if tid_of(cur) == tid.0 => pack(TAG_EXCL, tid.0),
+                _ => {
+                    // Another writer, another reader, or shared
+                    // readers (possibly stale — the documented
+                    // imprecision of this encoding).
+                    return Err(RaceError {
+                        granule,
+                        was_write: true,
+                        observed: cur,
+                    });
+                }
+            };
+            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return Ok(true),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Thread-exit clearing: exact for granules this thread owns
+    /// exclusively; `SHARED_READ` granules cannot be partially
+    /// cleared (identities are not tracked) and are left intact.
+    pub fn clear_thread(&self, granule: usize, tid: WideThreadId) {
+        let w = &self.words[granule];
+        let mut cur = w.load(Ordering::Acquire);
+        loop {
+            match tag(cur) {
+                TAG_EXCL | TAG_READ1 if tid_of(cur) == tid.0 => {
+                    match w.compare_exchange_weak(
+                        cur,
+                        TAG_EMPTY,
+                        Ordering::AcqRel,
+                        Ordering::Acquire,
+                    ) {
+                        Ok(_) => return,
+                        Err(now) => cur = now,
+                    }
+                }
+                _ => return,
+            }
+        }
+    }
+
+    /// Full reset (`free` / successful sharing cast).
+    pub fn clear(&self, granule: usize) {
+        self.words[granule].store(TAG_EMPTY, Ordering::Release);
+    }
+
+    /// Raw encoded state, for tests.
+    pub fn raw(&self, granule: usize) -> u64 {
+        self.words[granule].load(Ordering::Acquire)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_lifecycle() {
+        let s = ScalableShadow::new(2);
+        let t = WideThreadId(1);
+        assert_eq!(s.check_read(0, t), Ok(true));
+        assert_eq!(s.check_read(0, t), Ok(false));
+        assert!(s.check_write(0, t).is_ok());
+        assert!(s.check_read(0, t).is_ok());
+        assert!(s.check_write(0, t).is_ok());
+    }
+
+    #[test]
+    fn supports_huge_thread_ids() {
+        // The bitmap tops out at 63 threads; this encoding takes ids
+        // up to 2^30 - 1 at the same 8 bytes per granule.
+        let s = ScalableShadow::new(1);
+        assert!(s.check_read(0, WideThreadId(1_000_000)).is_ok());
+        assert!(s.check_write(0, WideThreadId(1_000_000)).is_ok());
+        assert!(s.check_write(0, WideThreadId(999_999)).is_err());
+    }
+
+    #[test]
+    fn many_readers_then_writer_conflicts() {
+        let s = ScalableShadow::new(1);
+        for t in 1..=100u32 {
+            assert!(s.check_read(0, WideThreadId(t)).is_ok(), "reader {t}");
+        }
+        assert!(s.check_write(0, WideThreadId(1)).is_err());
+    }
+
+    #[test]
+    fn writer_excludes_everyone() {
+        let s = ScalableShadow::new(1);
+        s.check_write(0, WideThreadId(7)).unwrap();
+        assert!(s.check_read(0, WideThreadId(8)).is_err());
+        assert!(s.check_write(0, WideThreadId(8)).is_err());
+        assert!(s.check_read(0, WideThreadId(7)).is_ok());
+    }
+
+    #[test]
+    fn exclusive_exit_clears() {
+        let s = ScalableShadow::new(1);
+        s.check_write(0, WideThreadId(3)).unwrap();
+        s.clear_thread(0, WideThreadId(3));
+        assert!(s.check_write(0, WideThreadId(4)).is_ok());
+    }
+
+    #[test]
+    fn shared_read_exit_is_conservative() {
+        // Documented imprecision: after read-sharing, exits cannot be
+        // subtracted, so the next writer conflicts until a reset.
+        let s = ScalableShadow::new(1);
+        s.check_read(0, WideThreadId(1)).unwrap();
+        s.check_read(0, WideThreadId(2)).unwrap();
+        s.clear_thread(0, WideThreadId(1));
+        s.clear_thread(0, WideThreadId(2));
+        assert!(
+            s.check_write(0, WideThreadId(3)).is_err(),
+            "sound but imprecise"
+        );
+        s.clear(0);
+        assert!(s.check_write(0, WideThreadId(3)).is_ok());
+    }
+
+    #[test]
+    fn single_reader_upgrade_to_writer() {
+        let s = ScalableShadow::new(1);
+        s.check_read(0, WideThreadId(5)).unwrap();
+        assert!(s.check_write(0, WideThreadId(5)).is_ok(), "own upgrade");
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_clean() {
+        let s = Arc::new(ScalableShadow::new(64));
+        let mut handles = Vec::new();
+        for t in 1..=8u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for rep in 0..200 {
+                    let g = (t as usize - 1) * 8 + rep % 8;
+                    s.check_write(g, WideThreadId(t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_same_granule_writers_conflict() {
+        let s = Arc::new(ScalableShadow::new(1));
+        let mut handles = Vec::new();
+        for t in 1..=4u32 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                (0..100)
+                    .filter(|_| s.check_write(0, WideThreadId(t)).is_err())
+                    .count()
+            }));
+        }
+        let conflicts: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(conflicts > 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn zero_tid_rejected() {
+        let s = ScalableShadow::new(1);
+        let _ = s.check_read(0, WideThreadId(0));
+    }
+}

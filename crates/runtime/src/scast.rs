@@ -1,0 +1,126 @@
+//! The sharing-cast protocol (paper Fig. 7):
+//!
+//! ```c
+//! void *scast(void *src, void **slot) {
+//!     *slot = NULL;
+//!     if (refcount(src) > 1) error();
+//!     return src;
+//! }
+//! ```
+//!
+//! The source slot is nulled first (removing the reference with the
+//! old type), then the reference count is consulted; any remaining
+//! reference means the object is still reachable under the old
+//! sharing mode and the cast must fail.
+
+use crate::rc::{ObjId, RcScheme};
+
+/// A failed `oneref` check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScastError {
+    pub obj: ObjId,
+    /// References remaining *after* the source was nulled.
+    pub remaining: i64,
+}
+
+impl std::fmt::Display for ScastError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "sharing cast failed: object {} still has {} other reference(s)",
+            self.obj.0, self.remaining
+        )
+    }
+}
+
+impl std::error::Error for ScastError {}
+
+/// Performs a sharing cast of the object referenced by `slot`.
+///
+/// Nulls `slot` and checks that no other reference to the object
+/// remains. On success the caller owns the object under its new
+/// sharing mode and should clear its reader/writer shadow state
+/// (past accesses no longer constitute sharing).
+///
+/// Returns `Ok(None)` when the slot was already null (casting a null
+/// pointer is a no-op, as in C).
+///
+/// # Errors
+///
+/// [`ScastError`] when other references exist; the slot remains
+/// nulled (matching the C procedure, which nulls before checking).
+pub fn sharing_cast<R: RcScheme + ?Sized>(
+    rc: &R,
+    mutator: usize,
+    slot: usize,
+) -> Result<Option<ObjId>, ScastError> {
+    let Some(obj) = rc.read_slot(slot) else {
+        return Ok(None);
+    };
+    rc.store(mutator, slot, None);
+    let remaining = rc.refcount(obj);
+    if remaining > 0 {
+        return Err(ScastError { obj, remaining });
+    }
+    Ok(Some(obj))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rc::{LpRc, NaiveRc};
+
+    fn unique_ref_succeeds(rc: &dyn RcScheme) {
+        rc.store(0, 0, Some(ObjId(3)));
+        let got = sharing_cast(rc, 0, 0).unwrap();
+        assert_eq!(got, Some(ObjId(3)));
+        assert_eq!(rc.read_slot(0), None, "source is nulled");
+    }
+
+    fn second_ref_fails(rc: &dyn RcScheme) {
+        rc.store(0, 0, Some(ObjId(3)));
+        rc.store(0, 1, Some(ObjId(3)));
+        let err = sharing_cast(rc, 0, 0).unwrap_err();
+        assert_eq!(err.obj, ObjId(3));
+        assert_eq!(err.remaining, 1);
+        assert_eq!(rc.read_slot(0), None, "source nulled even on failure");
+    }
+
+    #[test]
+    fn naive_unique_succeeds() {
+        unique_ref_succeeds(&NaiveRc::new(4, 8));
+    }
+
+    #[test]
+    fn naive_second_ref_fails() {
+        second_ref_fails(&NaiveRc::new(4, 8));
+    }
+
+    #[test]
+    fn lp_unique_succeeds() {
+        unique_ref_succeeds(&LpRc::new(4, 8, 1));
+    }
+
+    #[test]
+    fn lp_second_ref_fails() {
+        second_ref_fails(&LpRc::new(4, 8, 1));
+    }
+
+    #[test]
+    fn null_slot_is_noop() {
+        let rc = NaiveRc::new(2, 2);
+        assert_eq!(sharing_cast(&rc, 0, 0).unwrap(), None);
+    }
+
+    #[test]
+    fn cast_then_reuse() {
+        // Ownership transfer: producer casts away, consumer takes the
+        // object into a new slot, casts it back.
+        let rc = NaiveRc::new(4, 4);
+        rc.store(0, 0, Some(ObjId(1)));
+        let obj = sharing_cast(&rc, 0, 0).unwrap().unwrap();
+        rc.store(1, 2, Some(obj));
+        let back = sharing_cast(&rc, 1, 2).unwrap().unwrap();
+        assert_eq!(back, ObjId(1));
+    }
+}

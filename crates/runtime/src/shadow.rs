@@ -1,0 +1,382 @@
+//! Shadow memory implementing the paper's reader/writer-set encoding
+//! (§4.2.1), for real threads with atomic updates.
+//!
+//! For every 16 bytes of payload memory SharC keeps `n` extra bytes.
+//! The encoding:
+//!
+//! * bit 0 set — a *single* thread is reading **and writing** the
+//!   granule (the thread whose bit is also set);
+//! * bit `k` (k ≥ 1) set — thread `k` is reading the granule, and
+//!   also writing it if bit 0 is set.
+//!
+//! With `n` shadow bytes this supports `8n - 1` threads. Updates use
+//! compare-exchange loops, the portable equivalent of the paper's
+//! `cmpxchg` on x86.
+
+use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
+
+/// A checked-thread identifier: `1 ..= 8n - 1` for a width of `n`
+/// bytes.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThreadId(pub u8);
+
+impl ThreadId {
+    /// The bit this thread occupies in a shadow word.
+    fn bit(self) -> u64 {
+        1u64 << self.0
+    }
+}
+
+/// A race detected by a shadow check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RaceError {
+    /// The granule index where the conflict occurred.
+    pub granule: usize,
+    /// True if the failing access was a write.
+    pub was_write: bool,
+    /// The raw shadow bits observed (for diagnosis).
+    pub observed: u64,
+}
+
+impl std::fmt::Display for RaceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} conflict at granule {} (shadow bits {:#b})",
+            if self.was_write { "write" } else { "read" },
+            self.granule,
+            self.observed
+        )
+    }
+}
+
+impl std::error::Error for RaceError {}
+
+/// The atomic word backing one granule's shadow state. Implemented
+/// for 1, 2, 4, and 8 byte widths (`n` in the paper's `8n - 1`).
+pub trait ShadowWord: Default + Sync + Send {
+    /// Number of shadow bytes per granule.
+    const BYTES: usize;
+    /// Maximum checked-thread id representable.
+    const MAX_THREAD: u8 = (Self::BYTES * 8 - 1) as u8;
+    fn load(&self) -> u64;
+    /// Compare-exchange; returns the previous value on failure.
+    fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64>;
+    /// Unconditional clear.
+    fn clear(&self);
+    /// Atomically removes the given bits.
+    fn fetch_and_not(&self, bits: u64) -> u64;
+}
+
+macro_rules! impl_shadow_word {
+    ($atomic:ty, $raw:ty, $bytes:expr) => {
+        impl ShadowWord for $atomic {
+            const BYTES: usize = $bytes;
+            fn load(&self) -> u64 {
+                <$atomic>::load(self, Ordering::Acquire) as u64
+            }
+            fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64> {
+                <$atomic>::compare_exchange_weak(
+                    self,
+                    current as $raw,
+                    new as $raw,
+                    Ordering::AcqRel,
+                    Ordering::Acquire,
+                )
+                .map(|v| v as u64)
+                .map_err(|v| v as u64)
+            }
+            fn clear(&self) {
+                <$atomic>::store(self, 0, Ordering::Release);
+            }
+            fn fetch_and_not(&self, bits: u64) -> u64 {
+                <$atomic>::fetch_and(self, !(bits as $raw), Ordering::AcqRel) as u64
+            }
+        }
+    };
+}
+
+impl_shadow_word!(AtomicU8, u8, 1);
+impl_shadow_word!(AtomicU16, u16, 2);
+impl_shadow_word!(AtomicU32, u32, 4);
+impl_shadow_word!(AtomicU64, u64, 8);
+
+/// The single-writer flag (bit 0 of every shadow word).
+const WRITER_FLAG: u64 = 1;
+
+/// Shadow state for a payload arena, one word per 16-byte granule.
+///
+/// The default width (`AtomicU8`, n = 1) matches the paper's
+/// evaluation configuration: "setting n = 1 has been sufficient".
+#[derive(Debug)]
+pub struct Shadow<W: ShadowWord = AtomicU8> {
+    words: Vec<W>,
+}
+
+impl<W: ShadowWord> Shadow<W> {
+    /// Creates shadow state for `n_granules` granules.
+    pub fn new(n_granules: usize) -> Self {
+        let mut words = Vec::with_capacity(n_granules);
+        words.resize_with(n_granules, W::default);
+        Shadow { words }
+    }
+
+    /// Number of granules covered.
+    pub fn len(&self) -> usize {
+        self.words.len()
+    }
+
+    /// True if the shadow covers no granules.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Shadow bytes consumed (the paper's memory overhead source).
+    pub fn shadow_bytes(&self) -> usize {
+        self.words.len() * W::BYTES
+    }
+
+    /// The largest thread id this width supports (`8n - 1`).
+    pub fn max_thread(&self) -> u8 {
+        W::MAX_THREAD
+    }
+
+    /// Performs the `chkread` check-and-record for `tid` on `granule`.
+    ///
+    /// Returns `Ok(newly_set)` — `newly_set` tells the caller to log
+    /// the granule for exit-time clearing — or the conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` exceeds the width's thread capacity.
+    pub fn check_read(&self, granule: usize, tid: ThreadId) -> Result<bool, RaceError> {
+        assert!(tid.0 >= 1 && tid.0 <= W::MAX_THREAD, "thread id out of range");
+        let w = &self.words[granule];
+        let bit = tid.bit();
+        let mut cur = w.load();
+        loop {
+            // A writer exists iff bit 0 is set; the writer is the
+            // thread whose bit accompanies it. Reading is a conflict
+            // unless that thread is us.
+            if cur & WRITER_FLAG != 0 && cur & !WRITER_FLAG & !bit != 0 {
+                return Err(RaceError {
+                    granule,
+                    was_write: false,
+                    observed: cur,
+                });
+            }
+            if cur & bit != 0 {
+                return Ok(false);
+            }
+            match w.compare_exchange(cur, cur | bit) {
+                Ok(_) => return Ok(true),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Performs the `chkwrite` check-and-record for `tid`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` exceeds the width's thread capacity.
+    pub fn check_write(&self, granule: usize, tid: ThreadId) -> Result<bool, RaceError> {
+        assert!(tid.0 >= 1 && tid.0 <= W::MAX_THREAD, "thread id out of range");
+        let w = &self.words[granule];
+        let bit = tid.bit();
+        let mut cur = w.load();
+        loop {
+            // Writing requires no *other* readers or writers at all.
+            if cur & !WRITER_FLAG & !bit != 0 {
+                return Err(RaceError {
+                    granule,
+                    was_write: true,
+                    observed: cur,
+                });
+            }
+            let new = WRITER_FLAG | bit;
+            if cur == new {
+                return Ok(false);
+            }
+            match w.compare_exchange(cur, new) {
+                Ok(_) => return Ok(true),
+                Err(now) => cur = now,
+            }
+        }
+    }
+
+    /// Clears a thread's bit on exit ("SharC does not consider it a
+    /// race for two threads to access the same location if their
+    /// execution does not overlap").
+    pub fn clear_thread(&self, granule: usize, tid: ThreadId) {
+        let w = &self.words[granule];
+        let prev = w.fetch_and_not(tid.bit());
+        // If this thread was the single reader+writer, drop the
+        // writer flag too (no thread bits remain).
+        if prev & !WRITER_FLAG == tid.bit() {
+            w.fetch_and_not(WRITER_FLAG);
+        }
+    }
+
+    /// Clears a granule entirely (`free`, or a successful sharing
+    /// cast's mode change).
+    pub fn clear(&self, granule: usize) {
+        self.words[granule].clear();
+    }
+
+    /// Raw bits, for tests and diagnostics.
+    pub fn raw(&self, granule: usize) -> u64 {
+        self.words[granule].load()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn single_thread_read_write_ok() {
+        let s: Shadow = Shadow::new(4);
+        let t = ThreadId(1);
+        assert_eq!(s.check_read(0, t), Ok(true));
+        assert_eq!(s.check_read(0, t), Ok(false));
+        assert!(s.check_write(0, t).is_ok());
+        assert!(s.check_read(0, t).is_ok());
+        assert!(s.check_write(0, t).is_ok());
+    }
+
+    #[test]
+    fn many_readers_ok() {
+        let s: Shadow = Shadow::new(1);
+        for t in 1..=7 {
+            assert!(s.check_read(0, ThreadId(t)).is_ok(), "thread {t}");
+        }
+    }
+
+    #[test]
+    fn reader_then_other_writer_conflicts() {
+        let s: Shadow = Shadow::new(1);
+        s.check_read(0, ThreadId(1)).unwrap();
+        let e = s.check_write(0, ThreadId(2)).unwrap_err();
+        assert!(e.was_write);
+        assert_eq!(e.granule, 0);
+    }
+
+    #[test]
+    fn writer_then_other_reader_conflicts() {
+        let s: Shadow = Shadow::new(1);
+        s.check_write(0, ThreadId(1)).unwrap();
+        assert!(s.check_read(0, ThreadId(2)).is_err());
+        assert!(s.check_write(0, ThreadId(2)).is_err());
+    }
+
+    #[test]
+    fn thread_exit_clears_bits() {
+        let s: Shadow = Shadow::new(1);
+        s.check_write(0, ThreadId(1)).unwrap();
+        s.clear_thread(0, ThreadId(1));
+        assert_eq!(s.raw(0), 0, "writer flag cleared with the writer");
+        // A different thread may now use the granule freely.
+        assert!(s.check_write(0, ThreadId(2)).is_ok());
+    }
+
+    #[test]
+    fn reader_exit_keeps_other_readers() {
+        let s: Shadow = Shadow::new(1);
+        s.check_read(0, ThreadId(1)).unwrap();
+        s.check_read(0, ThreadId(2)).unwrap();
+        s.clear_thread(0, ThreadId(1));
+        assert_eq!(s.raw(0), 1 << 2);
+    }
+
+    #[test]
+    fn clear_resets() {
+        let s: Shadow = Shadow::new(1);
+        s.check_write(0, ThreadId(3)).unwrap();
+        s.clear(0);
+        assert_eq!(s.raw(0), 0);
+    }
+
+    #[test]
+    fn width_capacities() {
+        assert_eq!(Shadow::<AtomicU8>::new(1).max_thread(), 7);
+        assert_eq!(Shadow::<AtomicU16>::new(1).max_thread(), 15);
+        assert_eq!(Shadow::<AtomicU32>::new(1).max_thread(), 31);
+        assert_eq!(Shadow::<AtomicU64>::new(1).max_thread(), 63);
+    }
+
+    #[test]
+    fn wider_words_support_more_threads() {
+        let s: Shadow<AtomicU16> = Shadow::new(1);
+        for t in 1..=15 {
+            assert!(s.check_read(0, ThreadId(t)).is_ok());
+        }
+        assert_eq!(s.shadow_bytes(), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn thread_id_zero_rejected() {
+        let s: Shadow = Shadow::new(1);
+        let _ = s.check_read(0, ThreadId(0));
+    }
+
+    #[test]
+    fn concurrent_readers_never_conflict() {
+        let s: Arc<Shadow> = Arc::new(Shadow::new(64));
+        let mut handles = Vec::new();
+        for t in 1..=7u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for g in 0..64 {
+                    s.check_read(g, ThreadId(t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        for g in 0..64 {
+            assert_eq!(s.raw(g) & 1, 0, "no writer flag");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_writers_never_conflict() {
+        let s: Arc<Shadow> = Arc::new(Shadow::new(70));
+        let mut handles = Vec::new();
+        for t in 1..=7u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for rep in 0..100 {
+                    let g = (t as usize - 1) * 10 + (rep % 10);
+                    s.check_write(g, ThreadId(t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_same_granule_writers_conflict() {
+        let s: Arc<Shadow> = Arc::new(Shadow::new(1));
+        let mut handles = Vec::new();
+        for t in 1..=4u8 {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                let mut conflicts = 0;
+                for _ in 0..100 {
+                    if s.check_write(0, ThreadId(t)).is_err() {
+                        conflicts += 1;
+                    }
+                }
+                conflicts
+            }));
+        }
+        let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
+        assert!(total > 0, "competing writers must conflict");
+    }
+}

@@ -1,0 +1,268 @@
+//! **fftw** — the FFT benchmark (Table 1 row 5).
+//!
+//! "The fftw benchmark performs 32 random FFTs... computes by
+//! dividing arrays among a fixed number of worker threads. Ownership
+//! of arrays is transferred to each thread, and then reclaimed when
+//! the threads are finished. The functions that compute over the
+//! partial arrays assume that they own that memory, so it was only
+//! necessary to annotate those arguments as private."
+//!
+//! Paper row: 3 threads, 197k lines, 7 annotations, 39 changes, 7%
+//! time, 1.2% memory, 0.2% dynamic accesses. The kernel runs on
+//! privately-owned arrays (unchecked); SharC's cost is the per-array
+//! ownership transfer (RC barrier + `oneref` cast) and a few checked
+//! coordination words.
+
+use crate::substrates::fft::{fft, random_signal, Complex};
+use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
+use sharc_runtime::{sharing_cast, LpRc, ObjId, RcScheme};
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub n_transforms: usize,
+    pub size: usize,
+    pub workers: usize,
+}
+
+impl Params {
+    fn scaled(scale: Scale) -> Self {
+        Params {
+            // The paper runs 32 random FFTs.
+            n_transforms: 32,
+            size: if scale.quick { 512 } else { 4096 },
+            workers: 2,
+        }
+    }
+}
+
+/// Runs the batch of transforms. When `checked`, each array hand-off
+/// performs the RC store + sharing cast that SharC instruments.
+pub fn run_native(params: &Params, checked: bool) -> NativeRun {
+    // One RC slot per transform (the pointer cell its ownership
+    // moves through), plus one per reclaim direction.
+    let rc = Arc::new(LpRc::new(
+        2 * params.n_transforms,
+        params.n_transforms,
+        params.workers + 1,
+    ));
+    let scast_failures = Arc::new(AtomicU64::new(0));
+
+    // Pre-generate the signals (main owns them privately).
+    let signals: Vec<Vec<Complex>> = (0..params.n_transforms)
+        .map(|i| random_signal(params.size, i as u64))
+        .collect();
+
+    let checksum = Arc::new(AtomicU64::new(0));
+    let per_worker = params.n_transforms.div_ceil(params.workers);
+
+    // Main hands out ownership of each array before the workers
+    // start (the arrays exist before the threads are spawned).
+    if checked {
+        for idx in 0..params.n_transforms {
+            rc.store(0, 2 * idx, Some(ObjId(idx as u32)));
+        }
+    }
+
+    std::thread::scope(|scope| {
+        for (w, chunk) in signals.chunks(per_worker).enumerate() {
+            let rc = Arc::clone(&rc);
+            let scast_failures = Arc::clone(&scast_failures);
+            let checksum = Arc::clone(&checksum);
+            let base = w * per_worker;
+            let chunk: Vec<Vec<Complex>> = chunk.to_vec();
+            scope.spawn(move || {
+                let mutator = w + 1;
+                for (k, sig) in chunk.into_iter().enumerate() {
+                    let idx = base + k;
+                    if checked {
+                        // Take ownership: SCAST the array to private.
+                        if sharing_cast(&*rc, mutator, 2 * idx).is_err() {
+                            scast_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // The transform runs on privately-owned memory:
+                    // unchecked in both builds.
+                    let mut work = sig;
+                    fft(&mut work);
+                    let local: u64 = work
+                        .iter()
+                        .map(|c| (c.abs() * 1e6) as u64)
+                        .fold(0, u64::wrapping_add);
+                    checksum.fetch_add(local, Ordering::Relaxed);
+                    if checked {
+                        // Reclaim: publish the array back.
+                        rc.store(mutator, 2 * idx + 1, Some(ObjId(idx as u32)));
+                    }
+                }
+            });
+        }
+    });
+
+    // Main reclaims the arrays (casts them back to private).
+    if checked {
+        for idx in 0..params.n_transforms {
+            // The worker may not have stored yet only if it panicked;
+            // scope join guarantees completion.
+            if rc.read_slot(2 * idx + 1).is_some()
+                && sharing_cast(&*rc, 0, 2 * idx + 1).is_err()
+            {
+                scast_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        }
+    }
+
+    let data_bytes = params.n_transforms * params.size * 16;
+    NativeRun {
+        checksum: checksum.load(Ordering::Relaxed),
+        // Only the hand-off words are dynamic (paper: 0.2%).
+        checked: if checked {
+            4 * params.n_transforms as u64
+        } else {
+            0
+        },
+        total: (params.n_transforms * params.size * 4) as u64,
+        conflicts: scast_failures.load(Ordering::Relaxed) as usize,
+        payload_bytes: data_bytes,
+        shadow_bytes: if checked {
+            data_bytes / 16 + 2 * params.n_transforms * 10
+        } else {
+            0
+        },
+        threads: params.workers + 1,
+    }
+}
+
+/// The MiniC port: arrays transferred to workers by sharing casts,
+/// computed on privately, and reclaimed.
+pub fn minic_source() -> &'static str {
+    r#"
+// fftw.c — array-partitioned transform (MiniC port).
+struct work {
+    mutex m;
+    cond cv;
+    int *locked(m) slot;
+    int racy served;
+    int racy quota;
+};
+
+mutex summ;
+int locked(summ) total_energy;
+
+void transform(int private * data) {
+    // An in-place butterfly-flavoured pass over the private array.
+    int i;
+    int a;
+    int b;
+    for (i = 0; i < 32; i = i + 2) {
+        a = data[i];
+        b = data[i + 1];
+        data[i] = a + b;
+        data[i + 1] = a - b;
+    }
+}
+
+void worker(struct work * w) {
+    int private * arr;
+    int i;
+    int energy;
+    int got;
+    got = 0;
+    while (1) {
+        mutex_lock(&w->m);
+        while (w->slot == NULL) {
+            if (w->served >= w->quota) {
+                mutex_unlock(&w->m);
+                return;
+            }
+            cond_wait(&w->cv, &w->m);
+        }
+        arr = SCAST(int private *, w->slot);
+        w->served = w->served + 1;
+        cond_signal(&w->cv);
+        mutex_unlock(&w->m);
+        transform(arr);
+        energy = 0;
+        for (i = 0; i < 32; i++) {
+            energy = energy + arr[i] * arr[i];
+        }
+        free(arr);
+        mutex_lock(&summ);
+        total_energy = total_energy + energy;
+        mutex_unlock(&summ);
+        got = got + 1;
+    }
+}
+
+void main() {
+    struct work * w = new(struct work);
+    int private * arr;
+    int n;
+    int i;
+    int t1;
+    int t2;
+    w->quota = 8;
+    t1 = spawn(worker, w);
+    t2 = spawn(worker, w);
+    for (n = 0; n < 8; n++) {
+        arr = newarray(int private, 32);
+        for (i = 0; i < 32; i++) {
+            arr[i] = random(100);
+        }
+        mutex_lock(&w->m);
+        while (w->slot)
+            cond_wait(&w->cv, &w->m);
+        w->slot = SCAST(int locked(w->m) *, arr);
+        cond_signal(&w->cv);
+        mutex_unlock(&w->m);
+    }
+    join(t1);
+    join(t2);
+    mutex_lock(&summ);
+    print(total_energy);
+    mutex_unlock(&summ);
+}
+"#
+}
+
+/// Full benchmark.
+pub fn bench(scale: Scale) -> BenchResult {
+    let params = Params::scaled(scale);
+    run_benchmark("fftw", minic_source(), scale.reps, |checked| {
+        run_native(&params, checked)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn both_builds_compute_identical_transforms() {
+        let params = Params::scaled(Scale::quick());
+        let a = run_native(&params, false);
+        let b = run_native(&params, true);
+        assert_eq!(a.checksum, b.checksum);
+        assert_eq!(b.conflicts, 0, "all ownership transfers are unique");
+    }
+
+    #[test]
+    fn dynamic_fraction_is_tiny() {
+        let params = Params::scaled(Scale::quick());
+        let r = run_native(&params, true);
+        assert!(
+            (r.checked as f64 / r.total as f64) < 0.01,
+            "paper reports 0.2% dynamic for fftw"
+        );
+    }
+
+    #[test]
+    fn minic_version_compiles_clean() {
+        let (lines, annots, casts) = crate::table::minic_columns("fftw.c", minic_source());
+        assert!(lines > 50);
+        assert!(annots >= 5, "got {annots}");
+        assert_eq!(casts, 2);
+    }
+}

@@ -1,0 +1,7 @@
+//! The six Table 1 benchmarks.
+pub mod aget;
+pub mod dillo;
+pub mod fftw;
+pub mod pbzip2;
+pub mod pfscan;
+pub mod stunnel;

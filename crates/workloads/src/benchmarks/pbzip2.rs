@@ -1,0 +1,347 @@
+//! **pbzip2** — parallel block compression (Table 1 row 3).
+//!
+//! "The pbzip2 benchmark has threads for file I/O, and an arbitrary
+//! number of threads for (de)compressing data blocks, which the
+//! file-reader thread arranges into a shared queue. The functions
+//! that perform the (de)compression assume they have ownership of the
+//! blocks, and so we annotate their arguments as private. One benign
+//! race was found in a flag used to signal that reading from the
+//! input file has finished."
+//!
+//! Paper row: 5 threads, 10k lines, 10 annotations, 36 changes, 11%
+//! time, 1.6% memory, ~0.0% dynamic accesses. The blocks are
+//! privately owned (unchecked); SharC's cost is the per-block
+//! ownership transfer: a reference-counted slot update plus a
+//! `oneref` sharing cast, which this workload performs with the
+//! Levanoni–Petrank counter.
+
+use crate::substrates::compress::compress_block;
+use crate::substrates::net::fnv;
+use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
+use parking_lot::{Condvar, Mutex};
+use sharc_runtime::{sharing_cast, LpRc, RcScheme};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub input_size: usize,
+    pub block: usize,
+    pub workers: usize,
+}
+
+impl Params {
+    fn scaled(scale: Scale) -> Self {
+        Params {
+            input_size: if scale.quick { 64 * 1024 } else { 512 * 1024 },
+            block: 16 * 1024,
+            workers: 3,
+        }
+    }
+}
+
+/// A block exchanged through the pipeline. The payload vector is the
+/// privately-owned buffer; `slot` is the reference-counted cell that
+/// models the pointer hand-off the paper instruments.
+#[derive(Debug)]
+struct Slot {
+    buf: Mutex<Option<Vec<u8>>>,
+    cv: Condvar,
+}
+
+impl Slot {
+    fn new() -> Self {
+        Slot {
+            buf: Mutex::new(None),
+            cv: Condvar::new(),
+        }
+    }
+
+    fn put(&self, v: Vec<u8>) {
+        let mut b = self.buf.lock();
+        while b.is_some() {
+            self.cv.wait(&mut b);
+        }
+        *b = Some(v);
+        self.cv.notify_all();
+    }
+
+}
+
+/// Deterministic compressible input (text-like).
+pub fn make_input(size: usize) -> Vec<u8> {
+    let phrase = b"the quick brown fox jumps over the lazy dog; pack my box; ";
+    phrase.iter().cycle().take(size).copied().collect()
+}
+
+/// Runs the compression pipeline. When `checked` is true, every block
+/// hand-off performs the SharC instrumentation: an RC write barrier
+/// on the slot plus a `oneref` sharing cast (the paper's `SCAST`).
+pub fn run_native(params: &Params, checked: bool) -> NativeRun {
+    let input = make_input(params.input_size);
+    let n_blocks = input.len().div_ceil(params.block);
+
+    // One RC slot per in-flight hand-off (reader->worker and
+    // worker->writer), as the instrumented pointer cells.
+    let rc = Arc::new(LpRc::new(
+        2 * n_blocks.max(1),
+        n_blocks.max(1),
+        params.workers + 2,
+    ));
+    let scast_failures = Arc::new(AtomicU64::new(0));
+
+    type Results = Arc<Mutex<Vec<(usize, Vec<u8>)>>>;
+    let work_slots: Arc<Vec<Slot>> =
+        Arc::new((0..params.workers).map(|_| Slot::new()).collect());
+    let done_flag = Arc::new(AtomicBool::new(false));
+    let results: Results = Arc::new(Mutex::new(Vec::new()));
+
+    std::thread::scope(|scope| {
+        // Worker threads: take a block, compress privately, hand off.
+        for w in 0..params.workers {
+            let work_slots = Arc::clone(&work_slots);
+            let results = Arc::clone(&results);
+            let rc = Arc::clone(&rc);
+            let scast_failures = Arc::clone(&scast_failures);
+            let done = Arc::clone(&done_flag);
+            scope.spawn(move || {
+                let mutator = w + 1;
+                loop {
+                    // The benign racy "reading finished" flag.
+                    if done.load(Ordering::Relaxed) {
+                        let empty = work_slots[w].buf.lock().is_none();
+                        if empty {
+                            break;
+                        }
+                    }
+                    let mut guard = work_slots[w].buf.lock();
+                    let taken = guard.take();
+                    drop(guard);
+                    let Some(block) = taken else {
+                        std::thread::yield_now();
+                        continue;
+                    };
+                    work_slots[w].cv.notify_all();
+                    let (idx, data) = decode_block(block);
+                    if checked {
+                        // Consume the hand-off slot: SCAST to private.
+                        if sharing_cast(&*rc, mutator, 2 * idx).is_err() {
+                            scast_failures.fetch_add(1, Ordering::Relaxed);
+                        }
+                    }
+                    // Compression on the privately-owned buffer:
+                    // unchecked in both builds (annotated private).
+                    let compressed = compress_block(&data);
+                    if checked {
+                        rc.store(
+                            mutator,
+                            2 * idx + 1,
+                            Some(sharc_runtime::ObjId(idx as u32)),
+                        );
+                    }
+                    results.lock().push((idx, compressed));
+                }
+            });
+        }
+
+        // The reader thread (here: main) splits input into blocks and
+        // distributes them round-robin.
+        for (idx, chunk) in input.chunks(params.block).enumerate() {
+            if checked {
+                // Publish the block pointer into the hand-off slot,
+                // with the RC write barrier.
+                rc.store(0, 2 * idx, Some(sharc_runtime::ObjId(idx as u32)));
+            }
+            work_slots[idx % params.workers].put(encode_block(idx, chunk));
+        }
+        done_flag.store(true, Ordering::Relaxed);
+    });
+
+    // Writer phase: collect in order, verify, and checksum.
+    let mut results = Arc::try_unwrap(results)
+        .expect("all threads joined")
+        .into_inner();
+    results.sort_by_key(|&(i, _)| i);
+    let writer_mutator = params.workers + 1;
+    let mut checksum = 0u64;
+    let mut compressed_total = 0usize;
+    for (idx, c) in &results {
+        if checked
+            && sharing_cast(&*rc, writer_mutator, 2 * idx + 1).is_err() {
+                scast_failures.fetch_add(1, Ordering::Relaxed);
+            }
+        checksum = checksum.wrapping_add(fnv(c).wrapping_mul(*idx as u64 + 1));
+        compressed_total += c.len();
+    }
+
+    NativeRun {
+        checksum,
+        // Dynamic-mode data is only the hand-off bookkeeping: the
+        // paper reports ~0.0% dynamic accesses for pbzip2.
+        checked: if checked { 2 * n_blocks as u64 } else { 0 },
+        total: (params.input_size + compressed_total) as u64,
+        conflicts: scast_failures.load(Ordering::Relaxed) as usize,
+        payload_bytes: params.input_size,
+        // SharC's extra memory: RC slots, dirty bits, and logs.
+        shadow_bytes: 2 * n_blocks * (8 + 2) + params.input_size / 16,
+        threads: params.workers + 2,
+    }
+}
+
+fn encode_block(idx: usize, data: &[u8]) -> Vec<u8> {
+    let mut v = Vec::with_capacity(data.len() + 8);
+    v.extend_from_slice(&(idx as u64).to_le_bytes());
+    v.extend_from_slice(data);
+    v
+}
+
+fn decode_block(v: Vec<u8>) -> (usize, Vec<u8>) {
+    let idx = u64::from_le_bytes(v[..8].try_into().expect("block header")) as usize;
+    (idx, v[8..].to_vec())
+}
+
+/// The MiniC port: reader -> queue -> compressors, with private block
+/// ownership transferred by sharing casts and a benign racy flag.
+pub fn minic_source() -> &'static str {
+    r#"
+// pbzip2.c — parallel block compressor (MiniC port).
+struct pipe {
+    mutex m;
+    cond cv;
+    char *locked(m) slot;
+    int racy reading_done;
+    int locked(m) produced;
+    int locked(m) consumed;
+};
+
+mutex outm;
+int locked(outm) out_bytes;
+
+void compressor(struct pipe * p) {
+    char private * block;
+    int i;
+    int run;
+    int outlen;
+    while (1) {
+        mutex_lock(&p->m);
+        while (p->slot == NULL) {
+            if (p->reading_done) {
+                if (p->consumed == p->produced) {
+                    mutex_unlock(&p->m);
+                    return;
+                }
+            }
+            cond_wait(&p->cv, &p->m);
+        }
+        block = SCAST(char private *, p->slot);
+        p->consumed = p->consumed + 1;
+        cond_signal(&p->cv);
+        mutex_unlock(&p->m);
+        // "Compress" the privately-owned block: run-length encode.
+        outlen = 0;
+        run = 1;
+        for (i = 1; i < 64; i++) {
+            if (block[i] == block[i - 1]) {
+                run = run + 1;
+            } else {
+                outlen = outlen + 2;
+                run = 1;
+            }
+        }
+        free(block);
+        mutex_lock(&outm);
+        out_bytes = out_bytes + outlen;
+        mutex_unlock(&outm);
+    }
+}
+
+void main() {
+    struct pipe * p = new(struct pipe);
+    char private * block;
+    int b;
+    int i;
+    int t1;
+    int t2;
+    int t3;
+    t1 = spawn(compressor, p);
+    t2 = spawn(compressor, p);
+    t3 = spawn(compressor, p);
+    for (b = 0; b < 12; b++) {
+        block = newarray(char private, 64);
+        for (i = 0; i < 64; i++) {
+            block[i] = random(4);
+        }
+        mutex_lock(&p->m);
+        while (p->slot)
+            cond_wait(&p->cv, &p->m);
+        p->slot = SCAST(char locked(p->m) *, block);
+        p->produced = p->produced + 1;
+        cond_signal(&p->cv);
+        mutex_unlock(&p->m);
+    }
+    p->reading_done = 1;
+    mutex_lock(&p->m);
+    cond_broadcast(&p->cv);
+    mutex_unlock(&p->m);
+    join(t1);
+    join(t2);
+    join(t3);
+    mutex_lock(&outm);
+    print(out_bytes);
+    mutex_unlock(&outm);
+}
+"#
+}
+
+/// Full benchmark.
+pub fn bench(scale: Scale) -> BenchResult {
+    let params = Params::scaled(scale);
+    run_benchmark("pbzip2", minic_source(), scale.reps, |checked| {
+        run_native(&params, checked)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pipeline_compresses_correctly() {
+        let params = Params::scaled(Scale::quick());
+        let orig = run_native(&params, false);
+        let sharc = run_native(&params, true);
+        assert_eq!(orig.checksum, sharc.checksum, "same compressed output");
+        assert_eq!(sharc.conflicts, 0, "all sharing casts succeed");
+    }
+
+    #[test]
+    fn compression_roundtrip_through_pipeline_blocks() {
+        use crate::substrates::compress::decompress_block;
+        let input = make_input(48 * 1024);
+        for chunk in input.chunks(16 * 1024) {
+            let c = compress_block(chunk);
+            assert_eq!(decompress_block(&c), chunk);
+            assert!(c.len() < chunk.len(), "text input compresses");
+        }
+    }
+
+    #[test]
+    fn dynamic_fraction_is_tiny() {
+        let params = Params::scaled(Scale::quick());
+        let r = run_native(&params, true);
+        assert!(
+            (r.checked as f64 / r.total as f64) < 0.01,
+            "paper reports ~0.0% dynamic for pbzip2"
+        );
+    }
+
+    #[test]
+    fn minic_version_compiles_clean() {
+        let (lines, annots, casts) =
+            crate::table::minic_columns("pbzip2.c", minic_source());
+        assert!(lines > 50);
+        assert!(annots >= 5);
+        assert_eq!(casts, 2, "one cast per hand-off direction");
+    }
+}

@@ -1,0 +1,241 @@
+//! **stunnel** — the TLS tunnel (Table 1 row 6).
+//!
+//! "It creates a thread for each client that it serves. The main
+//! thread initializes data for each client thread before spawning
+//! them. There are also global flags and counters, which are
+//! protected by locks... Our experiments with stunnel involved
+//! encrypting three simultaneous connections to a simple echo server
+//! with each client sending and receiving 500 messages."
+//!
+//! Paper row: 3 threads, 361k lines, 20 annotations, 22 changes, 2%
+//! time, 0.5k pagefaults, ~0.0% dynamic accesses. Encryption runs on
+//! per-client private buffers; the checked cost is the locked global
+//! counters.
+
+use crate::substrates::cipher::{decrypt, encrypt};
+use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
+use sharc_runtime::{AccessPolicy, Arena, Checked, LockId, LockRegistry, ThreadCtx, ThreadId, Unchecked};
+use std::sync::Arc;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    pub clients: usize,
+    pub messages: usize,
+    pub msg_len: usize,
+}
+
+impl Params {
+    fn scaled(scale: Scale) -> Self {
+        Params {
+            clients: 3,
+            messages: if scale.quick { 100 } else { 500 },
+            msg_len: 256,
+        }
+    }
+}
+
+/// The in-process echo server: decrypt, flip, re-encrypt.
+fn echo_server(key: u64, wire: &[u8]) -> Vec<u8> {
+    let plain = decrypt(key, wire);
+    encrypt(key, &plain)
+}
+
+/// Runs the tunnel. Global counters live in the shared arena under a
+/// lock; in the checked build each counter access also performs the
+/// `locked(l)` held-lock check.
+pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
+    // Word 0: messages counter; word 2: bytes counter (separate
+    // granules to avoid irrelevant false sharing).
+    let arena: Arc<Arena> = Arc::new(Arena::new(4));
+    let locks = Arc::new(LockRegistry::new(1));
+    let counter_lock = LockId(0);
+    let is_checked = P::NAME == "sharc";
+
+    let mut handles = Vec::new();
+    for c in 0..params.clients {
+        let arena = Arc::clone(&arena);
+        let locks = Arc::clone(&locks);
+        let params = *params;
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = ThreadCtx::new(ThreadId(c as u8 + 2));
+            let key = 0x57A7_0000 + c as u64;
+            let mut ok = 0u64;
+            let mut lock_checks = 0u64;
+            for m in 0..params.messages {
+                // Build and encrypt the message (private buffer).
+                let plain: Vec<u8> = (0..params.msg_len)
+                    .map(|i| (m + i + c) as u8)
+                    .collect();
+                let wire = encrypt(key, &plain);
+                let reply = echo_server(key, &wire);
+                let back = decrypt(key, &reply);
+                if back == plain {
+                    ok += 1;
+                }
+                // Update the locked global counters.
+                locks.lock(&mut ctx, counter_lock);
+                if is_checked {
+                    // The locked(l) runtime check consults the log.
+                    ctx.assert_held(counter_lock).expect("lock held");
+                    lock_checks += 2;
+                }
+                let msgs = arena.read_unchecked(0);
+                arena.write_unchecked(0, msgs + 1);
+                let bytes = arena.read_unchecked(2);
+                arena.write_unchecked(2, bytes + params.msg_len as u64);
+                ctx.total_accesses += 4;
+                locks.unlock(&mut ctx, counter_lock);
+            }
+            (ok, ctx.total_accesses, lock_checks, ctx.conflicts)
+        }));
+    }
+
+    let mut checksum = 0u64;
+    let mut total = 0u64;
+    let mut lock_checks = 0u64;
+    let mut conflicts = 0usize;
+    for h in handles {
+        let (ok, t, lc, cf) = h.join().expect("client panicked");
+        checksum += ok;
+        total += t;
+        lock_checks += lc;
+        conflicts += cf;
+    }
+    checksum = checksum
+        .wrapping_mul(1000)
+        .wrapping_add(arena.read_unchecked(0));
+
+    NativeRun {
+        checksum,
+        checked: lock_checks,
+        total: total + (params.clients * params.messages * params.msg_len * 4) as u64,
+        conflicts,
+        payload_bytes: params.clients * params.messages * params.msg_len,
+        shadow_bytes: if is_checked { 64 } else { 0 },
+        threads: params.clients + 1,
+    }
+}
+
+/// The MiniC port: per-client threads, private message buffers
+/// initialized before spawn, and locked global counters.
+pub fn minic_source() -> &'static str {
+    r#"
+// stunnel.c — encrypting tunnel (MiniC port).
+struct client {
+    int readonly id;
+    int readonly key;
+    int nmsgs;
+};
+
+mutex gm;
+int locked(gm) total_msgs;
+int locked(gm) total_bytes;
+int racy active_clients;
+
+int crypt_step(int state) {
+    return state * 1103515245 + 12345;
+}
+
+void client_thread(struct client * c) {
+    char private * buf;
+    int m;
+    int i;
+    int state;
+    int n;
+    n = c->nmsgs;
+    for (m = 0; m < n; m++) {
+        buf = newarray(char private, 64);
+        // Fill and "encrypt" the private buffer.
+        state = c->key + m;
+        for (i = 0; i < 64; i++) {
+            state = crypt_step(state);
+            buf[i] = state % 256;
+        }
+        // "Echo" round-trip: decrypt in place.
+        state = c->key + m;
+        for (i = 0; i < 64; i++) {
+            state = crypt_step(state);
+            buf[i] = buf[i] - state % 256;
+        }
+        free(buf);
+        mutex_lock(&gm);
+        total_msgs = total_msgs + 1;
+        total_bytes = total_bytes + 64;
+        mutex_unlock(&gm);
+    }
+    active_clients = active_clients - 1;
+}
+
+void main() {
+    struct client private * c1;
+    struct client private * c2;
+    struct client private * c3;
+    c1 = new(struct client private);
+    c2 = new(struct client private);
+    c3 = new(struct client private);
+    // The main thread initializes client data before spawning
+    // (readonly fields are writable while the struct is private).
+    c1->id = 1; c1->key = 101; c1->nmsgs = 20;
+    c2->id = 2; c2->key = 202; c2->nmsgs = 20;
+    c3->id = 3; c3->key = 303; c3->nmsgs = 20;
+    active_clients = 3;
+    spawn(client_thread, SCAST(struct client dynamic *, c1));
+    spawn(client_thread, SCAST(struct client dynamic *, c2));
+    spawn(client_thread, SCAST(struct client dynamic *, c3));
+    join_all();
+    mutex_lock(&gm);
+    print(total_msgs);
+    print(total_bytes);
+    mutex_unlock(&gm);
+}
+"#
+}
+
+/// Full benchmark.
+pub fn bench(scale: Scale) -> BenchResult {
+    let params = Params::scaled(scale);
+    run_benchmark("stunnel", minic_source(), scale.reps, |checked| {
+        if checked {
+            run_native::<Checked>(&params)
+        } else {
+            run_native::<Unchecked>(&params)
+        }
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn all_messages_roundtrip() {
+        let params = Params::scaled(Scale::quick());
+        let a = run_native::<Unchecked>(&params);
+        let b = run_native::<Checked>(&params);
+        assert_eq!(a.checksum, b.checksum);
+        // checksum encodes ok-count * 1000 + message counter.
+        let expect = (params.clients * params.messages) as u64;
+        assert_eq!(a.checksum, expect * 1000 + expect);
+    }
+
+    #[test]
+    fn overhead_is_small() {
+        // Paper: 2% — encryption dominates; checks touch only the
+        // counter updates.
+        let params = Params::scaled(Scale::quick());
+        let (t_orig, _) = crate::table::time_mean(2, || run_native::<Unchecked>(&params));
+        let (t_sharc, _) = crate::table::time_mean(2, || run_native::<Checked>(&params));
+        let ratio = t_sharc.as_secs_f64() / t_orig.as_secs_f64();
+        assert!(ratio < 1.5, "locked counters are cheap (ratio {ratio:.2})");
+    }
+
+    #[test]
+    fn minic_version_compiles_clean() {
+        let (lines, annots, casts) =
+            crate::table::minic_columns("stunnel.c", minic_source());
+        assert!(lines > 40);
+        assert!(annots >= 8, "stunnel has the most annotations; got {annots}");
+        assert_eq!(casts, 3, "one ownership transfer per spawned client");
+    }
+}

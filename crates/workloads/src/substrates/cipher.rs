@@ -1,0 +1,79 @@
+//! A toy stream cipher for the stunnel benchmark: an xorshift
+//! keystream XORed over the plaintext. Stand-in for OpenSSL's record
+//! encryption — CPU work proportional to bytes, symmetric, and
+//! verifiable by round-trip, which is all the benchmark needs.
+
+/// A keyed stream cipher.
+#[derive(Debug, Clone)]
+pub struct StreamCipher {
+    state: u64,
+}
+
+impl StreamCipher {
+    /// Creates a cipher from a key. Encryption and decryption must
+    /// use fresh instances with the same key.
+    pub fn new(key: u64) -> Self {
+        StreamCipher {
+            state: key ^ 0xA5A5_5A5A_DEAD_BEEF | 1,
+        }
+    }
+
+    fn next(&mut self) -> u8 {
+        self.state ^= self.state << 13;
+        self.state ^= self.state >> 7;
+        self.state ^= self.state << 17;
+        (self.state >> 32) as u8
+    }
+
+    /// Encrypts (or decrypts) `data` in place.
+    pub fn apply(&mut self, data: &mut [u8]) {
+        for b in data.iter_mut() {
+            *b ^= self.next();
+        }
+    }
+}
+
+/// Convenience: encrypts a copy.
+pub fn encrypt(key: u64, data: &[u8]) -> Vec<u8> {
+    let mut out = data.to_vec();
+    StreamCipher::new(key).apply(&mut out);
+    out
+}
+
+/// Convenience: decrypts a copy.
+pub fn decrypt(key: u64, data: &[u8]) -> Vec<u8> {
+    encrypt(key, data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn roundtrip() {
+        let msg = b"secret tunnel message";
+        let c = encrypt(42, msg);
+        assert_ne!(&c, msg);
+        assert_eq!(decrypt(42, &c), msg);
+    }
+
+    #[test]
+    fn wrong_key_fails() {
+        let msg = b"secret";
+        let c = encrypt(1, msg);
+        assert_ne!(decrypt(2, &c), msg);
+    }
+
+    #[test]
+    fn keystream_is_reproducible() {
+        assert_eq!(encrypt(7, b"abc"), encrypt(7, b"abc"));
+    }
+
+    proptest! {
+        #[test]
+        fn prop_roundtrip(key in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..512)) {
+            prop_assert_eq!(decrypt(key, &encrypt(key, &data)), data);
+        }
+    }
+}

@@ -1,0 +1,404 @@
+//! A block compressor in the bzip2 family, built from scratch for the
+//! pbzip2 benchmark: Burrows–Wheeler transform, move-to-front,
+//! run-length encoding, and a canonical Huffman entropy coder.
+//!
+//! The paper's pbzip2 compresses independent blocks on worker
+//! threads; what matters for the reproduction is that the kernel is
+//! CPU-bound, block-oriented, and operates on privately-owned
+//! buffers. The pipeline here is a faithful (if simpler) member of
+//! the same algorithm family, with full round-trip decompression.
+
+/// Compresses one block: BWT -> MTF -> RLE -> Huffman.
+pub fn compress_block(input: &[u8]) -> Vec<u8> {
+    if input.is_empty() {
+        return vec![0; 8];
+    }
+    let (bwt, primary) = bwt_forward(input);
+    let mtf = mtf_encode(&bwt);
+    let rle = rle_encode(&mtf);
+    let huff = huffman_encode(&rle);
+    // Header: primary index (u32), original length (u32).
+    let mut out = Vec::with_capacity(huff.len() + 8);
+    out.extend_from_slice(&(primary as u32).to_le_bytes());
+    out.extend_from_slice(&(input.len() as u32).to_le_bytes());
+    out.extend_from_slice(&huff);
+    out
+}
+
+/// Decompresses a block produced by [`compress_block`].
+///
+/// # Panics
+///
+/// Panics on malformed input (this is a benchmark kernel, not a
+/// hardened decoder).
+pub fn decompress_block(data: &[u8]) -> Vec<u8> {
+    let primary = u32::from_le_bytes(data[0..4].try_into().unwrap()) as usize;
+    let orig_len = u32::from_le_bytes(data[4..8].try_into().unwrap()) as usize;
+    if orig_len == 0 {
+        return Vec::new();
+    }
+    let rle = huffman_decode(&data[8..]);
+    let mtf = rle_decode(&rle);
+    let bwt = mtf_decode(&mtf);
+    bwt_inverse(&bwt, primary)
+}
+
+// ----- Burrows-Wheeler transform -----
+
+/// Returns the BWT of `input` and the primary index.
+pub fn bwt_forward(input: &[u8]) -> (Vec<u8>, usize) {
+    let n = input.len();
+    // Sort rotation indices by comparing doubled text.
+    let doubled: Vec<u8> = input.iter().chain(input.iter()).copied().collect();
+    let mut idx: Vec<usize> = (0..n).collect();
+    idx.sort_by(|&a, &b| doubled[a..a + n].cmp(&doubled[b..b + n]));
+    let mut out = Vec::with_capacity(n);
+    let mut primary = 0;
+    for (rank, &i) in idx.iter().enumerate() {
+        out.push(doubled[i + n - 1]);
+        if i == 0 {
+            primary = rank;
+        }
+    }
+    (out, primary)
+}
+
+/// Inverts the BWT.
+pub fn bwt_inverse(bwt: &[u8], primary: usize) -> Vec<u8> {
+    let n = bwt.len();
+    // Counting sort to build the LF mapping.
+    let mut counts = [0usize; 256];
+    for &b in bwt {
+        counts[b as usize] += 1;
+    }
+    let mut starts = [0usize; 256];
+    let mut acc = 0;
+    for c in 0..256 {
+        starts[c] = acc;
+        acc += counts[c];
+    }
+    let mut next = vec![0usize; n];
+    let mut seen = [0usize; 256];
+    for (i, &b) in bwt.iter().enumerate() {
+        next[starts[b as usize] + seen[b as usize]] = i;
+        seen[b as usize] += 1;
+    }
+    let mut out = Vec::with_capacity(n);
+    let mut p = next[primary];
+    for _ in 0..n {
+        out.push(bwt[p]);
+        p = next[p];
+    }
+    out
+}
+
+// ----- move-to-front -----
+
+/// MTF-encodes `data`.
+pub fn mtf_encode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&b| {
+            let pos = table.iter().position(|&x| x == b).expect("byte in table") as u8;
+            table.remove(pos as usize);
+            table.insert(0, b);
+            pos
+        })
+        .collect()
+}
+
+/// Inverts [`mtf_encode`].
+pub fn mtf_decode(data: &[u8]) -> Vec<u8> {
+    let mut table: Vec<u8> = (0..=255).collect();
+    data.iter()
+        .map(|&pos| {
+            let b = table.remove(pos as usize);
+            table.insert(0, b);
+            b
+        })
+        .collect()
+}
+
+// ----- run-length encoding -----
+
+/// RLE with escape: `(byte, byte, count)` for runs of 3+.
+pub fn rle_encode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len());
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        let mut run = 1usize;
+        while i + run < data.len() && data[i + run] == b && run < 255 + 2 {
+            run += 1;
+        }
+        if run >= 3 {
+            out.push(b);
+            out.push(b);
+            out.push((run - 2) as u8);
+            i += run;
+        } else {
+            for _ in 0..run {
+                out.push(b);
+            }
+            if run == 2 {
+                // Two equal bytes would look like a run marker.
+                out.push(0);
+            }
+            i += run;
+        }
+    }
+    out
+}
+
+/// Inverts [`rle_encode`].
+pub fn rle_decode(data: &[u8]) -> Vec<u8> {
+    let mut out = Vec::with_capacity(data.len() * 2);
+    let mut i = 0;
+    while i < data.len() {
+        let b = data[i];
+        if i + 1 < data.len() && data[i + 1] == b {
+            let count = data[i + 2] as usize;
+            for _ in 0..count + 2 {
+                out.push(b);
+            }
+            i += 3;
+        } else {
+            out.push(b);
+            i += 1;
+        }
+    }
+    out
+}
+
+// ----- canonical Huffman -----
+
+#[derive(Debug, Clone)]
+struct Node {
+    freq: u64,
+    sym: Option<u16>,
+    left: usize,
+    right: usize,
+}
+
+/// Computes canonical Huffman code lengths (≤ 15 bits via frequency
+/// damping on pathological inputs).
+fn code_lengths(freqs: &[u64; 257]) -> [u8; 257] {
+    let mut nodes: Vec<Node> = Vec::new();
+    let mut heap: Vec<usize> = Vec::new();
+    for (s, &f) in freqs.iter().enumerate() {
+        if f > 0 {
+            nodes.push(Node {
+                freq: f,
+                sym: Some(s as u16),
+                left: usize::MAX,
+                right: usize::MAX,
+            });
+            heap.push(nodes.len() - 1);
+        }
+    }
+    if heap.len() == 1 {
+        let mut lens = [0u8; 257];
+        lens[nodes[heap[0]].sym.unwrap() as usize] = 1;
+        return lens;
+    }
+    while heap.len() > 1 {
+        heap.sort_by(|&a, &b| nodes[b].freq.cmp(&nodes[a].freq));
+        let x = heap.pop().unwrap();
+        let y = heap.pop().unwrap();
+        nodes.push(Node {
+            freq: nodes[x].freq + nodes[y].freq,
+            sym: None,
+            left: x,
+            right: y,
+        });
+        heap.push(nodes.len() - 1);
+    }
+    let root = heap[0];
+    let mut lens = [0u8; 257];
+    let mut stack = vec![(root, 0u8)];
+    while let Some((n, depth)) = stack.pop() {
+        let node = &nodes[n];
+        if let Some(s) = node.sym {
+            lens[s as usize] = depth.max(1);
+        } else {
+            stack.push((node.left, depth + 1));
+            stack.push((node.right, depth + 1));
+        }
+    }
+    lens
+}
+
+/// Builds canonical codes from lengths.
+fn canonical_codes(lens: &[u8; 257]) -> [(u32, u8); 257] {
+    let mut syms: Vec<u16> = (0..257u16).filter(|&s| lens[s as usize] > 0).collect();
+    syms.sort_by_key(|&s| (lens[s as usize], s));
+    let mut codes = [(0u32, 0u8); 257];
+    let mut code = 0u32;
+    let mut prev_len = 0u8;
+    for &s in &syms {
+        let l = lens[s as usize];
+        code <<= l - prev_len;
+        codes[s as usize] = (code, l);
+        code += 1;
+        prev_len = l;
+    }
+    codes
+}
+
+const EOB: usize = 256;
+
+/// Huffman-encodes `data` with an embedded code-length table.
+pub fn huffman_encode(data: &[u8]) -> Vec<u8> {
+    let mut freqs = [0u64; 257];
+    for &b in data {
+        freqs[b as usize] += 1;
+    }
+    freqs[EOB] = 1;
+    let lens = code_lengths(&freqs);
+    let codes = canonical_codes(&lens);
+    let mut out = Vec::with_capacity(data.len() / 2 + 300);
+    out.extend_from_slice(&lens.map(|l| l)[..]);
+    let mut acc = 0u64;
+    let mut nbits = 0u8;
+    let emit = |out: &mut Vec<u8>, acc: &mut u64, nbits: &mut u8, code: u32, len: u8| {
+        *acc = (*acc << len) | code as u64;
+        *nbits += len;
+        while *nbits >= 8 {
+            *nbits -= 8;
+            out.push((*acc >> *nbits) as u8);
+        }
+    };
+    for &b in data {
+        let (c, l) = codes[b as usize];
+        emit(&mut out, &mut acc, &mut nbits, c, l);
+    }
+    let (c, l) = codes[EOB];
+    emit(&mut out, &mut acc, &mut nbits, c, l);
+    if nbits > 0 {
+        out.push((acc << (8 - nbits)) as u8);
+    }
+    out
+}
+
+/// Decodes a [`huffman_encode`] stream.
+pub fn huffman_decode(data: &[u8]) -> Vec<u8> {
+    let mut lens = [0u8; 257];
+    lens.copy_from_slice(&data[..257]);
+    let codes = canonical_codes(&lens);
+    // Build a (length, code) -> symbol map.
+    let mut by_len: Vec<Vec<(u32, u16)>> = vec![Vec::new(); 33];
+    for s in 0..257usize {
+        if lens[s] > 0 {
+            by_len[lens[s] as usize].push((codes[s].0, s as u16));
+        }
+    }
+    for v in &mut by_len {
+        v.sort();
+    }
+    let mut out = Vec::new();
+    let mut acc = 0u32;
+    let mut len = 0u8;
+    for &byte in &data[257..] {
+        for bit in (0..8).rev() {
+            acc = (acc << 1) | ((byte >> bit) & 1) as u32;
+            len += 1;
+            if let Ok(pos) = by_len[len as usize].binary_search_by_key(&acc, |&(c, _)| c) {
+                let sym = by_len[len as usize][pos].1;
+                if sym as usize == EOB {
+                    return out;
+                }
+                out.push(sym as u8);
+                acc = 0;
+                len = 0;
+            }
+            if len > 32 {
+                panic!("malformed huffman stream");
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    #[test]
+    fn bwt_roundtrip_banana() {
+        let (b, p) = bwt_forward(b"banana");
+        assert_eq!(bwt_inverse(&b, p), b"banana");
+    }
+
+    #[test]
+    fn mtf_roundtrip() {
+        let data = b"abracadabra";
+        assert_eq!(mtf_decode(&mtf_encode(data)), data);
+    }
+
+    #[test]
+    fn rle_roundtrip_runs() {
+        let data = b"aaaaaabbbcdddddddddddddd";
+        assert_eq!(rle_decode(&rle_encode(data)), data);
+    }
+
+    #[test]
+    fn rle_handles_pairs() {
+        let data = b"aabbccdd";
+        assert_eq!(rle_decode(&rle_encode(data)), data);
+    }
+
+    #[test]
+    fn huffman_roundtrip() {
+        let data = b"the quick brown fox jumps over the lazy dog";
+        assert_eq!(huffman_decode(&huffman_encode(data)), data);
+    }
+
+    #[test]
+    fn block_roundtrip() {
+        let data = b"compress me please, compress me please, again and again and again";
+        let c = compress_block(data);
+        assert_eq!(decompress_block(&c), data);
+    }
+
+    #[test]
+    fn empty_block() {
+        assert_eq!(decompress_block(&compress_block(b"")), b"");
+    }
+
+    #[test]
+    fn single_byte_block() {
+        assert_eq!(decompress_block(&compress_block(b"x")), b"x");
+    }
+
+    #[test]
+    fn compressible_text_shrinks() {
+        let data: Vec<u8> = b"abcabcabc".iter().cycle().take(4096).copied().collect();
+        let c = compress_block(&data);
+        assert!(c.len() < data.len() / 2, "{} vs {}", c.len(), data.len());
+    }
+
+    proptest! {
+        #[test]
+        fn prop_block_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
+            let c = compress_block(&data);
+            prop_assert_eq!(decompress_block(&c), data);
+        }
+
+        #[test]
+        fn prop_bwt_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..512)) {
+            let (b, p) = bwt_forward(&data);
+            prop_assert_eq!(bwt_inverse(&b, p), data);
+        }
+
+        #[test]
+        fn prop_rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            prop_assert_eq!(rle_decode(&rle_encode(&data)), data);
+        }
+
+        #[test]
+        fn prop_huffman_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
+            prop_assert_eq!(huffman_decode(&huffman_encode(&data)), data);
+        }
+    }
+}

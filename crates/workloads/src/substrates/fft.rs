@@ -1,0 +1,213 @@
+//! A from-scratch radix-2 FFT for the fftw benchmark: iterative
+//! Cooley–Tukey with bit-reversal permutation, plus the inverse
+//! transform and a naive DFT used as a test oracle.
+//!
+//! The paper's fftw benchmark "computes by dividing arrays among a
+//! fixed number of worker threads; ownership of arrays is transferred
+//! to each thread, and then reclaimed" — the kernel itself runs on
+//! privately-owned data, which is why its dynamic-access fraction is
+//! tiny (1.2%).
+
+/// A complex number.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct Complex {
+    pub re: f64,
+    pub im: f64,
+}
+
+impl Complex {
+    /// Creates `re + im·i`.
+    pub fn new(re: f64, im: f64) -> Self {
+        Complex { re, im }
+    }
+
+    fn mul(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re * o.re - self.im * o.im,
+            im: self.re * o.im + self.im * o.re,
+        }
+    }
+
+    fn add(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re + o.re,
+            im: self.im + o.im,
+        }
+    }
+
+    fn sub(self, o: Complex) -> Complex {
+        Complex {
+            re: self.re - o.re,
+            im: self.im - o.im,
+        }
+    }
+
+    /// Magnitude.
+    pub fn abs(self) -> f64 {
+        (self.re * self.re + self.im * self.im).sqrt()
+    }
+}
+
+/// In-place forward FFT.
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn fft(data: &mut [Complex]) {
+    transform(data, false);
+}
+
+/// In-place inverse FFT (normalized).
+///
+/// # Panics
+///
+/// Panics unless `data.len()` is a power of two.
+pub fn ifft(data: &mut [Complex]) {
+    transform(data, true);
+    let n = data.len() as f64;
+    for c in data.iter_mut() {
+        c.re /= n;
+        c.im /= n;
+    }
+}
+
+fn transform(data: &mut [Complex], inverse: bool) {
+    let n = data.len();
+    assert!(n.is_power_of_two(), "FFT length must be a power of two");
+    if n <= 1 {
+        return;
+    }
+    // Bit-reversal permutation.
+    let bits = n.trailing_zeros();
+    for i in 0..n {
+        let j = i.reverse_bits() >> (usize::BITS - bits);
+        if j > i {
+            data.swap(i, j);
+        }
+    }
+    // Butterflies.
+    let sign = if inverse { 1.0 } else { -1.0 };
+    let mut len = 2;
+    while len <= n {
+        let ang = sign * 2.0 * std::f64::consts::PI / len as f64;
+        let wlen = Complex::new(ang.cos(), ang.sin());
+        for start in (0..n).step_by(len) {
+            let mut w = Complex::new(1.0, 0.0);
+            for k in 0..len / 2 {
+                let u = data[start + k];
+                let v = data[start + k + len / 2].mul(w);
+                data[start + k] = u.add(v);
+                data[start + k + len / 2] = u.sub(v);
+                w = w.mul(wlen);
+            }
+        }
+        len <<= 1;
+    }
+}
+
+/// Naive O(n²) DFT (test oracle).
+pub fn dft_naive(data: &[Complex]) -> Vec<Complex> {
+    let n = data.len();
+    (0..n)
+        .map(|k| {
+            let mut acc = Complex::default();
+            for (j, &x) in data.iter().enumerate() {
+                let ang = -2.0 * std::f64::consts::PI * (k * j) as f64 / n as f64;
+                acc = acc.add(x.mul(Complex::new(ang.cos(), ang.sin())));
+            }
+            acc
+        })
+        .collect()
+}
+
+/// A deterministic pseudo-random signal for benchmarking, mirroring
+/// fftw's `benchmark tool`-generated random transforms.
+pub fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
+    let mut state = seed.wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        (state >> 11) as f64 / (1u64 << 53) as f64 - 0.5
+    };
+    (0..n).map(|_| Complex::new(next(), next())).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proptest::prelude::*;
+
+    fn close(a: Complex, b: Complex) -> bool {
+        (a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6
+    }
+
+    #[test]
+    fn matches_naive_dft() {
+        let sig = random_signal(64, 7);
+        let mut fast = sig.clone();
+        fft(&mut fast);
+        let slow = dft_naive(&sig);
+        for (a, b) in fast.iter().zip(&slow) {
+            assert!(close(*a, *b), "{a:?} vs {b:?}");
+        }
+    }
+
+    #[test]
+    fn impulse_transforms_to_ones() {
+        let mut data = vec![Complex::default(); 8];
+        data[0] = Complex::new(1.0, 0.0);
+        fft(&mut data);
+        for c in &data {
+            assert!(close(*c, Complex::new(1.0, 0.0)));
+        }
+    }
+
+    #[test]
+    fn parseval_energy_preserved() {
+        let sig = random_signal(256, 3);
+        let time_energy: f64 = sig.iter().map(|c| c.abs() * c.abs()).sum();
+        let mut freq = sig.clone();
+        fft(&mut freq);
+        let freq_energy: f64 =
+            freq.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 256.0;
+        assert!((time_energy - freq_energy).abs() < 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_power_of_two_panics() {
+        let mut data = vec![Complex::default(); 6];
+        fft(&mut data);
+    }
+
+    proptest! {
+        #[test]
+        fn prop_fft_ifft_roundtrip(seed in 0u64..1000, pow in 1u32..10) {
+            let n = 1usize << pow;
+            let sig = random_signal(n, seed);
+            let mut work = sig.clone();
+            fft(&mut work);
+            ifft(&mut work);
+            for (a, b) in work.iter().zip(&sig) {
+                prop_assert!(close(*a, *b));
+            }
+        }
+
+        #[test]
+        fn prop_linearity(seed in 0u64..1000) {
+            let a = random_signal(32, seed);
+            let b = random_signal(32, seed + 1);
+            let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
+            let mut fa = a.clone();
+            let mut fb = b.clone();
+            let mut fsum = sum.clone();
+            fft(&mut fa);
+            fft(&mut fb);
+            fft(&mut fsum);
+            for i in 0..32 {
+                prop_assert!(close(fsum[i], fa[i].add(fb[i])));
+            }
+        }
+    }
+}

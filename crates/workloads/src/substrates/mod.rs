@@ -1,0 +1,10 @@
+//! Synthetic substrates standing in for resources the paper's
+//! evaluation used but that are not available here (real files, the
+//! network, OpenSSL, DNS); see DESIGN.md §2 for the substitution
+//! rationale.
+
+pub mod cipher;
+pub mod compress;
+pub mod fft;
+pub mod filesys;
+pub mod net;

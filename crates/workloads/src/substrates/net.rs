@@ -1,0 +1,158 @@
+//! Simulated network substrates: a chunk server for the aget download
+//! accelerator and a DNS resolver for the dillo browser benchmark.
+//!
+//! The paper's aget "was network bound, and so the overhead created
+//! by SharC was not measurable"; dillo "uses threads to hide the
+//! latency of DNS lookup". Both properties come from *latency*, which
+//! we reproduce with calibrated busy-wait delays (sleep granularity
+//! is too coarse and would deschedule workers).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::{Duration, Instant};
+
+/// Busy-waits for `d` (simulated I/O latency).
+pub fn simulate_latency(d: Duration) {
+    let start = Instant::now();
+    while start.elapsed() < d {
+        std::hint::spin_loop();
+    }
+}
+
+/// A remote file served in chunks with per-request latency — the
+/// aget benchmark's "Linux kernel tarball" stand-in.
+#[derive(Debug)]
+pub struct ChunkServer {
+    data: Vec<u8>,
+    latency: Duration,
+}
+
+impl ChunkServer {
+    /// Creates a server holding `size` deterministic bytes.
+    pub fn new(size: usize, latency: Duration, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let data = (0..size).map(|_| rng.gen()).collect();
+        ChunkServer { data, latency }
+    }
+
+    /// Total file size.
+    pub fn size(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Fetches `[offset, offset+len)`, paying the request latency.
+    pub fn fetch(&self, offset: usize, len: usize) -> &[u8] {
+        simulate_latency(self.latency);
+        let end = (offset + len).min(self.data.len());
+        &self.data[offset..end]
+    }
+
+    /// Checksum oracle for verifying the downloaded file.
+    pub fn checksum(&self) -> u64 {
+        fnv(&self.data)
+    }
+}
+
+/// FNV-1a, the repository's standard small checksum.
+pub fn fnv(data: &[u8]) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for &b in data {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100_0000_01b3);
+    }
+    h
+}
+
+/// An in-memory DNS with lookup latency — dillo's `gethostbyname`.
+#[derive(Debug)]
+pub struct DnsServer {
+    entries: Vec<(String, u32)>,
+    latency: Duration,
+}
+
+impl DnsServer {
+    /// Creates a server with `n` deterministic host entries.
+    pub fn new(n: usize, latency: Duration, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let entries = (0..n)
+            .map(|i| (format!("host{i}.example.org"), rng.gen()))
+            .collect();
+        DnsServer { entries, latency }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if the server has no entries.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The `i`-th hostname (request generator helper).
+    pub fn host(&self, i: usize) -> &str {
+        &self.entries[i % self.entries.len()].0
+    }
+
+    /// Resolves a hostname, paying the lookup latency.
+    pub fn resolve(&self, host: &str) -> Option<u32> {
+        simulate_latency(self.latency);
+        self.entries
+            .iter()
+            .find(|(h, _)| h == host)
+            .map(|&(_, ip)| ip)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chunk_server_serves_ranges() {
+        let s = ChunkServer::new(1000, Duration::ZERO, 1);
+        assert_eq!(s.fetch(0, 100).len(), 100);
+        assert_eq!(s.fetch(950, 100).len(), 50);
+        assert_eq!(s.size(), 1000);
+    }
+
+    #[test]
+    fn chunks_reassemble_to_whole() {
+        let s = ChunkServer::new(777, Duration::ZERO, 2);
+        let mut whole = Vec::new();
+        let mut off = 0;
+        while off < s.size() {
+            let chunk = s.fetch(off, 100);
+            whole.extend_from_slice(chunk);
+            off += 100;
+        }
+        assert_eq!(fnv(&whole), s.checksum());
+    }
+
+    #[test]
+    fn latency_is_paid() {
+        let s = ChunkServer::new(10, Duration::from_micros(200), 3);
+        let t = Instant::now();
+        let _ = s.fetch(0, 10);
+        assert!(t.elapsed() >= Duration::from_micros(200));
+    }
+
+    #[test]
+    fn dns_resolves_known_hosts() {
+        let d = DnsServer::new(16, Duration::ZERO, 4);
+        let h = d.host(3).to_owned();
+        assert!(d.resolve(&h).is_some());
+        assert!(d.resolve("unknown.example").is_none());
+    }
+
+    #[test]
+    fn dns_deterministic() {
+        let a = DnsServer::new(8, Duration::ZERO, 5);
+        let b = DnsServer::new(8, Duration::ZERO, 5);
+        for i in 0..8 {
+            let h = a.host(i).to_owned();
+            assert_eq!(a.resolve(&h), b.resolve(&h));
+        }
+    }
+}

@@ -1,0 +1,151 @@
+//! The `sharc` command-line tool: check and run MiniC programs with
+//! SharC's sharing-strategy verification, the way the paper's tool
+//! wraps a C compiler.
+//!
+//! ```text
+//! sharc check  <file.c>           # parse, infer, type-check; print reports
+//! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
+//! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
+//! ```
+
+use sharc::prelude::*;
+use std::process::ExitCode;
+
+fn usage() -> ExitCode {
+    eprintln!(
+        "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
+         sharc run <file.c> [--seed N] [--trials N] [--stop-on-error]"
+    );
+    ExitCode::from(2)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, path) = match (args.first(), args.get(1)) {
+        (Some(c), Some(p)) => (c.as_str(), p.as_str()),
+        _ => return usage(),
+    };
+    let src = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("sharc: cannot read {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let name = std::path::Path::new(path)
+        .file_name()
+        .map(|n| n.to_string_lossy().into_owned())
+        .unwrap_or_else(|| path.to_owned());
+
+    let checked = match sharc::check(&name, &src) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("{}", e.render(&minic::SourceMap::new(&name, &src)));
+            return ExitCode::FAILURE;
+        }
+    };
+
+    match cmd {
+        "check" => {
+            let stats = &checked.sharing.stats;
+            println!(
+                "{}: {} annotations written, {} positions inferred \
+                 ({} dynamic), {} dynamic + {} locked check sites",
+                name,
+                checked.annotation_count,
+                stats.n_vars,
+                stats.n_dynamic,
+                checked.instr.n_dynamic_sites,
+                checked.instr.n_locked_sites
+            );
+            if checked.diags.is_empty() {
+                println!("no reports.");
+                ExitCode::SUCCESS
+            } else {
+                println!("{}", checked.render_diags());
+                if checked.diags.has_errors() {
+                    ExitCode::FAILURE
+                } else {
+                    ExitCode::SUCCESS
+                }
+            }
+        }
+        "infer" => {
+            if checked.diags.has_errors() {
+                eprintln!("{}", checked.render_diags());
+                return ExitCode::FAILURE;
+            }
+            print!("{}", minic::pretty::program(&checked.program));
+            ExitCode::SUCCESS
+        }
+        "run" => {
+            if checked.diags.has_errors() {
+                eprintln!("{}", checked.render_diags());
+                return ExitCode::FAILURE;
+            }
+            let mut seed = 0x5ac5u64;
+            let mut trials = 1u64;
+            let mut stop_on_error = false;
+            let mut i = 2;
+            while i < args.len() {
+                match args[i].as_str() {
+                    "--seed" => {
+                        seed = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(seed);
+                        i += 2;
+                    }
+                    "--trials" => {
+                        trials = args
+                            .get(i + 1)
+                            .and_then(|v| v.parse().ok())
+                            .unwrap_or(trials);
+                        i += 2;
+                    }
+                    "--stop-on-error" => {
+                        stop_on_error = true;
+                        i += 1;
+                    }
+                    other => {
+                        eprintln!("sharc: unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let mut any_reports = false;
+            for t in 0..trials {
+                let out = match sharc::run(
+                    &checked,
+                    RunConfig {
+                        seed: seed + t,
+                        stop_on_error,
+                        ..RunConfig::default()
+                    },
+                ) {
+                    Ok(o) => o,
+                    Err(e) => {
+                        eprintln!("{}", e.render(&checked.source_map));
+                        return ExitCode::FAILURE;
+                    }
+                };
+                for line in &out.output {
+                    println!("{line}");
+                }
+                for r in &out.reports {
+                    any_reports = true;
+                    eprintln!("{r}");
+                }
+                if out.status != ExitStatus::Completed {
+                    eprintln!("sharc: run ended with {:?} (seed {})", out.status, seed + t);
+                }
+            }
+            if any_reports {
+                ExitCode::FAILURE
+            } else {
+                ExitCode::SUCCESS
+            }
+        }
+        _ => usage(),
+    }
+}

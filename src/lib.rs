@@ -1,0 +1,147 @@
+//! # SharC — checking data sharing strategies for multithreaded C
+//!
+//! A from-scratch Rust reproduction of *SharC: Checking Data Sharing
+//! Strategies for Multithreaded C* (Anderson, Gay, Ennals, Brewer —
+//! PLDI 2008).
+//!
+//! SharC lets a programmer declare, with lightweight type qualifiers,
+//! how each object is shared between threads — `private`, `readonly`,
+//! `locked(l)`, `racy`, or `dynamic` — then verifies the declaration
+//! with a mix of static analysis and runtime checks. Objects may move
+//! between modes with a *sharing cast* whose safety is checked by
+//! reference counting.
+//!
+//! This crate is the facade over the workspace:
+//!
+//! | crate | paper section | contents |
+//! |---|---|---|
+//! | [`minic`] | — | the C-like language (lexer, parser, AST, qualifiers) |
+//! | [`core`] (`sharc-core`) | §2, §4.1 | elaboration, sharing analysis, checker, instrumentation |
+//! | [`interp`] (`sharc-interp`) | §3, §4.2 | the VM executing checked programs; the formal core calculus |
+//! | [`runtime`] (`sharc-runtime`) | §4.2–4.3 | native-thread shadow memory, lock logs, reference counting |
+//! | [`detectors`] (`sharc-detectors`) | §6.2 | Eraser-lockset and vector-clock baselines |
+//! | [`workloads`] (`sharc-workloads`) | §5 | the six Table 1 benchmarks |
+//!
+//! ## Quick start
+//!
+//! ```
+//! use sharc::prelude::*;
+//!
+//! let src = r#"
+//!     void worker(int * d) { *d = *d + 1; }
+//!     void main() {
+//!         int * p;
+//!         p = new(int);
+//!         spawn(worker, p);
+//!         spawn(worker, p);
+//!         join_all();
+//!     }
+//! "#;
+//!
+//! // The pipeline: parse -> infer sharing modes -> check -> instrument.
+//! let checked = sharc::check("racy.c", src)?;
+//! assert!(!checked.diags.has_errors());
+//!
+//! // The thread argument was inferred `dynamic`, so its accesses are
+//! // checked at runtime — and the two unsynchronized writers race:
+//! let outcome = sharc::run(&checked, RunConfig::default())?;
+//! assert!(!outcome.reports.is_empty());
+//! println!("{}", outcome.reports[0]);
+//! // read/write conflict(0x...):
+//! //   who(2) *d @ racy.c: 2
+//! //   last(3) *d @ racy.c: 2
+//! # Ok::<(), minic::Diagnostic>(())
+//! ```
+
+pub use minic;
+pub use sharc_core as core;
+pub use sharc_detectors as detectors;
+pub use sharc_interp as interp;
+pub use sharc_runtime as runtime;
+pub use sharc_workloads as workloads;
+
+pub use sharc_core::CheckedProgram;
+pub use sharc_interp::{ConflictReport, RunOutcome};
+
+/// VM configuration re-exported as the run configuration.
+pub type RunConfig = sharc_interp::VmConfig;
+
+/// Runs the full SharC front-end: parse, elaborate, infer sharing
+/// modes, check, and build the instrumentation table.
+///
+/// # Errors
+///
+/// Returns the first syntax/layout diagnostic. Sharing-mode errors do
+/// not abort: inspect [`CheckedProgram::diags`] (they come with the
+/// tool's sharing-cast suggestions).
+pub fn check(name: &str, src: &str) -> Result<CheckedProgram, minic::Diagnostic> {
+    sharc_core::compile(name, src)
+}
+
+/// Executes a checked program on the VM with SharC's runtime checks.
+///
+/// # Errors
+///
+/// Returns a diagnostic if the program contains constructs the VM
+/// cannot execute (e.g. struct-by-value parameters) or if `checked`
+/// still has hard errors.
+pub fn run(
+    checked: &CheckedProgram,
+    config: RunConfig,
+) -> Result<RunOutcome, minic::Diagnostic> {
+    if checked.diags.has_errors() {
+        let first = checked
+            .diags
+            .iter()
+            .find(|d| d.severity == minic::Severity::Error)
+            .expect("has_errors implies an error")
+            .clone();
+        return Err(first);
+    }
+    let module = sharc_interp::compile::compile(checked)?;
+    Ok(sharc_interp::run(&module, &checked.source_map, config))
+}
+
+/// One-call convenience: [`check`] then [`run`].
+///
+/// # Errors
+///
+/// Propagates errors from both phases, including sharing-mode errors.
+pub fn check_and_run(
+    name: &str,
+    src: &str,
+    config: RunConfig,
+) -> Result<RunOutcome, minic::Diagnostic> {
+    let checked = check(name, src)?;
+    run(&checked, config)
+}
+
+/// The most common imports for users of the crate.
+pub mod prelude {
+    pub use crate::{check, check_and_run, run, CheckedProgram, RunConfig, RunOutcome};
+    pub use minic::{Diagnostic, Severity};
+    pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_check_and_run() {
+        let out = check_and_run(
+            "t.c",
+            "void main() { print(41 + 1); }",
+            RunConfig::default(),
+        )
+        .unwrap();
+        assert_eq!(out.output, vec!["42"]);
+    }
+
+    #[test]
+    fn facade_surfaces_check_errors() {
+        let checked = check("t.c", "int private * dynamic g;").unwrap();
+        assert!(checked.diags.has_errors());
+        assert!(run(&checked, RunConfig::default()).is_err());
+    }
+}

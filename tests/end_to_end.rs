@@ -1,0 +1,261 @@
+//! Cross-crate integration tests: the five sharing modes end to end,
+//! mode transitions via sharing casts, and agreement between the
+//! checker, the VM, and the native runtime on what constitutes a
+//! violation.
+
+use sharc::prelude::*;
+
+fn run_seeded(src: &str, seed: u64) -> RunOutcome {
+    sharc::check_and_run(
+        "e2e.c",
+        src,
+        RunConfig {
+            seed,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap_or_else(|e| panic!("program rejected: {e}"))
+}
+
+fn reports_across_seeds(src: &str, seeds: std::ops::Range<u64>) -> usize {
+    seeds.map(|s| run_seeded(src, s).reports.len()).sum()
+}
+
+// ----- the five modes -----
+
+#[test]
+fn private_mode_is_never_checked() {
+    let out = run_seeded(
+        "void main() { int x; int * p; p = &x; *p = 5; print(*p); }",
+        0,
+    );
+    assert_eq!(out.stats.dynamic_accesses, 0);
+    assert_eq!(out.output, vec!["5"]);
+}
+
+#[test]
+fn readonly_mode_allows_concurrent_reads() {
+    let src = "
+        int readonly limit = 10;
+        void worker(int * d) { int i; int s; s = 0;
+            for (i = 0; i < limit; i++) s = s + i; *d = s; }
+        void main() { int * a; int * b;
+            a = new(int); b = new(int);
+            spawn(worker, a); spawn(worker, b); join_all();
+            print(*a + *b); }";
+    let out = run_seeded(src, 1);
+    assert!(out.reports.is_empty(), "{}", out.reports[0]);
+    assert_eq!(out.output, vec!["90"]);
+}
+
+#[test]
+fn readonly_write_is_static_error() {
+    let checked = sharc::check("ro.c", "int readonly k = 1; void main() { k = 2; }").unwrap();
+    assert!(checked.diags.has_errors());
+}
+
+#[test]
+fn locked_mode_enforced_at_runtime() {
+    // Forgetting the lock on one path is caught.
+    let src = "
+        struct s { mutex m; int locked(m) v; };
+        void w1(struct s * x) { mutex_lock(&x->m); x->v = 1; mutex_unlock(&x->m); }
+        void w2(struct s * x) { x->v = 2; }
+        void main() { struct s * x = new(struct s);
+            spawn(w1, x); spawn(w2, x); join_all(); }";
+    let out = run_seeded(src, 0);
+    assert!(
+        out.reports.iter().any(|r| r.kind == ConflictKind::Lock),
+        "{:?}",
+        out.reports
+    );
+}
+
+#[test]
+fn racy_mode_is_trusted() {
+    let src = "
+        int racy stats;
+        void worker(int * d) { int i; for (i = 0; i < 30; i++) stats = stats + 1; }
+        void main() { int * p; spawn(worker, p); spawn(worker, p); join_all(); }";
+    assert_eq!(reports_across_seeds(src, 0..4), 0);
+}
+
+#[test]
+fn dynamic_mode_catches_real_races_only() {
+    // Same dynamic object: exclusive writer windows via join are
+    // fine; concurrent writers are not.
+    let serial = "
+        void w(int * d) { *d = *d + 1; }
+        void main() { int * p; int t; p = new(int);
+            t = spawn(w, p); join(t);
+            t = spawn(w, p); join(t); print(*p); }";
+    let out = run_seeded(serial, 3);
+    assert!(out.reports.is_empty());
+    assert_eq!(out.output, vec!["2"]);
+
+    let parallel = "
+        void w(int * d) { int i; for (i = 0; i < 30; i++) *d = *d + 1; }
+        void main() { int * p; p = new(int);
+            spawn(w, p); spawn(w, p); join_all(); }";
+    assert!(reports_across_seeds(parallel, 0..4) > 0);
+}
+
+// ----- mode transitions -----
+
+#[test]
+fn full_lifecycle_private_locked_private() {
+    // The producer-consumer lifecycle of §2: private -> locked ->
+    // private, each transition a checked sharing cast.
+    let src = "
+        struct ch { mutex m; cond cv; int *locked(m) slot; };
+        void consumer(struct ch * c) {
+            int private * d;
+            int n;
+            for (n = 0; n < 8; n++) {
+                mutex_lock(&c->m);
+                while (c->slot == NULL) cond_wait(&c->cv, &c->m);
+                d = SCAST(int private *, c->slot);
+                cond_signal(&c->cv);
+                mutex_unlock(&c->m);
+                assert(*d == n * 10);
+                free(d);
+            }
+        }
+        void main() {
+            struct ch * c = new(struct ch);
+            int private * b;
+            int n;
+            spawn(consumer, c);
+            for (n = 0; n < 8; n++) {
+                b = new(int private);
+                *b = n * 10;
+                mutex_lock(&c->m);
+                while (c->slot) cond_wait(&c->cv, &c->m);
+                c->slot = SCAST(int locked(c->m) *, b);
+                cond_signal(&c->cv);
+                mutex_unlock(&c->m);
+            }
+            join_all();
+        }";
+    for seed in [0u64, 5, 11] {
+        let out = run_seeded(src, seed);
+        assert_eq!(out.status, ExitStatus::Completed, "seed {seed}");
+        assert!(out.reports.is_empty(), "seed {seed}: {}", out.reports[0]);
+        assert!(out.stats.oneref_checks >= 16);
+    }
+}
+
+#[test]
+fn leaked_alias_makes_cast_fail() {
+    // Keeping a second pointer alive across the hand-off defeats the
+    // ownership transfer; SharC's oneref check catches it.
+    let src = "
+        int * leak;
+        void worker(int * d) { int private * l; l = SCAST(int private *, d); }
+        void main() { int * b; b = new(int); leak = b;
+            spawn(worker, b); join_all(); }";
+    let out = run_seeded(src, 0);
+    assert!(
+        out.reports.iter().any(|r| r.kind == ConflictKind::OneRef),
+        "{:?}",
+        out.reports
+    );
+}
+
+#[test]
+fn cast_forgives_past_accesses() {
+    // After a successful cast, earlier accesses by other threads no
+    // longer count as sharing (the formal semantics clears the
+    // reader/writer sets).
+    let src = "
+        void worker(int * d) {
+            int private * mine;
+            *d = 1;
+            mine = SCAST(int private *, d);
+            *mine = 2;
+        }
+        void main() {
+            int * p;
+            int t;
+            p = new(int);
+            *p = 0;
+            t = spawn(worker, SCAST(int dynamic *, p));
+            join(t);
+        }";
+    let out = run_seeded(src, 0);
+    assert!(out.reports.is_empty(), "{}", out.reports[0]);
+}
+
+// ----- inference behaviours -----
+
+#[test]
+fn sharing_analysis_keeps_main_only_data_private() {
+    let src = "
+        int main_only;
+        int shared_flag;
+        void worker(int * d) { shared_flag = 1; }
+        void main() { int * p; main_only = 7; spawn(worker, p); join_all(); }";
+    let checked = sharc::check("inf.c", src).unwrap();
+    let main_only = checked.program.global_by_name("main_only").unwrap();
+    let shared = checked.program.global_by_name("shared_flag").unwrap();
+    assert_eq!(main_only.ty.qual, minic::Qual::Private);
+    assert_eq!(shared.ty.qual, minic::Qual::Dynamic);
+    // And at runtime, only the shared flag's accesses are checked.
+    let out = sharc::run(&checked, RunConfig::default()).unwrap();
+    assert!(out.stats.dynamic_accesses >= 1);
+    assert!(out.stats.dynamic_accesses <= 4);
+}
+
+#[test]
+fn function_pointer_callees_are_checked_too() {
+    // Dispatch through a function pointer: the callee's accesses to
+    // shared data are still instrumented.
+    let src = "
+        int counter;
+        void bump(int x) { counter = counter + x; }
+        void worker(int * d) {
+            void (* f)(int x);
+            f = bump;
+            f(1);
+        }
+        void main() { int * p; spawn(worker, p); spawn(worker, p); join_all(); }";
+    let mut any = 0;
+    for seed in 0..6 {
+        any += run_seeded(src, seed).reports.len();
+    }
+    assert!(any > 0, "racy counter behind a function pointer must be caught");
+}
+
+#[test]
+fn vm_and_native_runtime_agree_on_granularity() {
+    // Both implementations treat 16 bytes as one granule: adjacent
+    // word-sized fields false-share.
+    use sharc_runtime::{Arena, ThreadCtx, ThreadId};
+    let arena: Arena = Arena::new(2);
+    let mut c1 = ThreadCtx::new(ThreadId(1));
+    let mut c2 = ThreadCtx::new(ThreadId(2));
+    arena.write_checked(&mut c1, 0, 1);
+    arena.write_checked(&mut c2, 1, 1);
+    assert_eq!(c2.conflicts, 1, "native runtime: same granule");
+
+    let src = "
+        struct two { int a; int b; };
+        void w1(struct two * t) { t->a = 1; }
+        void w2(struct two * t) { t->b = 1; }
+        void main() { struct two * t = new(struct two);
+            spawn(w1, t); spawn(w2, t); join_all(); }";
+    let total: usize = (0..8).map(|s| run_seeded(src, s).reports.len()).sum();
+    assert!(total > 0, "VM: same granule reports false sharing");
+}
+
+#[test]
+fn output_is_deterministic_per_seed_and_varies_across() {
+    let src = "
+        void w(int * d) { int i; for (i = 0; i < 20; i++) *d = *d + 1; }
+        void main() { int * p; p = new(int);
+            spawn(w, p); spawn(w, p); join_all(); print(*p); }";
+    let a1 = run_seeded(src, 7);
+    let a2 = run_seeded(src, 7);
+    assert_eq!(a1.output, a2.output);
+    assert_eq!(a1.stats.steps, a2.stats.steps);
+}

@@ -1,0 +1,182 @@
+//! Property tests for the §3.4 soundness theorem: randomized
+//! well-typed core-calculus programs, every interleaving explored,
+//! verified against an oracle independent of the inserted checks.
+//!
+//! The theorem: *private cells are only accessed by the thread that
+//! owns them*, and *no two threads race on a dynamic cell* (unless an
+//! intervening sharing cast changed its mode).
+
+use proptest::prelude::*;
+use sharc::interp::formal::*;
+
+/// The fixed typing environment the generator draws from:
+/// dynamic globals `g` (int) and `h` (int), plus per-thread locals
+/// `a` (private int), `x` (private ref dynamic int), and
+/// `y` (private ref private int).
+fn globals() -> Vec<(String, FType)> {
+    vec![
+        ("g".into(), FType::int(Mode::Dynamic)),
+        ("h".into(), FType::int(Mode::Dynamic)),
+    ]
+}
+
+fn locals() -> Vec<(String, FType)> {
+    vec![
+        ("a".into(), FType::int(Mode::Private)),
+        (
+            "x".into(),
+            FType::reft(Mode::Private, FType::int(Mode::Dynamic)),
+        ),
+        (
+            "y".into(),
+            FType::reft(Mode::Private, FType::int(Mode::Private)),
+        ),
+    ]
+}
+
+/// A menu of well-typed statements over that environment.
+fn stmt_strategy(can_spawn: bool) -> impl Strategy<Value = FStmt> {
+    let choices = prop_oneof![
+        // writes to dynamic globals
+        Just(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1))),
+        Just(FStmt::Assign(LVal::Var("h".into()), RExpr::Const(2))),
+        // reads of dynamic globals into a private local
+        Just(FStmt::Assign(
+            LVal::Var("a".into()),
+            RExpr::L(LVal::Var("g".into()))
+        )),
+        Just(FStmt::Assign(
+            LVal::Var("a".into()),
+            RExpr::L(LVal::Var("h".into()))
+        )),
+        // private local work
+        Just(FStmt::Assign(LVal::Var("a".into()), RExpr::Const(7))),
+        // allocate a dynamic cell, write through the reference
+        Just(FStmt::Assign(
+            LVal::Var("x".into()),
+            RExpr::New(FType::int(Mode::Dynamic))
+        )),
+        Just(FStmt::Assign(LVal::Deref("x".into()), RExpr::Const(3))),
+        // allocate a private cell, write through it
+        Just(FStmt::Assign(
+            LVal::Var("y".into()),
+            RExpr::New(FType::int(Mode::Private))
+        )),
+        Just(FStmt::Assign(LVal::Deref("y".into()), RExpr::Const(4))),
+        // sharing cast: x's dynamic referent becomes private in y
+        Just(FStmt::Assign(
+            LVal::Var("y".into()),
+            RExpr::Scast(FType::int(Mode::Private), "x".into())
+        )),
+        Just(FStmt::Skip),
+    ];
+    if can_spawn {
+        prop_oneof![choices, Just(FStmt::Spawn("helper".into()))].boxed()
+    } else {
+        choices.boxed()
+    }
+}
+
+fn program_strategy() -> impl Strategy<Value = FProgram> {
+    let main_body = proptest::collection::vec(stmt_strategy(true), 1..4);
+    let helper_body = proptest::collection::vec(stmt_strategy(false), 1..4);
+    (main_body, helper_body).prop_map(|(mb, hb)| FProgram {
+        globals: globals(),
+        threads: vec![
+            ThreadDef {
+                name: "main".into(),
+                locals: locals(),
+                body: mb,
+            },
+            ThreadDef {
+                name: "helper".into(),
+                locals: locals(),
+                body: hb,
+            },
+        ],
+            n_locks: 0,
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The soundness theorem holds on every interleaving of every
+    /// generated well-typed program.
+    #[test]
+    fn checked_programs_never_violate_soundness(p in program_strategy()) {
+        let cp = typecheck(&p).expect("generator emits well-typed programs");
+        let (violations, states) = explore(&cp, 150_000);
+        let real: Vec<_> = violations
+            .iter()
+            .filter(|v| !matches!(v, Violation::Budget))
+            .collect();
+        prop_assert!(real.is_empty(), "violations {real:?} in {states} states");
+    }
+
+    /// The runtime checks are load-bearing: when a generated program
+    /// contains a cross-thread dynamic write pair, stripping the
+    /// guards lets the oracle observe the race in some interleaving.
+    #[test]
+    fn guards_are_load_bearing(p in program_strategy()) {
+        // Force a cross-thread write/write pair on global g: the
+        // spawn goes first in main, both threads end with a g write.
+        // Deref statements are dropped so a null dereference cannot
+        // kill a thread before it reaches its racing write.
+        let mut p = p;
+        for t in &mut p.threads {
+            t.body.retain(|s| !matches!(
+                s,
+                FStmt::Assign(LVal::Deref(_), _) | FStmt::Assign(_, RExpr::L(LVal::Deref(_)))
+            ));
+            t.body.push(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(9)));
+        }
+        p.threads[0].body.retain(|s| !matches!(s, FStmt::Spawn(_)));
+        p.threads[0].body.insert(0, FStmt::Spawn("helper".into()));
+
+        let checked = typecheck(&p).expect("well-typed");
+        let (violations, _) = explore(&strip_guards(&checked), 150_000);
+        prop_assert!(
+            violations.iter().any(|v| matches!(v, Violation::DynamicRace { .. })),
+            "stripped guards must expose the race"
+        );
+        // And with guards intact the same program is sound.
+        let (violations, _) = explore(&checked, 150_000);
+        let real: Vec<_> = violations
+            .iter()
+            .filter(|v| !matches!(v, Violation::Budget))
+            .collect();
+        prop_assert!(real.is_empty(), "{real:?}");
+    }
+}
+
+#[test]
+fn exhaustive_exploration_covers_many_interleavings() {
+    let p = FProgram {
+        globals: globals(),
+        threads: vec![
+            ThreadDef {
+                name: "main".into(),
+                locals: locals(),
+                body: vec![
+                    FStmt::Spawn("helper".into()),
+                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
+                ],
+            },
+            ThreadDef {
+                name: "helper".into(),
+                locals: locals(),
+                body: vec![
+                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
+                ],
+            },
+        ],
+            n_locks: 0,
+        };
+    let cp = typecheck(&p).unwrap();
+    let (violations, states) = explore(&cp, 1_000_000);
+    assert!(violations.is_empty(), "{violations:?}");
+    assert!(states > 20, "interleavings explored: {states}");
+}

@@ -1,0 +1,266 @@
+//! Integration test reproducing the paper's §2.1 walkthrough
+//! end-to-end: Figure 1's pipeline, the conflict reports, the
+//! inferred annotations of Figure 2, and the clean annotated run.
+
+use sharc::prelude::*;
+
+const UNANNOTATED: &str = r#"
+typedef struct stage {
+    struct stage * next;
+    cond * cv;
+    mutex * mut;
+    char * sdata;
+    void (* fun)(char * fdata);
+    int nitems;
+} stage_t;
+
+void process(char * fdata) {
+    fdata[0] = fdata[0] + 1;
+}
+
+void thrFunc(stage_t * d) {
+    stage_t * S = d;
+    stage_t * nextS = S->next;
+    char * ldata;
+    int handled;
+    handled = 0;
+    while (handled < S->nitems) {
+        mutex_lock(S->mut);
+        while (S->sdata == NULL)
+            cond_wait(S->cv, S->mut);
+        ldata = S->sdata;
+        S->sdata = NULL;
+        cond_signal(S->cv);
+        mutex_unlock(S->mut);
+        S->fun(ldata);
+        if (nextS) {
+            mutex_lock(nextS->mut);
+            while (nextS->sdata)
+                cond_wait(nextS->cv, nextS->mut);
+            nextS->sdata = ldata;
+            cond_signal(nextS->cv);
+            mutex_unlock(nextS->mut);
+        } else {
+            free(ldata);
+        }
+        handled = handled + 1;
+    }
+}
+
+void main() {
+    stage_t * s2;
+    stage_t * s1;
+    char * buf;
+    int i;
+    s2 = new(stage_t);
+    s2->mut = new(mutex); s2->cv = new(cond);
+    s2->fun = process; s2->next = NULL; s2->nitems = 5;
+    s1 = new(stage_t);
+    s1->mut = new(mutex); s1->cv = new(cond);
+    s1->fun = process; s1->next = s2; s1->nitems = 5;
+    spawn(thrFunc, s1);
+    spawn(thrFunc, s2);
+    for (i = 0; i < 5; i++) {
+        buf = newarray(char, 16);
+        mutex_lock(s1->mut);
+        while (s1->sdata)
+            cond_wait(s1->cv, s1->mut);
+        s1->sdata = buf;
+        cond_signal(s1->cv);
+        mutex_unlock(s1->mut);
+    }
+    join_all();
+}
+"#;
+
+const ANNOTATED: &str = r#"
+typedef struct stage {
+    struct stage * next;
+    cond * cv;
+    mutex * mut;
+    char *locked(mut) sdata;
+    void (* fun)(char private * fdata);
+    int nitems;
+} stage_t;
+
+void process(char private * fdata) {
+    fdata[0] = fdata[0] + 1;
+}
+
+void thrFunc(stage_t * d) {
+    stage_t * S = d;
+    stage_t * nextS = S->next;
+    char private * ldata;
+    int handled;
+    int quota;
+    handled = 0;
+    quota = S->nitems;
+    while (handled < quota) {
+        mutex_lock(S->mut);
+        while (S->sdata == NULL)
+            cond_wait(S->cv, S->mut);
+        ldata = SCAST(char private *, S->sdata);
+        cond_signal(S->cv);
+        mutex_unlock(S->mut);
+        S->fun(ldata);
+        if (nextS) {
+            mutex_lock(nextS->mut);
+            while (nextS->sdata)
+                cond_wait(nextS->cv, nextS->mut);
+            nextS->sdata = SCAST(char locked(nextS->mut) *, ldata);
+            cond_signal(nextS->cv);
+            mutex_unlock(nextS->mut);
+        } else {
+            free(ldata);
+        }
+        handled = handled + 1;
+    }
+}
+
+void main() {
+    stage_t private * t2;
+    stage_t private * t1;
+    char private * buf;
+    int i;
+    t2 = new(stage_t private);
+    t2->mut = new(mutex); t2->cv = new(cond);
+    t2->fun = process; t2->next = NULL; t2->nitems = 5;
+    stage_t * s2 = SCAST(stage_t dynamic *, t2);
+    t1 = new(stage_t private);
+    t1->mut = new(mutex); t1->cv = new(cond);
+    t1->fun = process; t1->next = s2; t1->nitems = 5;
+    stage_t * s1 = SCAST(stage_t dynamic *, t1);
+    spawn(thrFunc, s1);
+    spawn(thrFunc, s2);
+    for (i = 0; i < 5; i++) {
+        buf = newarray(char private, 16);
+        mutex_lock(s1->mut);
+        while (s1->sdata)
+            cond_wait(s1->cv, s1->mut);
+        s1->sdata = SCAST(char locked(s1->mut) *, buf);
+        cond_signal(s1->cv);
+        mutex_unlock(s1->mut);
+    }
+    join_all();
+}
+"#;
+
+#[test]
+fn unannotated_pipeline_reports_sharing() {
+    let checked = sharc::check("pipeline_test.c", UNANNOTATED).unwrap();
+    assert!(
+        !checked.diags.has_errors(),
+        "unannotated program type-checks (everything dynamic):\n{}",
+        checked.render_diags()
+    );
+    // SharC infers dynamic for the shared stage objects.
+    assert!(checked.sharing.stats.n_dynamic > 0);
+
+    // At least one seed exposes the sharing at runtime, in the
+    // paper's report format.
+    let mut saw_sdata_report = false;
+    for seed in 0..6 {
+        let out = sharc::run(
+            &checked,
+            RunConfig {
+                seed,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        for r in &out.reports {
+            let text = r.to_string();
+            assert!(text.contains("who("), "paper format: {text}");
+            if text.contains("sdata") || text.contains("fdata") || text.contains("S->") {
+                saw_sdata_report = true;
+            }
+        }
+        if saw_sdata_report {
+            break;
+        }
+    }
+    assert!(
+        saw_sdata_report,
+        "expected a report naming the pipeline's shared data"
+    );
+}
+
+#[test]
+fn annotated_pipeline_is_clean() {
+    let checked = sharc::check("pipeline_test.c", ANNOTATED).unwrap();
+    assert!(
+        !checked.diags.has_errors(),
+        "two annotations + casts suffice:\n{}",
+        checked.render_diags()
+    );
+    for seed in [0u64, 1, 42] {
+        let out = sharc::run(
+            &checked,
+            RunConfig {
+                seed,
+                ..RunConfig::default()
+            },
+        )
+        .unwrap();
+        assert_eq!(out.status, ExitStatus::Completed, "seed {seed}");
+        assert!(
+            out.reports.is_empty(),
+            "seed {seed}: {}",
+            out.reports[0]
+        );
+    }
+}
+
+#[test]
+fn inferred_annotations_match_figure_2() {
+    let checked = sharc::check("pipeline_test.c", ANNOTATED).unwrap();
+    let printed = minic::pretty::program(&checked.program);
+    // The paper's Figure 2, field by field.
+    assert!(printed.contains("stage dynamic *q next"), "{printed}");
+    assert!(printed.contains("cond racy *q cv"), "{printed}");
+    assert!(printed.contains("mutex racy *readonly mut"), "{printed}");
+    assert!(
+        printed.contains("char locked(mut) *locked(mut) sdata"),
+        "{printed}"
+    );
+    assert!(
+        printed.contains("(*q fun)(char private *private fdata)"),
+        "{printed}"
+    );
+    // thrFunc's locals as in Figure 2.
+    assert!(printed.contains("stage dynamic *private S"), "{printed}");
+    assert!(printed.contains("stage dynamic *private nextS"), "{printed}");
+    assert!(printed.contains("char private *private ldata"), "{printed}");
+}
+
+#[test]
+fn missing_cast_gets_suggested() {
+    // Annotate `fdata` private but keep the plain assignment of
+    // Figure 1 line 17: type checking fails and SharC suggests the
+    // SCAST, as in the paper.
+    let src = r#"
+        struct q { mutex m; char *locked(m) slot; };
+        void worker(struct q * w) {
+            char private * l;
+            l = w->slot;
+        }
+        void main() { struct q * w; w = new(struct q); spawn(worker, w); }
+    "#;
+    let checked = sharc::check("suggest.c", src).unwrap();
+    assert!(checked.diags.has_errors());
+    let rendered = checked.render_diags();
+    assert!(
+        rendered.contains("SCAST(char private *, w->slot)"),
+        "the tool suggests the exact cast:\n{rendered}"
+    );
+}
+
+#[test]
+fn annotation_and_cast_counts_are_small() {
+    // The paper's headline: a handful of annotations per program.
+    let parsed = minic::parse(ANNOTATED).unwrap();
+    let annots = sharc::core::count_annotations(&parsed);
+    let casts = ANNOTATED.matches("SCAST(").count();
+    assert!(annots <= 12, "few annotations needed, got {annots}");
+    assert_eq!(casts, 5);
+}
