@@ -1,0 +1,26 @@
+#!/usr/bin/env bash
+# The offline CI gate: proves the workspace builds, tests, and
+# regenerates the Table 1 smoke run with zero registry access.
+#
+# Usage: ci/check.sh   (from anywhere; cds to the repo root)
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== policy: no external dependencies in any manifest =="
+if grep -rn 'rand\|proptest\|criterion\|crossbeam\|parking_lot\|serde' \
+    Cargo.toml crates/*/Cargo.toml; then
+    echo "ERROR: external dependency reference found in a manifest" >&2
+    exit 1
+fi
+echo "ok"
+
+echo "== cargo build --release --offline =="
+cargo build --release --offline
+
+echo "== cargo test -q --offline =="
+cargo test -q --offline
+
+echo "== table1 --smoke =="
+cargo run --release --offline -p sharc-bench --bin table1 -- --smoke
+
+echo "All checks passed."

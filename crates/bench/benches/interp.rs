@@ -1,10 +1,12 @@
-//! Criterion bench for the VM: end-to-end pipeline cost (compile +
-//! run) and the runtime cost of checks inside the VM, comparing a
-//! fully-private program against the same computation on dynamic
-//! (checked) data.
+//! Bench for the VM: end-to-end pipeline cost (compile + run) and the
+//! runtime cost of checks inside the VM, comparing a fully-private
+//! program against the same computation on dynamic (checked) data.
+//!
+//! Runs on the sharc-testkit bench harness (`harness = false`);
+//! results land in `target/BENCH_interp.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sharc_interp::{compile_and_run, VmConfig};
+use sharc_testkit::Bench;
 
 const PRIVATE_SRC: &str = "
 void main() {
@@ -30,23 +32,18 @@ void main() {
 }
 ";
 
-fn bench_interp(c: &mut Criterion) {
-    let mut g = c.benchmark_group("interp");
+fn main() {
+    let mut g = Bench::new("interp");
     g.sample_size(10);
-    g.bench_function("private-loop", |b| {
-        b.iter(|| compile_and_run("p.c", PRIVATE_SRC, VmConfig::default()).unwrap())
+    g.bench("private-loop", || {
+        compile_and_run("p.c", PRIVATE_SRC, VmConfig::default()).unwrap()
     });
-    g.bench_function("dynamic-loop", |b| {
-        b.iter(|| compile_and_run("d.c", DYNAMIC_SRC, VmConfig::default()).unwrap())
+    g.bench("dynamic-loop", || {
+        compile_and_run("d.c", DYNAMIC_SRC, VmConfig::default()).unwrap()
     });
-    g.bench_function("compile-only", |b| {
-        b.iter(|| {
-            let checked = sharc_core::compile("d.c", DYNAMIC_SRC).unwrap();
-            sharc_interp::compile::compile(&checked).unwrap()
-        })
+    g.bench("compile-only", || {
+        let checked = sharc_core::compile("d.c", DYNAMIC_SRC).unwrap();
+        sharc_interp::compile::compile(&checked).unwrap()
     });
     g.finish();
 }
-
-criterion_group!(benches, bench_interp);
-criterion_main!(benches);

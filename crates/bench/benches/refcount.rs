@@ -1,35 +1,31 @@
-//! Criterion bench for the §4.3 reference-counting ablation: the
-//! per-store cost of the naive atomic scheme vs the adapted
-//! Levanoni-Petrank scheme, at 1 and 4 threads.
+//! Bench for the §4.3 reference-counting ablation: the per-store
+//! cost of the naive atomic scheme vs the adapted Levanoni-Petrank
+//! scheme, at 1 and 4 threads.
+//!
+//! Runs on the sharc-testkit bench harness (`harness = false`);
+//! results land in `target/BENCH_refcount.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sharc_bench::rc_workload;
 use sharc_runtime::{LpRc, NaiveRc};
+use sharc_testkit::Bench;
 use std::sync::Arc;
 
 const STORES: usize = 20_000;
 const SLOTS: usize = 512;
 const OBJS: usize = 32;
 
-fn bench_rc(c: &mut Criterion) {
-    let mut g = c.benchmark_group("refcount");
+fn main() {
+    let mut g = Bench::new("refcount");
     g.sample_size(10);
     for threads in [1usize, 4] {
-        g.bench_function(format!("naive/{threads}t"), |b| {
-            b.iter(|| {
-                let rc = Arc::new(NaiveRc::new(threads * SLOTS, OBJS));
-                rc_workload(rc, threads, STORES, SLOTS, OBJS, 0)
-            })
+        g.bench(&format!("naive/{threads}t"), || {
+            let rc = Arc::new(NaiveRc::new(threads * SLOTS, OBJS));
+            rc_workload(rc, threads, STORES, SLOTS, OBJS, 0)
         });
-        g.bench_function(format!("lp/{threads}t"), |b| {
-            b.iter(|| {
-                let rc = Arc::new(LpRc::new(threads * SLOTS, OBJS, threads));
-                rc_workload(rc, threads, STORES, SLOTS, OBJS, 0)
-            })
+        g.bench(&format!("lp/{threads}t"), || {
+            let rc = Arc::new(LpRc::new(threads * SLOTS, OBJS, threads));
+            rc_workload(rc, threads, STORES, SLOTS, OBJS, 0)
         });
     }
     g.finish();
 }
-
-criterion_group!(benches, bench_rc);
-criterion_main!(benches);

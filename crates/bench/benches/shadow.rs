@@ -1,54 +1,54 @@
-//! Criterion bench comparing the paper's bitmap shadow encoding
-//! (exact, 8n-1 threads in n bytes) against the scalable adaptive
-//! encoding (§4.2.1 future work: unbounded thread ids in 8 bytes).
+//! Bench comparing the paper's bitmap shadow encoding (exact, 8n-1
+//! threads in n bytes) against the scalable adaptive encoding
+//! (§4.2.1 future work: unbounded thread ids in 8 bytes).
+//!
+//! Runs on the sharc-testkit bench harness (`harness = false`);
+//! results land in `target/BENCH_shadow.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sharc_runtime::{ScalableShadow, Shadow, ThreadId, WideThreadId};
+use sharc_testkit::Bench;
 
 const GRANULES: usize = 4096;
 
-fn bench_shadow(c: &mut Criterion) {
-    let mut g = c.benchmark_group("shadow");
+fn main() {
+    let mut g = Bench::new("shadow");
     g.sample_size(20);
 
-    g.bench_function("bitmap/read-hot", |b| {
+    {
         let s: Shadow = Shadow::new(GRANULES);
         let t = ThreadId(1);
-        b.iter(|| {
+        g.bench("bitmap/read-hot", || {
             for i in 0..GRANULES {
                 let _ = s.check_read(i, t);
             }
-        })
-    });
-    g.bench_function("scalable/read-hot", |b| {
+        });
+    }
+    {
         let s = ScalableShadow::new(GRANULES);
         let t = WideThreadId(1);
-        b.iter(|| {
+        g.bench("scalable/read-hot", || {
             for i in 0..GRANULES {
                 let _ = s.check_read(i, t);
             }
-        })
-    });
-    g.bench_function("bitmap/write-hot", |b| {
+        });
+    }
+    {
         let s: Shadow = Shadow::new(GRANULES);
         let t = ThreadId(1);
-        b.iter(|| {
+        g.bench("bitmap/write-hot", || {
             for i in 0..GRANULES {
                 let _ = s.check_write(i, t);
             }
-        })
-    });
-    g.bench_function("scalable/write-hot", |b| {
+        });
+    }
+    {
         let s = ScalableShadow::new(GRANULES);
         let t = WideThreadId(1);
-        b.iter(|| {
+        g.bench("scalable/write-hot", || {
             for i in 0..GRANULES {
                 let _ = s.check_write(i, t);
             }
-        })
-    });
+        });
+    }
     g.finish();
 }
-
-criterion_group!(benches, bench_shadow);
-criterion_main!(benches);

@@ -1,47 +1,41 @@
-//! Criterion benches backing Table 1: each benchmark's native
-//! workload at quick scale, orig vs SharC, so regressions in check
-//! cost show up in CI-sized runs. Use the `table1` binary for the
-//! full table.
+//! Benches backing Table 1: each benchmark's native workload at quick
+//! scale, orig vs SharC, so regressions in check cost show up in
+//! CI-sized runs. Use the `table1` binary for the full table.
+//!
+//! Runs on the sharc-testkit bench harness (`harness = false`);
+//! results land in `target/BENCH_table1.json`.
 
-use criterion::{criterion_group, criterion_main, Criterion};
 use sharc_runtime::{Checked, Unchecked};
+use sharc_testkit::Bench;
 use sharc_workloads::benchmarks::{aget, dillo, fftw, pbzip2, pfscan, stunnel};
 
-fn bench_table1(c: &mut Criterion) {
-    let mut g = c.benchmark_group("table1");
+fn main() {
+    let mut g = Bench::new("table1");
     g.sample_size(10);
 
     let pf = pfscan_params();
-    g.bench_function("pfscan/orig", |b| {
-        b.iter(|| pfscan::run_native::<Unchecked>(&pf))
-    });
-    g.bench_function("pfscan/sharc", |b| {
-        b.iter(|| pfscan::run_native::<Checked>(&pf))
-    });
+    g.bench("pfscan/orig", || pfscan::run_native::<Unchecked>(&pf));
+    g.bench("pfscan/sharc", || pfscan::run_native::<Checked>(&pf));
 
     let ag = aget_params();
-    g.bench_function("aget/orig", |b| b.iter(|| aget::run_native::<Unchecked>(&ag)));
-    g.bench_function("aget/sharc", |b| b.iter(|| aget::run_native::<Checked>(&ag)));
+    g.bench("aget/orig", || aget::run_native::<Unchecked>(&ag));
+    g.bench("aget/sharc", || aget::run_native::<Checked>(&ag));
 
     let pb = pbzip2_params();
-    g.bench_function("pbzip2/orig", |b| b.iter(|| pbzip2::run_native(&pb, false)));
-    g.bench_function("pbzip2/sharc", |b| b.iter(|| pbzip2::run_native(&pb, true)));
+    g.bench("pbzip2/orig", || pbzip2::run_native(&pb, false));
+    g.bench("pbzip2/sharc", || pbzip2::run_native(&pb, true));
 
     let di = dillo_params();
-    g.bench_function("dillo/orig", |b| b.iter(|| dillo::run_native::<Unchecked>(&di)));
-    g.bench_function("dillo/sharc", |b| b.iter(|| dillo::run_native::<Checked>(&di)));
+    g.bench("dillo/orig", || dillo::run_native::<Unchecked>(&di));
+    g.bench("dillo/sharc", || dillo::run_native::<Checked>(&di));
 
     let ff = fftw_params();
-    g.bench_function("fftw/orig", |b| b.iter(|| fftw::run_native(&ff, false)));
-    g.bench_function("fftw/sharc", |b| b.iter(|| fftw::run_native(&ff, true)));
+    g.bench("fftw/orig", || fftw::run_native(&ff, false));
+    g.bench("fftw/sharc", || fftw::run_native(&ff, true));
 
     let st = stunnel_params();
-    g.bench_function("stunnel/orig", |b| {
-        b.iter(|| stunnel::run_native::<Unchecked>(&st))
-    });
-    g.bench_function("stunnel/sharc", |b| {
-        b.iter(|| stunnel::run_native::<Checked>(&st))
-    });
+    g.bench("stunnel/orig", || stunnel::run_native::<Unchecked>(&st));
+    g.bench("stunnel/sharc", || stunnel::run_native::<Checked>(&st));
 
     g.finish();
 }
@@ -99,6 +93,3 @@ fn stunnel_params() -> stunnel::Params {
         msg_len: 256,
     }
 }
-
-criterion_group!(benches, bench_table1);
-criterion_main!(benches);

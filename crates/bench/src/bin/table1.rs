@@ -7,6 +7,10 @@
 //! cargo run -p sharc-bench --release --bin table1 [-- --quick] [--reps N] [--json]
 //! ```
 //!
+//! `--smoke` is an alias of `--quick` for CI pipelines. JSON output
+//! is emitted with the sharc-testkit hand-rolled serializer (no
+//! serde).
+//!
 //! The paper averaged 50 runs on a 2 GHz dual-core Xeon; pass
 //! `--reps 50` for the same protocol. Shapes to compare against the
 //! paper: overhead 2–14% (avg 9.2%) with aget unmeasurable (network
@@ -14,28 +18,12 @@
 //! reference counting; %dynamic highest for pfscan (80%), near zero
 //! for pbzip2/fftw/stunnel.
 
-use serde::Serialize;
+use sharc_testkit::Json;
 use sharc_workloads::table::{render_table, run_all, Scale};
-
-#[derive(Serialize)]
-struct JsonRow<'a> {
-    name: &'a str,
-    threads: usize,
-    lines: usize,
-    annotations: usize,
-    changes: usize,
-    time_orig_us: u128,
-    time_sharc_us: u128,
-    time_overhead_pct: f64,
-    mem_overhead_pct: f64,
-    dynamic_pct: f64,
-    conflicts: usize,
-    checksum_match: bool,
-}
 
 fn main() {
     let args: Vec<String> = std::env::args().collect();
-    let quick = args.iter().any(|a| a == "--quick");
+    let quick = args.iter().any(|a| a == "--quick" || a == "--smoke");
     let json = args.iter().any(|a| a == "--json");
     let reps = args
         .iter()
@@ -52,27 +40,26 @@ fn main() {
     let results = run_all(scale);
 
     if json {
-        let rows: Vec<JsonRow> = results
+        let rows: Vec<Json> = results
             .iter()
-            .map(|r| JsonRow {
-                name: r.name,
-                threads: r.threads,
-                lines: r.lines,
-                annotations: r.annotations,
-                changes: r.changes,
-                time_orig_us: r.time_orig.as_micros(),
-                time_sharc_us: r.time_sharc.as_micros(),
-                time_overhead_pct: r.time_overhead_pct(),
-                mem_overhead_pct: r.mem_overhead_pct,
-                dynamic_pct: r.dynamic_fraction * 100.0,
-                conflicts: r.conflicts,
-                checksum_match: r.checksum_match,
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.name.to_string())),
+                    ("threads", Json::Int(r.threads as i64)),
+                    ("lines", Json::Int(r.lines as i64)),
+                    ("annotations", Json::Int(r.annotations as i64)),
+                    ("changes", Json::Int(r.changes as i64)),
+                    ("time_orig_us", Json::Int(r.time_orig.as_micros() as i64)),
+                    ("time_sharc_us", Json::Int(r.time_sharc.as_micros() as i64)),
+                    ("time_overhead_pct", Json::Float(r.time_overhead_pct())),
+                    ("mem_overhead_pct", Json::Float(r.mem_overhead_pct)),
+                    ("dynamic_pct", Json::Float(r.dynamic_fraction * 100.0)),
+                    ("conflicts", Json::Int(r.conflicts as i64)),
+                    ("checksum_match", Json::Bool(r.checksum_match)),
+                ])
             })
             .collect();
-        println!(
-            "{}",
-            serde_json::to_string_pretty(&rows).expect("serialization")
-        );
+        print!("{}", Json::Arr(rows).render());
         return;
     }
 

@@ -8,7 +8,7 @@
 //! that real worker threads feed on every access.
 
 use crate::trace::{Detector, Event, Loc, Race, Tid};
-use parking_lot::Mutex;
+use sharc_testkit::sync::Mutex;
 
 /// Number of shards; accesses hash by location.
 const SHARDS: usize = 64;

@@ -18,8 +18,7 @@ use crate::bytecode::*;
 use crate::report::{ConflictKind, ConflictReport, Reporter};
 use minic::ast::BinOp;
 use minic::span::SourceMap;
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sharc_testkit::rng::{Rng, Xoshiro256pp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Maximum simultaneously-live threads (the paper's encoding supports
@@ -214,7 +213,7 @@ struct MutexState {
 struct Vm<'m> {
     module: &'m Module,
     config: VmConfig,
-    rng: StdRng,
+    rng: Xoshiro256pp,
     mem: Vec<Value>,
     obj_of: Vec<u32>, // obj id + 1; 0 = none
     objs: Vec<Obj>,
@@ -265,7 +264,7 @@ impl<'m> Vm<'m> {
         let max_reports = config.max_reports;
         let mut vm = Vm {
             module,
-            rng: StdRng::seed_from_u64(config.seed),
+            rng: Xoshiro256pp::seed_from_u64(config.seed),
             config,
             mem: vec![Value::ZERO], // cell 0 = null
             obj_of: vec![0],

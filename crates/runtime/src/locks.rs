@@ -7,8 +7,7 @@
 //! address of the lock is removed from the log."
 
 use crate::shadow::ThreadId;
-use parking_lot::lock_api::RawMutex as _;
-use parking_lot::RawMutex;
+use sharc_testkit::sync::RawMutex;
 
 /// Identifies a lock in a [`LockRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -102,7 +101,7 @@ impl LockRegistry {
     /// Creates `n` unlocked mutexes.
     pub fn new(n: usize) -> Self {
         let mut locks = Vec::with_capacity(n);
-        locks.resize_with(n, || RawMutex::INIT);
+        locks.resize_with(n, RawMutex::new);
         LockRegistry { locks }
     }
 

@@ -20,7 +20,7 @@
 //! Both implement [`RcScheme`], so the sharing-cast protocol and the
 //! benchmarks are generic over the scheme.
 
-use parking_lot::Mutex;
+use sharc_testkit::sync::Mutex;
 use std::sync::atomic::{AtomicBool, AtomicI64, AtomicU64, AtomicUsize, Ordering};
 
 /// An object identifier.

@@ -1,0 +1,192 @@
+//! A tiny benchmark harness (criterion replacement).
+//!
+//! Each [`Bench::bench`] call runs a warmup, then times `samples`
+//! invocations of the closure, reporting min/median/p95/max and
+//! writing machine-readable results to `target/BENCH_<group>.json`
+//! on [`Bench::finish`].
+//!
+//! Knobs: `SHARC_BENCH_SAMPLES` (sample count), `--quick` on the
+//! command line (5 samples), `SHARC_BENCH_OUT` (output directory,
+//! default `target`).
+
+use crate::json::Json;
+use std::time::Instant;
+
+/// Timing summary for one benchmark, in nanoseconds per invocation.
+#[derive(Debug, Clone)]
+pub struct Stats {
+    pub name: String,
+    pub samples: usize,
+    pub min_ns: u64,
+    pub median_ns: u64,
+    pub p95_ns: u64,
+    pub max_ns: u64,
+    pub mean_ns: u64,
+}
+
+/// A benchmark group accumulating [`Stats`].
+#[derive(Debug)]
+pub struct Bench {
+    group: String,
+    samples: usize,
+    warmup: usize,
+    results: Vec<Stats>,
+}
+
+impl Bench {
+    /// Creates a group. Sample count comes from
+    /// `SHARC_BENCH_SAMPLES`, else 5 if `--quick` is on the command
+    /// line, else 15.
+    pub fn new(group: &str) -> Self {
+        let quick = std::env::args().any(|a| a == "--quick");
+        let samples = std::env::var("SHARC_BENCH_SAMPLES")
+            .ok()
+            .and_then(|v| v.parse().ok())
+            .unwrap_or(if quick { 5 } else { 15 })
+            .max(1);
+        Bench {
+            group: group.to_string(),
+            samples,
+            warmup: 2,
+            results: Vec::new(),
+        }
+    }
+
+    /// Overrides the per-benchmark sample count.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.samples = n.max(1);
+        self
+    }
+
+    /// Times `f`, one invocation per sample, after `warmup` untimed
+    /// invocations. The closure's result is passed through
+    /// [`std::hint::black_box`] so the computation is not elided.
+    pub fn bench<R, F: FnMut() -> R>(&mut self, name: &str, mut f: F) -> &mut Self {
+        for _ in 0..self.warmup {
+            std::hint::black_box(f());
+        }
+        let mut times_ns: Vec<u64> = Vec::with_capacity(self.samples);
+        for _ in 0..self.samples {
+            let t = Instant::now();
+            std::hint::black_box(f());
+            times_ns.push(t.elapsed().as_nanos().min(u64::MAX as u128) as u64);
+        }
+        times_ns.sort_unstable();
+        let n = times_ns.len();
+        let stats = Stats {
+            name: name.to_string(),
+            samples: n,
+            min_ns: times_ns[0],
+            median_ns: times_ns[n / 2],
+            p95_ns: times_ns[(n * 95 / 100).min(n - 1)],
+            max_ns: times_ns[n - 1],
+            mean_ns: (times_ns.iter().map(|&t| t as u128).sum::<u128>() / n as u128) as u64,
+        };
+        println!(
+            "{:<32} median {:>12}  p95 {:>12}  min {:>12}  ({} samples)",
+            format!("{}/{}", self.group, stats.name),
+            fmt_ns(stats.median_ns),
+            fmt_ns(stats.p95_ns),
+            fmt_ns(stats.min_ns),
+            stats.samples,
+        );
+        self.results.push(stats);
+        self
+    }
+
+    /// Results recorded so far.
+    pub fn results(&self) -> &[Stats] {
+        &self.results
+    }
+
+    /// The JSON document `finish` writes.
+    pub fn to_json(&self) -> Json {
+        Json::obj([
+            ("group", Json::Str(self.group.clone())),
+            ("samples_per_bench", Json::Int(self.samples as i64)),
+            (
+                "benches",
+                Json::Arr(
+                    self.results
+                        .iter()
+                        .map(|s| {
+                            Json::obj([
+                                ("name", Json::Str(s.name.clone())),
+                                ("samples", Json::Int(s.samples as i64)),
+                                ("min_ns", Json::Int(s.min_ns as i64)),
+                                ("median_ns", Json::Int(s.median_ns as i64)),
+                                ("p95_ns", Json::Int(s.p95_ns as i64)),
+                                ("max_ns", Json::Int(s.max_ns as i64)),
+                                ("mean_ns", Json::Int(s.mean_ns as i64)),
+                            ])
+                        })
+                        .collect(),
+                ),
+            ),
+        ])
+    }
+
+    /// Writes `BENCH_<group>.json` into `SHARC_BENCH_OUT` (default
+    /// `target/`) and prints where it went.
+    pub fn finish(&self) {
+        let dir = std::env::var("SHARC_BENCH_OUT").unwrap_or_else(|_| "target".to_string());
+        let dir = std::path::PathBuf::from(dir);
+        let _ = std::fs::create_dir_all(&dir);
+        let path = dir.join(format!("BENCH_{}.json", self.group));
+        match std::fs::write(&path, self.to_json().render()) {
+            Ok(()) => println!("wrote {}", path.display()),
+            Err(e) => eprintln!("could not write {}: {e}", path.display()),
+        }
+    }
+}
+
+fn fmt_ns(ns: u64) -> String {
+    if ns >= 1_000_000_000 {
+        format!("{:.3} s", ns as f64 / 1e9)
+    } else if ns >= 1_000_000 {
+        format!("{:.3} ms", ns as f64 / 1e6)
+    } else if ns >= 1_000 {
+        format!("{:.3} µs", ns as f64 / 1e3)
+    } else {
+        format!("{ns} ns")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::json;
+
+    #[test]
+    fn records_and_serializes_stats() {
+        let mut b = Bench::new("unit");
+        b.sample_size(5);
+        let mut acc = 0u64;
+        b.bench("spin", || {
+            for i in 0..1000u64 {
+                acc = acc.wrapping_add(i * i);
+            }
+            acc
+        });
+        assert_eq!(b.results().len(), 1);
+        let s = &b.results()[0];
+        assert!(s.min_ns <= s.median_ns && s.median_ns <= s.p95_ns && s.p95_ns <= s.max_ns);
+
+        // The emitted JSON parses back and carries the same numbers.
+        let doc = json::parse(&b.to_json().render()).unwrap();
+        assert_eq!(doc.get("group"), Some(&Json::Str("unit".into())));
+        let benches = match doc.get("benches") {
+            Some(Json::Arr(v)) => v,
+            other => panic!("benches missing: {other:?}"),
+        };
+        assert_eq!(benches[0].get("median_ns"), Some(&Json::Int(s.median_ns as i64)));
+    }
+
+    #[test]
+    fn fmt_ns_units() {
+        assert_eq!(fmt_ns(999), "999 ns");
+        assert!(fmt_ns(1_500).contains("µs"));
+        assert!(fmt_ns(2_000_000).contains("ms"));
+        assert!(fmt_ns(3_000_000_000).contains(" s"));
+    }
+}

@@ -1,0 +1,343 @@
+//! Generator combinators with integrated shrinking.
+//!
+//! A [`Gen<T>`] produces a [`Tree<T>`]: the generated value plus a
+//! lazily-expanded forest of *smaller* candidate values. Because the
+//! shrink candidates live in the tree, they survive [`Gen::map`] —
+//! mapping a generator maps every shrink candidate too, so shrinking
+//! always happens in the source domain (the hedgehog design, vs
+//! quickcheck's type-directed shrinking which `map` loses).
+//!
+//! The property runner ([`crate::prop`]) walks the tree greedily:
+//! descend into the first failing child, repeat until no child fails.
+
+use crate::rng::{uniform_u64, Xoshiro256pp};
+use std::rc::Rc;
+
+/// A generated value plus its lazily-computed shrink candidates.
+pub struct Tree<T: 'static> {
+    /// The generated value.
+    pub value: T,
+    children: Rc<dyn Fn() -> Vec<Tree<T>>>,
+}
+
+impl<T: Clone> Clone for Tree<T> {
+    fn clone(&self) -> Self {
+        Tree {
+            value: self.value.clone(),
+            children: Rc::clone(&self.children),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Tree<T> {
+    /// A value with no shrink candidates.
+    pub fn leaf(value: T) -> Self {
+        Tree {
+            value,
+            children: Rc::new(Vec::new),
+        }
+    }
+
+    /// A value with lazily-computed shrink candidates.
+    pub fn with_children(value: T, children: impl Fn() -> Vec<Tree<T>> + 'static) -> Self {
+        Tree {
+            value,
+            children: Rc::new(children),
+        }
+    }
+
+    /// Expands the shrink candidates (ordered most-aggressive first).
+    pub fn children(&self) -> Vec<Tree<T>> {
+        (self.children)()
+    }
+
+    /// Maps the whole tree through `f`.
+    pub fn map<U: Clone + 'static>(&self, f: &Rc<dyn Fn(&T) -> U>) -> Tree<U> {
+        let value = f(&self.value);
+        let children = Rc::clone(&self.children);
+        let f = Rc::clone(f);
+        Tree {
+            value,
+            children: Rc::new(move || children().iter().map(|c| c.map(&f)).collect()),
+        }
+    }
+}
+
+/// A random generator of shrink trees.
+pub struct Gen<T: 'static> {
+    run: Rc<dyn Fn(&mut Xoshiro256pp) -> Tree<T>>,
+}
+
+impl<T> Clone for Gen<T> {
+    fn clone(&self) -> Self {
+        Gen {
+            run: Rc::clone(&self.run),
+        }
+    }
+}
+
+impl<T: Clone + 'static> Gen<T> {
+    /// Wraps a raw generation function.
+    pub fn new(f: impl Fn(&mut Xoshiro256pp) -> Tree<T> + 'static) -> Self {
+        Gen { run: Rc::new(f) }
+    }
+
+    /// Generates one shrink tree.
+    pub fn generate(&self, rng: &mut Xoshiro256pp) -> Tree<T> {
+        (self.run)(rng)
+    }
+
+    /// Always produces `value` (no shrinking).
+    pub fn constant(value: T) -> Self {
+        Gen::new(move |_| Tree::leaf(value.clone()))
+    }
+
+    /// Maps generated values, preserving shrinking.
+    pub fn map<U: Clone + 'static>(&self, f: impl Fn(&T) -> U + 'static) -> Gen<U> {
+        let run = Rc::clone(&self.run);
+        let f: Rc<dyn Fn(&T) -> U> = Rc::new(f);
+        Gen::new(move |rng| run(rng).map(&f))
+    }
+}
+
+/// The shrink tree of an integer: candidates move toward `origin` by
+/// jumping there directly, then by halving the distance.
+fn int_tree(origin: u64, value: u64) -> Tree<u64> {
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        let mut seen = Vec::new();
+        let mut push = |v: u64| {
+            if v != value && !seen.contains(&v) {
+                seen.push(v);
+                out.push(int_tree(origin, v));
+            }
+        };
+        if value != origin {
+            push(origin);
+            let (lo, hi) = if origin < value {
+                (origin, value)
+            } else {
+                (value, origin)
+            };
+            let mut d = (hi - lo) / 2;
+            while d > 0 {
+                push(if origin < value { value - d } else { value + d });
+                d /= 2;
+            }
+        }
+        out
+    })
+}
+
+/// Uniform `u64` in `[lo, hi)`, shrinking toward `lo`.
+///
+/// # Panics
+///
+/// Panics if the range is empty.
+pub fn u64_range(range: std::ops::Range<u64>) -> Gen<u64> {
+    assert!(range.start < range.end, "empty range");
+    let (lo, hi) = (range.start, range.end);
+    Gen::new(move |rng| int_tree(lo, lo + uniform_u64(rng, hi - lo)))
+}
+
+/// Uniform `usize` in `[lo, hi)`, shrinking toward `lo`.
+pub fn usize_range(range: std::ops::Range<usize>) -> Gen<usize> {
+    u64_range(range.start as u64..range.end as u64).map(|&v| v as usize)
+}
+
+/// Uniform `u32` in `[lo, hi)`, shrinking toward `lo`.
+pub fn u32_range(range: std::ops::Range<u32>) -> Gen<u32> {
+    u64_range(range.start as u64..range.end as u64).map(|&v| v as u32)
+}
+
+/// Uniform `u8` (all 256 values), shrinking toward 0.
+pub fn byte_any() -> Gen<u8> {
+    u64_range(0..256).map(|&v| v as u8)
+}
+
+/// Any `u64`, shrinking toward 0.
+pub fn u64_any() -> Gen<u64> {
+    use crate::rng::RngCore;
+    Gen::new(|rng| int_tree(0, rng.next_u64()))
+}
+
+/// Uniform `bool`, shrinking `true -> false`.
+pub fn bool_any() -> Gen<bool> {
+    u64_range(0..2).map(|&v| v == 1)
+}
+
+/// Picks one of `items` uniformly, shrinking toward earlier items.
+///
+/// # Panics
+///
+/// Panics if `items` is empty.
+pub fn choose<T: Clone + 'static>(items: Vec<T>) -> Gen<T> {
+    assert!(!items.is_empty(), "choose from empty list");
+    let n = items.len();
+    usize_range(0..n).map(move |&i| items[i].clone())
+}
+
+/// Runs one of `gens`, chosen uniformly. Shrinks within the chosen
+/// generator only (choices are not revisited).
+///
+/// # Panics
+///
+/// Panics if `gens` is empty.
+pub fn one_of<T: Clone + 'static>(gens: Vec<Gen<T>>) -> Gen<T> {
+    assert!(!gens.is_empty(), "one_of from empty list");
+    Gen::new(move |rng| {
+        let i = uniform_u64(rng, gens.len() as u64) as usize;
+        gens[i].generate(rng)
+    })
+}
+
+/// The shrink tree of a vector built from element trees: remove
+/// elements (toward `min_len`), then shrink elements in place.
+fn vec_tree<T: Clone + 'static>(elems: Vec<Tree<T>>, min_len: usize) -> Tree<Vec<T>> {
+    let value: Vec<T> = elems.iter().map(|t| t.value.clone()).collect();
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        // Drop the second half first (aggressive), then single elements.
+        if elems.len() > min_len {
+            let keep = (elems.len() / 2).max(min_len);
+            if keep < elems.len() {
+                out.push(vec_tree(elems[..keep].to_vec(), min_len));
+            }
+            for i in (0..elems.len()).rev() {
+                let mut e = elems.clone();
+                e.remove(i);
+                out.push(vec_tree(e, min_len));
+            }
+        }
+        for i in 0..elems.len() {
+            for c in elems[i].children() {
+                let mut e = elems.clone();
+                e[i] = c;
+                out.push(vec_tree(e, min_len));
+            }
+        }
+        out
+    })
+}
+
+/// A vector of `elem`s with length uniform in `len`, shrinking by
+/// removing elements (down to `len.start`) and shrinking elements.
+///
+/// # Panics
+///
+/// Panics if the length range is empty.
+pub fn vec_of<T: Clone + 'static>(elem: Gen<T>, len: std::ops::Range<usize>) -> Gen<Vec<T>> {
+    assert!(len.start < len.end, "empty length range");
+    let (lo, hi) = (len.start, len.end);
+    Gen::new(move |rng| {
+        let n = lo + uniform_u64(rng, (hi - lo) as u64) as usize;
+        let elems: Vec<Tree<T>> = (0..n).map(|_| elem.generate(rng)).collect();
+        vec_tree(elems, lo)
+    })
+}
+
+/// A random byte vector with length in `len`.
+pub fn byte_vec(len: std::ops::Range<usize>) -> Gen<Vec<u8>> {
+    vec_of(byte_any(), len)
+}
+
+fn pair_tree<A: Clone + 'static, B: Clone + 'static>(ta: Tree<A>, tb: Tree<B>) -> Tree<(A, B)> {
+    let value = (ta.value.clone(), tb.value.clone());
+    Tree::with_children(value, move || {
+        let mut out = Vec::new();
+        for c in ta.children() {
+            out.push(pair_tree(c, tb.clone()));
+        }
+        for c in tb.children() {
+            out.push(pair_tree(ta.clone(), c));
+        }
+        out
+    })
+}
+
+/// A pair of independent generators; shrinks the left component
+/// first, then the right.
+pub fn pair<A: Clone + 'static, B: Clone + 'static>(a: Gen<A>, b: Gen<B>) -> Gen<(A, B)> {
+    Gen::new(move |rng| {
+        let ta = a.generate(rng);
+        let tb = b.generate(rng);
+        pair_tree(ta, tb)
+    })
+}
+
+/// A triple of independent generators.
+pub fn triple<A: Clone + 'static, B: Clone + 'static, C: Clone + 'static>(
+    a: Gen<A>,
+    b: Gen<B>,
+    c: Gen<C>,
+) -> Gen<(A, B, C)> {
+    pair(a, pair(b, c)).map(|&(ref x, (ref y, ref z))| (x.clone(), y.clone(), z.clone()))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rng() -> Xoshiro256pp {
+        Xoshiro256pp::seed_from_u64(0xC0FFEE)
+    }
+
+    #[test]
+    fn range_values_in_bounds() {
+        let g = u64_range(10..20);
+        let mut r = rng();
+        for _ in 0..200 {
+            let t = g.generate(&mut r);
+            assert!((10..20).contains(&t.value));
+            for c in t.children() {
+                assert!((10..20).contains(&c.value));
+            }
+        }
+    }
+
+    #[test]
+    fn int_shrink_moves_toward_origin() {
+        let t = int_tree(0, 100);
+        let kids: Vec<u64> = t.children().iter().map(|c| c.value).collect();
+        assert_eq!(kids[0], 0, "first candidate jumps to the origin");
+        assert!(kids.iter().all(|&k| k < 100));
+    }
+
+    #[test]
+    fn map_preserves_shrinking() {
+        let g = u64_range(0..100).map(|&v| v * 2);
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = g.generate(&mut r);
+            if t.value > 0 {
+                let kids = t.children();
+                assert!(!kids.is_empty());
+                assert!(kids.iter().all(|c| c.value % 2 == 0), "shrinks in source domain");
+                return;
+            }
+        }
+        panic!("never generated a nonzero value");
+    }
+
+    #[test]
+    fn vec_shrink_respects_min_len() {
+        let g = vec_of(byte_any(), 2..6);
+        let mut r = rng();
+        for _ in 0..50 {
+            let t = g.generate(&mut r);
+            assert!((2..6).contains(&t.value.len()));
+            for c in t.children() {
+                assert!(c.value.len() >= 2, "{:?}", c.value);
+            }
+        }
+    }
+
+    #[test]
+    fn choose_picks_only_listed_items() {
+        let g = choose(vec!["a", "b", "c"]);
+        let mut r = rng();
+        for _ in 0..50 {
+            assert!(["a", "b", "c"].contains(&g.generate(&mut r).value));
+        }
+    }
+}

@@ -1,0 +1,355 @@
+//! Deterministic pseudo-random number generation.
+//!
+//! Two generators, both tiny, fast, and well studied:
+//!
+//! * [`SplitMix64`] — Steele, Lea & Flood's 64-bit mixer. One `u64`
+//!   of state; every seed gives a full-period stream. Used directly
+//!   for seed derivation and as the reference generator in tests.
+//! * [`Xoshiro256pp`] — Blackman & Vigna's xoshiro256++ 1.0, the
+//!   general-purpose workhorse (replaces `rand::rngs::StdRng`).
+//!   Seeded from a single `u64` through SplitMix64, exactly as the
+//!   reference implementation recommends.
+//!
+//! The [`Rng`] extension trait provides the `rand`-shaped surface the
+//! rest of the workspace uses: `gen`, `gen_range`, `gen_bool`,
+//! `fill_bytes`, `shuffle`.
+
+/// Minimal generator core: a stream of `u64`s.
+pub trait RngCore {
+    /// The next 64 random bits.
+    fn next_u64(&mut self) -> u64;
+}
+
+/// Advances a SplitMix64 state and returns the next output.
+#[inline]
+pub fn splitmix64(state: &mut u64) -> u64 {
+    *state = state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    let mut z = *state;
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// SplitMix64 (Steele, Lea & Flood, OOPSLA 2014; public-domain
+/// reference by Vigna).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SplitMix64 {
+    state: u64,
+}
+
+impl SplitMix64 {
+    /// Creates a generator from a seed.
+    pub const fn new(seed: u64) -> Self {
+        SplitMix64 { state: seed }
+    }
+
+    /// `rand`-compatible constructor name.
+    pub const fn seed_from_u64(seed: u64) -> Self {
+        Self::new(seed)
+    }
+}
+
+impl RngCore for SplitMix64 {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        splitmix64(&mut self.state)
+    }
+}
+
+/// xoshiro256++ 1.0 (Blackman & Vigna, 2019; public-domain reference
+/// implementation at prng.di.unimi.it).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Xoshiro256pp {
+    s: [u64; 4],
+}
+
+impl Xoshiro256pp {
+    /// Seeds the full 256-bit state from one `u64` via SplitMix64,
+    /// the procedure the reference implementation recommends.
+    pub fn seed_from_u64(seed: u64) -> Self {
+        let mut sm = seed;
+        let s = [
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+            splitmix64(&mut sm),
+        ];
+        Xoshiro256pp { s }
+    }
+
+    /// Builds a generator from an explicit state (test vectors).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the state is all zero (the one forbidden state).
+    pub fn from_state(s: [u64; 4]) -> Self {
+        assert!(s.iter().any(|&w| w != 0), "xoshiro state must be nonzero");
+        Xoshiro256pp { s }
+    }
+}
+
+impl RngCore for Xoshiro256pp {
+    #[inline]
+    fn next_u64(&mut self) -> u64 {
+        let s = &mut self.s;
+        let result = s[0]
+            .wrapping_add(s[3])
+            .rotate_left(23)
+            .wrapping_add(s[0]);
+        let t = s[1] << 17;
+        s[2] ^= s[0];
+        s[3] ^= s[1];
+        s[1] ^= s[2];
+        s[0] ^= s[3];
+        s[2] ^= t;
+        s[3] = s[3].rotate_left(45);
+        result
+    }
+}
+
+/// Uniform sample in `[0, n)` by rejection (no modulo bias).
+///
+/// # Panics
+///
+/// Panics if `n == 0`.
+#[inline]
+pub fn uniform_u64<R: RngCore + ?Sized>(r: &mut R, n: u64) -> u64 {
+    assert!(n > 0, "empty range");
+    if n.is_power_of_two() {
+        return r.next_u64() & (n - 1);
+    }
+    // Accept v < 2^64 - (2^64 mod n), then reduce.
+    let rem = (u64::MAX % n + 1) % n;
+    let accept_max = u64::MAX - rem;
+    loop {
+        let v = r.next_u64();
+        if v <= accept_max {
+            return v % n;
+        }
+    }
+}
+
+/// Types constructible from raw random bits (`rng.gen()`).
+pub trait FromRng: Sized {
+    /// Draws a uniformly distributed value.
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self;
+}
+
+macro_rules! from_rng_int {
+    ($($t:ty),*) => {$(
+        impl FromRng for $t {
+            #[inline]
+            fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+                r.next_u64() as $t
+            }
+        }
+    )*};
+}
+from_rng_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl FromRng for u128 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        ((r.next_u64() as u128) << 64) | r.next_u64() as u128
+    }
+}
+
+impl FromRng for i128 {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        u128::from_rng(r) as i128
+    }
+}
+
+impl FromRng for bool {
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        r.next_u64() & 1 == 1
+    }
+}
+
+impl FromRng for f64 {
+    /// Uniform in `[0, 1)` with 53 bits of precision.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        (r.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+impl FromRng for f32 {
+    /// Uniform in `[0, 1)` with 24 bits of precision.
+    #[inline]
+    fn from_rng<R: RngCore + ?Sized>(r: &mut R) -> Self {
+        (r.next_u64() >> 40) as f32 * (1.0 / (1u32 << 24) as f32)
+    }
+}
+
+/// Types that can be sampled uniformly from a half-open range.
+pub trait SampleUniform: Copy {
+    /// Uniform sample in `[lo, hi)`.
+    fn sample<R: RngCore + ?Sized>(r: &mut R, lo: Self, hi: Self) -> Self;
+}
+
+macro_rules! sample_unsigned {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(r: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                lo + uniform_u64(r, (hi - lo) as u64) as $t
+            }
+        }
+    )*};
+}
+sample_unsigned!(u8, u16, u32, u64, usize);
+
+macro_rules! sample_signed {
+    ($($t:ty => $u:ty),*) => {$(
+        impl SampleUniform for $t {
+            #[inline]
+            fn sample<R: RngCore + ?Sized>(r: &mut R, lo: Self, hi: Self) -> Self {
+                assert!(lo < hi, "empty range");
+                let span = (hi as $u).wrapping_sub(lo as $u);
+                lo.wrapping_add(uniform_u64(r, span as u64) as $t)
+            }
+        }
+    )*};
+}
+sample_signed!(i8 => u8, i16 => u16, i32 => u32, i64 => u64, isize => usize);
+
+impl SampleUniform for f64 {
+    #[inline]
+    fn sample<R: RngCore + ?Sized>(r: &mut R, lo: Self, hi: Self) -> Self {
+        assert!(lo < hi, "empty range");
+        lo + f64::from_rng(r) * (hi - lo)
+    }
+}
+
+/// The `rand`-shaped convenience surface, implemented for every
+/// [`RngCore`].
+pub trait Rng: RngCore {
+    /// A uniformly distributed value of an inferred type.
+    #[inline]
+    fn gen<T: FromRng>(&mut self) -> T {
+        T::from_rng(self)
+    }
+
+    /// Uniform sample from a half-open range.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range is empty.
+    #[inline]
+    fn gen_range<T: SampleUniform>(&mut self, range: std::ops::Range<T>) -> T {
+        T::sample(self, range.start, range.end)
+    }
+
+    /// `true` with probability `p`.
+    #[inline]
+    fn gen_bool(&mut self, p: f64) -> bool {
+        f64::from_rng(self) < p
+    }
+
+    /// Fills `dest` with random bytes.
+    fn fill_bytes(&mut self, dest: &mut [u8]) {
+        for chunk in dest.chunks_mut(8) {
+            let bytes = self.next_u64().to_le_bytes();
+            chunk.copy_from_slice(&bytes[..chunk.len()]);
+        }
+    }
+
+    /// Fisher–Yates shuffle.
+    fn shuffle<T>(&mut self, xs: &mut [T]) {
+        for i in (1..xs.len()).rev() {
+            let j = uniform_u64(self, i as u64 + 1) as usize;
+            xs.swap(i, j);
+        }
+    }
+}
+
+impl<R: RngCore + ?Sized> Rng for R {}
+
+/// The base seed for a reproducible run: `SHARC_TEST_SEED` from the
+/// environment (decimal or `0x`-prefixed hex), else `default`.
+pub fn seed_from_env(default: u64) -> u64 {
+    match std::env::var("SHARC_TEST_SEED") {
+        Ok(v) => parse_seed(&v).unwrap_or_else(|| {
+            panic!("SHARC_TEST_SEED={v:?} is not a decimal or 0x-hex u64")
+        }),
+        Err(_) => default,
+    }
+}
+
+/// Parses a decimal or `0x`-prefixed hex `u64`.
+pub fn parse_seed(v: &str) -> Option<u64> {
+    let v = v.trim();
+    if let Some(hex) = v.strip_prefix("0x").or_else(|| v.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        v.parse().ok()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Reference vectors: the first outputs of the public-domain
+    // splitmix64.c with x = 0.
+    #[test]
+    fn splitmix64_reference_vector_seed0() {
+        let mut r = SplitMix64::new(0);
+        assert_eq!(r.next_u64(), 0xE220_A839_7B1D_CDAF);
+        assert_eq!(r.next_u64(), 0x6E78_9E6A_A1B9_65F4);
+        assert_eq!(r.next_u64(), 0x06C4_5D18_8009_454F);
+        assert_eq!(r.next_u64(), 0xF88B_B8A8_724C_81EC);
+        assert_eq!(r.next_u64(), 0x1B39_896A_51A8_749B);
+    }
+
+    #[test]
+    fn xoshiro_first_output_from_unit_state() {
+        // With s = {1, 2, 3, 4}: result = rotl(1 + 4, 23) + 1
+        //                               = 5 * 2^23 + 1 = 41943041.
+        let mut r = Xoshiro256pp::from_state([1, 2, 3, 4]);
+        assert_eq!(r.next_u64(), 41_943_041);
+    }
+
+    #[test]
+    fn uniform_is_in_range_and_unbiased_enough() {
+        let mut r = Xoshiro256pp::seed_from_u64(7);
+        let mut counts = [0u32; 7];
+        for _ in 0..7000 {
+            counts[r.gen_range(0..7usize)] += 1;
+        }
+        for &c in &counts {
+            assert!((700..1300).contains(&c), "{counts:?}");
+        }
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut r = Xoshiro256pp::seed_from_u64(9);
+        let mut v: Vec<u32> = (0..100).collect();
+        r.shuffle(&mut v);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..100).collect::<Vec<_>>());
+        assert_ne!(v, sorted, "a 100-element shuffle should move something");
+    }
+
+    #[test]
+    fn fill_bytes_covers_partial_chunks() {
+        let mut r = SplitMix64::new(3);
+        let mut buf = [0u8; 13];
+        r.fill_bytes(&mut buf);
+        assert!(buf.iter().any(|&b| b != 0));
+    }
+
+    #[test]
+    fn parse_seed_formats() {
+        assert_eq!(parse_seed("42"), Some(42));
+        assert_eq!(parse_seed("0xff"), Some(255));
+        assert_eq!(parse_seed("0XFF"), Some(255));
+        assert_eq!(parse_seed("nope"), None);
+    }
+}

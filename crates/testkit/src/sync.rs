@@ -1,0 +1,292 @@
+//! std-only synchronization shims with the `parking_lot` calling
+//! convention: `lock()` returns a guard directly (poisoning is
+//! unwound through — a panicked critical section re-panics nowhere;
+//! we simply take the data, which matches `parking_lot`'s no-poison
+//! semantics), and `Condvar::wait` takes `&mut MutexGuard`.
+//!
+//! Also provides a guard-less [`RawMutex`] (for lock registries that
+//! hand lock/unlock to untrusted call sites), scoped threads, and
+//! `mpsc` channels — everything the workspace previously pulled from
+//! `parking_lot` and `crossbeam`.
+
+use std::ops::{Deref, DerefMut};
+
+pub use std::sync::mpsc;
+pub use std::thread::{scope, Scope, ScopedJoinHandle};
+
+/// A mutex whose `lock` returns the guard directly.
+#[derive(Debug, Default)]
+pub struct Mutex<T> {
+    inner: std::sync::Mutex<T>,
+}
+
+/// RAII guard for [`Mutex`].
+pub struct MutexGuard<'a, T> {
+    // `Option` so `Condvar::wait` can temporarily take the inner
+    // guard by value.
+    inner: Option<std::sync::MutexGuard<'a, T>>,
+}
+
+impl<T> Mutex<T> {
+    /// Creates a mutex.
+    pub const fn new(value: T) -> Self {
+        Mutex {
+            inner: std::sync::Mutex::new(value),
+        }
+    }
+
+    /// Acquires the lock, blocking. Recovers from poisoning.
+    pub fn lock(&self) -> MutexGuard<'_, T> {
+        MutexGuard {
+            inner: Some(self.inner.lock().unwrap_or_else(|e| e.into_inner())),
+        }
+    }
+
+    /// Tries to acquire the lock without blocking.
+    pub fn try_lock(&self) -> Option<MutexGuard<'_, T>> {
+        match self.inner.try_lock() {
+            Ok(g) => Some(MutexGuard { inner: Some(g) }),
+            Err(std::sync::TryLockError::Poisoned(e)) => Some(MutexGuard {
+                inner: Some(e.into_inner()),
+            }),
+            Err(std::sync::TryLockError::WouldBlock) => None,
+        }
+    }
+
+    /// Consumes the mutex, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Mutable access without locking (requires `&mut self`).
+    pub fn get_mut(&mut self) -> &mut T {
+        self.inner.get_mut().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+impl<T> Deref for MutexGuard<'_, T> {
+    type Target = T;
+    fn deref(&self) -> &T {
+        self.inner.as_ref().expect("guard present")
+    }
+}
+
+impl<T> DerefMut for MutexGuard<'_, T> {
+    fn deref_mut(&mut self) -> &mut T {
+        self.inner.as_mut().expect("guard present")
+    }
+}
+
+/// A condition variable for [`Mutex`].
+#[derive(Debug, Default)]
+pub struct Condvar {
+    inner: std::sync::Condvar,
+}
+
+impl Condvar {
+    /// Creates a condition variable.
+    pub const fn new() -> Self {
+        Condvar {
+            inner: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Atomically releases the guard's lock and waits; re-acquires
+    /// before returning (spurious wakeups possible, as always).
+    pub fn wait<T>(&self, guard: &mut MutexGuard<'_, T>) {
+        let inner = guard.inner.take().expect("guard present");
+        let inner = self.inner.wait(inner).unwrap_or_else(|e| e.into_inner());
+        guard.inner = Some(inner);
+    }
+
+    /// Wakes one waiter.
+    pub fn notify_one(&self) {
+        self.inner.notify_one();
+    }
+
+    /// Wakes all waiters.
+    pub fn notify_all(&self) {
+        self.inner.notify_all();
+    }
+}
+
+/// A reader-writer lock whose `read`/`write` return guards directly.
+#[derive(Debug, Default)]
+pub struct RwLock<T> {
+    inner: std::sync::RwLock<T>,
+}
+
+impl<T> RwLock<T> {
+    /// Creates an unlocked lock.
+    pub const fn new(value: T) -> Self {
+        RwLock {
+            inner: std::sync::RwLock::new(value),
+        }
+    }
+
+    /// Acquires shared access.
+    pub fn read(&self) -> std::sync::RwLockReadGuard<'_, T> {
+        self.inner.read().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Acquires exclusive access.
+    pub fn write(&self) -> std::sync::RwLockWriteGuard<'_, T> {
+        self.inner.write().unwrap_or_else(|e| e.into_inner())
+    }
+
+    /// Consumes the lock, returning the inner value.
+    pub fn into_inner(self) -> T {
+        self.inner.into_inner().unwrap_or_else(|e| e.into_inner())
+    }
+}
+
+/// A guard-less mutex: `lock()` and `unlock()` may be called from
+/// different scopes (the shape a lock *registry* needs, where the
+/// checked program decides when to release). Replaces
+/// `parking_lot::RawMutex`.
+#[derive(Debug, Default)]
+pub struct RawMutex {
+    locked: std::sync::Mutex<bool>,
+    cv: std::sync::Condvar,
+}
+
+impl RawMutex {
+    /// An unlocked mutex.
+    pub const fn new() -> Self {
+        RawMutex {
+            locked: std::sync::Mutex::new(false),
+            cv: std::sync::Condvar::new(),
+        }
+    }
+
+    /// Acquires, blocking until available.
+    pub fn lock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        while *locked {
+            locked = self.cv.wait(locked).unwrap_or_else(|e| e.into_inner());
+        }
+        *locked = true;
+    }
+
+    /// Attempts to acquire without blocking.
+    pub fn try_lock(&self) -> bool {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        if *locked {
+            false
+        } else {
+            *locked = true;
+            true
+        }
+    }
+
+    /// Releases the mutex.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own the mutex (a `lock` or successful
+    /// `try_lock` without a matching `unlock`). Releasing a mutex
+    /// another thread owns breaks mutual exclusion for that lock —
+    /// the same contract as `parking_lot::RawMutex::unlock`.
+    pub unsafe fn unlock(&self) {
+        let mut locked = self.locked.lock().unwrap_or_else(|e| e.into_inner());
+        debug_assert!(*locked, "unlock of an unlocked RawMutex");
+        *locked = false;
+        drop(locked);
+        self.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    #[test]
+    fn mutex_guard_derefs() {
+        let m = Mutex::new(41);
+        *m.lock() += 1;
+        assert_eq!(*m.lock(), 42);
+        assert_eq!(m.into_inner(), 42);
+    }
+
+    #[test]
+    fn mutex_excludes_across_threads() {
+        let m = Arc::new(Mutex::new(0u64));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..10_000 {
+                    *m.lock() += 1;
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*m.lock(), 40_000);
+    }
+
+    #[test]
+    fn condvar_signals_waiter() {
+        let slot = Arc::new((Mutex::new(None::<u32>), Condvar::new()));
+        let s2 = Arc::clone(&slot);
+        let h = std::thread::spawn(move || {
+            let (m, cv) = &*s2;
+            let mut g = m.lock();
+            while g.is_none() {
+                cv.wait(&mut g);
+            }
+            g.take().unwrap()
+        });
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        {
+            let (m, cv) = &*slot;
+            *m.lock() = Some(7);
+            cv.notify_all();
+        }
+        assert_eq!(h.join().unwrap(), 7);
+    }
+
+    #[test]
+    fn raw_mutex_excludes() {
+        let m = Arc::new(RawMutex::new());
+        let counter = Arc::new(AtomicUsize::new(0));
+        let mut handles = Vec::new();
+        for _ in 0..4 {
+            let m = Arc::clone(&m);
+            let counter = Arc::clone(&counter);
+            handles.push(std::thread::spawn(move || {
+                for _ in 0..1000 {
+                    m.lock();
+                    let v = counter.load(Ordering::Relaxed);
+                    counter.store(v + 1, Ordering::Relaxed);
+                    unsafe { m.unlock() };
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(counter.load(Ordering::Relaxed), 4000);
+    }
+
+    #[test]
+    fn raw_mutex_try_lock() {
+        let m = RawMutex::new();
+        assert!(m.try_lock());
+        assert!(!m.try_lock());
+        unsafe { m.unlock() };
+        assert!(m.try_lock());
+        unsafe { m.unlock() };
+    }
+
+    #[test]
+    fn rwlock_allows_parallel_reads() {
+        let l = RwLock::new(5);
+        let a = l.read();
+        let b = l.read();
+        assert_eq!(*a + *b, 10);
+    }
+}

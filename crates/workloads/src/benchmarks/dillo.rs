@@ -17,7 +17,7 @@
 
 use crate::substrates::net::DnsServer;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use parking_lot::Mutex;
+use sharc_testkit::sync::Mutex;
 use sharc_runtime::{AccessPolicy, Arena, Checked, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId, Unchecked};
 use std::collections::VecDeque;
 use std::sync::Arc;

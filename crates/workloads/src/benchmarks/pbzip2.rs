@@ -18,7 +18,7 @@
 use crate::substrates::compress::compress_block;
 use crate::substrates::net::fnv;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use parking_lot::{Condvar, Mutex};
+use sharc_testkit::sync::{Condvar, Mutex};
 use sharc_runtime::{sharing_cast, LpRc, RcScheme};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;

@@ -12,7 +12,7 @@
 
 use crate::substrates::filesys::{FsConfig, SynthFs};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use parking_lot::Mutex;
+use sharc_testkit::sync::Mutex;
 use sharc_runtime::{AccessPolicy, Arena, Checked, ThreadCtx, ThreadId, Unchecked};
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -33,6 +33,10 @@ impl Params {
                 n_dirs: if scale.quick { 2 } else { 8 },
                 files_per_dir: if scale.quick { 4 } else { 12 },
                 file_size: if scale.quick { 2048 } else { 8192 },
+                // Plant needles densely enough that every scale hits
+                // word-boundary backtracking (the re-read cost that
+                // pushes the checked fraction above one-per-word).
+                needle_every: 256,
                 ..FsConfig::default()
             },
             workers: 2,

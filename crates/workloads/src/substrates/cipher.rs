@@ -48,7 +48,7 @@ pub fn decrypt(key: u64, data: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sharc_testkit::{forall, gen, prop_assert, prop_assert_eq};
 
     #[test]
     fn roundtrip() {
@@ -70,10 +70,19 @@ mod tests {
         assert_eq!(encrypt(7, b"abc"), encrypt(7, b"abc"));
     }
 
-    proptest! {
-        #[test]
-        fn prop_roundtrip(key in any::<u64>(), data in proptest::collection::vec(any::<u8>(), 0..512)) {
-            prop_assert_eq!(decrypt(key, &encrypt(key, &data)), data);
-        }
+    #[test]
+    fn prop_roundtrip() {
+        let inputs = gen::pair(gen::u64_any(), gen::byte_vec(0..512));
+        forall!("cipher_roundtrip", inputs, |&(key, ref data)| {
+            prop_assert_eq!(decrypt(key, &encrypt(key, data)), *data);
+        });
+    }
+
+    #[test]
+    fn prop_ciphertext_differs_for_nonempty_input() {
+        let inputs = gen::pair(gen::u64_any(), gen::byte_vec(8..128));
+        forall!("cipher_diffuses", inputs, |&(key, ref data)| {
+            prop_assert!(encrypt(key, data) != *data, "keystream must change bytes");
+        });
     }
 }

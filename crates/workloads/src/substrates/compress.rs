@@ -322,7 +322,7 @@ pub fn huffman_decode(data: &[u8]) -> Vec<u8> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sharc_testkit::{forall, gen, prop_assert_eq};
 
     #[test]
     fn bwt_roundtrip_banana() {
@@ -378,27 +378,33 @@ mod tests {
         assert!(c.len() < data.len() / 2, "{} vs {}", c.len(), data.len());
     }
 
-    proptest! {
-        #[test]
-        fn prop_block_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..2048)) {
-            let c = compress_block(&data);
-            prop_assert_eq!(decompress_block(&c), data);
-        }
+    #[test]
+    fn prop_block_roundtrip() {
+        forall!("block_roundtrip", gen::byte_vec(0..2048), |data| {
+            let c = compress_block(data);
+            prop_assert_eq!(decompress_block(&c), *data);
+        });
+    }
 
-        #[test]
-        fn prop_bwt_roundtrip(data in proptest::collection::vec(any::<u8>(), 1..512)) {
-            let (b, p) = bwt_forward(&data);
-            prop_assert_eq!(bwt_inverse(&b, p), data);
-        }
+    #[test]
+    fn prop_bwt_roundtrip() {
+        forall!("bwt_roundtrip", gen::byte_vec(1..512), |data| {
+            let (b, p) = bwt_forward(data);
+            prop_assert_eq!(bwt_inverse(&b, p), *data);
+        });
+    }
 
-        #[test]
-        fn prop_rle_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
-            prop_assert_eq!(rle_decode(&rle_encode(&data)), data);
-        }
+    #[test]
+    fn prop_rle_roundtrip() {
+        forall!("rle_roundtrip", gen::byte_vec(0..1024), |data| {
+            prop_assert_eq!(rle_decode(&rle_encode(data)), *data);
+        });
+    }
 
-        #[test]
-        fn prop_huffman_roundtrip(data in proptest::collection::vec(any::<u8>(), 0..1024)) {
-            prop_assert_eq!(huffman_decode(&huffman_encode(&data)), data);
-        }
+    #[test]
+    fn prop_huffman_roundtrip() {
+        forall!("huffman_roundtrip", gen::byte_vec(0..1024), |data| {
+            prop_assert_eq!(huffman_decode(&huffman_encode(data)), *data);
+        });
     }
 }

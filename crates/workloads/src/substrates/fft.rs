@@ -136,7 +136,7 @@ pub fn random_signal(n: usize, seed: u64) -> Vec<Complex> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use proptest::prelude::*;
+    use sharc_testkit::{forall, gen, prop_assert};
 
     fn close(a: Complex, b: Complex) -> bool {
         (a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6
@@ -181,21 +181,24 @@ mod tests {
         fft(&mut data);
     }
 
-    proptest! {
-        #[test]
-        fn prop_fft_ifft_roundtrip(seed in 0u64..1000, pow in 1u32..10) {
+    #[test]
+    fn prop_fft_ifft_roundtrip() {
+        let inputs = gen::pair(gen::u64_range(0..1000), gen::u32_range(1..10));
+        forall!("fft_ifft_roundtrip", inputs, |&(seed, pow)| {
             let n = 1usize << pow;
             let sig = random_signal(n, seed);
             let mut work = sig.clone();
             fft(&mut work);
             ifft(&mut work);
             for (a, b) in work.iter().zip(&sig) {
-                prop_assert!(close(*a, *b));
+                prop_assert!(close(*a, *b), "{a:?} vs {b:?} (n={n}, seed={seed})");
             }
-        }
+        });
+    }
 
-        #[test]
-        fn prop_linearity(seed in 0u64..1000) {
+    #[test]
+    fn prop_linearity() {
+        forall!("fft_linearity", gen::u64_range(0..1000), |&seed| {
             let a = random_signal(32, seed);
             let b = random_signal(32, seed + 1);
             let sum: Vec<Complex> = a.iter().zip(&b).map(|(x, y)| x.add(*y)).collect();
@@ -206,8 +209,8 @@ mod tests {
             fft(&mut fb);
             fft(&mut fsum);
             for i in 0..32 {
-                prop_assert!(close(fsum[i], fa[i].add(fb[i])));
+                prop_assert!(close(fsum[i], fa[i].add(fb[i])), "component {i} (seed={seed})");
             }
-        }
+        });
     }
 }

@@ -4,8 +4,7 @@
 //! the OS buffer cache ("we were able to eliminate file system
 //! effects"); an in-memory tree reproduces exactly that setup.
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sharc_testkit::rng::{Rng, Xoshiro256pp};
 
 /// One synthetic file.
 #[derive(Debug, Clone)]
@@ -52,7 +51,7 @@ impl SynthFs {
     /// Generates a tree; occurrences of `needle` are planted at a
     /// known rate so scans have a verifiable answer.
     pub fn generate(cfg: FsConfig, needle: &str) -> SynthFs {
-        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(cfg.seed);
         let mut files = Vec::new();
         for d in 0..cfg.n_dirs {
             for f in 0..cfg.files_per_dir {

@@ -7,8 +7,7 @@
 //! we reproduce with calibrated busy-wait delays (sleep granularity
 //! is too coarse and would deschedule workers).
 
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use sharc_testkit::rng::{Rng, Xoshiro256pp};
 use std::time::{Duration, Instant};
 
 /// Busy-waits for `d` (simulated I/O latency).
@@ -30,7 +29,7 @@ pub struct ChunkServer {
 impl ChunkServer {
     /// Creates a server holding `size` deterministic bytes.
     pub fn new(size: usize, latency: Duration, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let data = (0..size).map(|_| rng.gen()).collect();
         ChunkServer { data, latency }
     }
@@ -73,7 +72,7 @@ pub struct DnsServer {
 impl DnsServer {
     /// Creates a server with `n` deterministic host entries.
     pub fn new(n: usize, latency: Duration, seed: u64) -> Self {
-        let mut rng = StdRng::seed_from_u64(seed);
+        let mut rng = Xoshiro256pp::seed_from_u64(seed);
         let entries = (0..n)
             .map(|i| (format!("host{i}.example.org"), rng.gen()))
             .collect();

@@ -1,0 +1,115 @@
+//! Deterministic smoke tests for the workload substrates: fixed
+//! seeds, tiny inputs, pinned output checksums. Guards against
+//! accidental behavior drift in the substrates (e.g. a PRNG or
+//! algorithm change silently altering every benchmark's workload).
+//!
+//! All checksums are FNV-1a over deterministic byte encodings. If a
+//! substrate is changed *intentionally*, rerun with
+//! `UPDATE=1 cargo test -p sharc-workloads --test substrate_smoke -- --nocapture`
+//! and copy the printed values.
+
+use sharc_workloads::substrates::cipher;
+use sharc_workloads::substrates::compress;
+use sharc_workloads::substrates::fft::{self, Complex};
+use sharc_workloads::substrates::filesys::{FsConfig, SynthFs};
+use sharc_workloads::substrates::net::{fnv, ChunkServer, DnsServer};
+use std::time::Duration;
+
+/// Folds a slice of u64s through FNV over their little-endian bytes.
+fn fnv_u64s(vals: impl IntoIterator<Item = u64>) -> u64 {
+    let bytes: Vec<u8> = vals.into_iter().flat_map(|v| v.to_le_bytes()).collect();
+    fnv(&bytes)
+}
+
+/// Quantizes a complex signal for checksumming: nanounit fixed-point
+/// so the checksum is stable against formatting, not arithmetic.
+fn signal_checksum(sig: &[Complex]) -> u64 {
+    fnv_u64s(
+        sig.iter()
+            .flat_map(|c| [(c.re * 1e9).round() as i64 as u64, (c.im * 1e9).round() as i64 as u64]),
+    )
+}
+
+fn check(name: &str, expected: u64, actual: u64) {
+    if std::env::var("UPDATE").is_ok() {
+        println!("const {name}: u64 = 0x{actual:016X};");
+        return;
+    }
+    assert_eq!(
+        expected, actual,
+        "{name}: pinned 0x{expected:016X}, computed 0x{actual:016X} — \
+         substrate output drifted; if intentional, re-pin (see module docs)"
+    );
+}
+
+const FFT_INPUT_SUM: u64 = 0x633872DD7E59832E;
+const FFT_OUTPUT_SUM: u64 = 0x2D2AD010E51EE6B9;
+const COMPRESS_SUM: u64 = 0x43FBEA39296B80B6;
+const CIPHER_SUM: u64 = 0xEFCD4EDCA1F45395;
+const NET_CHUNK_SUM: u64 = 0x9DF242C04C0EB3CE;
+const NET_DNS_SUM: u64 = 0x3F6483C730CED4D2;
+const FILESYS_SUM: u64 = 0x76F652E0010059D3;
+
+#[test]
+fn fft_signal_and_transform_are_pinned() {
+    let sig = fft::random_signal(64, 0xF00D);
+    check("FFT_INPUT_SUM", FFT_INPUT_SUM, signal_checksum(&sig));
+    let mut freq = sig.clone();
+    fft::fft(&mut freq);
+    check("FFT_OUTPUT_SUM", FFT_OUTPUT_SUM, signal_checksum(&freq));
+    // And the transform still inverts (semantic sanity next to the pin).
+    fft::ifft(&mut freq);
+    for (a, b) in freq.iter().zip(&sig) {
+        assert!((a.re - b.re).abs() < 1e-6 && (a.im - b.im).abs() < 1e-6);
+    }
+}
+
+#[test]
+fn compress_output_is_pinned() {
+    // A compressible input: repeated words with a deterministic tail.
+    let mut input = b"sharc sharc sharc shared private dynamic ".repeat(8);
+    input.extend((0u8..64).map(|i| i.wrapping_mul(37)));
+    let packed = compress::compress_block(&input);
+    check("COMPRESS_SUM", COMPRESS_SUM, fnv(&packed));
+    assert_eq!(compress::decompress_block(&packed), input);
+    assert!(packed.len() < input.len(), "input must actually compress");
+}
+
+#[test]
+fn cipher_keystream_is_pinned() {
+    let plain = b"the quick brown fox jumps over the lazy dog";
+    let sealed = cipher::encrypt(0xC1F4E5, plain);
+    check("CIPHER_SUM", CIPHER_SUM, fnv(&sealed));
+    assert_eq!(cipher::decrypt(0xC1F4E5, &sealed), plain);
+}
+
+#[test]
+fn net_servers_are_pinned() {
+    let chunks = ChunkServer::new(4096, Duration::ZERO, 0xBEEF);
+    check("NET_CHUNK_SUM", NET_CHUNK_SUM, chunks.checksum());
+
+    let dns = DnsServer::new(16, Duration::ZERO, 0xD0D0);
+    let resolved = (0..dns.len()).map(|i| {
+        let host = dns.host(i).to_owned();
+        dns.resolve(&host).expect("own host resolves") as u64
+    });
+    check("NET_DNS_SUM", NET_DNS_SUM, fnv_u64s(resolved));
+}
+
+#[test]
+fn filesys_tree_is_pinned() {
+    let cfg = FsConfig {
+        n_dirs: 2,
+        files_per_dir: 3,
+        file_size: 512,
+        needle_every: 128,
+        seed: 0x5EED,
+    };
+    let fs = SynthFs::generate(cfg, "needle");
+    let mut all = Vec::new();
+    for p in fs.paths() {
+        all.extend_from_slice(fs.read(&p).unwrap());
+    }
+    check("FILESYS_SUM", FILESYS_SUM, fnv(&all));
+    assert!(fs.count_occurrences(b"needle") > 0, "needles planted");
+}

@@ -5,9 +5,17 @@
 //! The theorem: *private cells are only accessed by the thread that
 //! owns them*, and *no two threads race on a dynamic cell* (unless an
 //! intervening sharing cast changed its mode).
+//!
+//! Runs on the sharc-testkit property harness. Base seed comes from
+//! `SHARC_TEST_SEED`; failing case seeds are persisted to
+//! `tests/formal_soundness.regressions` and replayed before random
+//! cases. Historical proptest failures are preserved as the explicit
+//! `regression_*` tests below.
 
-use proptest::prelude::*;
 use sharc::interp::formal::*;
+use sharc_testkit::gen::{self, Gen};
+use sharc_testkit::prop::Config;
+use sharc_testkit::{forall, prop_assert};
 
 /// The fixed typing environment the generator draws from:
 /// dynamic globals `g` (int) and `h` (int), plus per-thread locals
@@ -34,101 +42,112 @@ fn locals() -> Vec<(String, FType)> {
     ]
 }
 
-/// A menu of well-typed statements over that environment.
-fn stmt_strategy(can_spawn: bool) -> impl Strategy<Value = FStmt> {
-    let choices = prop_oneof![
+/// A menu of well-typed statements over that environment. Shrinks
+/// toward the earlier (simpler) entries.
+fn stmt_gen(can_spawn: bool) -> Gen<FStmt> {
+    let mut choices = vec![
+        // a no-op (the shrink target)
+        FStmt::Skip,
         // writes to dynamic globals
-        Just(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1))),
-        Just(FStmt::Assign(LVal::Var("h".into()), RExpr::Const(2))),
+        FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1)),
+        FStmt::Assign(LVal::Var("h".into()), RExpr::Const(2)),
         // reads of dynamic globals into a private local
-        Just(FStmt::Assign(
-            LVal::Var("a".into()),
-            RExpr::L(LVal::Var("g".into()))
-        )),
-        Just(FStmt::Assign(
-            LVal::Var("a".into()),
-            RExpr::L(LVal::Var("h".into()))
-        )),
+        FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+        FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
         // private local work
-        Just(FStmt::Assign(LVal::Var("a".into()), RExpr::Const(7))),
+        FStmt::Assign(LVal::Var("a".into()), RExpr::Const(7)),
         // allocate a dynamic cell, write through the reference
-        Just(FStmt::Assign(
-            LVal::Var("x".into()),
-            RExpr::New(FType::int(Mode::Dynamic))
-        )),
-        Just(FStmt::Assign(LVal::Deref("x".into()), RExpr::Const(3))),
+        FStmt::Assign(LVal::Var("x".into()), RExpr::New(FType::int(Mode::Dynamic))),
+        FStmt::Assign(LVal::Deref("x".into()), RExpr::Const(3)),
         // allocate a private cell, write through it
-        Just(FStmt::Assign(
-            LVal::Var("y".into()),
-            RExpr::New(FType::int(Mode::Private))
-        )),
-        Just(FStmt::Assign(LVal::Deref("y".into()), RExpr::Const(4))),
+        FStmt::Assign(LVal::Var("y".into()), RExpr::New(FType::int(Mode::Private))),
+        FStmt::Assign(LVal::Deref("y".into()), RExpr::Const(4)),
         // sharing cast: x's dynamic referent becomes private in y
-        Just(FStmt::Assign(
+        FStmt::Assign(
             LVal::Var("y".into()),
-            RExpr::Scast(FType::int(Mode::Private), "x".into())
-        )),
-        Just(FStmt::Skip),
+            RExpr::Scast(FType::int(Mode::Private), "x".into()),
+        ),
     ];
     if can_spawn {
-        prop_oneof![choices, Just(FStmt::Spawn("helper".into()))].boxed()
-    } else {
-        choices.boxed()
+        choices.push(FStmt::Spawn("helper".into()));
     }
+    gen::choose(choices)
 }
 
-fn program_strategy() -> impl Strategy<Value = FProgram> {
-    let main_body = proptest::collection::vec(stmt_strategy(true), 1..4);
-    let helper_body = proptest::collection::vec(stmt_strategy(false), 1..4);
-    (main_body, helper_body).prop_map(|(mb, hb)| FProgram {
+fn make_program(main_body: Vec<FStmt>, helper_body: Vec<FStmt>) -> FProgram {
+    FProgram {
         globals: globals(),
         threads: vec![
             ThreadDef {
                 name: "main".into(),
                 locals: locals(),
-                body: mb,
+                body: main_body,
             },
             ThreadDef {
                 name: "helper".into(),
                 locals: locals(),
-                body: hb,
+                body: helper_body,
             },
         ],
-            n_locks: 0,
-        })
+        n_locks: 0,
+    }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(64))]
+fn program_gen() -> Gen<FProgram> {
+    gen::pair(
+        gen::vec_of(stmt_gen(true), 1..4),
+        gen::vec_of(stmt_gen(false), 1..4),
+    )
+    .map(|p| make_program(p.0.clone(), p.1.clone()))
+}
 
-    /// The soundness theorem holds on every interleaving of every
-    /// generated well-typed program.
-    #[test]
-    fn checked_programs_never_violate_soundness(p in program_strategy()) {
-        let cp = typecheck(&p).expect("generator emits well-typed programs");
-        let (violations, states) = explore(&cp, 150_000);
-        let real: Vec<_> = violations
-            .iter()
-            .filter(|v| !matches!(v, Violation::Budget))
-            .collect();
-        prop_assert!(real.is_empty(), "violations {real:?} in {states} states");
-    }
+fn cfg() -> Config {
+    Config::from_env()
+        .with_cases(64)
+        .persist_to("tests/formal_soundness.regressions")
+}
 
-    /// The runtime checks are load-bearing: when a generated program
-    /// contains a cross-thread dynamic write pair, stripping the
-    /// guards lets the oracle observe the race in some interleaving.
-    #[test]
-    fn guards_are_load_bearing(p in program_strategy()) {
+/// Asserts the soundness theorem on every interleaving of `p`.
+/// Shared by the property and the explicit regression cases.
+fn assert_sound(p: &FProgram) -> Result<(), String> {
+    let cp = typecheck(p).expect("generator emits well-typed programs");
+    let (violations, states) = explore(&cp, 150_000);
+    let real: Vec<_> = violations
+        .iter()
+        .filter(|v| !matches!(v, Violation::Budget))
+        .collect();
+    prop_assert!(real.is_empty(), "violations {real:?} in {states} states");
+    Ok(())
+}
+
+/// The soundness theorem holds on every interleaving of every
+/// generated well-typed program.
+#[test]
+fn checked_programs_never_violate_soundness() {
+    forall!("checked_programs_never_violate_soundness", cfg(), program_gen(), |p| {
+        assert_sound(p)?;
+    });
+}
+
+/// The runtime checks are load-bearing: when a generated program
+/// contains a cross-thread dynamic write pair, stripping the guards
+/// lets the oracle observe the race in some interleaving.
+#[test]
+fn guards_are_load_bearing() {
+    forall!("guards_are_load_bearing", cfg(), program_gen(), |p| {
         // Force a cross-thread write/write pair on global g: the
         // spawn goes first in main, both threads end with a g write.
         // Deref statements are dropped so a null dereference cannot
         // kill a thread before it reaches its racing write.
-        let mut p = p;
+        let mut p = p.clone();
         for t in &mut p.threads {
-            t.body.retain(|s| !matches!(
-                s,
-                FStmt::Assign(LVal::Deref(_), _) | FStmt::Assign(_, RExpr::L(LVal::Deref(_)))
-            ));
+            t.body.retain(|s| {
+                !matches!(
+                    s,
+                    FStmt::Assign(LVal::Deref(_), _)
+                        | FStmt::Assign(_, RExpr::L(LVal::Deref(_)))
+                )
+            });
             t.body.push(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(9)));
         }
         p.threads[0].body.retain(|s| !matches!(s, FStmt::Spawn(_)));
@@ -137,7 +156,9 @@ proptest! {
         let checked = typecheck(&p).expect("well-typed");
         let (violations, _) = explore(&strip_guards(&checked), 150_000);
         prop_assert!(
-            violations.iter().any(|v| matches!(v, Violation::DynamicRace { .. })),
+            violations
+                .iter()
+                .any(|v| matches!(v, Violation::DynamicRace { .. })),
             "stripped guards must expose the race"
         );
         // And with guards intact the same program is sound.
@@ -147,34 +168,78 @@ proptest! {
             .filter(|v| !matches!(v, Violation::Budget))
             .collect();
         prop_assert!(real.is_empty(), "{real:?}");
-    }
+    });
+}
+
+// ---------------------------------------------------------------
+// Historical proptest regression seeds, re-encoded as explicit
+// cases (formerly tests/formal_soundness.proptest-regressions).
+// Each is the shrunk program a past run found, re-run against the
+// full soundness oracle.
+// ---------------------------------------------------------------
+
+/// proptest seed 1307...423a: a dynamic-global write in main racing
+/// with a helper read of the same global.
+#[test]
+fn regression_dynamic_write_vs_read() {
+    let p = make_program(
+        vec![FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1))],
+        vec![FStmt::Assign(
+            LVal::Var("a".into()),
+            RExpr::L(LVal::Var("g".into())),
+        )],
+    );
+    assert_sound(&p).unwrap();
+}
+
+/// proptest seed 781c...09a9: main writes g then spawns a helper that
+/// reads and rewrites g — a write/write pair across the spawn edge.
+#[test]
+fn regression_write_spawn_write() {
+    let p = make_program(
+        vec![
+            FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1)),
+            FStmt::Spawn("helper".into()),
+        ],
+        vec![
+            FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+            FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1)),
+        ],
+    );
+    assert_sound(&p).unwrap();
+}
+
+/// proptest seed d48e...7d10: helper dereferences an unallocated
+/// dynamic ref (null) before writing the global — exercises the
+/// thread-kill path during exploration.
+#[test]
+fn regression_null_deref_then_write() {
+    let p = make_program(
+        vec![
+            FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1)),
+            FStmt::Spawn("helper".into()),
+        ],
+        vec![
+            FStmt::Assign(LVal::Deref("x".into()), RExpr::Const(3)),
+            FStmt::Assign(LVal::Var("g".into()), RExpr::Const(1)),
+        ],
+    );
+    assert_sound(&p).unwrap();
 }
 
 #[test]
 fn exhaustive_exploration_covers_many_interleavings() {
-    let p = FProgram {
-        globals: globals(),
-        threads: vec![
-            ThreadDef {
-                name: "main".into(),
-                locals: locals(),
-                body: vec![
-                    FStmt::Spawn("helper".into()),
-                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
-                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
-                ],
-            },
-            ThreadDef {
-                name: "helper".into(),
-                locals: locals(),
-                body: vec![
-                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
-                    FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
-                ],
-            },
+    let p = make_program(
+        vec![
+            FStmt::Spawn("helper".into()),
+            FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+            FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
         ],
-            n_locks: 0,
-        };
+        vec![
+            FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("g".into()))),
+            FStmt::Assign(LVal::Var("a".into()), RExpr::L(LVal::Var("h".into()))),
+        ],
+    );
     let cp = typecheck(&p).unwrap();
     let (violations, states) = explore(&cp, 1_000_000);
     assert!(violations.is_empty(), "{violations:?}");

@@ -3,9 +3,14 @@
 //! the paper's incrementality story — "as the user adds more
 //! annotations, false warnings are reduced, and performance
 //! improves".
+//!
+//! Runs on the sharc-testkit property harness; base seed comes from
+//! `SHARC_TEST_SEED`.
 
-use proptest::prelude::*;
 use minic::{Qual, Type};
+use sharc_testkit::gen::{self, Gen};
+use sharc_testkit::prop::Config;
+use sharc_testkit::{forall, prop_assert, prop_assert_eq};
 
 /// Checks that no qualifier variable or `Infer` survives inference
 /// anywhere in the program (struct fields may keep `Poly`).
@@ -47,62 +52,72 @@ fn fully_concrete(p: &minic::Program) -> bool {
 
 /// A small generator of well-formed MiniC programs assembled from
 /// worker/main statement fragments.
-fn program_strategy() -> impl Strategy<Value = String> {
-    let worker_stmts = prop_oneof![
-        Just("*d = *d + 1;"),
-        Just("v = *d;"),
-        Just("g = g + 1;"),
-        Just("v = g;"),
-        Just("v = v * 2;"),
-    ];
-    let main_stmts = prop_oneof![
-        Just("x = x + 1;"),
-        Just("g = 0;"),
-        Just("*p = 3;"),
-    ];
-    (
-        proptest::collection::vec(worker_stmts, 1..4),
-        proptest::collection::vec(main_stmts, 0..3),
-        proptest::bool::ANY,
+fn program_gen() -> Gen<String> {
+    let worker_stmts = gen::choose(vec![
+        "*d = *d + 1;",
+        "v = *d;",
+        "g = g + 1;",
+        "v = g;",
+        "v = v * 2;",
+    ]);
+    let main_stmts = gen::choose(vec!["x = x + 1;", "g = 0;", "*p = 3;"]);
+    gen::triple(
+        gen::vec_of(worker_stmts, 1..4),
+        gen::vec_of(main_stmts, 0..3),
+        gen::bool_any(),
     )
-        .prop_map(|(ws, ms, two_threads)| {
-            let worker_body: String = ws.join("\n    ");
-            let main_body: String = ms.join("\n    ");
-            let second = if two_threads { "spawn(worker, p);" } else { "" };
-            format!(
-                "int g;\n\
-                 void worker(int * d) {{\n    int v;\n    {worker_body}\n}}\n\
-                 void main() {{\n    int x;\n    int * p;\n    p = new(int);\n    \
-                 {main_body}\n    spawn(worker, p);\n    {second}\n    join_all();\n}}"
-            )
-        })
+    .map(|t| {
+        let (ws, ms, two_threads) = t;
+        let worker_body: String = ws.join("\n    ");
+        let main_body: String = ms.join("\n    ");
+        let second = if *two_threads { "spawn(worker, p);" } else { "" };
+        format!(
+            "int g;\n\
+             void worker(int * d) {{\n    int v;\n    {worker_body}\n}}\n\
+             void main() {{\n    int x;\n    int * p;\n    p = new(int);\n    \
+             {main_body}\n    spawn(worker, p);\n    {second}\n    join_all();\n}}"
+        )
+    })
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
+fn cfg() -> Config {
+    Config::from_env().with_cases(48)
+}
 
-    /// Inference always terminates with every qualifier concrete, and
-    /// the result passes the checker (no internal inconsistencies).
-    #[test]
-    fn inference_is_total_and_self_consistent(src in program_strategy()) {
-        let checked = sharc::check("gen.c", &src).expect("parses");
-        prop_assert!(fully_concrete(&checked.program), "{}",
-            minic::pretty::program(&checked.program));
+/// Inference always terminates with every qualifier concrete, and
+/// the result passes the checker (no internal inconsistencies).
+#[test]
+fn inference_is_total_and_self_consistent() {
+    forall!("inference_is_total_and_self_consistent", cfg(), program_gen(), |src| {
+        let checked = sharc::check("gen.c", src).expect("parses");
+        prop_assert!(
+            fully_concrete(&checked.program),
+            "{}",
+            minic::pretty::program(&checked.program)
+        );
         prop_assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
-    }
+    });
+}
 
-    /// Printing the inferred program and re-checking it is stable:
-    /// the annotations SharC infers are themselves valid annotations
-    /// ("compiler-checked documentation").
-    #[test]
-    fn inference_fixpoint_through_pretty_printer(src in program_strategy()) {
-        let first = sharc::check("gen.c", &src).expect("parses");
-        prop_assume!(!first.diags.has_errors());
+/// Printing the inferred program and re-checking it is stable: the
+/// annotations SharC infers are themselves valid annotations
+/// ("compiler-checked documentation").
+#[test]
+fn inference_fixpoint_through_pretty_printer() {
+    forall!("inference_fixpoint_through_pretty_printer", cfg(), program_gen(), |src| {
+        let first = sharc::check("gen.c", src).expect("parses");
+        if first.diags.has_errors() {
+            // prop_assume: only error-free programs are interesting.
+            return Ok(());
+        }
         let printed = minic::pretty::program(&first.program);
         let second = sharc::check("gen2.c", &printed)
             .unwrap_or_else(|e| panic!("inferred program must reparse: {e}\n{printed}"));
-        prop_assert!(!second.diags.has_errors(), "{}\n---\n{printed}",
-            second.render_diags());
+        prop_assert!(
+            !second.diags.has_errors(),
+            "{}\n---\n{printed}",
+            second.render_diags()
+        );
         // The same positions end up dynamic.
         let quals = |p: &minic::Program| -> Vec<minic::Qual> {
             let mut v = Vec::new();
@@ -114,22 +129,28 @@ proptest! {
             v
         };
         prop_assert_eq!(quals(&first.program), quals(&second.program));
-    }
+    });
+}
 
-    /// Annotating inferred-dynamic data as racy removes runtime
-    /// checks — the incrementality knob the paper describes.
-    #[test]
-    fn racy_annotation_reduces_checks(n_writes in 1usize..5) {
-        let body: String = (0..n_writes).map(|_| "g = g + 1;").collect::<Vec<_>>().join("\n    ");
+/// Annotating inferred-dynamic data as racy removes runtime checks —
+/// the incrementality knob the paper describes.
+#[test]
+fn racy_annotation_reduces_checks() {
+    forall!("racy_annotation_reduces_checks", cfg(), gen::usize_range(1..5), |&n_writes| {
+        let body: String = (0..n_writes)
+            .map(|_| "g = g + 1;")
+            .collect::<Vec<_>>()
+            .join("\n    ");
         let plain = format!(
             "int g;\nvoid worker(int * d) {{\n    {body}\n}}\n\
-             void main() {{ int * p; spawn(worker, p); spawn(worker, p); join_all(); }}");
+             void main() {{ int * p; spawn(worker, p); spawn(worker, p); join_all(); }}"
+        );
         let racy = plain.replace("int g;", "int racy g;");
         let a = sharc::check("plain.c", &plain).expect("parses");
         let b = sharc::check("racy.c", &racy).expect("parses");
         prop_assert!(a.instr.n_dynamic_sites > 0);
         prop_assert_eq!(b.instr.n_dynamic_sites, 0);
-    }
+    });
 }
 
 #[test]
