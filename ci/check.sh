@@ -14,13 +14,22 @@ if grep -rn 'rand\|proptest\|criterion\|crossbeam\|parking_lot\|serde' \
 fi
 echo "ok"
 
+echo "== cargo fmt --check =="
+cargo fmt --check
+
 echo "== cargo build --release --offline =="
 cargo build --release --offline
+
+echo "== cargo clippy --offline -D warnings =="
+cargo clippy --workspace --offline --all-targets -- -D warnings
 
 echo "== cargo test -q --offline =="
 cargo test -q --offline
 
 echo "== table1 --smoke =="
 cargo run --release --offline -p sharc-bench --bin table1 -- --smoke
+
+echo "== checker bench --smoke (asserts cached beats uncached) =="
+cargo bench --offline -p sharc-bench --bench checker -- --smoke
 
 echo "All checks passed."

@@ -1,0 +1,105 @@
+//! Bench for the unified checker layer: the owned-granule epoch
+//! cache against the raw CAS slow path, on the workload shape the
+//! cache is built for — one thread repeatedly touching granules it
+//! already owns (pfscan's scan buffers, pbzip2's per-worker blocks).
+//!
+//! Runs on the sharc-testkit bench harness (`harness = false`);
+//! results land in `target/BENCH_checker.json`. Accepts `--quick`
+//! (or its CI alias `--smoke`) to shrink sample counts.
+
+use sharc_checker::OwnedCache;
+use sharc_runtime::{Shadow, ThreadId};
+use sharc_testkit::Bench;
+
+/// Working set sized to the cache's default slot count, so the
+/// direct-mapped table holds every granule (the steady state the
+/// cache targets).
+const GRANULES: usize = 256;
+
+fn main() {
+    // `--smoke` is what ci/check.sh passes everywhere; the harness
+    // itself only knows `--quick`.
+    let smoke = std::env::args().any(|a| a == "--smoke");
+    let mut g = Bench::new("checker");
+    g.sample_size(if smoke { 5 } else { 20 });
+
+    let t = ThreadId(1);
+
+    // Baseline: every access runs the full atomic-load (+ CAS on
+    // first contact) protocol.
+    {
+        let s: Shadow = Shadow::new(GRANULES);
+        g.bench("owned-write/uncached", || {
+            for i in 0..GRANULES {
+                s.check_write(i, t).unwrap();
+            }
+        });
+    }
+
+    // The epoch cache: after the first lap every access is one
+    // relaxed epoch load plus a direct-mapped probe.
+    {
+        let s: Shadow = Shadow::new(GRANULES);
+        let mut cache = OwnedCache::new();
+        g.bench("owned-write/cached", || {
+            for i in 0..GRANULES {
+                s.check_write_cached(i, t, &mut cache).unwrap();
+            }
+        });
+    }
+
+    {
+        let s: Shadow = Shadow::new(GRANULES);
+        g.bench("owned-read/uncached", || {
+            for i in 0..GRANULES {
+                s.check_read(i, t).unwrap();
+            }
+        });
+    }
+
+    {
+        let s: Shadow = Shadow::new(GRANULES);
+        let mut cache = OwnedCache::new();
+        g.bench("owned-read/cached", || {
+            for i in 0..GRANULES {
+                s.check_read_cached(i, t, &mut cache).unwrap();
+            }
+        });
+    }
+
+    // Worst case for the cache: a clear between laps bumps the epoch
+    // and forces a whole-cache flush plus refill each iteration.
+    {
+        let s: Shadow = Shadow::new(GRANULES);
+        let mut cache = OwnedCache::new();
+        g.bench("owned-write/cached-epoch-thrash", || {
+            for i in 0..GRANULES {
+                s.check_write_cached(i, t, &mut cache).unwrap();
+            }
+            s.clear(0);
+        });
+    }
+
+    g.finish();
+
+    // The acceptance criterion, enforced at bench time: the cached
+    // fast path must beat the uncached CAS on the single-owner
+    // workload.
+    let results = g.results();
+    // Medians, not means: a single scheduler hiccup in a shared
+    // environment can poison a mean without saying anything about
+    // the code under test.
+    let median = |name: &str| {
+        results
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.median_ns)
+            .expect("bench ran")
+    };
+    let (unc, cac) = (median("owned-write/uncached"), median("owned-write/cached"));
+    eprintln!("checker bench: uncached {unc} ns/lap (median), cached {cac} ns/lap");
+    assert!(
+        cac < unc,
+        "epoch cache must beat the CAS slow path ({cac} !< {unc} ns)"
+    );
+}

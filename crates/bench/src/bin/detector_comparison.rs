@@ -52,8 +52,18 @@ fn main() {
     let x = |d: std::time::Duration| d.as_secs_f64() / base.as_secs_f64();
     println!("{:<22} {:>12} {:>8}", "monitor", "time", "slowdown");
     println!("{:<22} {:>12.2?} {:>7.2}x", "none (orig)", base, 1.0);
-    println!("{:<22} {:>12.2?} {:>7.2}x", "SharC shadow checks", sharc, x(sharc));
-    println!("{:<22} {:>12.2?} {:>7.2}x", "Eraser lockset", eraser, x(eraser));
+    println!(
+        "{:<22} {:>12.2?} {:>7.2}x",
+        "SharC shadow checks",
+        sharc,
+        x(sharc)
+    );
+    println!(
+        "{:<22} {:>12.2?} {:>7.2}x",
+        "Eraser lockset",
+        eraser,
+        x(eraser)
+    );
     println!("{:<22} {:>12.2?} {:>7.2}x", "vector clocks", vc, x(vc));
     println!("\npaper shape: Eraser-class full monitoring 10x-30x; SharC 2-14%.");
 

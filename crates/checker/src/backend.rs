@@ -1,0 +1,440 @@
+//! The pluggable check-engine interface.
+//!
+//! A [`CheckBackend`] is anything that can answer SharC's four
+//! runtime checks — `chkread`, `chkwrite`, `lock_held`, `oneref` —
+//! while being kept current with the synchronization and lifecycle
+//! events those checks depend on. Three families implement it:
+//!
+//! * [`BitmapBackend`] (here) — the paper's own engine: the pure
+//!   bitmap state machine from [`crate::step`] over a growable word
+//!   store, with per-thread access logs and held-lock logs. The
+//!   VM's verdicts coincide with this backend by construction.
+//! * `sharc-detectors`' Eraser lockset and vector-clock engines,
+//!   adapted through the same interface, so `sharc run --detector
+//!   sharc|eraser|vc` can cross-validate *one* seeded execution
+//!   through any engine.
+//! * `sharc-detectors`' `Online<D>` sharded front-end, for real
+//!   threads.
+//!
+//! [`replay`] drives a [`CheckEvent`] trace through a backend and
+//! collects every conflict — the workhorse of the differential tests
+//! and of the CLI's `--detector` switch.
+
+use crate::step::{bitmap, Access, Transition};
+use std::collections::HashMap;
+
+/// Which check a conflict came from.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CheckKind {
+    /// A `chkread` that raced with another thread's write.
+    Read,
+    /// A `chkwrite` that raced with another thread's access.
+    Write,
+    /// A `locked(l)` access without `l` held.
+    Lock,
+    /// A sharing cast on an object with other live references.
+    OneRef,
+}
+
+/// A failed runtime check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Conflict {
+    pub kind: CheckKind,
+    /// The thread performing the failing access.
+    pub tid: u32,
+    /// The granule (or, for [`CheckKind::Lock`], the lock id).
+    pub granule: usize,
+}
+
+impl std::fmt::Display for Conflict {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self.kind {
+            CheckKind::Read => write!(
+                f,
+                "read conflict at granule {} (thread {})",
+                self.granule, self.tid
+            ),
+            CheckKind::Write => write!(
+                f,
+                "write conflict at granule {} (thread {})",
+                self.granule, self.tid
+            ),
+            CheckKind::Lock => write!(f, "lock {} not held (thread {})", self.granule, self.tid),
+            CheckKind::OneRef => write!(
+                f,
+                "sharing cast failed at granule {} (thread {})",
+                self.granule, self.tid
+            ),
+        }
+    }
+}
+
+/// The outcome of one runtime check.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Verdict {
+    Pass,
+    Fail(Conflict),
+}
+
+impl Verdict {
+    /// True if the check failed.
+    #[inline]
+    pub fn is_conflict(self) -> bool {
+        matches!(self, Verdict::Fail(_))
+    }
+
+    /// The conflict, if the check failed.
+    #[inline]
+    pub fn conflict(self) -> Option<Conflict> {
+        match self {
+            Verdict::Pass => None,
+            Verdict::Fail(c) => Some(c),
+        }
+    }
+}
+
+/// One entry of an execution trace at check granularity — the
+/// vocabulary shared by every engine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CheckEvent {
+    /// A dynamic-mode read of `granule` (`chkread`).
+    Read {
+        tid: u32,
+        granule: usize,
+    },
+    /// A dynamic-mode write of `granule` (`chkwrite`).
+    Write {
+        tid: u32,
+        granule: usize,
+    },
+    /// A `locked(l)`-mode access requiring `lock` held.
+    LockedAccess {
+        tid: u32,
+        lock: usize,
+    },
+    /// A sharing cast of the object at `granule` observing `refs`
+    /// live references (the cast itself included).
+    SharingCast {
+        tid: u32,
+        granule: usize,
+        refs: u64,
+    },
+    Acquire {
+        tid: u32,
+        lock: usize,
+    },
+    Release {
+        tid: u32,
+        lock: usize,
+    },
+    Fork {
+        parent: u32,
+        child: u32,
+    },
+    Join {
+        parent: u32,
+        child: u32,
+    },
+    /// `tid`'s lifetime ends; its shadow contribution is cleared.
+    ThreadExit {
+        tid: u32,
+    },
+    /// `granule` is freshly (re)allocated: all engines reset it.
+    Alloc {
+        granule: usize,
+    },
+}
+
+/// A runtime-check engine: the four checks of §3/§4.2 plus the
+/// events that keep the engine's state current.
+pub trait CheckBackend {
+    /// The engine's name, for reports and JSON.
+    fn name(&self) -> &'static str;
+
+    /// The `chkread` check-and-record for `tid` on `granule`.
+    fn chkread(&mut self, tid: u32, granule: usize) -> Verdict;
+
+    /// The `chkwrite` check-and-record for `tid` on `granule`.
+    fn chkwrite(&mut self, tid: u32, granule: usize) -> Verdict;
+
+    /// The `locked(l)` check: is `lock` in `tid`'s held-lock log?
+    fn lock_held(&self, tid: u32, lock: usize) -> bool;
+
+    /// The `oneref` check at a sharing cast. The default is the
+    /// paper's rule: the reference being cast must be the only one.
+    fn oneref(&mut self, tid: u32, granule: usize, refs: u64) -> Verdict {
+        if refs <= 1 {
+            Verdict::Pass
+        } else {
+            Verdict::Fail(Conflict {
+                kind: CheckKind::OneRef,
+                tid,
+                granule,
+            })
+        }
+    }
+
+    /// `tid` acquired `lock`.
+    fn on_acquire(&mut self, _tid: u32, _lock: usize) {}
+    /// `tid` released `lock`.
+    fn on_release(&mut self, _tid: u32, _lock: usize) {}
+    /// `parent` spawned `child`.
+    fn on_fork(&mut self, _parent: u32, _child: u32) {}
+    /// `parent` joined `child`.
+    fn on_join(&mut self, _parent: u32, _child: u32) {}
+    /// `tid` exited; non-overlapping lifetimes are not races.
+    fn on_thread_exit(&mut self, _tid: u32) {}
+    /// `granule` was freshly (re)allocated.
+    fn on_alloc(&mut self, _granule: usize) {}
+    /// A *successful* sharing cast changed `granule`'s mode: SharC's
+    /// engine forgets its history; engines with no ownership model
+    /// (Eraser, vector clocks) ignore this — which is exactly why
+    /// they false-positive on ownership-transfer idioms.
+    fn on_cast_clear(&mut self, _granule: usize) {}
+}
+
+/// Drives a trace through `backend`, collecting every conflict. One
+/// seeded execution replayed through several backends is the
+/// workspace's cross-validation methodology (§6.2).
+pub fn replay(events: &[CheckEvent], backend: &mut dyn CheckBackend) -> Vec<Conflict> {
+    let mut out = Vec::new();
+    for &e in events {
+        let verdict = match e {
+            CheckEvent::Read { tid, granule } => backend.chkread(tid, granule),
+            CheckEvent::Write { tid, granule } => backend.chkwrite(tid, granule),
+            CheckEvent::LockedAccess { tid, lock } => {
+                if backend.lock_held(tid, lock) {
+                    Verdict::Pass
+                } else {
+                    Verdict::Fail(Conflict {
+                        kind: CheckKind::Lock,
+                        tid,
+                        granule: lock,
+                    })
+                }
+            }
+            CheckEvent::SharingCast { tid, granule, refs } => {
+                let v = backend.oneref(tid, granule, refs);
+                if !v.is_conflict() {
+                    backend.on_cast_clear(granule);
+                }
+                v
+            }
+            CheckEvent::Acquire { tid, lock } => {
+                backend.on_acquire(tid, lock);
+                Verdict::Pass
+            }
+            CheckEvent::Release { tid, lock } => {
+                backend.on_release(tid, lock);
+                Verdict::Pass
+            }
+            CheckEvent::Fork { parent, child } => {
+                backend.on_fork(parent, child);
+                Verdict::Pass
+            }
+            CheckEvent::Join { parent, child } => {
+                backend.on_join(parent, child);
+                Verdict::Pass
+            }
+            CheckEvent::ThreadExit { tid } => {
+                backend.on_thread_exit(tid);
+                Verdict::Pass
+            }
+            CheckEvent::Alloc { granule } => {
+                backend.on_alloc(granule);
+                Verdict::Pass
+            }
+        };
+        if let Verdict::Fail(c) = verdict {
+            out.push(c);
+        }
+    }
+    out
+}
+
+/// The reference engine: the paper's bitmap state machine over a
+/// growable word store. Single-threaded (serialize externally — the
+/// VM's scheduler does, `Online` uses sharded locks); the verdicts
+/// are identical to `sharc-runtime`'s CAS wrappers because all of
+/// them run [`bitmap::step`].
+#[derive(Debug, Default)]
+pub struct BitmapBackend {
+    words: Vec<u64>,
+    /// Granules each thread installed bits into, for exit clearing.
+    logs: HashMap<u32, Vec<usize>>,
+    /// Held-lock log per thread (§4.2.2).
+    held: HashMap<u32, Vec<usize>>,
+}
+
+impl BitmapBackend {
+    /// Creates an empty engine.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn word(&mut self, granule: usize) -> u64 {
+        if granule >= self.words.len() {
+            self.words.resize(granule + 1, 0);
+        }
+        self.words[granule]
+    }
+
+    fn access(&mut self, tid: u32, granule: usize, access: Access) -> Verdict {
+        assert!(
+            (1..=crate::MAX_CHECKED_THREADS as u32).contains(&tid),
+            "thread id out of range"
+        );
+        let w = self.word(granule);
+        match bitmap::step(w, tid, access) {
+            Transition::Unchanged => Verdict::Pass,
+            Transition::Install(new) => {
+                self.words[granule] = new;
+                self.logs.entry(tid).or_default().push(granule);
+                Verdict::Pass
+            }
+            Transition::Conflict => Verdict::Fail(Conflict {
+                kind: if access.is_write() {
+                    CheckKind::Write
+                } else {
+                    CheckKind::Read
+                },
+                tid,
+                granule,
+            }),
+        }
+    }
+
+    /// The raw shadow word, for tests.
+    pub fn raw(&self, granule: usize) -> u64 {
+        self.words.get(granule).copied().unwrap_or(0)
+    }
+}
+
+impl CheckBackend for BitmapBackend {
+    fn name(&self) -> &'static str {
+        "sharc-bitmap"
+    }
+
+    fn chkread(&mut self, tid: u32, granule: usize) -> Verdict {
+        self.access(tid, granule, Access::Read)
+    }
+
+    fn chkwrite(&mut self, tid: u32, granule: usize) -> Verdict {
+        self.access(tid, granule, Access::Write)
+    }
+
+    fn lock_held(&self, tid: u32, lock: usize) -> bool {
+        self.held.get(&tid).is_some_and(|h| h.contains(&lock))
+    }
+
+    fn on_acquire(&mut self, tid: u32, lock: usize) {
+        self.held.entry(tid).or_default().push(lock);
+    }
+
+    fn on_release(&mut self, tid: u32, lock: usize) {
+        if let Some(h) = self.held.get_mut(&tid) {
+            if let Some(p) = h.iter().position(|&l| l == lock) {
+                h.remove(p);
+            }
+        }
+    }
+
+    fn on_thread_exit(&mut self, tid: u32) {
+        if let Some(log) = self.logs.remove(&tid) {
+            for g in log {
+                if g < self.words.len() {
+                    self.words[g] = bitmap::clear_thread(self.words[g], tid);
+                }
+            }
+        }
+        self.held.remove(&tid);
+    }
+
+    fn on_alloc(&mut self, granule: usize) {
+        if granule < self.words.len() {
+            self.words[granule] = 0;
+        }
+    }
+
+    fn on_cast_clear(&mut self, granule: usize) {
+        self.on_alloc(granule);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_backend_basic_race() {
+        let mut b = BitmapBackend::new();
+        assert_eq!(b.chkwrite(1, 0), Verdict::Pass);
+        let v = b.chkwrite(2, 0);
+        assert_eq!(
+            v.conflict().map(|c| c.kind),
+            Some(CheckKind::Write),
+            "{v:?}"
+        );
+    }
+
+    #[test]
+    fn exit_clears_and_reuses() {
+        let mut b = BitmapBackend::new();
+        b.chkwrite(1, 3);
+        b.on_thread_exit(1);
+        assert_eq!(b.chkwrite(2, 3), Verdict::Pass);
+    }
+
+    #[test]
+    fn lock_log_tracks_held() {
+        let mut b = BitmapBackend::new();
+        assert!(!b.lock_held(1, 9));
+        b.on_acquire(1, 9);
+        assert!(b.lock_held(1, 9));
+        assert!(!b.lock_held(2, 9));
+        b.on_release(1, 9);
+        assert!(!b.lock_held(1, 9));
+    }
+
+    #[test]
+    fn replay_collects_conflicts_and_casts_clear() {
+        let mut b = BitmapBackend::new();
+        let trace = [
+            CheckEvent::Write { tid: 1, granule: 0 },
+            // A successful cast transfers ownership...
+            CheckEvent::SharingCast {
+                tid: 1,
+                granule: 0,
+                refs: 1,
+            },
+            // ...so the new owner writes cleanly.
+            CheckEvent::Write { tid: 2, granule: 0 },
+            // A failing cast (two refs) conflicts and does NOT clear.
+            CheckEvent::SharingCast {
+                tid: 2,
+                granule: 0,
+                refs: 2,
+            },
+            CheckEvent::Write { tid: 3, granule: 0 },
+        ];
+        let conflicts = replay(&trace, &mut b);
+        assert_eq!(conflicts.len(), 2);
+        assert_eq!(conflicts[0].kind, CheckKind::OneRef);
+        assert_eq!(conflicts[1].kind, CheckKind::Write);
+    }
+
+    #[test]
+    fn replay_locked_access_checks_log() {
+        let mut b = BitmapBackend::new();
+        let trace = [
+            CheckEvent::LockedAccess { tid: 1, lock: 4 },
+            CheckEvent::Acquire { tid: 1, lock: 4 },
+            CheckEvent::LockedAccess { tid: 1, lock: 4 },
+            CheckEvent::Release { tid: 1, lock: 4 },
+            CheckEvent::LockedAccess { tid: 1, lock: 4 },
+        ];
+        let conflicts = replay(&trace, &mut b);
+        assert_eq!(conflicts.len(), 2);
+        assert!(conflicts.iter().all(|c| c.kind == CheckKind::Lock));
+    }
+}

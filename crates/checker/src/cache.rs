@@ -1,0 +1,215 @@
+//! The owned-granule epoch cache: a per-thread, direct-mapped table
+//! that lets repeated private accesses skip the shadow CAS entirely.
+//!
+//! In the paper's workloads the overwhelmingly common case is a
+//! thread re-touching dynamic-mode data it already owns (pfscan's
+//! scan buffers, pbzip2's per-worker blocks). The slow path pays an
+//! atomic load plus, on first contact, a compare-exchange. This
+//! cache reduces the steady state to one relaxed epoch load and one
+//! array probe.
+//!
+//! ## Soundness invariants
+//!
+//! The cache is *only* a fast path for verdicts that are already
+//! decided by the shadow word; it never changes which conflicts
+//! exist, only who pays to discover them. It rests on three
+//! invariants of the unified state machine ([`crate::step`]):
+//!
+//! 1. **Conflicts never install.** Once thread `t` is the exclusive
+//!    owner of a granule (word = `WRITER_FLAG | bit(t)`), any other
+//!    thread's access is a conflict that leaves the word unchanged —
+//!    so `t`'s ownership is stable until an explicit clear, and
+//!    `t`'s own accesses can never newly conflict. Caching "I own
+//!    g, skip the check" is therefore verdict-preserving: the
+//!    *other* thread still runs the full check and still observes
+//!    its conflict.
+//! 2. **Read bits are monotone between clears.** If `t`'s read bit
+//!    is set, reads by `t` can never conflict (reads only conflict
+//!    with *another* thread's write flag, and installing a write
+//!    flag over `t`'s read bit is itself a conflict, which does not
+//!    install). So a cached read entry is valid as long as no clear
+//!    intervened.
+//! 3. **Every clear bumps the shadow's epoch.** `clear`,
+//!    `clear_range`, and `clear_thread` (free, sharing casts, thread
+//!    exit) increment a shared epoch counter. A cache whose recorded
+//!    epoch differs from the shadow's current epoch discards itself
+//!    wholesale before answering. The epoch is read *before* the
+//!    slow-path check that populates an entry, so an entry can never
+//!    be newer than the epoch it is guarded by.
+//!
+//! The one imprecision this admits is the same one any shadow-memory
+//! tool has at a free/cast boundary: an access racing with the clear
+//! itself may be judged against either side of the clear. The paper
+//! accepts exactly this at `free`/`SCAST` boundaries.
+
+/// Default number of direct-mapped slots (must be a power of two).
+pub const DEFAULT_SLOTS: usize = 256;
+
+/// One slot, keyed by granule index + 1 (0 = empty). The two keys
+/// make both probes a single integer compare — `write_key` is set
+/// only when the cached ownership is exclusive (writable), and a
+/// write entry always implies a read entry.
+#[derive(Debug, Clone, Copy, Default)]
+struct Slot {
+    read_key: usize,
+    write_key: usize,
+}
+
+/// A per-thread owned-granule cache. Not shared between threads;
+/// the owning thread's `ThreadCtx` (runtime) holds it by value.
+#[derive(Debug, Clone)]
+pub struct OwnedCache {
+    epoch: u64,
+    slots: Box<[Slot]>,
+    /// Slow-path fills. Hits are *derived* (`accesses - misses`, the
+    /// caller knows its access count): counting them directly would
+    /// put a read-modify-write on the same word into every fast-path
+    /// iteration — a loop-carried dependency through memory that
+    /// costs more than the probe itself. Misses and flushes are
+    /// updated only on the outlined cold paths, where they are free.
+    pub misses: u64,
+    /// Whole-cache flushes forced by an epoch change.
+    pub flushes: u64,
+}
+
+impl Default for OwnedCache {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl OwnedCache {
+    /// Creates a cache with [`DEFAULT_SLOTS`] slots.
+    pub fn new() -> Self {
+        Self::with_slots(DEFAULT_SLOTS)
+    }
+
+    /// Creates a cache with `slots` slots (rounded up to a power of
+    /// two, minimum 1).
+    pub fn with_slots(slots: usize) -> Self {
+        let n = slots.max(1).next_power_of_two();
+        OwnedCache {
+            epoch: 0,
+            slots: vec![Slot::default(); n].into_boxed_slice(),
+            misses: 0,
+            flushes: 0,
+        }
+    }
+
+    #[inline]
+    fn index(&self, granule: usize) -> usize {
+        granule & (self.slots.len() - 1)
+    }
+
+    /// Answers whether `granule` is cached with sufficient rights
+    /// for the access, first discarding everything if the shadow's
+    /// epoch moved. This is the entire fast path, and it is kept
+    /// deliberately tiny — one epoch compare, one masked probe, one
+    /// key compare — with the epoch-flush outlined ([`Self::reset`])
+    /// so the inlined hot loop stays small enough to register-allocate.
+    #[inline]
+    pub fn lookup(&mut self, shadow_epoch: u64, granule: usize, is_write: bool) -> bool {
+        if self.epoch != shadow_epoch {
+            self.reset(shadow_epoch);
+            return false;
+        }
+        let s = self.slots[self.index(granule)];
+        // One compare either way (`is_write` is a constant at every
+        // call site), and deliberately no hit counter: see the
+        // `misses` field for why the fast path stays store-free.
+        let key = granule + 1;
+        if is_write {
+            s.write_key == key
+        } else {
+            s.read_key == key
+        }
+    }
+
+    /// The outlined epoch-change path: discard every entry and adopt
+    /// the new epoch.
+    #[cold]
+    #[inline(never)]
+    fn reset(&mut self, shadow_epoch: u64) {
+        self.slots.iter_mut().for_each(|s| *s = Slot::default());
+        self.epoch = shadow_epoch;
+        self.flushes += 1;
+    }
+
+    /// Records that the owning thread holds `granule` (exclusively
+    /// if `writable`). Call only after the slow-path check passed
+    /// and only with the epoch that [`OwnedCache::lookup`] was
+    /// given — the epoch must be read *before* the check.
+    #[inline]
+    pub fn insert(&mut self, granule: usize, writable: bool) {
+        self.misses += 1;
+        let i = self.index(granule);
+        let s = &mut self.slots[i];
+        let key = granule + 1;
+        if s.read_key != key {
+            // Empty or a colliding granule: take the slot over.
+            *s = Slot {
+                read_key: key,
+                write_key: if writable { key } else { 0 },
+            };
+        } else if writable {
+            // Upgrade in place; a read never downgrades a write entry.
+            s.write_key = key;
+        }
+    }
+
+    /// Drops every entry (e.g. at thread exit, before the shadow
+    /// clears this thread's bits).
+    pub fn invalidate_all(&mut self) {
+        self.slots.iter_mut().for_each(|s| *s = Slot::default());
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn hit_after_insert_same_epoch() {
+        let mut c = OwnedCache::with_slots(8);
+        assert!(!c.lookup(0, 5, true));
+        c.insert(5, true);
+        assert!(c.lookup(0, 5, true));
+        assert!(c.lookup(0, 5, false), "writable implies readable");
+        assert_eq!(c.misses, 1, "hits never refill");
+    }
+
+    #[test]
+    fn read_entry_does_not_authorize_writes() {
+        let mut c = OwnedCache::with_slots(8);
+        c.insert(3, false);
+        assert!(c.lookup(0, 3, false));
+        assert!(!c.lookup(0, 3, true));
+    }
+
+    #[test]
+    fn write_entry_survives_read_insert() {
+        let mut c = OwnedCache::with_slots(8);
+        c.insert(3, true);
+        c.insert(3, false);
+        assert!(c.lookup(0, 3, true), "no downgrade");
+    }
+
+    #[test]
+    fn epoch_change_flushes_everything() {
+        let mut c = OwnedCache::with_slots(8);
+        c.insert(1, true);
+        c.insert(2, true);
+        assert!(!c.lookup(7, 1, true), "stale epoch discards");
+        assert!(!c.lookup(7, 2, true), "the flush removed all entries");
+        assert_eq!(c.flushes, 1, "one flush for the whole epoch change");
+    }
+
+    #[test]
+    fn direct_mapping_evicts_colliding_granules() {
+        let mut c = OwnedCache::with_slots(4);
+        c.insert(0, true);
+        c.insert(4, true); // same slot
+        assert!(!c.lookup(0, 0, true));
+        assert!(c.lookup(0, 4, true));
+    }
+}

@@ -1,0 +1,88 @@
+//! # sharc-checker
+//!
+//! The single implementation of the paper's §4.2 runtime-check state
+//! machine, shared by every layer of the workspace:
+//!
+//! * [`step`] — the pure, atomics-free granule transition functions
+//!   for both shadow-word encodings (the paper's reader/writer
+//!   bitmap and the scalable adaptive encoding). `sharc-runtime`
+//!   wraps them in compare-exchange retry loops for real threads;
+//!   `sharc-interp`'s VM applies them directly under its scheduler
+//!   lock. One state machine, one set of verdicts.
+//! * [`backend`] — the [`CheckBackend`] trait covering the four
+//!   runtime checks (`chkread`, `chkwrite`, `lock_held`, `oneref`)
+//!   plus the synchronization/lifecycle events they depend on, a
+//!   [`CheckEvent`] trace vocabulary, and a [`replay`] driver so one
+//!   seeded execution can be cross-validated through any engine
+//!   (SharC's own bitmap, Eraser locksets, vector clocks).
+//! * [`cache`] — the owned-granule epoch cache: a per-thread
+//!   direct-mapped table that skips the CAS entirely on repeated
+//!   private accesses (the common case in pfscan/pbzip2-style
+//!   workloads). See the module docs for the soundness invariants.
+//!
+//! ## The granule constant
+//!
+//! The paper tracks reader/writer sets "for every 16 bytes of
+//! memory". [`GRANULE_BYTES`] is the one definition of that number;
+//! `sharc-runtime`'s word granularity and the VM's cell granularity
+//! are both derived from it (with compile-time assertions), fixing
+//! the drift that used to exist between `VmConfig::granule` and
+//! `runtime::GRANULE_WORDS`.
+
+pub mod backend;
+pub mod cache;
+pub mod step;
+
+pub use backend::{replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict};
+pub use cache::OwnedCache;
+pub use step::{Access, Transition};
+
+/// Bytes of payload memory covered by one shadow granule (§4.2.1:
+/// "for every 16 bytes of memory, SharC maintains n additional
+/// bytes").
+pub const GRANULE_BYTES: usize = 16;
+
+/// Payload 8-byte words per granule (`sharc-runtime`'s unit).
+pub const GRANULE_WORDS: usize = GRANULE_BYTES / 8;
+
+/// VM memory cells per granule (one VM cell models one 8-byte word).
+pub const GRANULE_CELLS: u32 = (GRANULE_BYTES / 8) as u32;
+
+/// The largest checked-thread id representable by an `n`-byte bitmap
+/// shadow word (the paper's `8n − 1`; bit 0 is the writer flag).
+pub const fn max_bitmap_tid(shadow_bytes: usize) -> u32 {
+    (shadow_bytes * 8 - 1) as u32
+}
+
+/// Maximum simultaneously-live checked threads across the workspace:
+/// what an 8-byte bitmap word supports. The VM's `MAX_THREADS` and
+/// the runtime's widest `ShadowWord` both check against this.
+pub const MAX_CHECKED_THREADS: usize = max_bitmap_tid(8) as usize;
+
+// The granule must be a whole number of 8-byte words and cells, and
+// the thread-capacity rule must agree with the bitmap encoding.
+const _: () = assert!(GRANULE_BYTES.is_multiple_of(8));
+const _: () = assert!(GRANULE_WORDS * 8 == GRANULE_BYTES);
+const _: () = assert!(GRANULE_CELLS as usize == GRANULE_WORDS);
+const _: () = assert!(MAX_CHECKED_THREADS == 63);
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn granule_constants_agree() {
+        assert_eq!(GRANULE_BYTES, 16);
+        assert_eq!(GRANULE_WORDS, 2);
+        assert_eq!(GRANULE_CELLS, 2);
+    }
+
+    #[test]
+    fn bitmap_capacity_is_8n_minus_1() {
+        assert_eq!(max_bitmap_tid(1), 7);
+        assert_eq!(max_bitmap_tid(2), 15);
+        assert_eq!(max_bitmap_tid(4), 31);
+        assert_eq!(max_bitmap_tid(8), 63);
+        assert_eq!(MAX_CHECKED_THREADS, 63);
+    }
+}

@@ -1,0 +1,313 @@
+//! The pure granule state machine — the paper's §4.2.1 runtime
+//! encoded **once**, as width-generic, atomics-free transition
+//! functions.
+//!
+//! Every runtime-check engine in the workspace is a thin wrapper
+//! over these functions:
+//!
+//! * `sharc-runtime`'s `Shadow` runs [`bitmap::step`] inside a
+//!   compare-exchange retry loop (the portable `cmpxchg` of §4.2.1);
+//! * `sharc-runtime`'s `ScalableShadow` does the same with
+//!   [`adaptive::step`];
+//! * `sharc-interp`'s VM applies [`bitmap::step`] directly — its
+//!   scheduler serializes instructions, so no CAS is needed, and the
+//!   verdicts are *identical by construction* to the real-thread
+//!   runtime's (the differential property test in
+//!   `tests/checker_differential.rs` pins this).
+//!
+//! The contract shared by both encodings: **a conflicting access
+//! does not modify the shadow word.** This is what the paper's
+//! runtime does (the check aborts/logs before the update), and it is
+//! also the invariant the owned-granule epoch cache relies on (see
+//! [`crate::cache`]).
+
+/// Whether an access is a read or a write.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Access {
+    Read,
+    Write,
+}
+
+impl Access {
+    /// True for [`Access::Write`].
+    #[inline]
+    pub fn is_write(self) -> bool {
+        matches!(self, Access::Write)
+    }
+}
+
+/// The outcome of applying one access to a shadow word.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Transition {
+    /// The access is legal and the word already records it.
+    Unchanged,
+    /// The access is legal once the word is updated to this value.
+    /// (Real-thread wrappers install it with a compare-exchange and
+    /// retry the whole step on contention.)
+    Install(u64),
+    /// The access violates the n-readers-xor-1-writer rule.
+    Conflict,
+}
+
+impl Transition {
+    /// True if the access is a conflict.
+    #[inline]
+    pub fn is_conflict(self) -> bool {
+        matches!(self, Transition::Conflict)
+    }
+}
+
+/// The paper's exact reader/writer bitmap encoding (§4.2.1).
+///
+/// * bit 0 set — a *single* thread is reading **and writing** the
+///   granule (the thread whose bit is also set);
+/// * bit `k` (k ≥ 1) set — thread `k` is reading the granule, and
+///   also writing it if bit 0 is set.
+///
+/// With `n` shadow bytes this supports `8n − 1` threads; the
+/// functions are width-generic because they only ever set bits the
+/// caller's thread id reaches (callers validate
+/// `1 <= tid <= 8n − 1`).
+pub mod bitmap {
+    use super::{Access, Transition};
+
+    /// The single-writer flag (bit 0 of every shadow word).
+    pub const WRITER_FLAG: u64 = 1;
+
+    /// Applies one access by thread `tid` to `word`.
+    ///
+    /// `tid` must be in `1 ..= 8n − 1` for the word's width `n`; the
+    /// function itself only debug-asserts the lower bound, leaving
+    /// width policing to the storage layer that knows `n`.
+    #[inline]
+    pub fn step(word: u64, tid: u32, access: Access) -> Transition {
+        debug_assert!((1..=63).contains(&tid), "thread id out of range");
+        let bit = 1u64 << tid;
+        match access {
+            Access::Write => {
+                // Writing requires no *other* readers or writers.
+                if word & !WRITER_FLAG & !bit != 0 {
+                    return Transition::Conflict;
+                }
+                let new = WRITER_FLAG | bit;
+                if word == new {
+                    Transition::Unchanged
+                } else {
+                    Transition::Install(new)
+                }
+            }
+            Access::Read => {
+                // A writer exists iff bit 0 is set; the writer is the
+                // thread whose bit accompanies it. Reading conflicts
+                // unless that thread is us.
+                if word & WRITER_FLAG != 0 && word & !WRITER_FLAG & !bit != 0 {
+                    return Transition::Conflict;
+                }
+                if word & bit != 0 {
+                    Transition::Unchanged
+                } else {
+                    Transition::Install(word | bit)
+                }
+            }
+        }
+    }
+
+    /// Removes thread `tid`'s contribution on thread exit ("SharC
+    /// does not consider it a race for two threads to access the
+    /// same location if their execution does not overlap"). Clears
+    /// the writer flag when no thread bits remain.
+    #[inline]
+    pub fn clear_thread(word: u64, tid: u32) -> u64 {
+        debug_assert!((1..=63).contains(&tid), "thread id out of range");
+        let w = word & !(1u64 << tid);
+        if w & !WRITER_FLAG == 0 {
+            0
+        } else {
+            w
+        }
+    }
+}
+
+/// The scalable adaptive encoding (§4.2.1 / §7 future work): one
+/// 8-byte word per granule encodes an adaptive state instead of a
+/// bitmap, supporting 2³⁰ thread ids at constant shadow cost.
+///
+/// ```text
+/// EMPTY          nobody has touched the granule
+/// EXCL(tid)      one thread reads and writes
+/// READ1(tid)     one thread reads
+/// SHARED_READ    many readers (identities not tracked)
+/// ```
+///
+/// Sound for any number of threads; exact whenever a granule has at
+/// most one concurrent reader (see `ScalableShadow`'s docs for the
+/// documented imprecision at thread exit).
+pub mod adaptive {
+    use super::{Access, Transition};
+
+    pub const TAG_EMPTY: u64 = 0;
+    pub const TAG_EXCL: u64 = 1;
+    pub const TAG_READ1: u64 = 2;
+    pub const TAG_SHARED: u64 = 3;
+    const TAG_SHIFT: u32 = 62;
+    /// Thread ids fit in the low 30 bits.
+    pub const TID_MASK: u64 = (1 << 30) - 1;
+
+    /// Packs a tag and thread id into a shadow word.
+    #[inline]
+    pub fn pack(tag: u64, tid: u32) -> u64 {
+        (tag << TAG_SHIFT) | tid as u64
+    }
+
+    /// The tag bits of a shadow word.
+    #[inline]
+    pub fn tag(word: u64) -> u64 {
+        word >> TAG_SHIFT
+    }
+
+    /// The thread id bits of a shadow word.
+    #[inline]
+    pub fn tid_of(word: u64) -> u32 {
+        (word & TID_MASK) as u32
+    }
+
+    /// Applies one access by thread `tid` (`1 ..= 2³⁰ − 1`).
+    #[inline]
+    pub fn step(word: u64, tid: u32, access: Access) -> Transition {
+        debug_assert!(
+            tid >= 1 && (tid as u64) <= TID_MASK,
+            "thread id out of range"
+        );
+        match access {
+            Access::Read => match tag(word) {
+                TAG_EMPTY => Transition::Install(pack(TAG_READ1, tid)),
+                TAG_READ1 | TAG_EXCL if tid_of(word) == tid => Transition::Unchanged,
+                TAG_READ1 => Transition::Install(pack(TAG_SHARED, 0)),
+                TAG_SHARED => Transition::Unchanged,
+                TAG_EXCL => Transition::Conflict,
+                _ => unreachable!("two-bit tag"),
+            },
+            Access::Write => match tag(word) {
+                TAG_EMPTY => Transition::Install(pack(TAG_EXCL, tid)),
+                TAG_EXCL if tid_of(word) == tid => Transition::Unchanged,
+                TAG_READ1 if tid_of(word) == tid => Transition::Install(pack(TAG_EXCL, tid)),
+                _ => Transition::Conflict,
+            },
+        }
+    }
+
+    /// Thread-exit clearing: exact for granules this thread holds in
+    /// `EXCL`/`READ1`; `SHARED_READ` identities are not tracked, so
+    /// the word is left intact (sound but imprecise).
+    #[inline]
+    pub fn clear_thread(word: u64, tid: u32) -> u64 {
+        match tag(word) {
+            TAG_EXCL | TAG_READ1 if tid_of(word) == tid => TAG_EMPTY,
+            _ => word,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bitmap_single_thread_lifecycle() {
+        let mut w = 0u64;
+        for &acc in &[Access::Read, Access::Read, Access::Write, Access::Read] {
+            match bitmap::step(w, 1, acc) {
+                Transition::Install(n) => w = n,
+                Transition::Unchanged => {}
+                Transition::Conflict => panic!("single thread never conflicts"),
+            }
+        }
+        assert_eq!(w, bitmap::WRITER_FLAG | (1 << 1));
+    }
+
+    #[test]
+    fn bitmap_readers_then_writer_conflicts() {
+        let mut w = 0u64;
+        for t in 1..=7 {
+            if let Transition::Install(n) = bitmap::step(w, t, Access::Read) {
+                w = n;
+            }
+        }
+        assert!(bitmap::step(w, 1, Access::Write).is_conflict());
+        assert!(!bitmap::step(w, 1, Access::Read).is_conflict());
+    }
+
+    #[test]
+    fn bitmap_conflict_does_not_modify() {
+        // The invariant the epoch cache depends on: a conflicting
+        // access yields no Install, so an exclusive owner's word is
+        // stable until an explicit clear.
+        let Transition::Install(w) = bitmap::step(0, 1, Access::Write) else {
+            panic!("first write installs");
+        };
+        assert_eq!(bitmap::step(w, 2, Access::Write), Transition::Conflict);
+        assert_eq!(bitmap::step(w, 2, Access::Read), Transition::Conflict);
+        assert_eq!(bitmap::step(w, 1, Access::Write), Transition::Unchanged);
+    }
+
+    #[test]
+    fn bitmap_clear_thread_drops_writer_flag() {
+        let Transition::Install(w) = bitmap::step(0, 3, Access::Write) else {
+            panic!()
+        };
+        assert_eq!(bitmap::clear_thread(w, 3), 0);
+        // A reader among readers only drops its own bit.
+        let mut w = 0;
+        for t in [1u32, 2] {
+            if let Transition::Install(n) = bitmap::step(w, t, Access::Read) {
+                w = n;
+            }
+        }
+        assert_eq!(bitmap::clear_thread(w, 1), 1 << 2);
+    }
+
+    #[test]
+    fn adaptive_mirrors_bitmap_on_exclusive_owner() {
+        let Transition::Install(b) = bitmap::step(0, 5, Access::Write) else {
+            panic!()
+        };
+        let Transition::Install(a) = adaptive::step(0, 5, Access::Write) else {
+            panic!()
+        };
+        for t in [1u32, 6, 63] {
+            for acc in [Access::Read, Access::Write] {
+                assert_eq!(
+                    bitmap::step(b, t, acc).is_conflict(),
+                    adaptive::step(a, t, acc).is_conflict(),
+                    "tid {t} {acc:?}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn adaptive_shared_forgets_identities() {
+        let Transition::Install(w) = adaptive::step(0, 1, Access::Read) else {
+            panic!()
+        };
+        let Transition::Install(w) = adaptive::step(w, 2, Access::Read) else {
+            panic!()
+        };
+        assert_eq!(adaptive::tag(w), adaptive::TAG_SHARED);
+        // Exits cannot subtract from SHARED: sound but imprecise.
+        assert_eq!(adaptive::clear_thread(w, 1), w);
+        assert!(adaptive::step(w, 3, Access::Write).is_conflict());
+    }
+
+    #[test]
+    fn adaptive_read_upgrade() {
+        let Transition::Install(w) = adaptive::step(0, 9, Access::Read) else {
+            panic!()
+        };
+        assert!(matches!(
+            adaptive::step(w, 9, Access::Write),
+            Transition::Install(_)
+        ));
+        assert_eq!(adaptive::clear_thread(w, 9), 0);
+    }
+}

@@ -37,11 +37,7 @@ pub struct AnalysisStats {
 
 /// Runs the sharing analysis over an elaborated program, replacing
 /// every qualifier variable with `private` or `dynamic` in place.
-pub fn analyze(
-    program: &mut Program,
-    structs: &StructTable,
-    n_vars: u32,
-) -> SharingAnalysis {
+pub fn analyze(program: &mut Program, structs: &StructTable, n_vars: u32) -> SharingAnalysis {
     let mut diags = Diagnostics::new();
     let cg = CallGraph::build(program);
     let mut cs = ConstraintSet::new(n_vars);
@@ -616,11 +612,13 @@ mod tests {
 
     #[test]
     fn thread_formal_pointee_becomes_dynamic() {
-        let (p, a) = run(
-            "void worker(int * d) { *d = 1; }\n\
-             void main() { int * p; p = new(int); spawn(worker, p); }",
+        let (p, a) = run("void worker(int * d) { *d = 1; }\n\
+             void main() { int * p; p = new(int); spawn(worker, p); }");
+        assert!(
+            !a.diags.has_errors(),
+            "{:?}",
+            a.diags.iter().collect::<Vec<_>>()
         );
-        assert!(!a.diags.has_errors(), "{:?}", a.diags.iter().collect::<Vec<_>>());
         let worker = p.fn_by_name("worker").unwrap();
         assert_eq!(worker.params[0].ty.pointee().unwrap().qual, Qual::Dynamic);
         // And the pointer cell itself stays private.
@@ -629,10 +627,8 @@ mod tests {
 
     #[test]
     fn main_local_stays_private() {
-        let (p, _) = run(
-            "void worker(int * d) { }\n\
-             void main() { int x; int * q; q = &x; *q = 3; }",
-        );
+        let (p, _) = run("void worker(int * d) { }\n\
+             void main() { int x; int * q; q = &x; *q = 3; }");
         let main = p.fn_by_name("main").unwrap();
         let StmtKind::Decl { ty, .. } = &main.body.stmts[0].kind else {
             panic!()
@@ -642,21 +638,17 @@ mod tests {
 
     #[test]
     fn thread_touched_global_becomes_dynamic() {
-        let (p, _) = run(
-            "int flag;\n\
+        let (p, _) = run("int flag;\n\
              void worker(int * d) { flag = 1; }\n\
-             void main() { int * p; spawn(worker, p); flag = 0; }",
-        );
+             void main() { int * p; spawn(worker, p); flag = 0; }");
         assert_eq!(p.globals[0].ty.qual, Qual::Dynamic);
     }
 
     #[test]
     fn untouched_global_stays_private() {
-        let (p, _) = run(
-            "int main_only;\n\
+        let (p, _) = run("int main_only;\n\
              void worker(int * d) { }\n\
-             void main() { int * p; main_only = 1; spawn(worker, p); }",
-        );
+             void main() { int * p; main_only = 1; spawn(worker, p); }");
         assert_eq!(p.globals[0].ty.qual, Qual::Private);
     }
 
@@ -675,10 +667,8 @@ mod tests {
 
     #[test]
     fn private_annotation_on_thread_formal_is_error() {
-        let (_, a) = run(
-            "void worker(int private * d) { }\n\
-             void main() { int * p; spawn(worker, p); }",
-        );
+        let (_, a) = run("void worker(int private * d) { }\n\
+             void main() { int * p; spawn(worker, p); }");
         assert!(a.diags.has_errors());
     }
 
@@ -686,11 +676,9 @@ mod tests {
     fn helper_called_from_one_thread_stays_private() {
         // helper is called with a private actual from main only; its
         // formal must not become dynamic.
-        let (p, a) = run(
-            "void helper(int * x) { *x = 1; }\n\
+        let (p, a) = run("void helper(int * x) { *x = 1; }\n\
              void worker(int * d) { }\n\
-             void main() { int * p; p = new(int); helper(p); spawn(worker, NULL); }",
-        );
+             void main() { int * p; p = new(int); helper(p); spawn(worker, NULL); }");
         assert!(!a.diags.has_errors());
         let helper = p.fn_by_name("helper").unwrap();
         assert_eq!(helper.params[0].ty.pointee().unwrap().qual, Qual::Private);
@@ -698,12 +686,10 @@ mod tests {
 
     #[test]
     fn dynamic_in_checks_formal_but_not_other_actuals() {
-        let (p, a) = run(
-            "void helper(int * x) { *x = 1; }\n\
+        let (p, a) = run("void helper(int * x) { *x = 1; }\n\
              void worker(int * d) { helper(d); }\n\
              void main() { int * p; int * q; p = new(int); q = new(int);\n\
-                           spawn(worker, p); helper(q); }",
-        );
+                           spawn(worker, p); helper(q); }");
         assert!(!a.diags.has_errors());
         let helper = p.fn_by_name("helper").unwrap();
         // The formal is checked (dynamic)...
@@ -722,12 +708,10 @@ mod tests {
     fn escaping_formal_flows_back() {
         // worker stores its formal into a shared global, so main's
         // pointer must become dynamic.
-        let (p, a) = run(
-            "int * keep;\n\
+        let (p, a) = run("int * keep;\n\
              void stash(int * x) { keep = x; }\n\
              void worker(int * d) { int v; v = *keep; }\n\
-             void main() { int * p; p = new(int); stash(p); spawn(worker, NULL); }",
-        );
+             void main() { int * p; p = new(int); stash(p); spawn(worker, NULL); }");
         assert!(!a.diags.has_errors());
         assert!(a.param_escapes[&("stash".to_string(), 0)]);
         let main = p.fn_by_name("main").unwrap();
@@ -739,27 +723,25 @@ mod tests {
 
     #[test]
     fn new_allocation_ties_to_destination() {
-        let (p, _) = run(
-            "void worker(int * d) { *d = 1; }\n\
-             void main() { int * p; p = new(int); spawn(worker, p); }",
-        );
+        let (p, _) = run("void worker(int * d) { *d = 1; }\n\
+             void main() { int * p; p = new(int); spawn(worker, p); }");
         // The allocation type literal must have been substituted to
         // dynamic (it flows into the spawned thread).
         let main = p.fn_by_name("main").unwrap();
         let StmtKind::Assign { rhs, .. } = &main.body.stmts[1].kind else {
             panic!()
         };
-        let ExprKind::New(ty) = &rhs.kind else { panic!() };
+        let ExprKind::New(ty) = &rhs.kind else {
+            panic!()
+        };
         assert_eq!(ty.qual, Qual::Dynamic);
     }
 
     #[test]
     fn stats_are_populated() {
-        let (_, a) = run(
-            "int flag;\n\
+        let (_, a) = run("int flag;\n\
              void worker(int * d) { flag = 1; }\n\
-             void main() { int * p; spawn(worker, p); }",
-        );
+             void main() { int * p; spawn(worker, p); }");
         assert!(a.stats.n_vars > 0);
         assert!(a.stats.n_dynamic > 0);
         assert_eq!(a.stats.n_thread_roots, 1);

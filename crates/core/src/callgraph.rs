@@ -284,9 +284,10 @@ impl<'p> FnWalk<'p> {
                 }
             }
             ExprKind::Ident(name)
-                if self.global_names.contains(name) && !self.locals.contains(name) => {
-                    self.globals.insert(name.clone());
-                }
+                if self.global_names.contains(name) && !self.locals.contains(name) =>
+            {
+                self.globals.insert(name.clone());
+            }
             ExprKind::Unary(_, a) => self.expr(a),
             ExprKind::Binary(_, a, b) => {
                 self.expr(a);
@@ -297,9 +298,7 @@ impl<'p> FnWalk<'p> {
                 self.expr(b);
             }
             ExprKind::Field(a, _, _) => self.expr(a),
-            ExprKind::Cast(_, a) | ExprKind::Scast(_, a) | ExprKind::NewArray(_, a) => {
-                self.expr(a)
-            }
+            ExprKind::Cast(_, a) | ExprKind::Scast(_, a) | ExprKind::NewArray(_, a) => self.expr(a),
             ExprKind::Ternary(c, a, b) => {
                 self.expr(c);
                 self.expr(a);

@@ -78,11 +78,7 @@ pub struct CheckResult {
 }
 
 /// Checks the fully-annotated `program` and builds instrumentation.
-pub fn check(
-    program: &Program,
-    structs: &StructTable,
-    sharing: &SharingAnalysis,
-) -> CheckResult {
+pub fn check(program: &Program, structs: &StructTable, sharing: &SharingAnalysis) -> CheckResult {
     let mut diags = Diagnostics::new();
 
     // Well-formedness of declared types.
@@ -170,8 +166,7 @@ fn wf_type(ty: &Type, span: Span, diags: &mut Diagnostics) {
 /// field.
 fn wf_field_type(ty: &Type, span: Span, diags: &mut Diagnostics) {
     if let TypeKind::Ptr(inner) = &ty.kind {
-        let ptr_maybe_shared =
-            !matches!(ty.qual, Qual::Private | Qual::Infer | Qual::Var(_));
+        let ptr_maybe_shared = !matches!(ty.qual, Qual::Private | Qual::Infer | Qual::Var(_));
         if ptr_maybe_shared
             && matches!(inner.qual, Qual::Private)
             && !inner.is_void()
@@ -207,9 +202,7 @@ fn wf_decl_types(b: &Block, diags: &mut Diagnostics) {
                 }
             }
             StmtKind::While { body, .. } => wf_decl_types(body, diags),
-            StmtKind::For {
-                init, body, ..
-            } => {
+            StmtKind::For { init, body, .. } => {
                 if let Some(i) = init {
                     if let StmtKind::Decl { ty, .. } = &i.kind {
                         wf_type(ty, i.span, diags);
@@ -712,17 +705,15 @@ impl<'a> FnChecker<'a> {
         // modes may not change at matching referent levels.
         if let (Some(tp), Some(fp)) = (to.pointee(), from_ty.pointee()) {
             if tp.same_shape(fp) && !deep_equal(tp, fp) {
-                self.diags.push(
-                    Diagnostic::error(
-                        format!(
-                            "ordinary cast cannot change sharing modes: `{}` -> `{}`; \
+                self.diags.push(Diagnostic::error(
+                    format!(
+                        "ordinary cast cannot change sharing modes: `{}` -> `{}`; \
                              use SCAST",
-                            pretty::type_str(&from_ty),
-                            pretty::type_str(to)
-                        ),
-                        span,
+                        pretty::type_str(&from_ty),
+                        pretty::type_str(to)
                     ),
-                );
+                    span,
+                ));
             }
         }
     }
@@ -792,13 +783,7 @@ impl<'a> FnChecker<'a> {
         }
     }
 
-    fn check_call_args(
-        &mut self,
-        fn_name: Option<&str>,
-        sig: &FnSig,
-        args: &[Expr],
-        span: Span,
-    ) {
+    fn check_call_args(&mut self, fn_name: Option<&str>, sig: &FnSig, args: &[Expr], span: Span) {
         for (i, (arg, p)) in args.iter().zip(&sig.params).enumerate() {
             if matches!(arg.kind, ExprKind::Null) {
                 continue;
@@ -877,7 +862,9 @@ impl<'a> FnChecker<'a> {
         for &i in summarized {
             let Some(arg) = args.get(i) else { continue };
             let Some(ta) = self.ty_of(arg) else { continue };
-            let Some(pointee) = ta.pointee() else { continue };
+            let Some(pointee) = ta.pointee() else {
+                continue;
+            };
             match &pointee.qual {
                 Qual::Locked(_) => {
                     self.diags.push(Diagnostic::error(
@@ -1006,8 +993,9 @@ fn first_use_or_def(s: &Stmt, name: &str) -> Option<UseOrDef> {
             ExprKind::Binary(_, a, b) => in_expr(a, name).or_else(|| in_expr(b, name)),
             ExprKind::Index(a, b) => in_expr(a, name).or_else(|| in_expr(b, name)),
             ExprKind::Field(a, _, _) => in_expr(a, name),
-            ExprKind::Call(f, args) => in_expr(f, name)
-                .or_else(|| args.iter().find_map(|a| in_expr(a, name))),
+            ExprKind::Call(f, args) => {
+                in_expr(f, name).or_else(|| args.iter().find_map(|a| in_expr(a, name)))
+            }
             ExprKind::Cast(_, a) | ExprKind::NewArray(_, a) => in_expr(a, name),
             ExprKind::Scast(_, a) => in_expr(a, name),
             ExprKind::Ternary(c, a, b) => in_expr(c, name)
@@ -1070,10 +1058,8 @@ mod tests {
 
     #[test]
     fn dynamic_accesses_get_checks() {
-        let (p, r) = run(
-            "void worker(int * d) { *d = 1; }\n\
-             void main() { int * q; q = new(int); spawn(worker, q); }",
-        );
+        let (p, r) = run("void worker(int * d) { *d = 1; }\n\
+             void main() { int * q; q = new(int); spawn(worker, q); }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
         assert!(r.instr.n_dynamic_sites > 0);
         // The `*d = 1` write must be checked.
@@ -1088,12 +1074,10 @@ mod tests {
 
     #[test]
     fn locked_access_gets_lock_check() {
-        let (p, r) = run(
-            "struct q { mutex * m; int locked(m) count; };\n\
+        let (p, r) = run("struct q { mutex * m; int locked(m) count; };\n\
              void worker(struct q * w) { mutex_lock(w->m); w->count = w->count + 1; \
               mutex_unlock(w->m); }\n\
-             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
-        );
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
         assert!(r.instr.n_locked_sites > 0);
         let worker = p.fn_by_name("worker").unwrap();
@@ -1111,40 +1095,32 @@ mod tests {
 
     #[test]
     fn readonly_write_rejected() {
-        let (_, r) = run(
-            "int readonly config;\n\
-             void main() { config = 5; }",
-        );
+        let (_, r) = run("int readonly config;\n\
+             void main() { config = 5; }");
         assert!(!errors(&r).is_empty());
     }
 
     #[test]
     fn readonly_field_of_private_struct_writable() {
-        let (_, r) = run(
-            "struct s { mutex * m; int locked(m) v; };\n\
+        let (_, r) = run("struct s { mutex * m; int locked(m) v; };\n\
              void main() { struct s private * x; mutex * mm; x = new(struct s); \
-             mm = new(mutex); x->m = mm; }",
-        );
+             mm = new(mutex); x->m = mm; }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
     }
 
     #[test]
     fn readonly_field_of_shared_struct_not_writable() {
-        let (_, r) = run(
-            "struct s { mutex * m; int locked(m) v; };\n\
+        let (_, r) = run("struct s { mutex * m; int locked(m) v; };\n\
              void worker(struct s * w) { mutex private * mm; mm = new(mutex); w->m = mm; }\n\
-             void main() { struct s * w; w = new(struct s); spawn(worker, w); }",
-        );
+             void main() { struct s * w; w = new(struct s); spawn(worker, w); }");
         assert!(!errors(&r).is_empty());
     }
 
     #[test]
     fn mode_mismatch_suggests_scast() {
-        let (_, r) = run(
-            "struct q { mutex * m; char locked(m) *locked(m) data; };\n\
+        let (_, r) = run("struct q { mutex * m; char locked(m) *locked(m) data; };\n\
              void worker(struct q * w) { char private * l; l = w->data; }\n\
-             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
-        );
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }");
         let errs = errors(&r);
         assert!(!errs.is_empty());
         let has_suggestion = r
@@ -1156,22 +1132,18 @@ mod tests {
 
     #[test]
     fn scast_fixes_mode_mismatch() {
-        let (_, r) = run(
-            "struct q { mutex * m; char locked(m) *locked(m) data; };\n\
+        let (_, r) = run("struct q { mutex * m; char locked(m) *locked(m) data; };\n\
              void worker(struct q * w) { char private * l; \
               l = SCAST(char private *, w->data); }\n\
-             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
-        );
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
     }
 
     #[test]
     fn scast_cannot_change_deep_modes() {
-        let (_, r) = run(
-            "void main() { int dynamic * dynamic * private pp; \
+        let (_, r) = run("void main() { int dynamic * dynamic * private pp; \
              int private * private * private qq; \
-             qq = SCAST(int private * private *, pp); }",
-        );
+             qq = SCAST(int private * private *, pp); }");
         assert!(!errors(&r).is_empty());
     }
 
@@ -1183,22 +1155,21 @@ mod tests {
 
     #[test]
     fn modified_lock_base_rejected() {
-        let (_, r) = run(
-            "struct q { mutex * m; int locked(m) v; };\n\
+        let (_, r) = run("struct q { mutex * m; int locked(m) v; };\n\
              void worker(struct q * w) { w = NULL; w->v = 1; }\n\
-             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }");
+        assert!(
+            errors(&r).iter().any(|e| e.contains("verifiably constant")),
+            "{:?}",
+            errors(&r)
         );
-        assert!(errors(&r).iter().any(|e| e.contains("verifiably constant")),
-            "{:?}", errors(&r));
     }
 
     #[test]
     fn use_after_scast_warns() {
-        let (_, r) = run(
-            "void worker(char * d) { char private * l; \
+        let (_, r) = run("void worker(char * d) { char private * l; \
               l = SCAST(char private *, d); *d = 'x'; }\n\
-             void main() { char * c; c = new(char); spawn(worker, c); }",
-        );
+             void main() { char * c; c = new(char); spawn(worker, c); }");
         let warned = r
             .diags
             .iter()
@@ -1208,23 +1179,19 @@ mod tests {
 
     #[test]
     fn racy_access_unchecked() {
-        let (_, r) = run(
-            "int racy flag;\n\
+        let (_, r) = run("int racy flag;\n\
              void worker(int * d) { flag = 1; }\n\
-             void main() { int * p; spawn(worker, p); flag = 0; }",
-        );
+             void main() { int * p; spawn(worker, p); flag = 0; }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
         assert_eq!(r.instr.n_dynamic_sites, 0);
     }
 
     #[test]
     fn dynamic_in_accepts_private_actual() {
-        let (_, r) = run(
-            "void helper(int * x) { *x = 1; }\n\
+        let (_, r) = run("void helper(int * x) { *x = 1; }\n\
              void worker(int * d) { helper(d); }\n\
              void main() { int * p; int * q; p = new(int); q = new(int); \
-              spawn(worker, p); helper(q); }",
-        );
+              spawn(worker, p); helper(q); }");
         assert!(errors(&r).is_empty(), "{:?}", errors(&r));
     }
 
@@ -1232,13 +1199,11 @@ mod tests {
     fn escaping_formal_rejects_private_actual() {
         // stash stores its argument into a global reachable by the
         // thread; a concretely-private actual must be rejected.
-        let (_, r) = run(
-            "int * keep;\n\
+        let (_, r) = run("int * keep;\n\
              void stash(int * x) { keep = x; }\n\
              void worker(int * d) { int v; v = *keep; }\n\
              void main() { int private * p; p = new(int private); stash(p); \
-              spawn(worker, NULL); }",
-        );
+              spawn(worker, NULL); }");
         assert!(!errors(&r).is_empty());
     }
 }

@@ -323,7 +323,11 @@ mod tests {
         c.seed_dynamic(&var(3), "q", Span::DUMMY);
         let s = c.solve();
         assert_eq!(s.qual(1), Qual::Dynamic);
-        assert_eq!(s.qual(2), Qual::Private, "target dynamic does not force pointer");
+        assert_eq!(
+            s.qual(2),
+            Qual::Private,
+            "target dynamic does not force pointer"
+        );
     }
 
     #[test]

@@ -468,9 +468,7 @@ mod tests {
     fn annotation_inherits_to_target() {
         // (char * locked(mut)) becomes (char locked(mut) * locked(mut)),
         // exactly the paper's Figure 1 -> Figure 2 elaboration.
-        let (p, _) = elab(
-            "struct s { mutex * m; char *locked(m) sdata; };",
-        );
+        let (p, _) = elab("struct s { mutex * m; char *locked(m) sdata; };");
         let f = p.structs[0].field("sdata").unwrap();
         assert!(matches!(f.ty.qual, Qual::Locked(_)));
         assert!(matches!(f.ty.pointee().unwrap().qual, Qual::Locked(_)));
@@ -504,7 +502,11 @@ mod tests {
     #[test]
     fn code_types_get_fresh_vars() {
         let (p, r) = elab("void f() { int x; char * c; }");
-        assert!(r.n_vars >= 3, "x, c (two levels) need vars; got {}", r.n_vars);
+        assert!(
+            r.n_vars >= 3,
+            "x, c (two levels) need vars; got {}",
+            r.n_vars
+        );
         let StmtKind::Decl { ty, .. } = &p.fns[0].body.stmts[0].kind else {
             panic!()
         };
@@ -552,7 +554,11 @@ mod tests {
                        void (* fun)(char private *private fdata);\n\
                    } stage_t;";
         let (p, r) = elab(src);
-        assert!(!r.diags.has_errors(), "{:?}", r.diags.iter().collect::<Vec<_>>());
+        assert!(
+            !r.diags.has_errors(),
+            "{:?}",
+            r.diags.iter().collect::<Vec<_>>()
+        );
         let sd = &p.structs[0];
         // next: struct stage dynamic *q next
         let next = sd.field("next").unwrap();

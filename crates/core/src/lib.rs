@@ -144,7 +144,9 @@ fn count_decl_annotations(b: &minic::ast::Block, count_ty: &mut impl FnMut(&Type
     for s in &b.stmts {
         match &s.kind {
             StmtKind::Decl { ty, .. } => count_ty(ty),
-            StmtKind::If { then_blk, else_blk, .. } => {
+            StmtKind::If {
+                then_blk, else_blk, ..
+            } => {
                 count_decl_annotations(then_blk, count_ty);
                 if let Some(eb) = else_blk {
                     count_decl_annotations(eb, count_ty);

@@ -198,10 +198,9 @@ impl<'e, 'p> FnTyper<'e, 'p> {
             ExprKind::IntLit(_) => Type::int(Qual::Private),
             ExprKind::CharLit(_) => Type::new(TypeKind::Char, Qual::Private),
             ExprKind::BoolLit(_) => Type::new(TypeKind::Bool, Qual::Private),
-            ExprKind::StrLit(_) => Type::ptr(
-                Type::new(TypeKind::Char, Qual::Readonly),
-                Qual::Private,
-            ),
+            ExprKind::StrLit(_) => {
+                Type::ptr(Type::new(TypeKind::Char, Qual::Readonly), Qual::Private)
+            }
             // NULL is assignable to any pointer; `Ptr(Void)` is the
             // bottom pointer type, special-cased in compatibility.
             ExprKind::Null => Type::ptr(Type::new(TypeKind::Void, Qual::Private), Qual::Private),
@@ -258,9 +257,7 @@ impl<'e, 'p> FnTyper<'e, 'p> {
                         if matches!(op, BinOp::Add | BinOp::Sub) && tb.is_integral() =>
                     {
                         match &ta.kind {
-                            TypeKind::Array(elem, _) => {
-                                Type::ptr((**elem).clone(), Qual::Private)
-                            }
+                            TypeKind::Array(elem, _) => Type::ptr((**elem).clone(), Qual::Private),
                             _ => ta,
                         }
                     }
@@ -269,10 +266,7 @@ impl<'e, 'p> FnTyper<'e, 'p> {
                         Type::int(Qual::Private)
                     }
                     _ if ta.is_integral() && tb.is_integral() => ta,
-                    _ => self.error(
-                        format!("invalid operands to `{op}`"),
-                        e.span,
-                    ),
+                    _ => self.error(format!("invalid operands to `{op}`"), e.span),
                 }
             }
             ExprKind::Index(base, idx) => {
@@ -292,12 +286,7 @@ impl<'e, 'p> FnTyper<'e, 'p> {
                 let (struct_ty, inst_qual) = if *arrow {
                     match &tb.kind {
                         TypeKind::Ptr(p) => ((**p).clone(), p.qual.clone()),
-                        _ => {
-                            return self.error(
-                                format!("`->{fname}` on non-pointer"),
-                                e.span,
-                            )
-                        }
+                        _ => return self.error(format!("`->{fname}` on non-pointer"), e.span),
                     }
                 } else {
                     (tb.clone(), tb.qual.clone())
@@ -310,10 +299,7 @@ impl<'e, 'p> FnTyper<'e, 'p> {
                 };
                 let def = self.env.structs.def(sid);
                 let Some(field) = def.field(fname) else {
-                    return self.error(
-                        format!("struct `{sname}` has no field `{fname}`"),
-                        e.span,
-                    );
+                    return self.error(format!("struct `{sname}` has no field `{fname}`"), e.span);
                 };
                 substitute_instance(&field.ty, &inst_qual, base)
             }
@@ -657,9 +643,7 @@ mod tests {
 
     #[test]
     fn scast_on_void_ptr_rejected() {
-        let (_, t) = type_first_fn(
-            "void f(void * v) { void * w; w = SCAST(void *, v); }",
-        );
+        let (_, t) = type_first_fn("void f(void * v) { void * w; w = SCAST(void *, v); }");
         assert!(!t.errors.is_empty());
     }
 

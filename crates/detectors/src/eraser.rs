@@ -60,10 +60,7 @@ impl Eraser {
         Self::default()
     }
 
-    fn refine(
-        info: &mut LocInfo,
-        held: &HashSet<usize>,
-    ) {
+    fn refine(info: &mut LocInfo, held: &HashSet<usize>) {
         match &mut info.candidates {
             None => info.candidates = Some(held.clone()),
             Some(c) => {

@@ -24,11 +24,13 @@
 //! assert_eq!(VcDetector::new().run(&trace).len(), 1);
 //! ```
 
+pub mod backend;
 pub mod eraser;
 pub mod online;
 pub mod trace;
 pub mod vectorclock;
 
+pub use backend::BaselineBackend;
 pub use eraser::Eraser;
 pub use online::Online;
 pub use trace::{Detector, Event, Loc, Lock, Race, Tid};

@@ -8,7 +8,9 @@
 //! that real worker threads feed on every access.
 
 use crate::trace::{Detector, Event, Loc, Race, Tid};
+use sharc_checker::{CheckBackend, CheckKind, Conflict, Verdict};
 use sharc_testkit::sync::Mutex;
+use std::collections::HashMap;
 
 /// Number of shards; accesses hash by location.
 const SHARDS: usize = 64;
@@ -20,6 +22,10 @@ const SHARDS: usize = 64;
 pub struct Online<D: Detector> {
     shards: Vec<Mutex<D>>,
     races: Mutex<Vec<Race>>,
+    /// Held-lock log per thread, for the [`CheckBackend`] `locked(l)`
+    /// check (the wrapped detectors keep locksets internally but do
+    /// not expose them).
+    held: Mutex<HashMap<Tid, Vec<usize>>>,
 }
 
 impl<D: Detector> std::fmt::Debug for Online<D> {
@@ -42,6 +48,7 @@ impl<D: Detector + Default> Online<D> {
         Online {
             shards,
             races: Mutex::new(Vec::new()),
+            held: Mutex::new(HashMap::new()),
         }
     }
 }
@@ -77,6 +84,94 @@ impl<D: Detector> Online<D> {
     /// All races recorded so far.
     pub fn races(&self) -> Vec<Race> {
         self.races.lock().clone()
+    }
+
+    /// Shared access path for the [`CheckBackend`] impl: runs the
+    /// event on the right shard, records any race, returns a verdict.
+    fn checked_access(&self, tid: Tid, loc: Loc, is_write: bool) -> Verdict {
+        let e = if is_write {
+            Event::Write { tid, loc }
+        } else {
+            Event::Read { tid, loc }
+        };
+        match self.shard(loc).lock().on_event(e) {
+            None => Verdict::Pass,
+            Some(r) => {
+                self.races.lock().push(r);
+                Verdict::Fail(Conflict {
+                    kind: if is_write {
+                        CheckKind::Write
+                    } else {
+                        CheckKind::Read
+                    },
+                    tid,
+                    granule: loc,
+                })
+            }
+        }
+    }
+}
+
+/// The sharded front-end speaks the unified check interface too, so
+/// real-thread harnesses can swap it in wherever a
+/// [`sharc_checker::BitmapBackend`] or a
+/// [`crate::BaselineBackend`] is expected. Like the baselines it
+/// wraps, it ignores `on_cast_clear` and passes every `oneref`.
+impl<D: Detector> CheckBackend for Online<D> {
+    fn name(&self) -> &'static str {
+        "online-baseline"
+    }
+
+    fn chkread(&mut self, tid: u32, granule: usize) -> Verdict {
+        self.checked_access(tid, granule, false)
+    }
+
+    fn chkwrite(&mut self, tid: u32, granule: usize) -> Verdict {
+        self.checked_access(tid, granule, true)
+    }
+
+    fn lock_held(&self, tid: u32, lock: usize) -> bool {
+        self.held
+            .lock()
+            .get(&tid)
+            .is_some_and(|h| h.contains(&lock))
+    }
+
+    fn oneref(&mut self, _tid: u32, _granule: usize, _refs: u64) -> Verdict {
+        Verdict::Pass
+    }
+
+    fn on_acquire(&mut self, tid: u32, lock: usize) {
+        self.held.lock().entry(tid).or_default().push(lock);
+        self.sync(Event::Acquire { tid, lock });
+    }
+
+    fn on_release(&mut self, tid: u32, lock: usize) {
+        if let Some(h) = self.held.lock().get_mut(&tid) {
+            if let Some(p) = h.iter().position(|&l| l == lock) {
+                h.remove(p);
+            }
+        }
+        self.sync(Event::Release { tid, lock });
+    }
+
+    fn on_fork(&mut self, parent: u32, child: u32) {
+        self.sync(Event::Fork { tid: parent, child });
+    }
+
+    fn on_join(&mut self, parent: u32, child: u32) {
+        self.sync(Event::Join { tid: parent, child });
+    }
+
+    fn on_thread_exit(&mut self, tid: u32) {
+        self.held.lock().remove(&tid);
+    }
+
+    fn on_alloc(&mut self, granule: usize) {
+        let _ = self
+            .shard(granule)
+            .lock()
+            .on_event(Event::Alloc { loc: granule });
     }
 }
 

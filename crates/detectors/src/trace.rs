@@ -14,16 +14,36 @@ pub type Tid = u32;
 /// One event in a program trace.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Event {
-    Read { tid: Tid, loc: Loc },
-    Write { tid: Tid, loc: Loc },
-    Acquire { tid: Tid, lock: Lock },
-    Release { tid: Tid, lock: Lock },
+    Read {
+        tid: Tid,
+        loc: Loc,
+    },
+    Write {
+        tid: Tid,
+        loc: Loc,
+    },
+    Acquire {
+        tid: Tid,
+        lock: Lock,
+    },
+    Release {
+        tid: Tid,
+        lock: Lock,
+    },
     /// `tid` spawns `child`.
-    Fork { tid: Tid, child: Tid },
+    Fork {
+        tid: Tid,
+        child: Tid,
+    },
     /// `tid` joins `child`.
-    Join { tid: Tid, child: Tid },
+    Join {
+        tid: Tid,
+        child: Tid,
+    },
     /// Memory is (re)allocated: detector state for the location resets.
-    Alloc { loc: Loc },
+    Alloc {
+        loc: Loc,
+    },
 }
 
 /// A race reported by a detector.

@@ -158,7 +158,9 @@ pub enum Insn {
     PrintStr,
     /// charptr -> (records output string); performs the trusted
     /// library read summary: `chkread` over the cells read.
-    PrintStrChecked { site: u32 },
+    PrintStrChecked {
+        site: u32,
+    },
     /// value -> (fails thread if falsy).
     Assert,
     /// n -> uniform random in [0, n).
@@ -167,15 +169,25 @@ pub enum Insn {
     // --- SharC runtime checks ---
     /// Peeks the address on top; performs the dynamic-mode read
     /// check over `size` cells for check site `site`.
-    ChkRead { site: u32, size: u32 },
+    ChkRead {
+        site: u32,
+        size: u32,
+    },
     /// Same for writes.
-    ChkWrite { site: u32, size: u32 },
+    ChkWrite {
+        site: u32,
+        size: u32,
+    },
     /// Pops a mutex address; fails unless the current thread holds it.
-    ChkLockHeld { site: u32 },
+    ChkLockHeld {
+        site: u32,
+    },
     /// Peeks the pointer value on top; fails if other references to
     /// the object exist (`oneref`); on success clears the object's
     /// reader/writer sets (the sharing cast's mode change).
-    OneRef { site: u32 },
+    OneRef {
+        site: u32,
+    },
 }
 
 /// A compiled function.

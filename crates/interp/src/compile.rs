@@ -199,9 +199,9 @@ impl<'a> FnCompiler<'a> {
             ExprKind::Field(base, fname, arrow) => {
                 let bt = self.shape_of(base)?;
                 let st = if *arrow {
-                    bt.pointee().cloned().ok_or_else(|| {
-                        self.err("`->` on non-pointer in lock path", e.span)
-                    })?
+                    bt.pointee()
+                        .cloned()
+                        .ok_or_else(|| self.err("`->` on non-pointer in lock path", e.span))?
                 } else {
                     bt
                 };
@@ -262,7 +262,11 @@ impl<'a> FnCompiler<'a> {
         let Some(ac) = self.checked.instr.checks.get(&id) else {
             return Ok(());
         };
-        let kind = if is_write { ac.write.clone() } else { ac.read.clone() };
+        let kind = if is_write {
+            ac.write.clone()
+        } else {
+            ac.read.clone()
+        };
         let Some(kind) = kind else { return Ok(()) };
         let site = self.site_for(id);
         match kind {
@@ -534,9 +538,7 @@ impl<'a> FnCompiler<'a> {
                 self.code.push(Insn::Load);
                 Ok(())
             }
-            ExprKind::Unary(UnOp::Deref, _)
-            | ExprKind::Index(..)
-            | ExprKind::Field(..) => {
+            ExprKind::Unary(UnOp::Deref, _) | ExprKind::Index(..) | ExprKind::Field(..) => {
                 let ty = self.ty_of(e)?;
                 let size = self.size_of(&ty);
                 self.addr(e)?;
@@ -707,9 +709,7 @@ impl<'a> FnCompiler<'a> {
             if ast::is_builtin(name) {
                 return self.builtin(e, name, args);
             }
-            if self.lookup_local(name).is_none()
-                && !self.globals.contains_key(name)
-            {
+            if self.lookup_local(name).is_none() && !self.globals.contains_key(name) {
                 if let Some(&fi) = self.fn_indices.get(name) {
                     for a in args {
                         self.rvalue(a)?;
@@ -773,11 +773,7 @@ impl<'a> FnCompiler<'a> {
             "print_str" => {
                 self.rvalue(&args[0])?;
                 if self.checks_enabled
-                    && self
-                        .checked
-                        .instr
-                        .lib_read_summaries
-                        .contains(&args[0].id)
+                    && self.checked.instr.lib_read_summaries.contains(&args[0].id)
                 {
                     let site = self.sites.len() as u32;
                     self.sites.push(CheckSite {
@@ -871,11 +867,7 @@ mod tests {
 
     fn compile_src(src: &str) -> Module {
         let checked = sharc_core::compile("t.c", src).unwrap();
-        assert!(
-            !checked.diags.has_errors(),
-            "{}",
-            checked.render_diags()
-        );
+        assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
         compile(&checked).unwrap()
     }
 

@@ -200,7 +200,9 @@ pub fn typecheck(p: &FProgram) -> Result<CheckedProgram, TypeError> {
     // the extension).
     for (x, t) in &p.globals {
         if !t.mode.is_shared() {
-            return Err(TypeError(format!("global `{x}` must be shared (dynamic/locked)")));
+            return Err(TypeError(format!(
+                "global `{x}` must be shared (dynamic/locked)"
+            )));
         }
         check_locks(t, p.n_locks)?;
         wf(t)?;
@@ -260,10 +262,7 @@ fn wf(t: &FType) -> Result<(), TypeError> {
     Ok(())
 }
 
-fn lval_type(
-    lv: &LVal,
-    env: &BTreeMap<&str, &FType>,
-) -> Result<FType, TypeError> {
+fn lval_type(lv: &LVal, env: &BTreeMap<&str, &FType>) -> Result<FType, TypeError> {
     match lv {
         LVal::Var(x) => env
             .get(x.as_str())
@@ -388,8 +387,7 @@ fn check_stmt(
                     if t != &**dst_target {
                         return Err(TypeError("scast type must match destination".into()));
                     }
-                    if t.shape != src_target.shape
-                        || deep_modes_differ(&t.shape, &src_target.shape)
+                    if t.shape != src_target.shape || deep_modes_differ(&t.shape, &src_target.shape)
                     {
                         return Err(TypeError(
                             "scast may only change the referent's own mode".into(),
@@ -551,11 +549,7 @@ fn addr_of(st: &State, t: &ThreadState, lv: &LVal) -> Option<usize> {
 /// Executes one small step of thread `ti` in `st`, returning the new
 /// state and what was observed. Returns `None` if the thread cannot
 /// step (it is done).
-pub fn step(
-    p: &CheckedProgram,
-    st: &State,
-    ti: usize,
-) -> Option<(State, Vec<Observation>)> {
+pub fn step(p: &CheckedProgram, st: &State, ti: usize) -> Option<(State, Vec<Observation>)> {
     let t = &st.threads[ti];
     if t.done() {
         return None;
@@ -629,9 +623,7 @@ pub fn step(
                     let count = st
                         .memory
                         .iter()
-                        .filter(|c| {
-                            matches!(c.ty.shape, Shape::Ref(_)) && c.value == v
-                        })
+                        .filter(|c| matches!(c.ty.shape, Shape::Ref(_)) && c.value == v)
                         .count();
                     if count != 1 {
                         st2.threads[ti].failed = true;
@@ -709,8 +701,7 @@ pub fn step(
                         let target = (v - 1) as usize;
                         // Retype the referent; new owner for private.
                         st2.memory[target].ty = ty.clone();
-                        st2.memory[target].owner =
-                            if ty.mode == Mode::Private { tid } else { 0 };
+                        st2.memory[target].owner = if ty.mode == Mode::Private { tid } else { 0 };
                         st2.memory[target].readers = 0;
                         st2.memory[target].writers = 0;
                         (v, Some(target))
@@ -735,7 +726,11 @@ pub fn step(
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub enum Violation {
     /// A private cell was accessed by a thread that does not own it.
-    PrivateAccess { addr: usize, tid: usize, owner: usize },
+    PrivateAccess {
+        addr: usize,
+        tid: usize,
+        owner: usize,
+    },
     /// Two threads raced on a dynamic cell with no intervening cast.
     DynamicRace { addr: usize },
     /// A locked-mode cell was accessed without holding its lock
@@ -816,9 +811,7 @@ pub fn explore(p: &CheckedProgram, max_states: usize) -> (Vec<Violation>, usize)
                         }
                         Observation::Write { addr, tid } => {
                             let cell = &st2.memory[addr];
-                            if cell.ty.mode == Mode::Private
-                                && cell.owner != 0
-                                && cell.owner != tid
+                            if cell.ty.mode == Mode::Private && cell.owner != 0 && cell.owner != tid
                             {
                                 violations.push(Violation::PrivateAccess {
                                     addr,
@@ -849,9 +842,7 @@ pub fn explore(p: &CheckedProgram, max_states: usize) -> (Vec<Violation>, usize)
                         }
                         Observation::Read { addr, tid } => {
                             let cell = &st2.memory[addr];
-                            if cell.ty.mode == Mode::Private
-                                && cell.owner != 0
-                                && cell.owner != tid
+                            if cell.ty.mode == Mode::Private && cell.owner != 0 && cell.owner != tid
                             {
                                 violations.push(Violation::PrivateAccess {
                                     addr,
@@ -1005,10 +996,7 @@ mod tests {
         // main allocates a dynamic int, writes it, then casts the
         // reference to private — afterwards only main may touch it.
         let p = FProgram {
-            globals: vec![(
-                "g".into(),
-                FType::reft(Mode::Dynamic, dyn_int()),
-            )],
+            globals: vec![("g".into(), FType::reft(Mode::Dynamic, dyn_int()))],
             threads: vec![ThreadDef {
                 name: "main".into(),
                 locals: vec![

@@ -31,8 +31,8 @@
 //! ```
 
 pub mod bytecode;
-pub mod formal;
 pub mod compile;
+pub mod formal;
 pub mod report;
 pub mod vm;
 

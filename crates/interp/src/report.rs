@@ -217,7 +217,10 @@ mod tests {
         assert_eq!(reports.len(), 1);
         let text = reports[0].to_string();
         assert!(text.starts_with("read conflict(0x"), "{text}");
-        assert!(text.contains("who(2) S->sdata @ pipeline_test.c: 2"), "{text}");
+        assert!(
+            text.contains("who(2) S->sdata @ pipeline_test.c: 2"),
+            "{text}"
+        );
         assert!(
             text.contains("last(1) nextS->sdata @ pipeline_test.c: 3"),
             "{text}"

@@ -18,25 +18,68 @@ use crate::bytecode::*;
 use crate::report::{ConflictKind, ConflictReport, Reporter};
 use minic::ast::BinOp;
 use minic::span::SourceMap;
+use sharc_checker::step::{bitmap, Access, Transition};
 use sharc_testkit::rng::{Rng, Xoshiro256pp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
 /// Maximum simultaneously-live threads (the paper's encoding supports
 /// `8n - 1` threads for `n` shadow bytes; a `u64` mask gives us 63).
-pub const MAX_THREADS: usize = 63;
+pub const MAX_THREADS: usize = sharc_checker::MAX_CHECKED_THREADS;
+
+// The VM's simulated threads and the real-thread runtime must agree
+// on the bitmap width; both are pinned by the checker core.
+const _: () = assert!(MAX_THREADS == 63);
 
 /// One memory/synchronization event of an execution, for feeding
 /// trace-based race detectors (cross-validation against the §6.2
 /// baselines). Collected only when [`VmConfig::collect_trace`] is on.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum TraceEvent {
-    Read { tid: u8, addr: u32 },
-    Write { tid: u8, addr: u32 },
-    Acquire { tid: u8, lock: u32 },
-    Release { tid: u8, lock: u32 },
-    Fork { tid: u8, child: u8 },
-    Join { tid: u8, child: u8 },
-    Alloc { addr: u32, size: u32 },
+    Read {
+        tid: u8,
+        addr: u32,
+    },
+    Write {
+        tid: u8,
+        addr: u32,
+    },
+    Acquire {
+        tid: u8,
+        lock: u32,
+    },
+    Release {
+        tid: u8,
+        lock: u32,
+    },
+    Fork {
+        tid: u8,
+        child: u8,
+    },
+    Join {
+        tid: u8,
+        child: u8,
+    },
+    Alloc {
+        addr: u32,
+        size: u32,
+    },
+    /// A successful or failed `SCAST` over `[addr, addr + size)`;
+    /// `refs` is the reference count `oneref` observed.
+    SharingCast {
+        tid: u8,
+        addr: u32,
+        size: u32,
+        refs: u32,
+    },
+    /// The thread ended; its shadow bits were cleared.
+    ThreadExit {
+        tid: u8,
+    },
+    /// `free(addr)`; shadow state for the region was reset.
+    Free {
+        addr: u32,
+        size: u32,
+    },
 }
 
 /// Scheduling policy.
@@ -57,7 +100,9 @@ pub struct VmConfig {
     pub max_steps: u64,
     /// Stop collecting after this many distinct reports.
     pub max_reports: usize,
-    /// Cells per shadow granule; 2 models the paper's 16 bytes.
+    /// Cells per shadow granule; one cell models 8 bytes, so the
+    /// default of [`sharc_checker::GRANULE_CELLS`] (= 2) models the
+    /// paper's 16-byte granule.
     pub granule: u32,
     /// Halt the whole VM at the first failed check.
     pub stop_on_error: bool,
@@ -72,7 +117,7 @@ impl Default for VmConfig {
             policy: SchedPolicy::Random,
             max_steps: 200_000_000,
             max_reports: 64,
-            granule: 2,
+            granule: sharc_checker::GRANULE_CELLS,
             stop_on_error: false,
             collect_trace: false,
         }
@@ -183,10 +228,14 @@ struct Thread {
     access_log: Vec<u32>,
 }
 
+/// One shadow granule. `word` is the checker core's reader/writer
+/// bitmap ([`bitmap::step`]): bit 0 = writer flag, bit `t` = thread
+/// `t` has read (the writer is the thread whose bit accompanies the
+/// flag). The `last_*` fields are reporting metadata only — they
+/// never influence verdicts.
 #[derive(Debug, Default, Clone, Copy)]
 struct Granule {
-    readers: u64,
-    writers: u64,
+    word: u64,
     last_read: Option<LastAccess>,
     last_write: Option<LastAccess>,
 }
@@ -334,8 +383,7 @@ impl<'m> Vm<'m> {
                 self.mem.resize(aligned as usize, Value::ZERO);
                 self.obj_of.resize(self.mem.len(), 0);
                 let b = self.mem.len() as u32;
-                self.mem
-                    .resize(self.mem.len() + size as usize, Value::ZERO);
+                self.mem.resize(self.mem.len() + size as usize, Value::ZERO);
                 self.obj_of.resize(self.mem.len(), 0);
                 b
             }
@@ -470,59 +518,63 @@ impl<'m> Vm<'m> {
         &mut self.shadow[g as usize]
     }
 
-    fn chk_read(&mut self, tid: u8, addr: u32, size: u32, site: u32) {
+    /// The shared check-and-record over the unified transition
+    /// function: conflicts are reported and — exactly like the real
+    /// runtime and the reference backend — do *not* modify the
+    /// shadow word, so all three engines agree on every verdict.
+    fn chk_access(&mut self, tid: u8, addr: u32, size: u32, site: u32, access: Access) {
         self.stats.dynamic_accesses += size as u64;
         let gran = self.config.granule;
-        let bit = 1u64 << tid;
         let g0 = addr / gran;
         let g1 = (addr + size - 1) / gran;
         for gi in g0..=g1 {
-            let g = self.granule_mut(gi);
-            let others = g.writers & !bit;
-            // A read conflicts with another thread's write: report the
-            // offending writer as the "last" access.
-            let last = g.last_write.filter(|l| l.tid != tid);
-            if others != 0 {
-                let report_addr = Addr(gi * gran);
-                self.conflict(ConflictKind::Read, report_addr, tid, site, last);
-            }
-            let g = self.granule_mut(gi);
-            let newly = g.readers & bit == 0;
-            g.readers |= bit;
-            g.last_read = Some(LastAccess { tid, site });
-            if newly {
-                self.threads[self.current].access_log.push(gi);
+            let (t, last) = {
+                let g = self.granule_mut(gi);
+                // Report another thread's access as the "last" one
+                // (offending writer first on write conflicts).
+                let last = match access {
+                    Access::Read => g.last_write.filter(|l| l.tid != tid),
+                    Access::Write => g
+                        .last_write
+                        .filter(|l| l.tid != tid)
+                        .or(g.last_read.filter(|l| l.tid != tid)),
+                };
+                (bitmap::step(g.word, tid as u32, access), last)
+            };
+            match t {
+                Transition::Conflict => {
+                    let kind = match access {
+                        Access::Read => ConflictKind::Read,
+                        Access::Write => ConflictKind::Write,
+                    };
+                    self.conflict(kind, Addr(gi * gran), tid, site, last);
+                }
+                Transition::Install(new) => {
+                    let g = self.granule_mut(gi);
+                    g.word = new;
+                    match access {
+                        Access::Read => g.last_read = Some(LastAccess { tid, site }),
+                        Access::Write => g.last_write = Some(LastAccess { tid, site }),
+                    }
+                    self.threads[self.current].access_log.push(gi);
+                }
+                Transition::Unchanged => {
+                    let g = self.granule_mut(gi);
+                    match access {
+                        Access::Read => g.last_read = Some(LastAccess { tid, site }),
+                        Access::Write => g.last_write = Some(LastAccess { tid, site }),
+                    }
+                }
             }
         }
     }
 
+    fn chk_read(&mut self, tid: u8, addr: u32, size: u32, site: u32) {
+        self.chk_access(tid, addr, size, site, Access::Read);
+    }
+
     fn chk_write(&mut self, tid: u8, addr: u32, size: u32, site: u32) {
-        self.stats.dynamic_accesses += size as u64;
-        let gran = self.config.granule;
-        let bit = 1u64 << tid;
-        let g0 = addr / gran;
-        let g1 = (addr + size - 1) / gran;
-        for gi in g0..=g1 {
-            let g = self.granule_mut(gi);
-            let others = (g.readers | g.writers) & !bit;
-            // Prefer reporting another thread's access (writer first).
-            let last = g
-                .last_write
-                .filter(|l| l.tid != tid)
-                .or(g.last_read.filter(|l| l.tid != tid));
-            if others != 0 {
-                let report_addr = Addr(gi * gran);
-                self.conflict(ConflictKind::Write, report_addr, tid, site, last);
-            }
-            let g = self.granule_mut(gi);
-            let newly = (g.readers & bit == 0) || (g.writers & bit == 0);
-            g.readers |= bit;
-            g.writers |= bit;
-            g.last_write = Some(LastAccess { tid, site });
-            if newly {
-                self.threads[self.current].access_log.push(gi);
-            }
-        }
+        self.chk_access(tid, addr, size, site, Access::Write);
     }
 
     fn conflict(
@@ -533,13 +585,8 @@ impl<'m> Vm<'m> {
         site: u32,
         last: Option<LastAccess>,
     ) {
-        self.reporter.conflict(
-            kind,
-            addr,
-            tid,
-            site,
-            last.map(|l| (l.tid, l.site)),
-        );
+        self.reporter
+            .conflict(kind, addr, tid, site, last.map(|l| (l.tid, l.site)));
     }
 
     // ----- threads -----
@@ -589,13 +636,13 @@ impl<'m> Vm<'m> {
         // Clear this thread's shadow bits: non-overlapping thread
         // lifetimes do not constitute races.
         let log = std::mem::take(&mut self.threads[idx].access_log);
-        let bit = 1u64 << tid;
         for g in log {
             if (g as usize) < self.shadow.len() {
-                self.shadow[g as usize].readers &= !bit;
-                self.shadow[g as usize].writers &= !bit;
+                let w = &mut self.shadow[g as usize].word;
+                *w = bitmap::clear_thread(*w, tid as u32);
             }
         }
+        self.emit(TraceEvent::ThreadExit { tid });
         self.threads[idx].status = if failed { Status::Failed } else { Status::Done };
         self.free_tids.push(tid);
         // Wake joiners.
@@ -617,9 +664,11 @@ impl<'m> Vm<'m> {
             .map(|(i, _)| i)
             .collect();
         for i in all_others_done {
-            let others_running = self.threads.iter().enumerate().any(|(j, t)| {
-                j != i && !matches!(t.status, Status::Done | Status::Failed)
-            });
+            let others_running = self
+                .threads
+                .iter()
+                .enumerate()
+                .any(|(j, t)| j != i && !matches!(t.status, Status::Done | Status::Failed));
             if !others_running {
                 self.threads[i].status = Status::Runnable;
             }
@@ -671,12 +720,8 @@ impl<'m> Vm<'m> {
                         Status::Waiting(c, _) => {
                             Some(format!("thread {} waiting on condition {c}", t.id))
                         }
-                        Status::Joining(j) => {
-                            Some(format!("thread {} joining thread {j}", t.id))
-                        }
-                        Status::JoiningAll => {
-                            Some(format!("thread {} in join_all", t.id))
-                        }
+                        Status::Joining(j) => Some(format!("thread {} joining thread {j}", t.id)),
+                        Status::JoiningAll => Some(format!("thread {} in join_all", t.id)),
                         _ => None,
                     })
                     .collect();
@@ -853,9 +898,7 @@ impl<'m> Vm<'m> {
             Insn::CopyN(n) => {
                 let src = self.pop_addr("struct copy source")?;
                 let dst = self.pop_addr("struct copy destination")?;
-                if (src.0 + n) as usize > self.mem.len()
-                    || (dst.0 + n) as usize > self.mem.len()
-                {
+                if (src.0 + n) as usize > self.mem.len() || (dst.0 + n) as usize > self.mem.len() {
                     return Err("struct copy out of bounds".into());
                 }
                 self.stats.total_accesses += 2 * n as u64;
@@ -911,8 +954,8 @@ impl<'m> Vm<'m> {
                     .frames
                     .pop()
                     .expect("ret with a frame");
-                let size = self.frame_sizes[frame.fn_idx as usize]
-                    .next_multiple_of(self.config.granule);
+                let size =
+                    self.frame_sizes[frame.fn_idx as usize].next_multiple_of(self.config.granule);
                 // Kill the per-slot objects, then release the region.
                 let mut c = frame.base;
                 while c < frame.base + size {
@@ -960,9 +1003,10 @@ impl<'m> Vm<'m> {
             }
             Insn::JoinAll => {
                 let me = self.current;
-                let others_running = self.threads.iter().enumerate().any(|(j, t)| {
-                    j != me && !matches!(t.status, Status::Done | Status::Failed)
-                });
+                let others_running =
+                    self.threads.iter().enumerate().any(|(j, t)| {
+                        j != me && !matches!(t.status, Status::Done | Status::Failed)
+                    });
                 if others_running {
                     self.threads[me].status = Status::JoiningAll;
                 }
@@ -1048,6 +1092,10 @@ impl<'m> Vm<'m> {
                     return Err("free of interior pointer".into());
                 }
                 self.kill_obj_entry(o - 1);
+                self.emit(TraceEvent::Free {
+                    addr: obj.base,
+                    size: obj.size,
+                });
                 self.release_region(obj.base, obj.size);
                 self.stats.frees += 1;
             }
@@ -1124,8 +1172,7 @@ impl<'m> Vm<'m> {
                         Value::Ptr(a) => a,
                         _ => Addr::NULL,
                     };
-                    self.reporter
-                        .lock_violation(addr, tid, site);
+                    self.reporter.lock_violation(addr, tid, site);
                 }
             }
             Insn::OneRef { site } => {
@@ -1135,16 +1182,21 @@ impl<'m> Vm<'m> {
                         let o = self.obj_of[a.0 as usize];
                         if o != 0 {
                             let count = self.rc[(o - 1) as usize];
+                            let obj = self.objs[(o - 1) as usize];
+                            self.emit(TraceEvent::SharingCast {
+                                tid,
+                                addr: obj.base,
+                                size: obj.size,
+                                refs: (count + 1) as u32,
+                            });
                             if count > 0 {
                                 self.reporter.oneref_violation(a, tid, site, count + 1);
                             } else {
                                 // The cast succeeds: the object changes
                                 // mode, so past accesses no longer
                                 // constitute sharing.
-                                let obj = self.objs[(o - 1) as usize];
                                 let g0 = obj.base / self.config.granule;
-                                let g1 =
-                                    (obj.base + obj.size - 1) / self.config.granule;
+                                let g1 = (obj.base + obj.size - 1) / self.config.granule;
                                 for g in g0..=g1 {
                                     if (g as usize) < self.shadow.len() {
                                         self.shadow[g as usize] = Granule::default();

@@ -267,7 +267,11 @@ fn dynamic_fraction_reflects_sharing() {
     let a = compile_and_run("p.c", private_src, cfg(0)).unwrap();
     let b = compile_and_run("s.c", shared_src, cfg(0)).unwrap();
     assert_eq!(a.stats.dynamic_accesses, 0);
-    assert!(b.stats.dynamic_fraction() > 0.1, "{}", b.stats.dynamic_fraction());
+    assert!(
+        b.stats.dynamic_fraction() > 0.1,
+        "{}",
+        b.stats.dynamic_fraction()
+    );
 }
 
 #[test]
@@ -408,7 +412,10 @@ fn library_read_summary_checks_dynamic_strings() {
             break;
         }
     }
-    assert!(found, "summary-covered reads must participate in race detection");
+    assert!(
+        found,
+        "summary-covered reads must participate in race detection"
+    );
 }
 
 #[test]

@@ -361,7 +361,10 @@ pub enum StmtKind {
         init: Option<Expr>,
     },
     /// `lhs = rhs;` — the only place memory is written.
-    Assign { lhs: Expr, rhs: Expr },
+    Assign {
+        lhs: Expr,
+        rhs: Expr,
+    },
     /// An expression evaluated for effect (typically a call).
     Expr(Expr),
     If {

@@ -201,11 +201,7 @@ impl StructTable {
         for i in 0..table.defs.len() {
             table.size_of_struct(StructId(i), &mut sizes, &mut in_progress)?;
         }
-        fn field_size(
-            table: &StructTable,
-            sizes: &[Option<usize>],
-            ty: &Type,
-        ) -> usize {
+        fn field_size(table: &StructTable, sizes: &[Option<usize>], ty: &Type) -> usize {
             match &ty.kind {
                 TypeKind::Named(name) => {
                     let id = table.lookup(name).expect("checked during size pass");
@@ -273,9 +269,7 @@ impl StructTable {
                 })?;
                 self.size_of_struct(sid, sizes, in_progress)?
             }
-            TypeKind::Array(elem, n) => {
-                self.size_of_inner(elem, sizes, in_progress, span)? * n
-            }
+            TypeKind::Array(elem, n) => self.size_of_inner(elem, sizes, in_progress, span)? * n,
             TypeKind::Void => {
                 return Err(Diagnostic::error("field of type void", span));
             }
@@ -337,7 +331,6 @@ impl StructTable {
         Some((idx, self.layouts[id.0].offsets[idx]))
     }
 }
-
 
 #[cfg(test)]
 mod tests {

@@ -241,15 +241,14 @@ impl<'a> Lexer<'a> {
                 break;
             }
         }
-        let text = std::str::from_utf8(&self.src[start..self.pos])
-            .expect("identifier bytes are ASCII");
+        let text =
+            std::str::from_utf8(&self.src[start..self.pos]).expect("identifier bytes are ASCII");
         TokenKind::keyword(text).unwrap_or_else(|| TokenKind::Ident(text.to_owned()))
     }
 
     fn number(&mut self, lo: u32) -> Result<TokenKind, Diagnostic> {
         let start = self.pos;
-        let radix = if self.peek() == Some(b'0')
-            && matches!(self.peek2(), Some(b'x') | Some(b'X'))
+        let radix = if self.peek() == Some(b'0') && matches!(self.peek2(), Some(b'x') | Some(b'X'))
         {
             self.pos += 2;
             16
@@ -347,11 +346,7 @@ mod tests {
     use super::*;
 
     fn kinds(src: &str) -> Vec<TokenKind> {
-        lex(src)
-            .unwrap()
-            .into_iter()
-            .map(|t| t.kind)
-            .collect()
+        lex(src).unwrap().into_iter().map(|t| t.kind).collect()
     }
 
     #[test]
@@ -382,7 +377,10 @@ mod tests {
     #[test]
     fn numbers() {
         use TokenKind::*;
-        assert_eq!(kinds("0 42 0x1F"), vec![IntLit(0), IntLit(42), IntLit(31), Eof]);
+        assert_eq!(
+            kinds("0 42 0x1F"),
+            vec![IntLit(0), IntLit(42), IntLit(31), Eof]
+        );
     }
 
     #[test]

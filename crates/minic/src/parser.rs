@@ -280,20 +280,21 @@ impl Parser {
             });
         } else {
             // Global(s).
-            let mut push_global = |p: &mut Self, ty: Type, name: String, span: Span| -> PResult<()> {
-                let init = if p.eat(&TokenKind::Assign) {
-                    Some(p.expr()?)
-                } else {
-                    None
+            let mut push_global =
+                |p: &mut Self, ty: Type, name: String, span: Span| -> PResult<()> {
+                    let init = if p.eat(&TokenKind::Assign) {
+                        Some(p.expr()?)
+                    } else {
+                        None
+                    };
+                    prog.globals.push(GlobalDef {
+                        name,
+                        ty,
+                        init,
+                        span,
+                    });
+                    Ok(())
                 };
-                prog.globals.push(GlobalDef {
-                    name,
-                    ty,
-                    init,
-                    span,
-                });
-                Ok(())
-            };
             push_global(self, ty, name, start.to(self.prev_span()))?;
             while self.eat(&TokenKind::Comma) {
                 let (ty2, name2, sp2) = self.declarator(base.clone())?;
@@ -457,10 +458,7 @@ impl Parser {
                 }
                 self.expect(TokenKind::RParen)?;
             }
-            let sig = FnSig {
-                ret: ty,
-                params,
-            };
+            let sig = FnSig { ret: ty, params };
             let fn_ty = Type::new(TypeKind::Fn(Box::new(sig)), Qual::Infer);
             return Ok((Type::ptr(fn_ty, qual), name, nspan));
         }
@@ -1077,7 +1075,9 @@ mod tests {
 
     #[test]
     fn parses_locked_qualifier() {
-        let p = parse("struct s { mutex racy * readonly mut; char locked(mut) * locked(mut) sdata; };").unwrap();
+        let p =
+            parse("struct s { mutex racy * readonly mut; char locked(mut) * locked(mut) sdata; };")
+                .unwrap();
         let sd = &p.structs[0];
         let sdata = sd.field("sdata").unwrap();
         match &sdata.ty.qual {
@@ -1118,8 +1118,9 @@ mod tests {
 
     #[test]
     fn parses_scast() {
-        let p = parse("void f(char dynamic * d) { char private * l; l = SCAST(char private *, d); }")
-            .unwrap();
+        let p =
+            parse("void f(char dynamic * d) { char private * l; l = SCAST(char private *, d); }")
+                .unwrap();
         let body = &p.fns[0].body;
         match &body.stmts[1].kind {
             StmtKind::Assign { rhs, .. } => {

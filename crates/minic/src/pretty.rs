@@ -111,10 +111,7 @@ fn stmt(s: &Stmt, depth: usize) -> String {
             step,
             body,
         } => {
-            let i = init
-                .as_ref()
-                .map(|s| stmt_inline(s))
-                .unwrap_or_default();
+            let i = init.as_ref().map(|s| stmt_inline(s)).unwrap_or_default();
             let c = cond.as_ref().map(expr).unwrap_or_default();
             let st = step.as_ref().map(|s| stmt_inline(s)).unwrap_or_default();
             format!("{pad}for ({i}; {c}; {st}) {}", block(body, depth))
@@ -285,7 +282,10 @@ mod tests {
             parse("struct s { mutex racy * readonly mut; char locked(mut) *locked(mut) sdata; };")
                 .unwrap();
         let out = struct_def(&p.structs[0]);
-        assert!(out.contains("char locked(mut) *locked(mut) sdata;"), "{out}");
+        assert!(
+            out.contains("char locked(mut) *locked(mut) sdata;"),
+            "{out}"
+        );
     }
 
     #[test]

@@ -69,25 +69,25 @@ pub enum TokenKind {
     Arrow, // ->
 
     // Operators
-    Assign,    // =
-    PlusEq,    // +=
-    MinusEq,   // -=
-    StarEq,    // *=
-    SlashEq,   // /=
+    Assign,  // =
+    PlusEq,  // +=
+    MinusEq, // -=
+    StarEq,  // *=
+    SlashEq, // /=
     Plus,
     Minus,
     Star,
     Slash,
     Percent,
-    Amp,       // &
-    AmpAmp,    // &&
-    Pipe,      // |
-    PipePipe,  // ||
-    Caret,     // ^
-    Bang,      // !
-    Tilde,     // ~
-    Shl,       // <<
-    Shr,       // >>
+    Amp,      // &
+    AmpAmp,   // &&
+    Pipe,     // |
+    PipePipe, // ||
+    Caret,    // ^
+    Bang,     // !
+    Tilde,    // ~
+    Shl,      // <<
+    Shr,      // >>
     EqEq,
     NotEq,
     Lt,

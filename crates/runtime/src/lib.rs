@@ -39,7 +39,7 @@ pub mod scalable;
 pub mod scast;
 pub mod shadow;
 
-pub use arena::{AccessPolicy, Arena, Checked, Unchecked, GRANULE_WORDS};
+pub use arena::{AccessPolicy, Arena, CachedChecked, Checked, Unchecked, GRANULE_WORDS};
 pub use locks::{LockId, LockNotHeld, LockRegistry, ThreadCtx};
 pub use rc::{LpRc, NaiveRc, ObjId, RcScheme};
 pub use scalable::{ScalableShadow, WideThreadId};

@@ -7,6 +7,7 @@
 //! address of the lock is removed from the log."
 
 use crate::shadow::ThreadId;
+use sharc_checker::OwnedCache;
 use sharc_testkit::sync::RawMutex;
 
 /// Identifies a lock in a [`LockRegistry`].
@@ -47,6 +48,10 @@ pub struct ThreadCtx {
     pub checked_accesses: u64,
     /// All accesses performed through this context.
     pub total_accesses: u64,
+    /// The per-thread owned-granule epoch cache: repeated private
+    /// accesses hit here and skip the shadow CAS entirely (see
+    /// [`sharc_checker::OwnedCache`] for the soundness invariants).
+    pub owned_cache: OwnedCache,
 }
 
 impl ThreadCtx {
@@ -59,6 +64,7 @@ impl ThreadCtx {
             conflicts: 0,
             checked_accesses: 0,
             total_accesses: 0,
+            owned_cache: OwnedCache::new(),
         }
     }
 

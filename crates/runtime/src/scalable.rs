@@ -6,13 +6,16 @@
 //! low overhead."
 //!
 //! One 8-byte word per granule encodes an *adaptive* state instead of
-//! a bitmap, supporting 2³⁰ thread ids at constant shadow cost:
+//! a bitmap, supporting 2³⁰ thread ids at constant shadow cost. The
+//! state machine itself lives in `sharc-checker`
+//! ([`sharc_checker::step::adaptive`]); this module is only the
+//! compare-exchange retry loop around the pure transition function:
 //!
 //! ```text
 //! EMPTY                      nobody has touched the granule
 //! EXCL(tid)                  one thread reads and writes
 //! READ1(tid)                 one thread reads
-//! SHARED_READ                多 readers (identities not tracked)
+//! SHARED_READ                many readers (identities not tracked)
 //! ```
 //!
 //! Trade-off versus the paper's bitmap: once a granule is read-shared
@@ -24,30 +27,15 @@
 //! exact whenever a granule has at most one concurrent reader.
 
 use crate::shadow::RaceError;
+use sharc_checker::step::{adaptive, Access, Transition};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// A thread id for the scalable encoding (1-based, up to 2³⁰ − 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WideThreadId(pub u32);
 
-const TAG_EMPTY: u64 = 0;
-const TAG_EXCL: u64 = 1;
-const TAG_READ1: u64 = 2;
-const TAG_SHARED: u64 = 3;
-const TAG_SHIFT: u32 = 62;
-const TID_MASK: u64 = (1 << 30) - 1;
-
-fn pack(tag: u64, tid: u32) -> u64 {
-    (tag << TAG_SHIFT) | tid as u64
-}
-
-fn tag(word: u64) -> u64 {
-    word >> TAG_SHIFT
-}
-
-fn tid_of(word: u64) -> u32 {
-    (word & TID_MASK) as u32
-}
+const TAG_EMPTY: u64 = adaptive::TAG_EMPTY;
+const TID_MASK: u64 = adaptive::TID_MASK;
 
 /// Shadow state with the adaptive single-word-per-granule encoding.
 #[derive(Debug)]
@@ -79,12 +67,8 @@ impl ScalableShadow {
         self.words.len() * 8
     }
 
-    /// The `chkread` check-and-record.
-    ///
-    /// # Panics
-    ///
-    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
-    pub fn check_read(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+    /// The CAS retry loop over the pure adaptive transition function.
+    fn check(&self, granule: usize, tid: WideThreadId, access: Access) -> Result<bool, RaceError> {
         assert!(
             tid.0 >= 1 && (tid.0 as u64) <= TID_MASK,
             "thread id out of range"
@@ -92,26 +76,32 @@ impl ScalableShadow {
         let w = &self.words[granule];
         let mut cur = w.load(Ordering::Acquire);
         loop {
-            let new = match tag(cur) {
-                TAG_EMPTY => pack(TAG_READ1, tid.0),
-                TAG_READ1 | TAG_EXCL if tid_of(cur) == tid.0 => return Ok(false),
-                TAG_READ1 => pack(TAG_SHARED, 0),
-                TAG_SHARED => return Ok(false),
-                TAG_EXCL => {
-                    // Another thread is writing.
+            match adaptive::step(cur, tid.0, access) {
+                Transition::Unchanged => return Ok(false),
+                Transition::Conflict => {
                     return Err(RaceError {
                         granule,
-                        was_write: false,
+                        was_write: access.is_write(),
                         observed: cur,
-                    });
+                    })
                 }
-                _ => unreachable!("two-bit tag"),
-            };
-            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return Ok(true),
-                Err(now) => cur = now,
+                Transition::Install(new) => {
+                    match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                        Ok(_) => return Ok(true),
+                        Err(now) => cur = now,
+                    }
+                }
             }
         }
+    }
+
+    /// The `chkread` check-and-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
+    pub fn check_read(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+        self.check(granule, tid, Access::Read)
     }
 
     /// The `chkwrite` check-and-record.
@@ -120,33 +110,7 @@ impl ScalableShadow {
     ///
     /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
     pub fn check_write(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
-        assert!(
-            tid.0 >= 1 && (tid.0 as u64) <= TID_MASK,
-            "thread id out of range"
-        );
-        let w = &self.words[granule];
-        let mut cur = w.load(Ordering::Acquire);
-        loop {
-            let new = match tag(cur) {
-                TAG_EMPTY => pack(TAG_EXCL, tid.0),
-                TAG_EXCL if tid_of(cur) == tid.0 => return Ok(false),
-                TAG_READ1 if tid_of(cur) == tid.0 => pack(TAG_EXCL, tid.0),
-                _ => {
-                    // Another writer, another reader, or shared
-                    // readers (possibly stale — the documented
-                    // imprecision of this encoding).
-                    return Err(RaceError {
-                        granule,
-                        was_write: true,
-                        observed: cur,
-                    });
-                }
-            };
-            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return Ok(true),
-                Err(now) => cur = now,
-            }
-        }
+        self.check(granule, tid, Access::Write)
     }
 
     /// Thread-exit clearing: exact for granules this thread owns
@@ -156,19 +120,13 @@ impl ScalableShadow {
         let w = &self.words[granule];
         let mut cur = w.load(Ordering::Acquire);
         loop {
-            match tag(cur) {
-                TAG_EXCL | TAG_READ1 if tid_of(cur) == tid.0 => {
-                    match w.compare_exchange_weak(
-                        cur,
-                        TAG_EMPTY,
-                        Ordering::AcqRel,
-                        Ordering::Acquire,
-                    ) {
-                        Ok(_) => return,
-                        Err(now) => cur = now,
-                    }
-                }
-                _ => return,
+            let new = adaptive::clear_thread(cur, tid.0);
+            if new == cur {
+                return;
+            }
+            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
+                Ok(_) => return,
+                Err(now) => cur = now,
             }
         }
     }

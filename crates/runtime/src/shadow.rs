@@ -1,31 +1,27 @@
 //! Shadow memory implementing the paper's reader/writer-set encoding
 //! (§4.2.1), for real threads with atomic updates.
 //!
-//! For every 16 bytes of payload memory SharC keeps `n` extra bytes.
-//! The encoding:
+//! The granule state machine itself lives in `sharc-checker`
+//! ([`sharc_checker::step::bitmap`]): this module is the thin
+//! compare-exchange retry loop around the pure transition function —
+//! the portable equivalent of the paper's `cmpxchg` on x86. With `n`
+//! shadow bytes the encoding supports `8n − 1` threads.
 //!
-//! * bit 0 set — a *single* thread is reading **and writing** the
-//!   granule (the thread whose bit is also set);
-//! * bit `k` (k ≥ 1) set — thread `k` is reading the granule, and
-//!   also writing it if bit 0 is set.
-//!
-//! With `n` shadow bytes this supports `8n - 1` threads. Updates use
-//! compare-exchange loops, the portable equivalent of the paper's
-//! `cmpxchg` on x86.
+//! On top of the CAS path sits the *owned-granule epoch cache* fast
+//! path ([`Shadow::check_read_cached`] /
+//! [`Shadow::check_write_cached`]): a per-thread [`OwnedCache`]
+//! skips the atomic check entirely on repeated private accesses,
+//! guarded by [`Shadow::epoch`], which every clear bumps. See
+//! `sharc_checker::cache` for the soundness invariants.
 
+use sharc_checker::step::{bitmap, Access, Transition};
+use sharc_checker::OwnedCache;
 use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// A checked-thread identifier: `1 ..= 8n - 1` for a width of `n`
 /// bytes.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct ThreadId(pub u8);
-
-impl ThreadId {
-    /// The bit this thread occupies in a shadow word.
-    fn bit(self) -> u64 {
-        1u64 << self.0
-    }
-}
 
 /// A race detected by a shadow check.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -64,8 +60,6 @@ pub trait ShadowWord: Default + Sync + Send {
     fn compare_exchange(&self, current: u64, new: u64) -> Result<u64, u64>;
     /// Unconditional clear.
     fn clear(&self);
-    /// Atomically removes the given bits.
-    fn fetch_and_not(&self, bits: u64) -> u64;
 }
 
 macro_rules! impl_shadow_word {
@@ -89,9 +83,6 @@ macro_rules! impl_shadow_word {
             fn clear(&self) {
                 <$atomic>::store(self, 0, Ordering::Release);
             }
-            fn fetch_and_not(&self, bits: u64) -> u64 {
-                <$atomic>::fetch_and(self, !(bits as $raw), Ordering::AcqRel) as u64
-            }
         }
     };
 }
@@ -101,16 +92,24 @@ impl_shadow_word!(AtomicU16, u16, 2);
 impl_shadow_word!(AtomicU32, u32, 4);
 impl_shadow_word!(AtomicU64, u64, 8);
 
-/// The single-writer flag (bit 0 of every shadow word).
-const WRITER_FLAG: u64 = 1;
+// The widest word's capacity is the workspace-wide thread bound; the
+// VM checks its own MAX_THREADS against the same constant.
+const _: () = assert!(
+    AtomicU64::MAX_THREAD as usize == sharc_checker::MAX_CHECKED_THREADS,
+    "the 8n-1 rule must agree with sharc-checker"
+);
 
-/// Shadow state for a payload arena, one word per 16-byte granule.
+/// Shadow state for a payload arena, one word per 16-byte granule
+/// ([`sharc_checker::GRANULE_BYTES`]).
 ///
 /// The default width (`AtomicU8`, n = 1) matches the paper's
 /// evaluation configuration: "setting n = 1 has been sufficient".
 #[derive(Debug)]
 pub struct Shadow<W: ShadowWord = AtomicU8> {
     words: Vec<W>,
+    /// Bumped by every clear; owned-granule caches self-invalidate
+    /// when it moves.
+    epoch: AtomicU64,
 }
 
 impl<W: ShadowWord> Shadow<W> {
@@ -118,7 +117,10 @@ impl<W: ShadowWord> Shadow<W> {
     pub fn new(n_granules: usize) -> Self {
         let mut words = Vec::with_capacity(n_granules);
         words.resize_with(n_granules, W::default);
-        Shadow { words }
+        Shadow {
+            words,
+            epoch: AtomicU64::new(0),
+        }
     }
 
     /// Number of granules covered.
@@ -141,6 +143,45 @@ impl<W: ShadowWord> Shadow<W> {
         W::MAX_THREAD
     }
 
+    /// The current clear-epoch (see [`sharc_checker::cache`]).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    /// The CAS retry loop over the pure transition function — the
+    /// one place the paper's `cmpxchg` protocol is written down.
+    #[inline]
+    fn check(&self, granule: usize, tid: ThreadId, access: Access) -> Result<bool, RaceError> {
+        assert!(
+            tid.0 >= 1 && tid.0 <= W::MAX_THREAD,
+            "thread id out of range"
+        );
+        let w = &self.words[granule];
+        let mut cur = w.load();
+        loop {
+            match bitmap::step(cur, tid.0 as u32, access) {
+                Transition::Unchanged => return Ok(false),
+                Transition::Conflict => {
+                    return Err(RaceError {
+                        granule,
+                        was_write: access.is_write(),
+                        observed: cur,
+                    })
+                }
+                Transition::Install(new) => match w.compare_exchange(cur, new) {
+                    Ok(_) => return Ok(true),
+                    Err(now) => cur = now,
+                },
+            }
+        }
+    }
+
     /// Performs the `chkread` check-and-record for `tid` on `granule`.
     ///
     /// Returns `Ok(newly_set)` — `newly_set` tells the caller to log
@@ -150,29 +191,7 @@ impl<W: ShadowWord> Shadow<W> {
     ///
     /// Panics if `tid` exceeds the width's thread capacity.
     pub fn check_read(&self, granule: usize, tid: ThreadId) -> Result<bool, RaceError> {
-        assert!(tid.0 >= 1 && tid.0 <= W::MAX_THREAD, "thread id out of range");
-        let w = &self.words[granule];
-        let bit = tid.bit();
-        let mut cur = w.load();
-        loop {
-            // A writer exists iff bit 0 is set; the writer is the
-            // thread whose bit accompanies it. Reading is a conflict
-            // unless that thread is us.
-            if cur & WRITER_FLAG != 0 && cur & !WRITER_FLAG & !bit != 0 {
-                return Err(RaceError {
-                    granule,
-                    was_write: false,
-                    observed: cur,
-                });
-            }
-            if cur & bit != 0 {
-                return Ok(false);
-            }
-            match w.compare_exchange(cur, cur | bit) {
-                Ok(_) => return Ok(true),
-                Err(now) => cur = now,
-            }
-        }
+        self.check(granule, tid, Access::Read)
     }
 
     /// Performs the `chkwrite` check-and-record for `tid`.
@@ -181,28 +200,76 @@ impl<W: ShadowWord> Shadow<W> {
     ///
     /// Panics if `tid` exceeds the width's thread capacity.
     pub fn check_write(&self, granule: usize, tid: ThreadId) -> Result<bool, RaceError> {
-        assert!(tid.0 >= 1 && tid.0 <= W::MAX_THREAD, "thread id out of range");
-        let w = &self.words[granule];
-        let bit = tid.bit();
-        let mut cur = w.load();
-        loop {
-            // Writing requires no *other* readers or writers at all.
-            if cur & !WRITER_FLAG & !bit != 0 {
-                return Err(RaceError {
-                    granule,
-                    was_write: true,
-                    observed: cur,
-                });
-            }
-            let new = WRITER_FLAG | bit;
-            if cur == new {
-                return Ok(false);
-            }
-            match w.compare_exchange(cur, new) {
-                Ok(_) => return Ok(true),
-                Err(now) => cur = now,
-            }
+        self.check(granule, tid, Access::Write)
+    }
+
+    /// [`Shadow::check_read`] with the owned-granule fast path: if
+    /// `cache` proves this thread's read bit is already installed
+    /// (and no clear intervened), the atomic check is skipped.
+    #[inline]
+    pub fn check_read_cached(
+        &self,
+        granule: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache,
+    ) -> Result<bool, RaceError> {
+        // The epoch must be observed before the slow-path check so a
+        // concurrent clear invalidates whatever we are about to cache.
+        let epoch = self.epoch();
+        if cache.lookup(epoch, granule, false) {
+            return Ok(false);
         }
+        self.fill_read(granule, tid, cache)
+    }
+
+    /// The outlined miss path of [`Shadow::check_read_cached`]:
+    /// run the full check, then remember the verdict. Outlining
+    /// keeps the caller's inlined fast path to a handful of
+    /// instructions (epoch load, table probe, compare).
+    #[cold]
+    #[inline(never)]
+    fn fill_read(
+        &self,
+        granule: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache,
+    ) -> Result<bool, RaceError> {
+        let newly = self.check_read(granule, tid)?;
+        cache.insert(granule, false);
+        Ok(newly)
+    }
+
+    /// [`Shadow::check_write`] with the owned-granule fast path: a
+    /// cached exclusive owner skips the CAS entirely — the common
+    /// case on thread-private dynamic data.
+    #[inline]
+    pub fn check_write_cached(
+        &self,
+        granule: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache,
+    ) -> Result<bool, RaceError> {
+        let epoch = self.epoch();
+        if cache.lookup(epoch, granule, true) {
+            return Ok(false);
+        }
+        self.fill_write(granule, tid, cache)
+    }
+
+    /// The outlined miss path of [`Shadow::check_write_cached`].
+    #[cold]
+    #[inline(never)]
+    fn fill_write(
+        &self,
+        granule: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache,
+    ) -> Result<bool, RaceError> {
+        let newly = self.check_write(granule, tid)?;
+        // After a passing chkwrite the word is exactly
+        // WRITER_FLAG | bit(tid): this thread owns the granule.
+        cache.insert(granule, true);
+        Ok(newly)
     }
 
     /// Clears a thread's bit on exit ("SharC does not consider it a
@@ -210,18 +277,25 @@ impl<W: ShadowWord> Shadow<W> {
     /// execution does not overlap").
     pub fn clear_thread(&self, granule: usize, tid: ThreadId) {
         let w = &self.words[granule];
-        let prev = w.fetch_and_not(tid.bit());
-        // If this thread was the single reader+writer, drop the
-        // writer flag too (no thread bits remain).
-        if prev & !WRITER_FLAG == tid.bit() {
-            w.fetch_and_not(WRITER_FLAG);
+        let mut cur = w.load();
+        loop {
+            let new = bitmap::clear_thread(cur, tid.0 as u32);
+            if new == cur {
+                break;
+            }
+            match w.compare_exchange(cur, new) {
+                Ok(_) => break,
+                Err(now) => cur = now,
+            }
         }
+        self.bump_epoch();
     }
 
     /// Clears a granule entirely (`free`, or a successful sharing
     /// cast's mode change).
     pub fn clear(&self, granule: usize) {
         self.words[granule].clear();
+        self.bump_epoch();
     }
 
     /// Raw bits, for tests and diagnostics.
@@ -378,5 +452,61 @@ mod tests {
         }
         let total: usize = handles.into_iter().map(|h| h.join().unwrap()).sum();
         assert!(total > 0, "competing writers must conflict");
+    }
+
+    // ----- owned-granule fast path -----
+
+    #[test]
+    fn cached_write_skips_but_agrees() {
+        let s: Shadow = Shadow::new(4);
+        let mut cache = OwnedCache::new();
+        let t = ThreadId(1);
+        assert_eq!(s.check_write_cached(0, t, &mut cache), Ok(true));
+        for _ in 0..10 {
+            assert_eq!(s.check_write_cached(0, t, &mut cache), Ok(false));
+            assert_eq!(s.check_read_cached(0, t, &mut cache), Ok(false));
+        }
+        assert_eq!(cache.misses, 1, "one fill, then 20 fast-path hits");
+        // The shadow word is exactly what the uncached path produces.
+        assert_eq!(s.raw(0), 1 | (1 << 1));
+    }
+
+    #[test]
+    fn cache_never_hides_a_conflict_from_the_other_thread() {
+        let s: Shadow = Shadow::new(1);
+        let mut c1 = OwnedCache::new();
+        let t1 = ThreadId(1);
+        s.check_write_cached(0, t1, &mut c1).unwrap();
+        // Thread 2 runs the full check and sees the conflict.
+        let mut c2 = OwnedCache::new();
+        assert!(s.check_write_cached(0, ThreadId(2), &mut c2).is_err());
+        // ...and thread 1's cache still answers correctly (owner
+        // stable: the conflicting access did not install).
+        assert_eq!(s.check_write_cached(0, t1, &mut c1), Ok(false));
+    }
+
+    #[test]
+    fn clear_invalidates_cached_ownership() {
+        let s: Shadow = Shadow::new(1);
+        let mut c1 = OwnedCache::new();
+        s.check_write_cached(0, ThreadId(1), &mut c1).unwrap();
+        // free / sharing cast: the granule resets and the epoch moves.
+        s.clear(0);
+        let mut c2 = OwnedCache::new();
+        s.check_write_cached(0, ThreadId(2), &mut c2).unwrap();
+        // Thread 1's next cached access must NOT fast-path: the new
+        // owner is thread 2 and the access is a real conflict.
+        assert!(s.check_write_cached(0, ThreadId(1), &mut c1).is_err());
+    }
+
+    #[test]
+    fn clear_thread_invalidates_via_epoch() {
+        let s: Shadow = Shadow::new(1);
+        let mut c1 = OwnedCache::new();
+        s.check_read_cached(0, ThreadId(1), &mut c1).unwrap();
+        s.clear_thread(0, ThreadId(1));
+        // After the exit-clear the cached read entry is discarded and
+        // the slow path re-installs.
+        assert_eq!(s.check_read_cached(0, ThreadId(1), &mut c1), Ok(true));
     }
 }

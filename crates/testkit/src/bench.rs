@@ -179,7 +179,10 @@ mod tests {
             Some(Json::Arr(v)) => v,
             other => panic!("benches missing: {other:?}"),
         };
-        assert_eq!(benches[0].get("median_ns"), Some(&Json::Int(s.median_ns as i64)));
+        assert_eq!(
+            benches[0].get("median_ns"),
+            Some(&Json::Int(s.median_ns as i64))
+        );
     }
 
     #[test]

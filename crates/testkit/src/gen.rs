@@ -63,9 +63,13 @@ impl<T: Clone + 'static> Tree<T> {
     }
 }
 
+/// The shared generation function inside a [`Gen`]: RNG in, shrink
+/// tree out.
+type GenFn<T> = Rc<dyn Fn(&mut Xoshiro256pp) -> Tree<T>>;
+
 /// A random generator of shrink trees.
 pub struct Gen<T: 'static> {
-    run: Rc<dyn Fn(&mut Xoshiro256pp) -> Tree<T>>,
+    run: GenFn<T>,
 }
 
 impl<T> Clone for Gen<T> {
@@ -312,7 +316,10 @@ mod tests {
             if t.value > 0 {
                 let kids = t.children();
                 assert!(!kids.is_empty());
-                assert!(kids.iter().all(|c| c.value % 2 == 0), "shrinks in source domain");
+                assert!(
+                    kids.iter().all(|c| c.value % 2 == 0),
+                    "shrinks in source domain"
+                );
                 return;
             }
         }

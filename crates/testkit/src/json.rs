@@ -126,7 +126,10 @@ fn write_escaped(out: &mut String, s: &str) {
 ///
 /// Returns a message with the byte offset of the first syntax error.
 pub fn parse(input: &str) -> Result<Json, String> {
-    let mut p = Parser { bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_ws();
     let v = p.value()?;
     p.skip_ws();
@@ -314,9 +317,13 @@ impl<'a> Parser<'a> {
         }
         let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii");
         if is_float {
-            text.parse().map(Json::Float).map_err(|e| format!("bad number {text:?}: {e}"))
+            text.parse()
+                .map(Json::Float)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
         } else {
-            text.parse().map(Json::Int).map_err(|e| format!("bad number {text:?}: {e}"))
+            text.parse()
+                .map(Json::Int)
+                .map_err(|e| format!("bad number {text:?}: {e}"))
         }
     }
 }

@@ -165,7 +165,11 @@ fn persist_seed(path: &PathBuf, name: &str, case_seed: u64, minimal: &str) {
     short.truncate(160);
     let line = format!("{header}0x{case_seed:016x} # {name}: shrinks to {short}\n");
     use std::io::Write;
-    if let Ok(mut f) = std::fs::OpenOptions::new().create(true).append(true).open(path) {
+    if let Ok(mut f) = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(path)
+    {
         let _ = f.write_all(line.as_bytes());
     }
 }
@@ -227,7 +231,7 @@ where
 macro_rules! forall {
     ($name:expr, $cfg:expr, $gen:expr, |$x:pat_param| $body:block) => {
         $crate::prop::check_with(&$cfg, $name, &$gen, |$x| {
-            $body
+            $body;
             ::std::result::Result::Ok(())
         })
     };
@@ -265,7 +269,12 @@ macro_rules! prop_assert_eq {
         if left != right {
             return ::std::result::Result::Err(format!(
                 "assertion failed: {} == {}\n  left: {:?}\n right: {:?} ({}:{})",
-                stringify!($a), stringify!($b), left, right, file!(), line!()
+                stringify!($a),
+                stringify!($b),
+                left,
+                right,
+                file!(),
+                line!()
             ));
         }
     }};
@@ -278,7 +287,12 @@ mod tests {
 
     #[test]
     fn passing_property_runs_all_cases() {
-        let cfg = Config { cases: 32, seed: 1, max_shrink_steps: 100, regressions: None };
+        let cfg = Config {
+            cases: 32,
+            seed: 1,
+            max_shrink_steps: 100,
+            regressions: None,
+        };
         check_with(&cfg, "tautology", &gen::u64_range(0..100), |_| Ok(()));
     }
 
@@ -286,7 +300,12 @@ mod tests {
     fn same_seed_same_case_sequence() {
         let collect = |seed: u64| {
             let mut seen = Vec::new();
-            let cfg = Config { cases: 20, seed, max_shrink_steps: 0, regressions: None };
+            let cfg = Config {
+                cases: 20,
+                seed,
+                max_shrink_steps: 0,
+                regressions: None,
+            };
             // Record via interior mutability inside the property.
             let seen_cell = std::cell::RefCell::new(&mut seen);
             check_with(&cfg, "record", &gen::u64_range(0..1_000_000), |&v| {
@@ -303,7 +322,11 @@ mod tests {
     fn shrinking_reaches_local_minimum() {
         // Fails for v >= 17: greedy shrink must land exactly on 17.
         let prop = |v: &u64| -> Result<(), String> {
-            if *v >= 17 { Err("too big".into()) } else { Ok(()) }
+            if *v >= 17 {
+                Err("too big".into())
+            } else {
+                Ok(())
+            }
         };
         let mut rng = Xoshiro256pp::seed_from_u64(99);
         let g = gen::u64_range(0..100_000);
@@ -332,15 +355,29 @@ mod tests {
     #[test]
     #[should_panic(expected = "minimal failing input")]
     fn failing_property_panics_with_shrunk_input() {
-        let cfg = Config { cases: 64, seed: 7, max_shrink_steps: 4096, regressions: None };
+        let cfg = Config {
+            cases: 64,
+            seed: 7,
+            max_shrink_steps: 4096,
+            regressions: None,
+        };
         check_with(&cfg, "fails_high", &gen::u64_range(0..10_000), |&v| {
-            if v > 100 { Err(format!("{v} > 100")) } else { Ok(()) }
+            if v > 100 {
+                Err(format!("{v} > 100"))
+            } else {
+                Ok(())
+            }
         });
     }
 
     #[test]
     fn panicking_property_is_caught_and_shrunk() {
-        let cfg = Config { cases: 64, seed: 11, max_shrink_steps: 4096, regressions: None };
+        let cfg = Config {
+            cases: 64,
+            seed: 11,
+            max_shrink_steps: 4096,
+            regressions: None,
+        };
         let result = catch_unwind(AssertUnwindSafe(|| {
             check_with(&cfg, "unwinds", &gen::u64_range(0..10_000), |&v| {
                 assert!(v <= 100, "{v} too big");

@@ -92,10 +92,7 @@ impl RngCore for Xoshiro256pp {
     #[inline]
     fn next_u64(&mut self) -> u64 {
         let s = &mut self.s;
-        let result = s[0]
-            .wrapping_add(s[3])
-            .rotate_left(23)
-            .wrapping_add(s[0]);
+        let result = s[0].wrapping_add(s[3]).rotate_left(23).wrapping_add(s[0]);
         let t = s[1] << 17;
         s[2] ^= s[0];
         s[3] ^= s[1];
@@ -273,9 +270,8 @@ impl<R: RngCore + ?Sized> Rng for R {}
 /// environment (decimal or `0x`-prefixed hex), else `default`.
 pub fn seed_from_env(default: u64) -> u64 {
     match std::env::var("SHARC_TEST_SEED") {
-        Ok(v) => parse_seed(&v).unwrap_or_else(|| {
-            panic!("SHARC_TEST_SEED={v:?} is not a decimal or 0x-hex u64")
-        }),
+        Ok(v) => parse_seed(&v)
+            .unwrap_or_else(|| panic!("SHARC_TEST_SEED={v:?} is not a decimal or 0x-hex u64")),
         Err(_) => default,
     }
 }

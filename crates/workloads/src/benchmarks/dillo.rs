@@ -17,8 +17,10 @@
 
 use crate::substrates::net::DnsServer;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
+use sharc_runtime::{
+    AccessPolicy, Arena, Checked, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId, Unchecked,
+};
 use sharc_testkit::sync::Mutex;
-use sharc_runtime::{AccessPolicy, Arena, Checked, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId, Unchecked};
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
@@ -54,8 +56,7 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
     // matching dillo's 16-byte-aligned request allocations (§4.5's
     // alignment requirement avoids false sharing).
     let arena: Arc<Arena> = Arc::new(Arena::new(2 * params.n_requests));
-    let queue: Arc<Mutex<VecDeque<usize>>> =
-        Arc::new(Mutex::new((0..params.n_requests).collect()));
+    let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new((0..params.n_requests).collect()));
     // The dillo quirk: request ids are "cast to pointer type" and so
     // get reference-counted — one RC slot per request whose updates
     // touch count memory (the paper's bogus-pointer overhead).

@@ -106,9 +106,7 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
         for idx in 0..params.n_transforms {
             // The worker may not have stored yet only if it panicked;
             // scope join guarantees completion.
-            if rc.read_slot(2 * idx + 1).is_some()
-                && sharing_cast(&*rc, 0, 2 * idx + 1).is_err()
-            {
+            if rc.read_slot(2 * idx + 1).is_some() && sharing_cast(&*rc, 0, 2 * idx + 1).is_err() {
                 scast_failures.fetch_add(1, Ordering::Relaxed);
             }
         }

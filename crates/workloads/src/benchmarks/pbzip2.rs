@@ -18,8 +18,8 @@
 use crate::substrates::compress::compress_block;
 use crate::substrates::net::fnv;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_testkit::sync::{Condvar, Mutex};
 use sharc_runtime::{sharing_cast, LpRc, RcScheme};
+use sharc_testkit::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 
@@ -66,7 +66,6 @@ impl Slot {
         *b = Some(v);
         self.cv.notify_all();
     }
-
 }
 
 /// Deterministic compressible input (text-like).
@@ -92,8 +91,7 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
     let scast_failures = Arc::new(AtomicU64::new(0));
 
     type Results = Arc<Mutex<Vec<(usize, Vec<u8>)>>>;
-    let work_slots: Arc<Vec<Slot>> =
-        Arc::new((0..params.workers).map(|_| Slot::new()).collect());
+    let work_slots: Arc<Vec<Slot>> = Arc::new((0..params.workers).map(|_| Slot::new()).collect());
     let done_flag = Arc::new(AtomicBool::new(false));
     let results: Results = Arc::new(Mutex::new(Vec::new()));
 
@@ -134,11 +132,7 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
                     // unchecked in both builds (annotated private).
                     let compressed = compress_block(&data);
                     if checked {
-                        rc.store(
-                            mutator,
-                            2 * idx + 1,
-                            Some(sharc_runtime::ObjId(idx as u32)),
-                        );
+                        rc.store(mutator, 2 * idx + 1, Some(sharc_runtime::ObjId(idx as u32)));
                     }
                     results.lock().push((idx, compressed));
                 }
@@ -167,10 +161,9 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
     let mut checksum = 0u64;
     let mut compressed_total = 0usize;
     for (idx, c) in &results {
-        if checked
-            && sharing_cast(&*rc, writer_mutator, 2 * idx + 1).is_err() {
-                scast_failures.fetch_add(1, Ordering::Relaxed);
-            }
+        if checked && sharing_cast(&*rc, writer_mutator, 2 * idx + 1).is_err() {
+            scast_failures.fetch_add(1, Ordering::Relaxed);
+        }
         checksum = checksum.wrapping_add(fnv(c).wrapping_mul(*idx as u64 + 1));
         compressed_total += c.len();
     }
@@ -338,8 +331,7 @@ mod tests {
 
     #[test]
     fn minic_version_compiles_clean() {
-        let (lines, annots, casts) =
-            crate::table::minic_columns("pbzip2.c", minic_source());
+        let (lines, annots, casts) = crate::table::minic_columns("pbzip2.c", minic_source());
         assert!(lines > 50);
         assert!(annots >= 5);
         assert_eq!(casts, 2, "one cast per hand-off direction");

@@ -12,8 +12,8 @@
 
 use crate::substrates::filesys::{FsConfig, SynthFs};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_testkit::sync::Mutex;
 use sharc_runtime::{AccessPolicy, Arena, Checked, ThreadCtx, ThreadId, Unchecked};
+use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -124,12 +124,7 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
                     for i in 0..=job.len - n {
                         let mut hit = true;
                         for (k, &nb) in NEEDLE.iter().enumerate() {
-                            let b = byte_at::<P>(
-                                &arena,
-                                &mut ctx,
-                                &mut cache,
-                                job.offset + i + k,
-                            );
+                            let b = byte_at::<P>(&arena, &mut ctx, &mut cache, job.offset + i + k);
                             if b != nb {
                                 hit = false;
                                 break;
@@ -141,7 +136,12 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
                     }
                 }
             }
-            let record = (matches, ctx.checked_accesses, ctx.total_accesses, ctx.conflicts);
+            let record = (
+                matches,
+                ctx.checked_accesses,
+                ctx.total_accesses,
+                ctx.conflicts,
+            );
             arena.thread_exit(&mut ctx);
             record
         }));
@@ -306,10 +306,12 @@ mod tests {
 
     #[test]
     fn minic_version_compiles_clean() {
-        let (lines, annots, casts) =
-            crate::table::minic_columns("pfscan.c", minic_source());
+        let (lines, annots, casts) = crate::table::minic_columns("pfscan.c", minic_source());
         assert!(lines > 40);
-        assert!(annots >= 5, "pfscan paper row lists 8 annotations; got {annots}");
+        assert!(
+            annots >= 5,
+            "pfscan paper row lists 8 annotations; got {annots}"
+        );
         let _ = casts;
     }
 }

@@ -14,7 +14,9 @@
 
 use crate::substrates::cipher::{decrypt, encrypt};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_runtime::{AccessPolicy, Arena, Checked, LockId, LockRegistry, ThreadCtx, ThreadId, Unchecked};
+use sharc_runtime::{
+    AccessPolicy, Arena, Checked, LockId, LockRegistry, ThreadCtx, ThreadId, Unchecked,
+};
 use std::sync::Arc;
 
 /// Workload parameters.
@@ -64,9 +66,7 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
             let mut lock_checks = 0u64;
             for m in 0..params.messages {
                 // Build and encrypt the message (private buffer).
-                let plain: Vec<u8> = (0..params.msg_len)
-                    .map(|i| (m + i + c) as u8)
-                    .collect();
+                let plain: Vec<u8> = (0..params.msg_len).map(|i| (m + i + c) as u8).collect();
                 let wire = encrypt(key, &plain);
                 let reply = echo_server(key, &wire);
                 let back = decrypt(key, &reply);
@@ -232,10 +232,12 @@ mod tests {
 
     #[test]
     fn minic_version_compiles_clean() {
-        let (lines, annots, casts) =
-            crate::table::minic_columns("stunnel.c", minic_source());
+        let (lines, annots, casts) = crate::table::minic_columns("stunnel.c", minic_source());
         assert!(lines > 40);
-        assert!(annots >= 8, "stunnel has the most annotations; got {annots}");
+        assert!(
+            annots >= 8,
+            "stunnel has the most annotations; got {annots}"
+        );
         assert_eq!(casts, 3, "one ownership transfer per spawned client");
     }
 }

@@ -169,8 +169,7 @@ mod tests {
         let time_energy: f64 = sig.iter().map(|c| c.abs() * c.abs()).sum();
         let mut freq = sig.clone();
         fft(&mut freq);
-        let freq_energy: f64 =
-            freq.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 256.0;
+        let freq_energy: f64 = freq.iter().map(|c| c.abs() * c.abs()).sum::<f64>() / 256.0;
         assert!((time_energy - freq_energy).abs() < 1e-6);
     }
 
@@ -209,7 +208,10 @@ mod tests {
             fft(&mut fb);
             fft(&mut fsum);
             for i in 0..32 {
-                prop_assert!(close(fsum[i], fa[i].add(fb[i])), "component {i} (seed={seed})");
+                prop_assert!(
+                    close(fsum[i], fa[i].add(fb[i])),
+                    "component {i} (seed={seed})"
+                );
             }
         });
     }

@@ -43,8 +43,8 @@ impl Default for FsConfig {
 }
 
 const WORDS: &[&str] = &[
-    "the", "quick", "brown", "fox", "lazy", "dog", "lorem", "ipsum", "data",
-    "race", "thread", "lock", "shared", "private", "cast", "mode",
+    "the", "quick", "brown", "fox", "lazy", "dog", "lorem", "ipsum", "data", "race", "thread",
+    "lock", "shared", "private", "cast", "mode",
 ];
 
 impl SynthFs {
@@ -58,9 +58,7 @@ impl SynthFs {
                 let path = format!("/home/user/dir{d}/file{f}.txt");
                 let mut content = Vec::with_capacity(cfg.file_size);
                 while content.len() < cfg.file_size {
-                    if cfg.needle_every > 0
-                        && rng.gen_range(0..cfg.needle_every) < WORDS[0].len()
-                    {
+                    if cfg.needle_every > 0 && rng.gen_range(0..cfg.needle_every) < WORDS[0].len() {
                         content.extend_from_slice(needle.as_bytes());
                     } else {
                         let w = WORDS[rng.gen_range(0..WORDS.len())];

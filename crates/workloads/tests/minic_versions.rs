@@ -67,13 +67,15 @@ fn minic_ports_produce_output() {
     let out = compile_and_run("aget.c", aget::minic_source(), VmConfig::default()).unwrap();
     assert_eq!(out.output, vec!["4096"], "two 2048-byte segments");
 
-    let out =
-        compile_and_run("dillo.c", dillo::minic_source(), VmConfig::default()).unwrap();
+    let out = compile_and_run("dillo.c", dillo::minic_source(), VmConfig::default()).unwrap();
     assert_eq!(out.output, vec!["96"], "96 requests resolved");
 
-    let out =
-        compile_and_run("stunnel.c", stunnel::minic_source(), VmConfig::default()).unwrap();
-    assert_eq!(out.output, vec!["60", "3840"], "3 clients x 20 msgs x 64 bytes");
+    let out = compile_and_run("stunnel.c", stunnel::minic_source(), VmConfig::default()).unwrap();
+    assert_eq!(
+        out.output,
+        vec!["60", "3840"],
+        "3 clients x 20 msgs x 64 bytes"
+    );
 }
 
 #[test]

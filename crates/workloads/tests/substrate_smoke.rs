@@ -24,10 +24,12 @@ fn fnv_u64s(vals: impl IntoIterator<Item = u64>) -> u64 {
 /// Quantizes a complex signal for checksumming: nanounit fixed-point
 /// so the checksum is stable against formatting, not arithmetic.
 fn signal_checksum(sig: &[Complex]) -> u64 {
-    fnv_u64s(
-        sig.iter()
-            .flat_map(|c| [(c.re * 1e9).round() as i64 as u64, (c.im * 1e9).round() as i64 as u64]),
-    )
+    fnv_u64s(sig.iter().flat_map(|c| {
+        [
+            (c.re * 1e9).round() as i64 as u64,
+            (c.im * 1e9).round() as i64 as u64,
+        ]
+    }))
 }
 
 fn check(name: &str, expected: u64, actual: u64) {

@@ -18,6 +18,8 @@ void consumer(struct chan * c) {
         d = SCAST(int private *, c->slot);
         cond_signal(&c->cv);
         mutex_unlock(&c->m);
+        // The consumer owns the buffer now: modify, then report.
+        *d = *d + 1;
         print(*d);
         free(d);
         got = got + 1;

@@ -101,7 +101,8 @@ fn main() {
     println!("sharing casts passed: {casts_ok}");
     println!("payload checksum    : produced {produced} / consumed {consumed}");
     println!("conflicts observed  : {conflicts}");
-    println!("shadow memory       : {} bytes over {} payload bytes ({:.1}%)",
+    println!(
+        "shadow memory       : {} bytes over {} payload bytes ({:.1}%)",
         arena.shadow_bytes(),
         arena.payload_bytes(),
         arena.shadow_bytes() as f64 / arena.payload_bytes() as f64 * 100.0

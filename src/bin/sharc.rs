@@ -6,7 +6,13 @@
 //! sharc check  <file.c>           # parse, infer, type-check; print reports
 //! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
 //! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
+//!                       [--detector sharc|eraser|vc]
 //! ```
+//!
+//! `--detector` selects which engine judges the execution: SharC's
+//! own runtime checks (default), or one of the §6.2 baselines
+//! (Eraser locksets, vector clocks) replaying the trace of the very
+//! same seeded run through the unified `CheckBackend` interface.
 
 use sharc::prelude::*;
 use std::process::ExitCode;
@@ -14,7 +20,8 @@ use std::process::ExitCode;
 fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
-         sharc run <file.c> [--seed N] [--trials N] [--stop-on-error]"
+         sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
+         [--detector sharc|eraser|vc]"
     );
     ExitCode::from(2)
 }
@@ -86,14 +93,12 @@ fn main() -> ExitCode {
             let mut seed = 0x5ac5u64;
             let mut trials = 1u64;
             let mut stop_on_error = false;
+            let mut detector = DetectorKind::Sharc;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
                     "--seed" => {
-                        seed = args
-                            .get(i + 1)
-                            .and_then(|v| v.parse().ok())
-                            .unwrap_or(seed);
+                        seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
                         i += 2;
                     }
                     "--trials" => {
@@ -107,6 +112,20 @@ fn main() -> ExitCode {
                         stop_on_error = true;
                         i += 1;
                     }
+                    "--detector" => {
+                        detector = match args.get(i + 1).map(|v| v.parse()) {
+                            Some(Ok(d)) => d,
+                            Some(Err(e)) => {
+                                eprintln!("sharc: {e}");
+                                return usage();
+                            }
+                            None => {
+                                eprintln!("sharc: --detector needs a value");
+                                return usage();
+                            }
+                        };
+                        i += 2;
+                    }
                     other => {
                         eprintln!("sharc: unknown flag {other}");
                         return usage();
@@ -115,13 +134,14 @@ fn main() -> ExitCode {
             }
             let mut any_reports = false;
             for t in 0..trials {
-                let out = match sharc::run(
+                let run = match sharc::run_with_detector(
                     &checked,
                     RunConfig {
                         seed: seed + t,
                         stop_on_error,
                         ..RunConfig::default()
                     },
+                    detector,
                 ) {
                     Ok(o) => o,
                     Err(e) => {
@@ -129,12 +149,23 @@ fn main() -> ExitCode {
                         return ExitCode::FAILURE;
                     }
                 };
+                let out = &run.outcome;
                 for line in &out.output {
                     println!("{line}");
                 }
-                for r in &out.reports {
-                    any_reports = true;
-                    eprintln!("{r}");
+                match detector {
+                    DetectorKind::Sharc => {
+                        for r in &out.reports {
+                            any_reports = true;
+                            eprintln!("{r}");
+                        }
+                    }
+                    _ => {
+                        for c in &run.conflicts {
+                            any_reports = true;
+                            eprintln!("[{}] {c}", run.detector);
+                        }
+                    }
                 }
                 if out.status != ExitStatus::Completed {
                     eprintln!("sharc: run ended with {:?} (seed {})", out.status, seed + t);

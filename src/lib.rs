@@ -54,6 +54,7 @@
 //! ```
 
 pub use minic;
+pub use sharc_checker as checker;
 pub use sharc_core as core;
 pub use sharc_detectors as detectors;
 pub use sharc_interp as interp;
@@ -85,10 +86,7 @@ pub fn check(name: &str, src: &str) -> Result<CheckedProgram, minic::Diagnostic>
 /// Returns a diagnostic if the program contains constructs the VM
 /// cannot execute (e.g. struct-by-value parameters) or if `checked`
 /// still has hard errors.
-pub fn run(
-    checked: &CheckedProgram,
-    config: RunConfig,
-) -> Result<RunOutcome, minic::Diagnostic> {
+pub fn run(checked: &CheckedProgram, config: RunConfig) -> Result<RunOutcome, minic::Diagnostic> {
     if checked.diags.has_errors() {
         let first = checked
             .diags
@@ -116,9 +114,176 @@ pub fn check_and_run(
     run(&checked, config)
 }
 
+/// Which engine judges a run's checked accesses (`sharc run
+/// --detector …`). All three see *the same seeded execution*; that
+/// cross-validation-on-one-trace is the workspace's §6.2 methodology.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DetectorKind {
+    /// SharC's own engine: the VM's built-in checks (the default).
+    #[default]
+    Sharc,
+    /// Eraser's lockset algorithm over the recorded trace.
+    Eraser,
+    /// Vector-clock happens-before over the recorded trace.
+    Vc,
+}
+
+impl std::str::FromStr for DetectorKind {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "sharc" => Ok(DetectorKind::Sharc),
+            "eraser" => Ok(DetectorKind::Eraser),
+            "vc" => Ok(DetectorKind::Vc),
+            other => Err(format!(
+                "unknown detector `{other}` (expected sharc, eraser, or vc)"
+            )),
+        }
+    }
+}
+
+/// Converts a VM trace into the unified [`checker::CheckEvent`]
+/// vocabulary: addresses become granules
+/// ([`sharc_checker::GRANULE_CELLS`] cells each), frees become
+/// granule resets, sharing casts and exits carry over verbatim.
+pub fn trace_to_check_events(trace: &[interp::TraceEvent]) -> Vec<checker::CheckEvent> {
+    use checker::CheckEvent as E;
+    use interp::TraceEvent as T;
+    let gran = sharc_checker::GRANULE_CELLS;
+    let granule = |addr: u32| (addr / gran) as usize;
+    let mut out = Vec::with_capacity(trace.len());
+    for &e in trace {
+        match e {
+            T::Read { tid, addr } => out.push(E::Read {
+                tid: tid as u32,
+                granule: granule(addr),
+            }),
+            T::Write { tid, addr } => out.push(E::Write {
+                tid: tid as u32,
+                granule: granule(addr),
+            }),
+            T::Acquire { tid, lock } => out.push(E::Acquire {
+                tid: tid as u32,
+                lock: lock as usize,
+            }),
+            T::Release { tid, lock } => out.push(E::Release {
+                tid: tid as u32,
+                lock: lock as usize,
+            }),
+            T::Fork { tid, child } => out.push(E::Fork {
+                parent: tid as u32,
+                child: child as u32,
+            }),
+            T::Join { tid, child } => out.push(E::Join {
+                parent: tid as u32,
+                child: child as u32,
+            }),
+            T::ThreadExit { tid } => out.push(E::ThreadExit { tid: tid as u32 }),
+            T::Alloc { addr, size } | T::Free { addr, size } => {
+                for g in granule(addr)..=granule(addr + size.max(1) - 1) {
+                    out.push(E::Alloc { granule: g });
+                }
+            }
+            T::SharingCast {
+                tid,
+                addr,
+                size,
+                refs,
+            } => {
+                for g in granule(addr)..=granule(addr + size.max(1) - 1) {
+                    out.push(E::SharingCast {
+                        tid: tid as u32,
+                        granule: g,
+                        refs: refs as u64,
+                    });
+                }
+            }
+        }
+    }
+    out
+}
+
+/// A run judged by a selected detector.
+#[derive(Debug)]
+pub struct DetectorRun {
+    /// The VM execution itself (SharC's own reports live here).
+    pub outcome: RunOutcome,
+    /// The engine's name, for output headers.
+    pub detector: &'static str,
+    /// Deduplicated conflicts from the selected engine. For
+    /// [`DetectorKind::Sharc`] this mirrors `outcome.reports` (one
+    /// entry per report); for the baselines it is the replay result.
+    pub conflicts: Vec<checker::Conflict>,
+}
+
+/// Runs `checked` once and judges the execution with `kind`: SharC's
+/// own checks run inside the VM; the baselines replay the recorded
+/// trace of the *same* execution through the [`checker::CheckBackend`]
+/// adapters.
+///
+/// # Errors
+///
+/// Propagates the same diagnostics as [`run`].
+pub fn run_with_detector(
+    checked: &CheckedProgram,
+    mut config: RunConfig,
+    kind: DetectorKind,
+) -> Result<DetectorRun, minic::Diagnostic> {
+    use sharc_checker::CheckBackend as _;
+    if kind != DetectorKind::Sharc {
+        config.collect_trace = true;
+    }
+    let outcome = run(checked, config)?;
+    let (detector, conflicts) = match kind {
+        DetectorKind::Sharc => {
+            let conflicts = outcome
+                .reports
+                .iter()
+                .map(|r| checker::Conflict {
+                    kind: match r.kind {
+                        interp::ConflictKind::Read => checker::CheckKind::Read,
+                        interp::ConflictKind::Write => checker::CheckKind::Write,
+                        interp::ConflictKind::Lock => checker::CheckKind::Lock,
+                        interp::ConflictKind::OneRef => checker::CheckKind::OneRef,
+                    },
+                    tid: r.who.tid as u32,
+                    granule: (r.addr.0 / sharc_checker::GRANULE_CELLS) as usize,
+                })
+                .collect();
+            ("sharc", conflicts)
+        }
+        DetectorKind::Eraser => {
+            let events = trace_to_check_events(&outcome.trace);
+            let mut backend = detectors::BaselineBackend::new(detectors::Eraser::new());
+            let raw = checker::replay(&events, &mut backend);
+            (backend.name(), dedup_conflicts(raw))
+        }
+        DetectorKind::Vc => {
+            let events = trace_to_check_events(&outcome.trace);
+            let mut backend = detectors::BaselineBackend::new(detectors::VcDetector::new());
+            let raw = checker::replay(&events, &mut backend);
+            (backend.name(), dedup_conflicts(raw))
+        }
+    };
+    Ok(DetectorRun {
+        outcome,
+        detector,
+        conflicts,
+    })
+}
+
+fn dedup_conflicts(raw: Vec<checker::Conflict>) -> Vec<checker::Conflict> {
+    let mut seen = std::collections::HashSet::new();
+    raw.into_iter().filter(|c| seen.insert(*c)).collect()
+}
+
 /// The most common imports for users of the crate.
 pub mod prelude {
-    pub use crate::{check, check_and_run, run, CheckedProgram, RunConfig, RunOutcome};
+    pub use crate::{
+        check, check_and_run, run, run_with_detector, CheckedProgram, DetectorKind, DetectorRun,
+        RunConfig, RunOutcome,
+    };
     pub use minic::{Diagnostic, Severity};
     pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};
 }

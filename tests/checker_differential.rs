@@ -1,0 +1,236 @@
+//! Differential testing of the three runtime-check engines that all
+//! claim to implement the §4.2 granule state machine:
+//!
+//! * [`BitmapBackend`] — the VM's engine: `bitmap::step` applied
+//!   directly, no atomics (the interpreter serializes instructions);
+//! * [`Shadow`] — the native-threads engine: the same `bitmap::step`
+//!   inside a compare-exchange retry loop, with and without the
+//!   owned-granule epoch cache;
+//! * [`ScalableShadow`] — the adaptive-encoding engine
+//!   (`adaptive::step`), which forgets reader identities once a
+//!   granule is read-shared.
+//!
+//! One seeded operation trace is driven through all of them and the
+//! per-operation verdicts must be *identical* — not just the final
+//! conflict counts. This holds because every engine obeys the shared
+//! contract that a conflicting access leaves the shadow word
+//! unchanged, so the engines stay in lockstep even after conflicts.
+//!
+//! Thread-exit clearing is deliberately absent from the generated
+//! vocabulary: the adaptive encoding documents that it cannot clear
+//! one reader out of a `SHARED_READ` granule (identities are not
+//! tracked), so after `clear_thread` it is *soundly conservative*
+//! rather than exact, and verdicts may legitimately diverge. Full
+//! clears (`free` / sharing casts) are exact in every engine and are
+//! generated.
+
+use std::collections::HashMap;
+
+use sharc_checker::{BitmapBackend, CheckBackend, CheckEvent, OwnedCache};
+use sharc_detectors::{BaselineBackend, Eraser};
+use sharc_runtime::{ScalableShadow, Shadow, ThreadId, WideThreadId};
+use sharc_testkit::gen::{self, Gen};
+use sharc_testkit::prop::Config;
+use sharc_testkit::{forall, prop_assert};
+
+/// Granule universe for the generated traces: small enough that
+/// threads collide constantly.
+const GRANULES: usize = 8;
+/// Thread universe: ids 1..=4 (0 is reserved in every encoding).
+const THREADS: u32 = 4;
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Op {
+    Read {
+        tid: u32,
+        granule: usize,
+    },
+    Write {
+        tid: u32,
+        granule: usize,
+    },
+    /// A full reset of one granule — `free` or a successful sharing
+    /// cast. Exact in every engine.
+    Clear {
+        granule: usize,
+    },
+}
+
+fn op_gen() -> Gen<Op> {
+    let access = gen::pair(
+        gen::u32_range(1..THREADS + 1),
+        gen::usize_range(0..GRANULES),
+    );
+    gen::one_of(vec![
+        access
+            .clone()
+            .map(|&(tid, granule)| Op::Read { tid, granule }),
+        access
+            .clone()
+            .map(|&(tid, granule)| Op::Write { tid, granule }),
+        // Clears are rarer than accesses so histories build up.
+        gen::usize_range(0..GRANULES).map(|&granule| Op::Clear { granule }),
+    ])
+}
+
+fn trace_gen() -> Gen<Vec<Op>> {
+    gen::vec_of(op_gen(), 0..96)
+}
+
+fn cfg() -> Config {
+    Config::from_env().with_cases(128)
+}
+
+/// The tentpole invariant: the VM's direct-step engine, the CAS
+/// bitmap engine (cached and uncached), and the adaptive engine
+/// return the same verdict for every operation of any trace.
+#[test]
+fn all_engines_agree_on_every_verdict() {
+    forall!(
+        "all_engines_agree_on_every_verdict",
+        cfg(),
+        trace_gen(),
+        |ops| {
+            let mut vm = BitmapBackend::new();
+            let shadow: Shadow = Shadow::new(GRANULES);
+            let cached: Shadow = Shadow::new(GRANULES);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let scalable = ScalableShadow::new(GRANULES);
+
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    Op::Read { tid, granule } => {
+                        let a = vm.chkread(tid, granule).is_conflict();
+                        let b = shadow.check_read(granule, ThreadId(tid as u8)).is_err();
+                        let cache = caches.entry(tid).or_default();
+                        let c = cached
+                            .check_read_cached(granule, ThreadId(tid as u8), cache)
+                            .is_err();
+                        let d = scalable.check_read(granule, WideThreadId(tid)).is_err();
+                        prop_assert!(a == b, "op {}: vm vs shadow (read)", i);
+                        prop_assert!(b == c, "op {}: shadow vs cached (read)", i);
+                        prop_assert!(b == d, "op {}: shadow vs scalable (read)", i);
+                    }
+                    Op::Write { tid, granule } => {
+                        let a = vm.chkwrite(tid, granule).is_conflict();
+                        let b = shadow.check_write(granule, ThreadId(tid as u8)).is_err();
+                        let cache = caches.entry(tid).or_default();
+                        let c = cached
+                            .check_write_cached(granule, ThreadId(tid as u8), cache)
+                            .is_err();
+                        let d = scalable.check_write(granule, WideThreadId(tid)).is_err();
+                        prop_assert!(a == b, "op {}: vm vs shadow (write)", i);
+                        prop_assert!(b == c, "op {}: shadow vs cached (write)", i);
+                        prop_assert!(b == d, "op {}: shadow vs scalable (write)", i);
+                    }
+                    Op::Clear { granule } => {
+                        vm.on_alloc(granule);
+                        shadow.clear(granule);
+                        cached.clear(granule);
+                        scalable.clear(granule);
+                    }
+                }
+            }
+            // The two bitmap engines also agree on the *state*, word for
+            // word, not only on verdicts.
+            for g in 0..GRANULES {
+                prop_assert!(vm.raw(g) == shadow.raw(g), "final word of granule {}", g);
+                prop_assert!(
+                    shadow.raw(g) == cached.raw(g),
+                    "cached word of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
+/// The epoch cache never changes which conflicts exist — only who
+/// pays to discover them. Interleaving clears (epoch bumps) at
+/// arbitrary points must leave the cached engine in lockstep; this
+/// is implied by the test above but called out here because the
+/// cache was *the* reason the engines were unified behind one
+/// transition function.
+#[test]
+fn cache_is_invisible_under_adversarial_clears() {
+    let shadow: Shadow = Shadow::new(4);
+    let cached: Shadow = Shadow::new(4);
+    let mut cache = OwnedCache::with_slots(2); // force collisions
+    let t1 = ThreadId(1);
+    let t2 = ThreadId(2);
+    for round in 0..50 {
+        let g = round % 4;
+        assert_eq!(
+            shadow.check_write(g, t1).is_err(),
+            cached.check_write_cached(g, t1, &mut cache).is_err(),
+            "round {round} owner write"
+        );
+        if round % 7 == 0 {
+            shadow.clear(g);
+            cached.clear(g);
+        }
+        // The second thread always takes the slow path and must see
+        // the conflict iff the uncached engine does.
+        assert_eq!(
+            shadow.check_read(g, t2).is_err(),
+            cached.check_read(g, t2).is_err(),
+            "round {round} intruder read"
+        );
+    }
+}
+
+/// The named regression: ownership hand-off through a sharing cast
+/// (the paper's §2.1 producer/consumer idiom, `examples/minic/handoff.c`).
+/// SharC's engine is silent — the `oneref`-checked cast transfers the
+/// object and clears its history — while the Eraser adapter, blind to
+/// `on_cast_clear`, keeps judging the object by its pre-transfer
+/// accesses and reports a false positive on the very same trace.
+#[test]
+fn ownership_transfer_sharc_silent_eraser_false_positive() {
+    use CheckEvent as E;
+    let g = 3;
+    let trace = vec![
+        E::Fork {
+            parent: 1,
+            child: 2,
+        },
+        // Producer initializes the private buffer...
+        E::Write { tid: 1, granule: g },
+        // ...and hands it off with a reference-count-checked cast.
+        E::SharingCast {
+            tid: 1,
+            granule: g,
+            refs: 1,
+        },
+        // Consumer now owns the buffer.
+        E::Read { tid: 2, granule: g },
+        E::Write { tid: 2, granule: g },
+    ];
+
+    let mut sharc = BitmapBackend::new();
+    let sharc_conflicts = sharc_checker::replay(&trace, &mut sharc);
+    assert!(
+        sharc_conflicts.is_empty(),
+        "SharC accepts the hand-off: {sharc_conflicts:?}"
+    );
+
+    let mut eraser = BaselineBackend::new(Eraser::new());
+    let eraser_conflicts = sharc_checker::replay(&trace, &mut eraser);
+    assert!(
+        !eraser_conflicts.is_empty(),
+        "Eraser has no ownership-transfer model and must false-positive"
+    );
+
+    // Drop the cast from the trace and SharC agrees with Eraser:
+    // without the transfer the second thread's write *is* a race.
+    let no_cast: Vec<CheckEvent> = trace
+        .iter()
+        .copied()
+        .filter(|e| !matches!(e, E::SharingCast { .. }))
+        .collect();
+    let mut sharc2 = BitmapBackend::new();
+    assert!(
+        !sharc_checker::replay(&no_cast, &mut sharc2).is_empty(),
+        "the cast is load-bearing: without it SharC reports the race"
+    );
+}

@@ -12,38 +12,42 @@ use sharc::prelude::*;
 use sharc_detectors::{Detector, Eraser, Event, Race, VcDetector};
 use sharc_interp::TraceEvent;
 
-/// Converts a VM trace into detector events.
+/// Converts a VM trace into detector events. Sharing casts, thread
+/// exits and frees have no baseline counterpart — the baselines'
+/// blindness to ownership transfer is exactly what the comparison
+/// demonstrates — so those events are dropped.
 fn convert(trace: &[TraceEvent]) -> Vec<Event> {
     trace
         .iter()
-        .map(|e| match *e {
-            TraceEvent::Read { tid, addr } => Event::Read {
+        .filter_map(|e| match *e {
+            TraceEvent::Read { tid, addr } => Some(Event::Read {
                 tid: tid as u32,
                 loc: addr as usize,
-            },
-            TraceEvent::Write { tid, addr } => Event::Write {
+            }),
+            TraceEvent::Write { tid, addr } => Some(Event::Write {
                 tid: tid as u32,
                 loc: addr as usize,
-            },
-            TraceEvent::Acquire { tid, lock } => Event::Acquire {
+            }),
+            TraceEvent::Acquire { tid, lock } => Some(Event::Acquire {
                 tid: tid as u32,
                 lock: lock as usize,
-            },
-            TraceEvent::Release { tid, lock } => Event::Release {
+            }),
+            TraceEvent::Release { tid, lock } => Some(Event::Release {
                 tid: tid as u32,
                 lock: lock as usize,
-            },
-            TraceEvent::Fork { tid, child } => Event::Fork {
+            }),
+            TraceEvent::Fork { tid, child } => Some(Event::Fork {
                 tid: tid as u32,
                 child: child as u32,
-            },
-            TraceEvent::Join { tid, child } => Event::Join {
+            }),
+            TraceEvent::Join { tid, child } => Some(Event::Join {
                 tid: tid as u32,
                 child: child as u32,
-            },
-            TraceEvent::Alloc { addr, .. } => Event::Alloc {
-                loc: addr as usize,
-            },
+            }),
+            TraceEvent::Alloc { addr, .. } => Some(Event::Alloc { loc: addr as usize }),
+            TraceEvent::SharingCast { .. }
+            | TraceEvent::ThreadExit { .. }
+            | TraceEvent::Free { .. } => None,
         })
         .collect()
 }

@@ -223,7 +223,10 @@ fn function_pointer_callees_are_checked_too() {
     for seed in 0..6 {
         any += run_seeded(src, seed).reports.len();
     }
-    assert!(any > 0, "racy counter behind a function pointer must be caught");
+    assert!(
+        any > 0,
+        "racy counter behind a function pointer must be caught"
+    );
 }
 
 #[test]

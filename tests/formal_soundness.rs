@@ -124,9 +124,14 @@ fn assert_sound(p: &FProgram) -> Result<(), String> {
 /// generated well-typed program.
 #[test]
 fn checked_programs_never_violate_soundness() {
-    forall!("checked_programs_never_violate_soundness", cfg(), program_gen(), |p| {
-        assert_sound(p)?;
-    });
+    forall!(
+        "checked_programs_never_violate_soundness",
+        cfg(),
+        program_gen(),
+        |p| {
+            assert_sound(p)?;
+        }
+    );
 }
 
 /// The runtime checks are load-bearing: when a generated program
@@ -144,11 +149,11 @@ fn guards_are_load_bearing() {
             t.body.retain(|s| {
                 !matches!(
                     s,
-                    FStmt::Assign(LVal::Deref(_), _)
-                        | FStmt::Assign(_, RExpr::L(LVal::Deref(_)))
+                    FStmt::Assign(LVal::Deref(_), _) | FStmt::Assign(_, RExpr::L(LVal::Deref(_)))
                 )
             });
-            t.body.push(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(9)));
+            t.body
+                .push(FStmt::Assign(LVal::Var("g".into()), RExpr::Const(9)));
         }
         p.threads[0].body.retain(|s| !matches!(s, FStmt::Spawn(_)));
         p.threads[0].body.insert(0, FStmt::Spawn("helper".into()));

@@ -70,7 +70,11 @@ fn program_gen() -> Gen<String> {
         let (ws, ms, two_threads) = t;
         let worker_body: String = ws.join("\n    ");
         let main_body: String = ms.join("\n    ");
-        let second = if *two_threads { "spawn(worker, p);" } else { "" };
+        let second = if *two_threads {
+            "spawn(worker, p);"
+        } else {
+            ""
+        };
         format!(
             "int g;\n\
              void worker(int * d) {{\n    int v;\n    {worker_body}\n}}\n\
@@ -88,15 +92,20 @@ fn cfg() -> Config {
 /// the result passes the checker (no internal inconsistencies).
 #[test]
 fn inference_is_total_and_self_consistent() {
-    forall!("inference_is_total_and_self_consistent", cfg(), program_gen(), |src| {
-        let checked = sharc::check("gen.c", src).expect("parses");
-        prop_assert!(
-            fully_concrete(&checked.program),
-            "{}",
-            minic::pretty::program(&checked.program)
-        );
-        prop_assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
-    });
+    forall!(
+        "inference_is_total_and_self_consistent",
+        cfg(),
+        program_gen(),
+        |src| {
+            let checked = sharc::check("gen.c", src).expect("parses");
+            prop_assert!(
+                fully_concrete(&checked.program),
+                "{}",
+                minic::pretty::program(&checked.program)
+            );
+            prop_assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
+        }
+    );
 }
 
 /// Printing the inferred program and re-checking it is stable: the
@@ -104,53 +113,63 @@ fn inference_is_total_and_self_consistent() {
 /// ("compiler-checked documentation").
 #[test]
 fn inference_fixpoint_through_pretty_printer() {
-    forall!("inference_fixpoint_through_pretty_printer", cfg(), program_gen(), |src| {
-        let first = sharc::check("gen.c", src).expect("parses");
-        if first.diags.has_errors() {
-            // prop_assume: only error-free programs are interesting.
-            return Ok(());
-        }
-        let printed = minic::pretty::program(&first.program);
-        let second = sharc::check("gen2.c", &printed)
-            .unwrap_or_else(|e| panic!("inferred program must reparse: {e}\n{printed}"));
-        prop_assert!(
-            !second.diags.has_errors(),
-            "{}\n---\n{printed}",
-            second.render_diags()
-        );
-        // The same positions end up dynamic.
-        let quals = |p: &minic::Program| -> Vec<minic::Qual> {
-            let mut v = Vec::new();
-            for f in &p.fns {
-                for param in &f.params {
-                    param.ty.for_each_level(&mut |l| v.push(l.qual.clone()));
-                }
+    forall!(
+        "inference_fixpoint_through_pretty_printer",
+        cfg(),
+        program_gen(),
+        |src| {
+            let first = sharc::check("gen.c", src).expect("parses");
+            if first.diags.has_errors() {
+                // prop_assume: only error-free programs are interesting.
+                return Ok(());
             }
-            v
-        };
-        prop_assert_eq!(quals(&first.program), quals(&second.program));
-    });
+            let printed = minic::pretty::program(&first.program);
+            let second = sharc::check("gen2.c", &printed)
+                .unwrap_or_else(|e| panic!("inferred program must reparse: {e}\n{printed}"));
+            prop_assert!(
+                !second.diags.has_errors(),
+                "{}\n---\n{printed}",
+                second.render_diags()
+            );
+            // The same positions end up dynamic.
+            let quals = |p: &minic::Program| -> Vec<minic::Qual> {
+                let mut v = Vec::new();
+                for f in &p.fns {
+                    for param in &f.params {
+                        param.ty.for_each_level(&mut |l| v.push(l.qual.clone()));
+                    }
+                }
+                v
+            };
+            prop_assert_eq!(quals(&first.program), quals(&second.program));
+        }
+    );
 }
 
 /// Annotating inferred-dynamic data as racy removes runtime checks —
 /// the incrementality knob the paper describes.
 #[test]
 fn racy_annotation_reduces_checks() {
-    forall!("racy_annotation_reduces_checks", cfg(), gen::usize_range(1..5), |&n_writes| {
-        let body: String = (0..n_writes)
-            .map(|_| "g = g + 1;")
-            .collect::<Vec<_>>()
-            .join("\n    ");
-        let plain = format!(
-            "int g;\nvoid worker(int * d) {{\n    {body}\n}}\n\
+    forall!(
+        "racy_annotation_reduces_checks",
+        cfg(),
+        gen::usize_range(1..5),
+        |&n_writes| {
+            let body: String = (0..n_writes)
+                .map(|_| "g = g + 1;")
+                .collect::<Vec<_>>()
+                .join("\n    ");
+            let plain = format!(
+                "int g;\nvoid worker(int * d) {{\n    {body}\n}}\n\
              void main() {{ int * p; spawn(worker, p); spawn(worker, p); join_all(); }}"
-        );
-        let racy = plain.replace("int g;", "int racy g;");
-        let a = sharc::check("plain.c", &plain).expect("parses");
-        let b = sharc::check("racy.c", &racy).expect("parses");
-        prop_assert!(a.instr.n_dynamic_sites > 0);
-        prop_assert_eq!(b.instr.n_dynamic_sites, 0);
-    });
+            );
+            let racy = plain.replace("int g;", "int racy g;");
+            let a = sharc::check("plain.c", &plain).expect("parses");
+            let b = sharc::check("racy.c", &racy).expect("parses");
+            prop_assert!(a.instr.n_dynamic_sites > 0);
+            prop_assert_eq!(b.instr.n_dynamic_sites, 0);
+        }
+    );
 }
 
 #[test]

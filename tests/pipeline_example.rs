@@ -203,11 +203,7 @@ fn annotated_pipeline_is_clean() {
         )
         .unwrap();
         assert_eq!(out.status, ExitStatus::Completed, "seed {seed}");
-        assert!(
-            out.reports.is_empty(),
-            "seed {seed}: {}",
-            out.reports[0]
-        );
+        assert!(out.reports.is_empty(), "seed {seed}: {}", out.reports[0]);
     }
 }
 
@@ -229,7 +225,10 @@ fn inferred_annotations_match_figure_2() {
     );
     // thrFunc's locals as in Figure 2.
     assert!(printed.contains("stage dynamic *private S"), "{printed}");
-    assert!(printed.contains("stage dynamic *private nextS"), "{printed}");
+    assert!(
+        printed.contains("stage dynamic *private nextS"),
+        "{printed}"
+    );
     assert!(printed.contains("char private *private ldata"), "{printed}");
 }
 
