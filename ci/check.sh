@@ -29,7 +29,28 @@ cargo test -q --offline
 echo "== table1 --smoke =="
 cargo run --release --offline -p sharc-bench --bin table1 -- --smoke
 
+echo "== high-thread smoke: sharded differential, tids past 63 =="
+# The wide differential normally samples tids 1..=256 under the
+# property-test default case count; this pins a fixed-seed, reduced
+# run so CI exercises the multi-shard geometry deterministically.
+SHARC_TEST_SEED=0xC1 SHARC_TEST_CASES=32 \
+    cargo test -q --offline --release --test checker_differential -- \
+    sharded_engines_agree_up_to_256_threads \
+    cross_shard_ownership_transfer_is_exact
+
+echo "== native event spine: one execution, two verdicts =="
+# SharC accepts the concurrent hand-off (exit 0); the lockset
+# baseline must false-positive on the identical recorded execution
+# (exit 1 — inverted below).
+cargo run --release --offline --bin sharc -- native handoff --detector sharc
+if cargo run --release --offline --bin sharc -- native handoff --detector eraser; then
+    echo "ERROR: eraser accepted the hand-off it should false-positive on" >&2
+    exit 1
+fi
+
 echo "== checker bench --smoke (asserts cached beats uncached) =="
+# Also covers the new assoc/* sweep, the sharded/* geometry rows, and
+# the vm/private-loop cache pair; all land in target/BENCH_checker.json.
 cargo bench --offline -p sharc-bench --bench checker -- --smoke
 
 echo "All checks passed."

@@ -7,8 +7,9 @@
 //! results land in `target/BENCH_checker.json`. Accepts `--quick`
 //! (or its CI alias `--smoke`) to shrink sample counts.
 
-use sharc_checker::OwnedCache;
-use sharc_runtime::{Shadow, ThreadId};
+use sharc_checker::{OwnedCache, ShadowGeometry};
+use sharc_interp::{compile_and_run, VmConfig};
+use sharc_runtime::{ScalableShadow, Shadow, ShardedShadow, ThreadId, WideThreadId};
 use sharc_testkit::Bench;
 
 /// Working set sized to the cache's default slot count, so the
@@ -40,7 +41,7 @@ fn main() {
     // relaxed epoch load plus a direct-mapped probe.
     {
         let s: Shadow = Shadow::new(GRANULES);
-        let mut cache = OwnedCache::new();
+        let mut cache: OwnedCache = OwnedCache::new();
         g.bench("owned-write/cached", || {
             for i in 0..GRANULES {
                 s.check_write_cached(i, t, &mut cache).unwrap();
@@ -59,7 +60,7 @@ fn main() {
 
     {
         let s: Shadow = Shadow::new(GRANULES);
-        let mut cache = OwnedCache::new();
+        let mut cache: OwnedCache = OwnedCache::new();
         g.bench("owned-read/cached", || {
             for i in 0..GRANULES {
                 s.check_read_cached(i, t, &mut cache).unwrap();
@@ -71,7 +72,7 @@ fn main() {
     // and forces a whole-cache flush plus refill each iteration.
     {
         let s: Shadow = Shadow::new(GRANULES);
-        let mut cache = OwnedCache::new();
+        let mut cache: OwnedCache = OwnedCache::new();
         g.bench("owned-write/cached-epoch-thrash", || {
             for i in 0..GRANULES {
                 s.check_write_cached(i, t, &mut cache).unwrap();
@@ -79,6 +80,136 @@ fn main() {
             s.clear(0);
         });
     }
+
+    // ---- Associativity × slot-count sweep ----
+    //
+    // The cache is const-generic over WAYS. A direct-mapped table
+    // (WAYS = 1) thrashes when two hot granules alias to the same
+    // set; a 2-way set holds both at the cost of a slightly longer
+    // probe. The sweep records both shapes at two table sizes on (a)
+    // an aliasing access pattern and (b) the sequential pattern the
+    // direct map is optimal for. WAYS = 1 stays the default: it wins
+    // the common sequential case and loses only under aliasing.
+    for &slots in &[64usize, 256] {
+        // `i` and `i + slots` land in the same set in both
+        // geometries (1-way: sets == slots, (i + slots) mod slots ==
+        // i; 2-way: sets == slots/2 and slots is a multiple of it).
+        // The loop covers `0..slots/2` so each set sees exactly its
+        // aliased pair: two residents fit a 2-way set but thrash a
+        // direct-mapped one.
+        let span = slots * 2 + GRANULES;
+        {
+            let s: Shadow = Shadow::new(span);
+            let mut c = OwnedCache::<1>::with_slots(slots);
+            g.bench(&format!("assoc/w1-s{slots}-alias"), || {
+                for i in 0..slots / 2 {
+                    s.check_write_cached(i, t, &mut c).unwrap();
+                    s.check_write_cached(i + slots, t, &mut c).unwrap();
+                }
+            });
+        }
+        {
+            let s: Shadow = Shadow::new(span);
+            let mut c = OwnedCache::<2>::with_slots(slots);
+            g.bench(&format!("assoc/w2-s{slots}-alias"), || {
+                for i in 0..slots / 2 {
+                    s.check_write_cached(i, t, &mut c).unwrap();
+                    s.check_write_cached(i + slots, t, &mut c).unwrap();
+                }
+            });
+        }
+        {
+            let s: Shadow = Shadow::new(span);
+            let mut c = OwnedCache::<1>::with_slots(slots);
+            g.bench(&format!("assoc/w1-s{slots}-seq"), || {
+                for i in 0..slots / 2 {
+                    s.check_write_cached(i, t, &mut c).unwrap();
+                }
+            });
+        }
+        {
+            let s: Shadow = Shadow::new(span);
+            let mut c = OwnedCache::<2>::with_slots(slots);
+            g.bench(&format!("assoc/w2-s{slots}-seq"), || {
+                for i in 0..slots / 2 {
+                    s.check_write_cached(i, t, &mut c).unwrap();
+                }
+            });
+        }
+    }
+
+    // ---- Sharded exact shadow ----
+    //
+    // The ≤63-thread fast path (one shard, the default geometry)
+    // against the wide five-shard geometry, with both an in-shard tid
+    // and a tid that lives past the first shard; plus the
+    // adaptive-only wrapper for reference. All loops are steady-state
+    // owned writes, the same shape as the bitmap benches above.
+    {
+        let s = ShardedShadow::new(GRANULES);
+        g.bench("sharded/1shard-write-tid1", || {
+            for i in 0..GRANULES {
+                s.check_write(i, WideThreadId(1)).unwrap();
+            }
+        });
+    }
+    {
+        let s = ShardedShadow::with_geometry(GRANULES, ShadowGeometry::for_threads(256));
+        g.bench("sharded/5shard-write-tid1", || {
+            for i in 0..GRANULES {
+                s.check_write(i, WideThreadId(1)).unwrap();
+            }
+        });
+    }
+    {
+        let s = ShardedShadow::with_geometry(GRANULES, ShadowGeometry::for_threads(256));
+        g.bench("sharded/5shard-write-tid200", || {
+            for i in 0..GRANULES {
+                s.check_write(i, WideThreadId(200)).unwrap();
+            }
+        });
+    }
+    {
+        let s = ShardedShadow::with_geometry(GRANULES, ShadowGeometry::for_threads(256));
+        let mut c = OwnedCache::<1>::new();
+        g.bench("sharded/5shard-write-tid200-cached", || {
+            for i in 0..GRANULES {
+                s.check_write_cached(i, WideThreadId(200), &mut c).unwrap();
+            }
+        });
+    }
+    {
+        let s = ScalableShadow::new(GRANULES);
+        g.bench("sharded/adaptive-write-tid1000", || {
+            for i in 0..GRANULES {
+                s.check_write(i, WideThreadId(1000)).unwrap();
+            }
+        });
+    }
+
+    // ---- VM owned-granule cache delta ----
+    //
+    // The interpreter's per-thread cache mirrors the native one; this
+    // pair records the end-to-end delta on a check-dominated private
+    // loop (same program, cache on vs off).
+    const VM_SRC: &str =
+        "void worker(int * d) { int i; for (i = 0; i < 3000; i++) *d = *d + 1; }\n\
+                          void main() { int * p; int t; p = new(int); \
+                          t = spawn(worker, p); join(t); print(*p); }";
+    g.bench("vm/private-loop/cache-on", || {
+        compile_and_run("v.c", VM_SRC, VmConfig::default()).unwrap()
+    });
+    g.bench("vm/private-loop/cache-off", || {
+        compile_and_run(
+            "v.c",
+            VM_SRC,
+            VmConfig {
+                owned_cache: false,
+                ..VmConfig::default()
+            },
+        )
+        .unwrap()
+    });
 
     g.finish();
 

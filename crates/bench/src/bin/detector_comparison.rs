@@ -22,8 +22,10 @@
 
 use sharc_bench::{
     handoff_trace, scan_workload_baseline, scan_workload_detector, scan_workload_sharc,
+    timed_replay,
 };
-use sharc_detectors::{Detector, Eraser, Online, VcDetector};
+use sharc_checker::{BitmapBackend, CheckBackend};
+use sharc_detectors::{BaselineBackend, Detector, Eraser, Online, VcDetector};
 use sharc_interp::{compile_and_run, VmConfig};
 use sharc_runtime::{Arena, Checked};
 use std::sync::Arc;
@@ -117,5 +119,51 @@ fn main() {
     println!(
         "\npaper claim: \"our system is the first to attack the root of the\n\
          problem by modeling ownership transfer directly.\""
+    );
+
+    // ---- One *native* execution, every engine (the event spine) ----
+    //
+    // The §2.1 ownership-transfer workload runs once with real
+    // threads, recording its CheckEvent trace; then every engine —
+    // SharC's bitmap backend, the BaselineBackend adapters, and the
+    // sharded Online front-ends — replays the identical sequence
+    // through the unified CheckBackend interface.
+    println!("\n== One native execution, every engine (CheckBackend replay) ==\n");
+    let (nrun, trace) = sharc_workloads::benchmarks::handoff::run_traced(
+        &sharc_workloads::benchmarks::handoff::Params::default(),
+    );
+    println!(
+        "native handoff: {} threads, {} checked accesses, {} trace events, \
+         {} inline conflicts\n",
+        nrun.threads,
+        nrun.checked,
+        trace.len(),
+        nrun.conflicts
+    );
+    let engines: Vec<(&str, Box<dyn CheckBackend>)> = vec![
+        ("SharC bitmap", Box::new(BitmapBackend::new())),
+        (
+            "Eraser (replay)",
+            Box::new(BaselineBackend::new(Eraser::new())),
+        ),
+        (
+            "vector clocks (replay)",
+            Box::new(BaselineBackend::new(VcDetector::new())),
+        ),
+        ("Eraser (online)", Box::new(Online::<Eraser>::new())),
+        (
+            "vector clocks (online)",
+            Box::new(Online::<VcDetector>::new()),
+        ),
+    ];
+    println!("{:<24} {:>12} {:>10}", "engine", "replay time", "conflicts");
+    for (name, mut backend) in engines {
+        let (d, conflicts) = timed_replay(&trace, backend.as_mut());
+        println!("{name:<24} {d:>12.2?} {:>10}", conflicts.len());
+    }
+    println!(
+        "\nexpected shape: SharC engines silent (the cast transfers ownership);\n\
+         lockset engines false-positive; happens-before engines accept only\n\
+         because the queue lock orders the hand-off."
     );
 }

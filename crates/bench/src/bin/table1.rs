@@ -78,4 +78,21 @@ fn main() {
         "\nTotals: {total_annots} annotations, {total_changes} sharing casts \
          (paper: 60 annotations, 122 other changes over 600k lines)"
     );
+
+    // Event-spine cross-check: the same kind of native execution the
+    // table timed, replayed through the unified CheckBackend
+    // interface (SharC's own engine and an online lockset monitor
+    // judge one identical run).
+    use sharc_workloads::benchmarks::pfscan;
+    let (_, trace) = pfscan::run_traced(&pfscan::Params::scaled(Scale::quick()));
+    let mut sharc = sharc_checker::BitmapBackend::new();
+    let n_sharc = sharc_checker::replay(&trace, &mut sharc).len();
+    let mut online: sharc_detectors::Online<sharc_detectors::Eraser> =
+        sharc_detectors::Online::new();
+    let n_online = sharc_checker::replay(&trace, &mut online).len();
+    println!(
+        "\nEvent spine: one native pfscan run ({} events) replayed through \
+         CheckBackend — sharc: {n_sharc} conflicts, online eraser: {n_online}.",
+        trace.len()
+    );
 }

@@ -11,6 +11,7 @@
 //! * `detector_comparison` — SharC's checks vs Eraser-lockset and
 //!   vector-clock monitoring of *every* access (§6.2's 10×–30×).
 
+use sharc_checker::{replay, CheckBackend, CheckEvent, Conflict};
 use sharc_detectors::{Detector, Event, Online};
 use sharc_runtime::{AccessPolicy, Arena, ObjId, RcScheme, ThreadCtx, ThreadId};
 use std::sync::Arc;
@@ -144,6 +145,22 @@ pub fn scan_workload_baseline(
         checksum = checksum.wrapping_add(h.join().expect("worker"));
     }
     (start.elapsed(), checksum)
+}
+
+/// Replays one recorded native execution through `backend`, timing
+/// the replay. This is how the harnesses judge a *single* native run
+/// with every engine: the workload executes once (recording its
+/// [`CheckEvent`] trace), then each [`CheckBackend`] — SharC's
+/// bitmap, the [`sharc_detectors::BaselineBackend`] adapters, or the
+/// sharded [`Online`] front-ends — replays the identical event
+/// sequence.
+pub fn timed_replay(
+    trace: &[CheckEvent],
+    backend: &mut dyn CheckBackend,
+) -> (Duration, Vec<Conflict>) {
+    let start = Instant::now();
+    let conflicts = replay(trace, backend);
+    (start.elapsed(), conflicts)
 }
 
 /// An ownership-transfer trace (producer/consumer via two locks):

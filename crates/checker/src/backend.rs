@@ -20,7 +20,8 @@
 //! collects every conflict — the workhorse of the differential tests
 //! and of the CLI's `--detector` switch.
 
-use crate::step::{bitmap, Access, Transition};
+use crate::geometry::ShadowGeometry;
+use crate::step::{sharded, sharded::ShardStep, Access};
 use std::collections::HashMap;
 
 /// Which check a conflict came from.
@@ -252,47 +253,83 @@ pub fn replay(events: &[CheckEvent], backend: &mut dyn CheckBackend) -> Vec<Conf
     out
 }
 
-/// The reference engine: the paper's bitmap state machine over a
+/// The reference engine: the sharded bitmap state machine over a
 /// growable word store. Single-threaded (serialize externally — the
 /// VM's scheduler does, `Online` uses sharded locks); the verdicts
 /// are identical to `sharc-runtime`'s CAS wrappers because all of
-/// them run [`bitmap::step`].
-#[derive(Debug, Default)]
+/// them run [`sharded::step`].
+///
+/// The default geometry is one shard — the paper's 63-thread-exact
+/// configuration. [`BitmapBackend::with_geometry`] scales the exact
+/// range arbitrarily (e.g. `ShadowGeometry::for_threads(256)` for
+/// the high-tid differential oracle).
+#[derive(Debug)]
 pub struct BitmapBackend {
+    /// Flat store: granule `g`'s words live at
+    /// `g * stride .. (g + 1) * stride`.
     words: Vec<u64>,
+    geom: ShadowGeometry,
     /// Granules each thread installed bits into, for exit clearing.
     logs: HashMap<u32, Vec<usize>>,
     /// Held-lock log per thread (§4.2.2).
     held: HashMap<u32, Vec<usize>>,
 }
 
+impl Default for BitmapBackend {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
 impl BitmapBackend {
-    /// Creates an empty engine.
+    /// Creates an empty engine with the default one-shard geometry
+    /// (exact up to 63 threads, adaptive overflow beyond).
     pub fn new() -> Self {
-        Self::default()
+        Self::with_geometry(ShadowGeometry::default())
     }
 
-    fn word(&mut self, granule: usize) -> u64 {
-        if granule >= self.words.len() {
-            self.words.resize(granule + 1, 0);
+    /// Creates an empty engine over `geom` — e.g.
+    /// `ShadowGeometry::for_threads(256)` keeps exact reader
+    /// identities for tids up to 315.
+    pub fn with_geometry(geom: ShadowGeometry) -> Self {
+        BitmapBackend {
+            words: Vec::new(),
+            geom,
+            logs: HashMap::new(),
+            held: HashMap::new(),
         }
-        self.words[granule]
+    }
+
+    /// The engine's shard layout.
+    pub fn geometry(&self) -> ShadowGeometry {
+        self.geom
+    }
+
+    fn ensure(&mut self, granule: usize) -> usize {
+        let stride = self.geom.words_per_granule();
+        let base = granule * stride;
+        if base + stride > self.words.len() {
+            self.words.resize(base + stride, 0);
+        }
+        base
     }
 
     fn access(&mut self, tid: u32, granule: usize, access: Access) -> Verdict {
         assert!(
-            (1..=crate::MAX_CHECKED_THREADS as u32).contains(&tid),
+            tid >= 1 && (tid as u64) <= crate::step::adaptive::TID_MASK,
             "thread id out of range"
         );
-        let w = self.word(granule);
-        match bitmap::step(w, tid, access) {
-            Transition::Unchanged => Verdict::Pass,
-            Transition::Install(new) => {
-                self.words[granule] = new;
+        let stride = self.geom.words_per_granule();
+        let base = self.ensure(granule);
+        let snapshot = &self.words[base..base + stride];
+        match sharded::step(snapshot, self.geom, tid, access) {
+            ShardStep::Unchanged => Verdict::Pass,
+            ShardStep::Install { index, word } => {
+                self.words[base + index] = word;
                 self.logs.entry(tid).or_default().push(granule);
                 Verdict::Pass
             }
-            Transition::Conflict => Verdict::Fail(Conflict {
+            ShardStep::Conflict => Verdict::Fail(Conflict {
                 kind: if access.is_write() {
                     CheckKind::Write
                 } else {
@@ -304,9 +341,25 @@ impl BitmapBackend {
         }
     }
 
-    /// The raw shadow word, for tests.
+    /// The raw shard-0 shadow word — for tids `1..=63` under any
+    /// geometry this is bit-for-bit the paper's single-word encoding,
+    /// which is what the differential tests compare against the
+    /// native `Shadow`'s word.
     pub fn raw(&self, granule: usize) -> u64 {
-        self.words.get(granule).copied().unwrap_or(0)
+        self.words
+            .get(granule * self.geom.words_per_granule())
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// All of a granule's shadow words (shards then overflow), for
+    /// tests.
+    pub fn raw_words(&self, granule: usize) -> Vec<u64> {
+        let stride = self.geom.words_per_granule();
+        let base = granule * stride;
+        (base..base + stride)
+            .map(|i| self.words.get(i).copied().unwrap_or(0))
+            .collect()
     }
 }
 
@@ -340,10 +393,15 @@ impl CheckBackend for BitmapBackend {
     }
 
     fn on_thread_exit(&mut self, tid: u32) {
+        let stride = self.geom.words_per_granule();
         if let Some(log) = self.logs.remove(&tid) {
             for g in log {
-                if g < self.words.len() {
-                    self.words[g] = bitmap::clear_thread(self.words[g], tid);
+                let base = g * stride;
+                if base + stride <= self.words.len() {
+                    let snapshot = &self.words[base..base + stride];
+                    if let Some((index, word)) = sharded::clear_thread(snapshot, self.geom, tid) {
+                        self.words[base + index] = word;
+                    }
                 }
             }
         }
@@ -351,8 +409,11 @@ impl CheckBackend for BitmapBackend {
     }
 
     fn on_alloc(&mut self, granule: usize) {
-        if granule < self.words.len() {
-            self.words[granule] = 0;
+        let stride = self.geom.words_per_granule();
+        let base = granule * stride;
+        let end = (base + stride).min(self.words.len());
+        for w in &mut self.words[base.min(end)..end] {
+            *w = 0;
         }
     }
 
@@ -394,6 +455,24 @@ mod tests {
         assert!(!b.lock_held(2, 9));
         b.on_release(1, 9);
         assert!(!b.lock_held(1, 9));
+    }
+
+    #[test]
+    fn high_tids_keep_exact_identities_under_a_wide_geometry() {
+        let mut b = BitmapBackend::with_geometry(ShadowGeometry::for_threads(256));
+        // Readers in three different shards...
+        assert_eq!(b.chkread(10, 0), Verdict::Pass);
+        assert_eq!(b.chkread(100, 0), Verdict::Pass);
+        assert_eq!(b.chkread(250, 0), Verdict::Pass);
+        // ...block any writer...
+        assert!(b.chkwrite(10, 0).is_conflict());
+        // ...until each reader's exit subtracts its exact bit —
+        // something the adaptive encoding cannot do at SHARED_READ.
+        b.on_thread_exit(100);
+        assert!(b.chkwrite(10, 0).is_conflict(), "250 still reads");
+        b.on_thread_exit(250);
+        // tid 10 is the only reader left: its own upgrade succeeds.
+        assert_eq!(b.chkwrite(10, 0), Verdict::Pass);
     }
 
     #[test]

@@ -1,5 +1,6 @@
-//! The owned-granule epoch cache: a per-thread, direct-mapped table
-//! that lets repeated private accesses skip the shadow CAS entirely.
+//! The owned-granule epoch cache: a per-thread, set-associative
+//! table that lets repeated private accesses skip the shadow CAS
+//! entirely.
 //!
 //! In the paper's workloads the overwhelmingly common case is a
 //! thread re-touching dynamic-mode data it already owns (pfscan's
@@ -7,6 +8,19 @@
 //! atomic load plus, on first contact, a compare-exchange. This
 //! cache reduces the steady state to one relaxed epoch load and one
 //! array probe.
+//!
+//! ## Associativity
+//!
+//! The table is `WAYS`-way set-associative with `WAYS` a const
+//! generic defaulting to 1 (direct-mapped — the paper-era
+//! configuration). `OwnedCache<2>` halves conflict misses on
+//! workloads whose working set aliases in the low index bits, at the
+//! cost of one extra compare per probe; the `cache_geometry` bench in
+//! `crates/bench/benches/checker.rs` sweeps associativity ×
+//! slot-count on the Table 1 access patterns and records both in
+//! `BENCH_checker.json`. Direct-mapped stays the default: on the
+//! streaming-scan patterns the second compare costs more than the
+//! aliasing it saves (see EXPERIMENTS.md).
 //!
 //! ## Soundness invariants
 //!
@@ -37,15 +51,21 @@
 //!    slow-path check that populates an entry, so an entry can never
 //!    be newer than the epoch it is guarded by.
 //!
+//! These invariants are stated for one shadow word but hold verbatim
+//! for the sharded hybrid ([`crate::step::sharded`]): a passing
+//! write leaves every *other* word empty and a conflicting intruder
+//! installs nothing anywhere, so "I own g" remains stable across all
+//! of a granule's words until an epoch-bumping clear.
+//!
 //! The one imprecision this admits is the same one any shadow-memory
 //! tool has at a free/cast boundary: an access racing with the clear
 //! itself may be judged against either side of the clear. The paper
 //! accepts exactly this at `free`/`SCAST` boundaries.
 
-/// Default number of direct-mapped slots (must be a power of two).
+/// Default number of cache entries (must be a power of two).
 pub const DEFAULT_SLOTS: usize = 256;
 
-/// One slot, keyed by granule index + 1 (0 = empty). The two keys
+/// One entry, keyed by granule index + 1 (0 = empty). The two keys
 /// make both probes a single integer compare — `write_key` is set
 /// only when the cached ownership is exclusive (writable), and a
 /// write entry always implies a read entry.
@@ -55,12 +75,17 @@ struct Slot {
     write_key: usize,
 }
 
-/// A per-thread owned-granule cache. Not shared between threads;
-/// the owning thread's `ThreadCtx` (runtime) holds it by value.
+/// A per-thread owned-granule cache, `WAYS`-way set-associative
+/// (default direct-mapped). Not shared between threads; the owning
+/// thread's `ThreadCtx` (runtime) holds it by value.
 #[derive(Debug, Clone)]
-pub struct OwnedCache {
+pub struct OwnedCache<const WAYS: usize = 1> {
     epoch: u64,
+    /// `sets × WAYS` entries; set `s`'s ways are contiguous at
+    /// `s * WAYS`.
     slots: Box<[Slot]>,
+    /// Round-robin eviction cursor per set (unused when `WAYS == 1`).
+    victim: Box<[u8]>,
     /// Slow-path fills. Hits are *derived* (`accesses - misses`, the
     /// caller knows its access count): counting them directly would
     /// put a read-modify-write on the same word into every fast-path
@@ -72,57 +97,75 @@ pub struct OwnedCache {
     pub flushes: u64,
 }
 
-impl Default for OwnedCache {
+impl<const WAYS: usize> Default for OwnedCache<WAYS> {
     fn default() -> Self {
         Self::new()
     }
 }
 
-impl OwnedCache {
-    /// Creates a cache with [`DEFAULT_SLOTS`] slots.
+impl<const WAYS: usize> OwnedCache<WAYS> {
+    /// Creates a cache with [`DEFAULT_SLOTS`] entries.
     pub fn new() -> Self {
         Self::with_slots(DEFAULT_SLOTS)
     }
 
-    /// Creates a cache with `slots` slots (rounded up to a power of
-    /// two, minimum 1).
+    /// Creates a cache with `slots` total entries, organised into
+    /// `slots / WAYS` sets (set count rounded up to a power of two,
+    /// minimum 1).
     pub fn with_slots(slots: usize) -> Self {
-        let n = slots.max(1).next_power_of_two();
+        const { assert!(WAYS >= 1, "a cache needs at least one way") };
+        let sets = (slots / WAYS).max(1).next_power_of_two();
         OwnedCache {
             epoch: 0,
-            slots: vec![Slot::default(); n].into_boxed_slice(),
+            slots: vec![Slot::default(); sets * WAYS].into_boxed_slice(),
+            victim: vec![0u8; sets].into_boxed_slice(),
             misses: 0,
             flushes: 0,
         }
     }
 
+    /// Number of sets (power of two).
     #[inline]
-    fn index(&self, granule: usize) -> usize {
-        granule & (self.slots.len() - 1)
+    fn sets(&self) -> usize {
+        self.slots.len() / WAYS
+    }
+
+    /// First entry of `granule`'s set.
+    #[inline]
+    fn base(&self, granule: usize) -> usize {
+        (granule & (self.sets() - 1)) * WAYS
     }
 
     /// Answers whether `granule` is cached with sufficient rights
     /// for the access, first discarding everything if the shadow's
     /// epoch moved. This is the entire fast path, and it is kept
-    /// deliberately tiny — one epoch compare, one masked probe, one
-    /// key compare — with the epoch-flush outlined ([`Self::reset`])
-    /// so the inlined hot loop stays small enough to register-allocate.
+    /// deliberately tiny — one epoch compare, one masked probe,
+    /// `WAYS` key compares (the loop fully unrolls: `WAYS` is a
+    /// const) — with the epoch-flush outlined ([`Self::reset`]) so
+    /// the inlined hot loop stays small enough to register-allocate.
     #[inline]
     pub fn lookup(&mut self, shadow_epoch: u64, granule: usize, is_write: bool) -> bool {
         if self.epoch != shadow_epoch {
             self.reset(shadow_epoch);
             return false;
         }
-        let s = self.slots[self.index(granule)];
-        // One compare either way (`is_write` is a constant at every
-        // call site), and deliberately no hit counter: see the
-        // `misses` field for why the fast path stays store-free.
+        let base = self.base(granule);
         let key = granule + 1;
-        if is_write {
-            s.write_key == key
-        } else {
-            s.read_key == key
+        // One compare per way either way (`is_write` is a constant at
+        // every call site), and deliberately no hit counter: see the
+        // `misses` field for why the fast path stays store-free.
+        for w in 0..WAYS {
+            let s = self.slots[base + w];
+            let hit = if is_write {
+                s.write_key == key
+            } else {
+                s.read_key == key
+            };
+            if hit {
+                return true;
+            }
         }
+        false
     }
 
     /// The outlined epoch-change path: discard every entry and adopt
@@ -142,19 +185,37 @@ impl OwnedCache {
     #[inline]
     pub fn insert(&mut self, granule: usize, writable: bool) {
         self.misses += 1;
-        let i = self.index(granule);
-        let s = &mut self.slots[i];
+        let base = self.base(granule);
         let key = granule + 1;
-        if s.read_key != key {
-            // Empty or a colliding granule: take the slot over.
-            *s = Slot {
-                read_key: key,
-                write_key: if writable { key } else { 0 },
-            };
-        } else if writable {
-            // Upgrade in place; a read never downgrades a write entry.
-            s.write_key = key;
+        // Upgrade in place if the granule already occupies a way;
+        // a read never downgrades a write entry.
+        for w in 0..WAYS {
+            let s = &mut self.slots[base + w];
+            if s.read_key == key {
+                if writable {
+                    s.write_key = key;
+                }
+                return;
+            }
         }
+        // Prefer an empty way, else evict round-robin within the set.
+        let mut way = None;
+        for w in 0..WAYS {
+            if self.slots[base + w].read_key == 0 {
+                way = Some(w);
+                break;
+            }
+        }
+        let way = way.unwrap_or_else(|| {
+            let set = base / WAYS;
+            let v = self.victim[set] as usize % WAYS;
+            self.victim[set] = self.victim[set].wrapping_add(1);
+            v
+        });
+        self.slots[base + way] = Slot {
+            read_key: key,
+            write_key: if writable { key } else { 0 },
+        };
     }
 
     /// Drops every entry (e.g. at thread exit, before the shadow
@@ -170,7 +231,7 @@ mod tests {
 
     #[test]
     fn hit_after_insert_same_epoch() {
-        let mut c = OwnedCache::with_slots(8);
+        let mut c = OwnedCache::<1>::with_slots(8);
         assert!(!c.lookup(0, 5, true));
         c.insert(5, true);
         assert!(c.lookup(0, 5, true));
@@ -180,7 +241,7 @@ mod tests {
 
     #[test]
     fn read_entry_does_not_authorize_writes() {
-        let mut c = OwnedCache::with_slots(8);
+        let mut c = OwnedCache::<1>::with_slots(8);
         c.insert(3, false);
         assert!(c.lookup(0, 3, false));
         assert!(!c.lookup(0, 3, true));
@@ -188,7 +249,7 @@ mod tests {
 
     #[test]
     fn write_entry_survives_read_insert() {
-        let mut c = OwnedCache::with_slots(8);
+        let mut c = OwnedCache::<1>::with_slots(8);
         c.insert(3, true);
         c.insert(3, false);
         assert!(c.lookup(0, 3, true), "no downgrade");
@@ -196,7 +257,7 @@ mod tests {
 
     #[test]
     fn epoch_change_flushes_everything() {
-        let mut c = OwnedCache::with_slots(8);
+        let mut c = OwnedCache::<1>::with_slots(8);
         c.insert(1, true);
         c.insert(2, true);
         assert!(!c.lookup(7, 1, true), "stale epoch discards");
@@ -206,10 +267,52 @@ mod tests {
 
     #[test]
     fn direct_mapping_evicts_colliding_granules() {
-        let mut c = OwnedCache::with_slots(4);
+        let mut c = OwnedCache::<1>::with_slots(4);
         c.insert(0, true);
-        c.insert(4, true); // same slot
+        c.insert(4, true); // same set, one way
         assert!(!c.lookup(0, 0, true));
         assert!(c.lookup(0, 4, true));
+    }
+
+    #[test]
+    fn two_way_keeps_both_aliasing_granules() {
+        // The same trace that evicts under direct mapping keeps both
+        // residents with two ways — the whole point of the sweep.
+        let mut c = OwnedCache::<2>::with_slots(8); // 4 sets × 2 ways
+        c.insert(0, true);
+        c.insert(4, true); // same set, second way
+        assert!(c.lookup(0, 0, true));
+        assert!(c.lookup(0, 4, true));
+        // A third alias evicts round-robin, not wholesale.
+        c.insert(8, true);
+        assert!(c.lookup(0, 8, true));
+        assert!(
+            c.lookup(0, 0, true) ^ c.lookup(0, 4, true),
+            "exactly one earlier resident survives"
+        );
+    }
+
+    #[test]
+    fn two_way_upgrade_finds_entry_in_either_way() {
+        let mut c = OwnedCache::<2>::with_slots(8);
+        c.insert(0, false);
+        c.insert(4, false);
+        c.insert(4, true); // upgrade in place, second way
+        assert!(c.lookup(0, 4, true));
+        assert!(c.lookup(0, 0, false), "first way untouched");
+        assert!(!c.lookup(0, 0, true));
+    }
+
+    #[test]
+    fn two_way_epoch_flush_and_invalidate() {
+        let mut c = OwnedCache::<2>::with_slots(8);
+        c.insert(1, true);
+        c.insert(5, true);
+        assert!(!c.lookup(3, 1, true), "epoch moved");
+        assert!(!c.lookup(3, 5, true));
+        assert_eq!(c.flushes, 1);
+        c.insert(1, true);
+        c.invalidate_all();
+        assert!(!c.lookup(3, 1, true));
     }
 }

@@ -16,9 +16,13 @@
 //!   seeded execution can be cross-validated through any engine
 //!   (SharC's own bitmap, Eraser locksets, vector clocks).
 //! * [`cache`] — the owned-granule epoch cache: a per-thread
-//!   direct-mapped table that skips the CAS entirely on repeated
+//!   set-associative table that skips the CAS entirely on repeated
 //!   private accesses (the common case in pfscan/pbzip2-style
 //!   workloads). See the module docs for the soundness invariants.
+//! * [`geometry`] — [`ShadowGeometry`]: how many 63-thread bitmap
+//!   shards back each granule ([`step::sharded`] is the matching
+//!   transition function). This is what lifts the paper's 63-thread
+//!   cap without forgetting reader identities.
 //!
 //! ## The granule constant
 //!
@@ -31,10 +35,12 @@
 
 pub mod backend;
 pub mod cache;
+pub mod geometry;
 pub mod step;
 
 pub use backend::{replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict};
 pub use cache::OwnedCache;
+pub use geometry::{ShadowGeometry, THREADS_PER_SHARD};
 pub use step::{Access, Transition};
 
 /// Bytes of payload memory covered by one shadow granule (§4.2.1:
@@ -54,9 +60,13 @@ pub const fn max_bitmap_tid(shadow_bytes: usize) -> u32 {
     (shadow_bytes * 8 - 1) as u32
 }
 
-/// Maximum simultaneously-live checked threads across the workspace:
-/// what an 8-byte bitmap word supports. The VM's `MAX_THREADS` and
-/// the runtime's widest `ShadowWord` both check against this.
+/// Exact thread capacity of **one** 8-byte bitmap shard word (the
+/// paper's `8n − 1`). This constant is deliberately *not*
+/// load-bearing outside this crate any more: layers that need a
+/// thread bound derive it from a [`ShadowGeometry`]
+/// (`geometry.exact_threads()`), which stacks shards of this size —
+/// so the runtime and VM scale past 63 threads while each shard word
+/// still obeys the paper's encoding.
 pub const MAX_CHECKED_THREADS: usize = max_bitmap_tid(8) as usize;
 
 // The granule must be a whole number of 8-byte words and cells, and

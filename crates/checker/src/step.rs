@@ -208,6 +208,172 @@ pub mod adaptive {
     }
 }
 
+/// The sharded hybrid encoding: exact reader/writer bitmaps *beyond*
+/// 63 threads.
+///
+/// A granule's shadow is a slice of `shards + 1` words laid out by a
+/// [`ShadowGeometry`](crate::ShadowGeometry): one full
+/// [`bitmap`]-encoded word per 63-thread block, plus one [`adaptive`]
+/// *overflow* word for thread ids past the exact range. Thread `t`
+/// maps to shard `(t − 1) / 63`, local bit `((t − 1) % 63) + 1`, so a
+/// one-shard geometry is bit-for-bit the paper's original encoding.
+///
+/// The transition function stays pure and atomics-free: it reads a
+/// *snapshot* of the granule's words and returns at most **one**
+/// word to install ([`ShardStep::Install`]). That single-word
+/// property is what lets the concurrent wrapper
+/// (`sharc-runtime`'s `ShardedShadow`) stay a plain CAS loop: the
+/// cross-word precondition ("no foreign state elsewhere") is checked
+/// on the snapshot before the CAS and revalidated after it.
+///
+/// Why a single install always suffices:
+///
+/// * a passing **read** only sets the reader's own bit (or moves the
+///   overflow word) — other words are untouched by definition;
+/// * a passing **write** requires every *other* word to be empty, so
+///   the only word that changes is the writer's own shard.
+///
+/// The shared contract holds: **a conflicting access installs
+/// nothing.**
+pub mod sharded {
+    use super::{adaptive, bitmap, Access, Transition};
+    use crate::geometry::ShadowGeometry;
+
+    /// The outcome of applying one access to a granule's sharded
+    /// shadow words.
+    #[derive(Debug, Clone, Copy, PartialEq, Eq)]
+    pub enum ShardStep {
+        /// Legal, already recorded — nothing to write back.
+        Unchanged,
+        /// Legal once `words[index]` is updated to `word`. At most
+        /// one word ever changes per access (see module docs).
+        Install { index: usize, word: u64 },
+        /// The access violates n-readers-xor-1-writer across shards.
+        Conflict,
+    }
+
+    impl ShardStep {
+        /// True if the access is a conflict.
+        #[inline]
+        pub fn is_conflict(self) -> bool {
+            matches!(self, ShardStep::Conflict)
+        }
+    }
+
+    /// Lifts a single-word [`Transition`] into a [`ShardStep`] at
+    /// word `index`.
+    #[inline]
+    fn lift(t: Transition, index: usize) -> ShardStep {
+        match t {
+            Transition::Unchanged => ShardStep::Unchanged,
+            Transition::Install(word) => ShardStep::Install { index, word },
+            Transition::Conflict => ShardStep::Conflict,
+        }
+    }
+
+    /// True if any word other than `index` holds state that excludes
+    /// a *write* by a thread whose own word is `index`: any foreign
+    /// shard bit, or any non-empty overflow state.
+    #[inline]
+    fn foreign_state(words: &[u64], geom: ShadowGeometry, index: usize) -> bool {
+        let ov = geom.overflow_index();
+        words.iter().enumerate().any(|(i, &w)| {
+            i != index
+                && if i == ov {
+                    adaptive::tag(w) != adaptive::TAG_EMPTY
+                } else {
+                    w != 0
+                }
+        })
+    }
+
+    /// True if any word other than `index` holds a *writer*: a shard
+    /// word with the writer flag, or an `EXCL` overflow word.
+    #[inline]
+    fn foreign_writer(words: &[u64], geom: ShadowGeometry, index: usize) -> bool {
+        let ov = geom.overflow_index();
+        words.iter().enumerate().any(|(i, &w)| {
+            i != index
+                && if i == ov {
+                    adaptive::tag(w) == adaptive::TAG_EXCL
+                } else {
+                    w & bitmap::WRITER_FLAG != 0
+                }
+        })
+    }
+
+    /// Applies one access by thread `tid` to a granule's snapshot
+    /// `words` (length [`ShadowGeometry::words_per_granule`]).
+    ///
+    /// `tid` must be `1 ..= 2³⁰ − 1`; ids within the geometry's exact
+    /// range update their shard bitmap, ids beyond it go through the
+    /// adaptive overflow word (sound, coarser at `SHARED_READ`).
+    #[inline]
+    pub fn step(words: &[u64], geom: ShadowGeometry, tid: u32, access: Access) -> ShardStep {
+        debug_assert_eq!(words.len(), geom.words_per_granule(), "snapshot width");
+        debug_assert!(
+            tid >= 1 && (tid as u64) <= adaptive::TID_MASK,
+            "thread id out of range"
+        );
+        match geom.shard_of(tid) {
+            Some(s) => {
+                let local = geom.local_bit(tid);
+                let mine = bitmap::step(words[s], local, access);
+                if mine.is_conflict() {
+                    return ShardStep::Conflict;
+                }
+                let blocked = match access {
+                    // Writing requires exclusivity across *all* words.
+                    Access::Write => foreign_state(words, geom, s),
+                    // Reading tolerates foreign readers, not writers.
+                    Access::Read => foreign_writer(words, geom, s),
+                };
+                if blocked {
+                    ShardStep::Conflict
+                } else {
+                    lift(mine, s)
+                }
+            }
+            None => {
+                let ov = geom.overflow_index();
+                let mine = adaptive::step(words[ov], tid, access);
+                if mine.is_conflict() {
+                    return ShardStep::Conflict;
+                }
+                let blocked = match access {
+                    Access::Write => foreign_state(words, geom, ov),
+                    Access::Read => foreign_writer(words, geom, ov),
+                };
+                if blocked {
+                    ShardStep::Conflict
+                } else {
+                    lift(mine, ov)
+                }
+            }
+        }
+    }
+
+    /// Removes thread `tid`'s contribution on thread exit. Returns
+    /// the (index, new word) to write back, or `None` if the words
+    /// already record nothing for `tid` (including the documented
+    /// `SHARED_READ` imprecision in the overflow word).
+    #[inline]
+    pub fn clear_thread(words: &[u64], geom: ShadowGeometry, tid: u32) -> Option<(usize, u64)> {
+        debug_assert_eq!(words.len(), geom.words_per_granule(), "snapshot width");
+        match geom.shard_of(tid) {
+            Some(s) => {
+                let new = bitmap::clear_thread(words[s], geom.local_bit(tid));
+                (new != words[s]).then_some((s, new))
+            }
+            None => {
+                let ov = geom.overflow_index();
+                let new = adaptive::clear_thread(words[ov], tid);
+                (new != words[ov]).then_some((ov, new))
+            }
+        }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -297,6 +463,150 @@ mod tests {
         // Exits cannot subtract from SHARED: sound but imprecise.
         assert_eq!(adaptive::clear_thread(w, 1), w);
         assert!(adaptive::step(w, 3, Access::Write).is_conflict());
+    }
+
+    // ----- sharded hybrid -----
+
+    use crate::geometry::ShadowGeometry;
+    use sharded::ShardStep;
+
+    /// Applies a step to an owned snapshot, panicking on conflict.
+    fn apply(words: &mut [u64], geom: ShadowGeometry, tid: u32, access: Access) {
+        match sharded::step(words, geom, tid, access) {
+            ShardStep::Install { index, word } => words[index] = word,
+            ShardStep::Unchanged => {}
+            ShardStep::Conflict => panic!("unexpected conflict for tid {tid} {access:?}"),
+        }
+    }
+
+    #[test]
+    fn sharded_one_shard_matches_plain_bitmap() {
+        // With one shard and an empty overflow word, verdicts and
+        // installed words must be bit-for-bit the paper's encoding.
+        let geom = ShadowGeometry::for_threads(63);
+        let mut words = vec![0u64; geom.words_per_granule()];
+        let mut plain = 0u64;
+        let script = [
+            (1u32, Access::Read),
+            (2, Access::Read),
+            (1, Access::Read),
+            (3, Access::Write), // conflict in both
+            (2, Access::Read),
+            (63, Access::Read),
+        ];
+        for &(tid, acc) in &script {
+            let a = sharded::step(&words, geom, tid, acc);
+            let b = bitmap::step(plain, tid, acc);
+            assert_eq!(a.is_conflict(), b.is_conflict(), "tid {tid} {acc:?}");
+            if let ShardStep::Install { index, word } = a {
+                assert_eq!(index, 0, "one shard: installs stay in shard 0");
+                words[index] = word;
+            }
+            if let Transition::Install(w) = b {
+                plain = w;
+            }
+            assert_eq!(words[0], plain, "words agree after tid {tid}");
+        }
+    }
+
+    #[test]
+    fn sharded_readers_keep_identities_past_63() {
+        // The whole point: readers 1, 64, and 127 live in three
+        // different shards, each with an exact bit.
+        let geom = ShadowGeometry::for_threads(256);
+        let mut words = vec![0u64; geom.words_per_granule()];
+        for tid in [1u32, 64, 127] {
+            apply(&mut words, geom, tid, Access::Read);
+        }
+        assert_eq!(words[0], 1 << 1);
+        assert_eq!(words[1], 1 << 1);
+        assert_eq!(words[2], 1 << 1);
+        // A writer in any shard conflicts with readers elsewhere...
+        assert!(sharded::step(&words, geom, 200, Access::Write).is_conflict());
+        // ...and exits subtract exactly, shard by shard.
+        let (i, w) = sharded::clear_thread(&words, geom, 64).unwrap();
+        words[i] = w;
+        assert_eq!(words[1], 0);
+        assert!(sharded::step(&words, geom, 1, Access::Read) == ShardStep::Unchanged);
+    }
+
+    #[test]
+    fn sharded_writer_excludes_other_shards() {
+        let geom = ShadowGeometry::for_threads(128);
+        let mut words = vec![0u64; geom.words_per_granule()];
+        apply(&mut words, geom, 100, Access::Write);
+        let s = geom.shard_of(100).unwrap();
+        assert_eq!(words[s], bitmap::WRITER_FLAG | (1 << geom.local_bit(100)));
+        for intruder in [1u32, 63, 64, 126, 127] {
+            assert!(
+                sharded::step(&words, geom, intruder, Access::Read).is_conflict(),
+                "tid {intruder} read vs cross-shard writer"
+            );
+            assert!(
+                sharded::step(&words, geom, intruder, Access::Write).is_conflict(),
+                "tid {intruder} write vs cross-shard writer"
+            );
+        }
+        // The owner itself stays free, and conflicts installed nothing.
+        assert_eq!(
+            sharded::step(&words, geom, 100, Access::Write),
+            ShardStep::Unchanged
+        );
+    }
+
+    #[test]
+    fn sharded_overflow_ids_are_sound() {
+        let geom = ShadowGeometry::for_threads(63); // exact range 1..=63
+        let mut words = vec![0u64; geom.words_per_granule()];
+        // An id past the exact range reads through the overflow word.
+        apply(&mut words, geom, 1000, Access::Read);
+        assert_eq!(
+            adaptive::tag(words[geom.overflow_index()]),
+            adaptive::TAG_READ1
+        );
+        // A shard-resident writer must see it.
+        assert!(sharded::step(&words, geom, 5, Access::Write).is_conflict());
+        // And a shard-resident reader coexists with it.
+        apply(&mut words, geom, 5, Access::Read);
+        // Now an overflow writer conflicts with the shard reader.
+        assert!(sharded::step(&words, geom, 2000, Access::Write).is_conflict());
+    }
+
+    #[test]
+    fn sharded_adaptive_only_geometry_is_pure_adaptive() {
+        let geom = ShadowGeometry::adaptive_only();
+        let mut words = vec![0u64; 1];
+        let mut plain = 0u64;
+        for &(tid, acc) in &[
+            (7u32, Access::Read),
+            (9, Access::Read),
+            (7, Access::Write), // conflict: SHARED_READ
+            (9, Access::Read),
+        ] {
+            let a = sharded::step(&words, geom, tid, acc);
+            let b = adaptive::step(plain, tid, acc);
+            assert_eq!(a.is_conflict(), b.is_conflict(), "tid {tid} {acc:?}");
+            if let ShardStep::Install { index, word } = a {
+                assert_eq!(index, 0);
+                words[index] = word;
+            }
+            if let Transition::Install(w) = b {
+                plain = w;
+            }
+            assert_eq!(words[0], plain);
+        }
+    }
+
+    #[test]
+    fn sharded_conflict_installs_nothing() {
+        let geom = ShadowGeometry::for_threads(128);
+        let mut words = vec![0u64; geom.words_per_granule()];
+        apply(&mut words, geom, 70, Access::Write);
+        let snapshot = words.clone();
+        assert!(sharded::step(&words, geom, 1, Access::Write).is_conflict());
+        assert!(sharded::step(&words, geom, 1, Access::Read).is_conflict());
+        assert!(sharded::step(&words, geom, 1000, Access::Write).is_conflict());
+        assert_eq!(words, snapshot, "conflicts never install");
     }
 
     #[test]

@@ -19,6 +19,7 @@ use crate::report::{ConflictKind, ConflictReport, Reporter};
 use minic::ast::BinOp;
 use minic::span::SourceMap;
 use sharc_checker::step::{bitmap, Access, Transition};
+use sharc_checker::OwnedCache;
 use sharc_testkit::rng::{Rng, Xoshiro256pp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -108,6 +109,13 @@ pub struct VmConfig {
     pub stop_on_error: bool,
     /// Record every memory/sync event (for trace-based detectors).
     pub collect_trace: bool,
+    /// Per-thread owned-granule cache mirroring the native runtime's
+    /// [`OwnedCache`]: repeated private accesses skip the shadow
+    /// transition entirely, guarded by an epoch that every shadow
+    /// clear (free, sharing cast, thread exit) bumps. Verdicts are
+    /// identical with the cache on or off; only the work per check
+    /// changes (the `vm_cache` bench group measures the delta).
+    pub owned_cache: bool,
 }
 
 impl Default for VmConfig {
@@ -120,6 +128,7 @@ impl Default for VmConfig {
             granule: sharc_checker::GRANULE_CELLS,
             stop_on_error: false,
             collect_trace: false,
+            owned_cache: true,
         }
     }
 }
@@ -155,6 +164,9 @@ pub struct VmStats {
     pub shadow_granules: u64,
     pub threads_spawned: u64,
     pub max_live_threads: usize,
+    /// Checked granule-accesses served by the per-thread owned-granule
+    /// cache (a subset of `dynamic_accesses`' granule visits).
+    pub cache_hits: u64,
 }
 
 impl VmStats {
@@ -226,6 +238,9 @@ struct Thread {
     held_locks: Vec<Addr>,
     /// Granules where this thread set shadow bits (cleared at exit).
     access_log: Vec<u32>,
+    /// The thread's owned-granule cache (mirrors the native runtime's
+    /// per-`ThreadCtx` cache; see [`VmConfig::owned_cache`]).
+    owned: OwnedCache,
 }
 
 /// One shadow granule. `word` is the checker core's reader/writer
@@ -270,6 +285,9 @@ struct Vm<'m> {
     free_objs: Vec<u32>,
     free_blocks: HashMap<u32, Vec<u32>>,
     shadow: Vec<Granule>,
+    /// Bumped by every shadow clear; stale per-thread caches flush on
+    /// the next lookup (the native runtime's exact invalidation rule).
+    shadow_epoch: u64,
     touched_granules: HashSet<u32>,
     threads: Vec<Thread>,
     free_tids: Vec<u8>,
@@ -322,6 +340,7 @@ impl<'m> Vm<'m> {
             free_objs: Vec::new(),
             free_blocks: HashMap::new(),
             shadow: Vec::new(),
+            shadow_epoch: 0,
             touched_granules: HashSet::new(),
             threads: Vec::new(),
             free_tids: Vec::new(),
@@ -503,6 +522,7 @@ impl<'m> Vm<'m> {
                 self.shadow[g as usize] = Granule::default();
             }
         }
+        self.shadow_epoch += 1;
         self.free_blocks.entry(size).or_default().push(base);
     }
 
@@ -528,6 +548,22 @@ impl<'m> Vm<'m> {
         let g0 = addr / gran;
         let g1 = (addr + size - 1) / gran;
         for gi in g0..=g1 {
+            // Owned-granule fast path: a cache hit proves this thread
+            // already holds the exact ownership the access needs
+            // (read bit for reads, exclusive writer state for
+            // writes), so the transition would be `Unchanged` — skip
+            // it. Every shadow clear bumps `shadow_epoch`, which
+            // flushes stale entries on the next lookup.
+            if self.config.owned_cache
+                && self.threads[self.current].owned.lookup(
+                    self.shadow_epoch,
+                    gi as usize,
+                    matches!(access, Access::Write),
+                )
+            {
+                self.stats.cache_hits += 1;
+                continue;
+            }
             let (t, last) = {
                 let g = self.granule_mut(gi);
                 // Report another thread's access as the "last" one
@@ -557,12 +593,22 @@ impl<'m> Vm<'m> {
                         Access::Write => g.last_write = Some(LastAccess { tid, site }),
                     }
                     self.threads[self.current].access_log.push(gi);
+                    if self.config.owned_cache {
+                        self.threads[self.current]
+                            .owned
+                            .insert(gi as usize, matches!(access, Access::Write));
+                    }
                 }
                 Transition::Unchanged => {
                     let g = self.granule_mut(gi);
                     match access {
                         Access::Read => g.last_read = Some(LastAccess { tid, site }),
                         Access::Write => g.last_write = Some(LastAccess { tid, site }),
+                    }
+                    if self.config.owned_cache {
+                        self.threads[self.current]
+                            .owned
+                            .insert(gi as usize, matches!(access, Access::Write));
                     }
                 }
             }
@@ -619,6 +665,7 @@ impl<'m> Vm<'m> {
             status: Status::Runnable,
             held_locks: Vec::new(),
             access_log: Vec::new(),
+            owned: OwnedCache::new(),
         };
         self.threads.push(th);
         self.stats.threads_spawned += 1;
@@ -636,6 +683,9 @@ impl<'m> Vm<'m> {
         // Clear this thread's shadow bits: non-overlapping thread
         // lifetimes do not constitute races.
         let log = std::mem::take(&mut self.threads[idx].access_log);
+        if !log.is_empty() {
+            self.shadow_epoch += 1;
+        }
         for g in log {
             if (g as usize) < self.shadow.len() {
                 let w = &mut self.shadow[g as usize].word;
@@ -694,6 +744,7 @@ impl<'m> Vm<'m> {
             status: Status::Runnable,
             held_locks: Vec::new(),
             access_log: Vec::new(),
+            owned: OwnedCache::new(),
         });
         self.stats.max_live_threads = 1;
 
@@ -1202,6 +1253,7 @@ impl<'m> Vm<'m> {
                                         self.shadow[g as usize] = Granule::default();
                                     }
                                 }
+                                self.shadow_epoch += 1;
                             }
                         }
                     }

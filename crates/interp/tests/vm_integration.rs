@@ -477,3 +477,66 @@ fn deadlock_diagnostics_name_the_blockers() {
     }
     panic!("no deadlock observed in 20 seeds");
 }
+
+#[test]
+fn owned_cache_never_changes_verdicts() {
+    // The owned-granule fast path must be verdict-transparent: the
+    // same seeded schedule produces the same output and the same
+    // report multiset with the cache on and off, on both clean and
+    // racy programs (including frees and sharing casts, which bump
+    // the invalidation epoch).
+    let srcs = [
+        // Clean: thread-private dynamic data, heavy re-access.
+        "void worker(int * d) { int i; for (i = 0; i < 200; i++) *d = *d + 1; }\n\
+         void main() { int * p; int * q; p = new(int); q = new(int); \
+           spawn(worker, p); spawn(worker, q); join_all(); print(*p + *q); }",
+        // Racy: two writers on one object.
+        "void worker(int * d) { int i; for (i = 0; i < 50; i++) *d = *d + 1; }\n\
+         void main() { int * p; p = new(int); \
+           spawn(worker, p); spawn(worker, p); join_all(); }",
+        // Free + reuse: the epoch must flush stale ownership.
+        "void main() { int * p; int i; \
+           for (i = 0; i < 10; i++) { p = new(int); *p = i; free(p); } print(1); }",
+    ];
+    for (n, src) in srcs.iter().enumerate() {
+        for seed in 0..3u64 {
+            let on = compile_and_run("c.c", src, cfg(seed)).unwrap();
+            let off = compile_and_run(
+                "c.c",
+                src,
+                VmConfig {
+                    seed,
+                    owned_cache: false,
+                    ..VmConfig::default()
+                },
+            )
+            .unwrap();
+            assert_eq!(on.status, off.status, "src {n} seed {seed}");
+            assert_eq!(on.output, off.output, "src {n} seed {seed}");
+            assert_eq!(
+                on.reports.len(),
+                off.reports.len(),
+                "src {n} seed {seed}: {:?} vs {:?}",
+                on.reports,
+                off.reports
+            );
+            assert_eq!(off.stats.cache_hits, 0, "flag off means no cache");
+        }
+    }
+}
+
+#[test]
+fn owned_cache_absorbs_repeated_private_accesses() {
+    // A tight private loop should be served almost entirely by the
+    // per-thread cache — the VM-side mirror of the native
+    // owned-granule fast path.
+    let src = "void worker(int * d) { int i; for (i = 0; i < 500; i++) *d = *d + 1; }\n\
+               void main() { int * p; p = new(int); spawn(worker, p); join_all(); }";
+    let out = compile_and_run("priv.c", src, cfg(7)).unwrap();
+    assert!(out.reports.is_empty());
+    assert!(
+        out.stats.cache_hits > 500,
+        "read+write per iteration should hit: {}",
+        out.stats.cache_hits
+    );
+}

@@ -75,6 +75,7 @@ impl<W: ShadowWord> Arena<W> {
     pub fn read_checked(&self, ctx: &mut ThreadCtx, i: usize) -> u64 {
         ctx.checked_accesses += 1;
         let g = i / GRANULE_WORDS;
+        ctx.emit_access(g, false);
         match self.shadow.check_read(g, ctx.tid) {
             Ok(true) => ctx.access_log.push(g),
             Ok(false) => {}
@@ -88,6 +89,7 @@ impl<W: ShadowWord> Arena<W> {
     pub fn write_checked(&self, ctx: &mut ThreadCtx, i: usize, v: u64) {
         ctx.checked_accesses += 1;
         let g = i / GRANULE_WORDS;
+        ctx.emit_access(g, true);
         match self.shadow.check_write(g, ctx.tid) {
             Ok(true) => ctx.access_log.push(g),
             Ok(false) => {}
@@ -102,6 +104,7 @@ impl<W: ShadowWord> Arena<W> {
     pub fn read_cached(&self, ctx: &mut ThreadCtx, i: usize) -> u64 {
         ctx.checked_accesses += 1;
         let g = i / GRANULE_WORDS;
+        ctx.emit_access(g, false);
         match self
             .shadow
             .check_read_cached(g, ctx.tid, &mut ctx.owned_cache)
@@ -120,6 +123,7 @@ impl<W: ShadowWord> Arena<W> {
     pub fn write_cached(&self, ctx: &mut ThreadCtx, i: usize, v: u64) {
         ctx.checked_accesses += 1;
         let g = i / GRANULE_WORDS;
+        ctx.emit_access(g, true);
         match self
             .shadow
             .check_write_cached(g, ctx.tid, &mut ctx.owned_cache)
@@ -151,6 +155,9 @@ impl<W: ShadowWord> Arena<W> {
         ctx.owned_cache.invalidate_all();
         for g in ctx.access_log.drain(..) {
             self.shadow.clear_thread(g, tid);
+        }
+        if let Some(sink) = &ctx.sink {
+            sink.record(sharc_checker::CheckEvent::ThreadExit { tid: tid.0 as u32 });
         }
     }
 

@@ -33,15 +33,19 @@
 //! ```
 
 pub mod arena;
+pub mod events;
 pub mod locks;
 pub mod rc;
 pub mod scalable;
 pub mod scast;
 pub mod shadow;
+pub mod sharded;
 
 pub use arena::{AccessPolicy, Arena, CachedChecked, Checked, Unchecked, GRANULE_WORDS};
+pub use events::EventLog;
 pub use locks::{LockId, LockNotHeld, LockRegistry, ThreadCtx};
 pub use rc::{LpRc, NaiveRc, ObjId, RcScheme};
 pub use scalable::{ScalableShadow, WideThreadId};
 pub use scast::{sharing_cast, ScastError};
 pub use shadow::{RaceError, Shadow, ShadowWord, ThreadId};
+pub use sharded::{ShardedShadow, MAX_WORDS_PER_GRANULE};

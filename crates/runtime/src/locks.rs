@@ -6,9 +6,11 @@
 //! required lock is in the log. When the lock is released, the
 //! address of the lock is removed from the log."
 
+use crate::events::EventLog;
 use crate::shadow::ThreadId;
 use sharc_checker::OwnedCache;
 use sharc_testkit::sync::RawMutex;
+use std::sync::Arc;
 
 /// Identifies a lock in a [`LockRegistry`].
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -52,6 +54,13 @@ pub struct ThreadCtx {
     /// accesses hit here and skip the shadow CAS entirely (see
     /// [`sharc_checker::OwnedCache`] for the soundness invariants).
     pub owned_cache: OwnedCache,
+    /// When set, every checked access through this context is also
+    /// appended to the shared [`EventLog`] — the native-execution
+    /// event spine that lets `sharc run --detector` and the bench
+    /// binaries replay a *real-thread* run through any
+    /// `CheckBackend`. `None` (the default) keeps the hot path free
+    /// of the logging branch's work.
+    pub sink: Option<Arc<EventLog>>,
 }
 
 impl ThreadCtx {
@@ -65,6 +74,24 @@ impl ThreadCtx {
             checked_accesses: 0,
             total_accesses: 0,
             owned_cache: OwnedCache::new(),
+            sink: None,
+        }
+    }
+
+    /// Creates a context whose checked accesses are mirrored into
+    /// `sink` as [`sharc_checker::CheckEvent`]s.
+    pub fn with_sink(tid: ThreadId, sink: Arc<EventLog>) -> Self {
+        let mut ctx = Self::new(tid);
+        ctx.sink = Some(sink);
+        ctx
+    }
+
+    /// Emits an access event if a sink is attached (called by the
+    /// arena's checked paths).
+    #[inline]
+    pub(crate) fn emit_access(&self, granule: usize, is_write: bool) {
+        if let Some(sink) = &self.sink {
+            sink.record_access(self.tid.0 as u32, granule, is_write);
         }
     }
 
@@ -122,9 +149,18 @@ impl LockRegistry {
     }
 
     /// Acquires `lock`, blocking, and records it in the thread's log.
+    /// With an event sink attached, the acquisition is appended to
+    /// the trace *after* the real mutex is held, so the linearized
+    /// log preserves lock order.
     pub fn lock(&self, ctx: &mut ThreadCtx, lock: LockId) {
         self.locks[lock.0].lock();
         ctx.held.push(lock);
+        if let Some(sink) = &ctx.sink {
+            sink.record(sharc_checker::CheckEvent::Acquire {
+                tid: ctx.tid.0 as u32,
+                lock: lock.0,
+            });
+        }
     }
 
     /// Releases `lock` and removes it from the log.
@@ -140,6 +176,14 @@ impl LockRegistry {
             .position(|&l| l == lock)
             .expect("unlock of a lock not in the held-lock log");
         ctx.held.remove(pos);
+        // Record the release *while still holding* so no other
+        // thread's acquire can be logged between it and us.
+        if let Some(sink) = &ctx.sink {
+            sink.record(sharc_checker::CheckEvent::Release {
+                tid: ctx.tid.0 as u32,
+                lock: lock.0,
+            });
+        }
         // SAFETY: the log proves this thread acquired the lock.
         unsafe { self.locks[lock.0].unlock() };
     }

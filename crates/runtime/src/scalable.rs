@@ -6,10 +6,7 @@
 //! low overhead."
 //!
 //! One 8-byte word per granule encodes an *adaptive* state instead of
-//! a bitmap, supporting 2³⁰ thread ids at constant shadow cost. The
-//! state machine itself lives in `sharc-checker`
-//! ([`sharc_checker::step::adaptive`]); this module is only the
-//! compare-exchange retry loop around the pure transition function:
+//! a bitmap, supporting 2³⁰ thread ids at constant shadow cost:
 //!
 //! ```text
 //! EMPTY                      nobody has touched the granule
@@ -18,81 +15,63 @@
 //! SHARED_READ                many readers (identities not tracked)
 //! ```
 //!
+//! Since the sharded refactor this type is a thin wrapper over
+//! [`ShardedShadow`] with a **zero-shard geometry**
+//! ([`ShadowGeometry::adaptive_only`]): every thread id goes through
+//! the adaptive overflow word, which is exactly the behaviour this
+//! module used to implement with its own CAS loop. The state machine
+//! is still `sharc_checker::step::adaptive`; only the loop is shared
+//! now. With zero shards a granule has a single word, so the sharded
+//! wrapper's cross-word revalidation degenerates to re-reading the
+//! word just CASed — semantics identical to the old single-word loop.
+//!
 //! Trade-off versus the paper's bitmap: once a granule is read-shared
 //! the individual reader identities are forgotten, so a thread's exit
 //! cannot clear its contribution — a later writer will (soundly but
 //! imprecisely) conflict until the granule is reset by `free` or a
 //! sharing cast. The bitmap encoding is exact for up to `8n − 1`
 //! threads; this encoding is *sound for any number of threads* and
-//! exact whenever a granule has at most one concurrent reader.
+//! exact whenever a granule has at most one concurrent reader. For
+//! exactness *past* 63 threads, use [`ShardedShadow`] with
+//! `ShadowGeometry::for_threads(n)` — that is the whole point of the
+//! hybrid.
 
 use crate::shadow::RaceError;
-use sharc_checker::step::{adaptive, Access, Transition};
-use std::sync::atomic::{AtomicU64, Ordering};
+use crate::sharded::ShardedShadow;
+use sharc_checker::ShadowGeometry;
 
 /// A thread id for the scalable encoding (1-based, up to 2³⁰ − 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct WideThreadId(pub u32);
 
-const TAG_EMPTY: u64 = adaptive::TAG_EMPTY;
-const TID_MASK: u64 = adaptive::TID_MASK;
-
 /// Shadow state with the adaptive single-word-per-granule encoding.
 #[derive(Debug)]
 pub struct ScalableShadow {
-    words: Vec<AtomicU64>,
+    inner: ShardedShadow,
 }
 
 impl ScalableShadow {
     /// Creates state for `n_granules` granules.
     pub fn new(n_granules: usize) -> Self {
-        let mut words = Vec::with_capacity(n_granules);
-        words.resize_with(n_granules, AtomicU64::default);
-        ScalableShadow { words }
+        ScalableShadow {
+            inner: ShardedShadow::with_geometry(n_granules, ShadowGeometry::adaptive_only()),
+        }
     }
 
     /// Number of granules covered.
     pub fn len(&self) -> usize {
-        self.words.len()
+        self.inner.len()
     }
 
     /// True if no granules are covered.
     pub fn is_empty(&self) -> bool {
-        self.words.is_empty()
+        self.inner.is_empty()
     }
 
     /// Shadow bytes consumed — 8 per granule regardless of thread
     /// count (the bitmap needs `threads/8` rounded up).
     pub fn shadow_bytes(&self) -> usize {
-        self.words.len() * 8
-    }
-
-    /// The CAS retry loop over the pure adaptive transition function.
-    fn check(&self, granule: usize, tid: WideThreadId, access: Access) -> Result<bool, RaceError> {
-        assert!(
-            tid.0 >= 1 && (tid.0 as u64) <= TID_MASK,
-            "thread id out of range"
-        );
-        let w = &self.words[granule];
-        let mut cur = w.load(Ordering::Acquire);
-        loop {
-            match adaptive::step(cur, tid.0, access) {
-                Transition::Unchanged => return Ok(false),
-                Transition::Conflict => {
-                    return Err(RaceError {
-                        granule,
-                        was_write: access.is_write(),
-                        observed: cur,
-                    })
-                }
-                Transition::Install(new) => {
-                    match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
-                        Ok(_) => return Ok(true),
-                        Err(now) => cur = now,
-                    }
-                }
-            }
-        }
+        self.inner.shadow_bytes()
     }
 
     /// The `chkread` check-and-record.
@@ -101,7 +80,7 @@ impl ScalableShadow {
     ///
     /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
     pub fn check_read(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
-        self.check(granule, tid, Access::Read)
+        self.inner.check_read(granule, tid)
     }
 
     /// The `chkwrite` check-and-record.
@@ -110,35 +89,24 @@ impl ScalableShadow {
     ///
     /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
     pub fn check_write(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
-        self.check(granule, tid, Access::Write)
+        self.inner.check_write(granule, tid)
     }
 
     /// Thread-exit clearing: exact for granules this thread owns
     /// exclusively; `SHARED_READ` granules cannot be partially
     /// cleared (identities are not tracked) and are left intact.
     pub fn clear_thread(&self, granule: usize, tid: WideThreadId) {
-        let w = &self.words[granule];
-        let mut cur = w.load(Ordering::Acquire);
-        loop {
-            let new = adaptive::clear_thread(cur, tid.0);
-            if new == cur {
-                return;
-            }
-            match w.compare_exchange_weak(cur, new, Ordering::AcqRel, Ordering::Acquire) {
-                Ok(_) => return,
-                Err(now) => cur = now,
-            }
-        }
+        self.inner.clear_thread(granule, tid);
     }
 
     /// Full reset (`free` / successful sharing cast).
     pub fn clear(&self, granule: usize) {
-        self.words[granule].store(TAG_EMPTY, Ordering::Release);
+        self.inner.clear(granule);
     }
 
     /// Raw encoded state, for tests.
     pub fn raw(&self, granule: usize) -> u64 {
-        self.words[granule].load(Ordering::Acquire)
+        self.inner.raw(granule)
     }
 }
 

@@ -207,11 +207,11 @@ impl<W: ShadowWord> Shadow<W> {
     /// `cache` proves this thread's read bit is already installed
     /// (and no clear intervened), the atomic check is skipped.
     #[inline]
-    pub fn check_read_cached(
+    pub fn check_read_cached<const WAYS: usize>(
         &self,
         granule: usize,
         tid: ThreadId,
-        cache: &mut OwnedCache,
+        cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
         // The epoch must be observed before the slow-path check so a
         // concurrent clear invalidates whatever we are about to cache.
@@ -228,11 +228,11 @@ impl<W: ShadowWord> Shadow<W> {
     /// instructions (epoch load, table probe, compare).
     #[cold]
     #[inline(never)]
-    fn fill_read(
+    fn fill_read<const WAYS: usize>(
         &self,
         granule: usize,
         tid: ThreadId,
-        cache: &mut OwnedCache,
+        cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
         let newly = self.check_read(granule, tid)?;
         cache.insert(granule, false);
@@ -243,11 +243,11 @@ impl<W: ShadowWord> Shadow<W> {
     /// cached exclusive owner skips the CAS entirely — the common
     /// case on thread-private dynamic data.
     #[inline]
-    pub fn check_write_cached(
+    pub fn check_write_cached<const WAYS: usize>(
         &self,
         granule: usize,
         tid: ThreadId,
-        cache: &mut OwnedCache,
+        cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
         let epoch = self.epoch();
         if cache.lookup(epoch, granule, true) {
@@ -259,11 +259,11 @@ impl<W: ShadowWord> Shadow<W> {
     /// The outlined miss path of [`Shadow::check_write_cached`].
     #[cold]
     #[inline(never)]
-    fn fill_write(
+    fn fill_write<const WAYS: usize>(
         &self,
         granule: usize,
         tid: ThreadId,
-        cache: &mut OwnedCache,
+        cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
         let newly = self.check_write(granule, tid)?;
         // After a passing chkwrite the word is exactly
@@ -459,7 +459,7 @@ mod tests {
     #[test]
     fn cached_write_skips_but_agrees() {
         let s: Shadow = Shadow::new(4);
-        let mut cache = OwnedCache::new();
+        let mut cache: OwnedCache = OwnedCache::new();
         let t = ThreadId(1);
         assert_eq!(s.check_write_cached(0, t, &mut cache), Ok(true));
         for _ in 0..10 {
@@ -474,11 +474,11 @@ mod tests {
     #[test]
     fn cache_never_hides_a_conflict_from_the_other_thread() {
         let s: Shadow = Shadow::new(1);
-        let mut c1 = OwnedCache::new();
+        let mut c1: OwnedCache = OwnedCache::new();
         let t1 = ThreadId(1);
         s.check_write_cached(0, t1, &mut c1).unwrap();
         // Thread 2 runs the full check and sees the conflict.
-        let mut c2 = OwnedCache::new();
+        let mut c2: OwnedCache = OwnedCache::new();
         assert!(s.check_write_cached(0, ThreadId(2), &mut c2).is_err());
         // ...and thread 1's cache still answers correctly (owner
         // stable: the conflicting access did not install).
@@ -488,11 +488,11 @@ mod tests {
     #[test]
     fn clear_invalidates_cached_ownership() {
         let s: Shadow = Shadow::new(1);
-        let mut c1 = OwnedCache::new();
+        let mut c1: OwnedCache = OwnedCache::new();
         s.check_write_cached(0, ThreadId(1), &mut c1).unwrap();
         // free / sharing cast: the granule resets and the epoch moves.
         s.clear(0);
-        let mut c2 = OwnedCache::new();
+        let mut c2: OwnedCache = OwnedCache::new();
         s.check_write_cached(0, ThreadId(2), &mut c2).unwrap();
         // Thread 1's next cached access must NOT fast-path: the new
         // owner is thread 2 and the access is a real conflict.
@@ -502,7 +502,7 @@ mod tests {
     #[test]
     fn clear_thread_invalidates_via_epoch() {
         let s: Shadow = Shadow::new(1);
-        let mut c1 = OwnedCache::new();
+        let mut c1: OwnedCache = OwnedCache::new();
         s.check_read_cached(0, ThreadId(1), &mut c1).unwrap();
         s.clear_thread(0, ThreadId(1));
         // After the exit-clear the cached read entry is discarded and

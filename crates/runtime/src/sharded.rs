@@ -1,0 +1,494 @@
+//! The sharded hybrid shadow: exact reader/writer tracking *beyond*
+//! 63 threads, for real threads with atomic updates.
+//!
+//! Each granule is backed by `shards + 1` atomic words laid out by a
+//! [`ShadowGeometry`]: one full bitmap word per 63-thread block plus
+//! one adaptive-encoded overflow word for ids past the exact range.
+//! The state machine itself is pure and lives in `sharc-checker`
+//! ([`sharc_checker::step::sharded`]); this module is the concurrent
+//! wrapper around it:
+//!
+//! 1. **snapshot** every word of the granule (`SeqCst` loads),
+//! 2. run the pure `step` on the snapshot,
+//! 3. **CAS** the single word the step wants to change (`SeqCst`),
+//!    retrying the whole step if the word moved, then
+//! 4. **revalidate**: re-read the granule and re-run the step. If the
+//!    re-run conflicts, a racing access installed foreign state in a
+//!    *different* word between our snapshot and our CAS — report the
+//!    conflict.
+//!
+//! Step 4 is where the multi-word encoding genuinely differs from
+//! the single-word one. With one word, CAS makes check-and-install
+//! atomic, so "conflicts never install" holds even under races.
+//! With several words, two racing accesses in different shards can
+//! both pass step 2 and both install; no single-word CAS can see the
+//! other. The `SeqCst` total order saves the verdict (a
+//! store-then-load Dekker pattern): whichever install is later in
+//! that order observes the earlier one during its revalidation and
+//! reports the conflict. So under races the contract weakens from
+//! "conflicts never install" to "**a racing conflict is always
+//! reported by at least one participant, and its installed state
+//! keeps excluding third parties**" — the conservative direction.
+//! When accesses are serialized (the differential tests, the VM),
+//! revalidation reads back exactly what was installed and the
+//! verdicts coincide with the pure step, i.e. with the bitmap
+//! oracle.
+//!
+//! The owned-granule epoch cache rides on top unchanged (see
+//! [`sharc_checker::cache`]): a passing write still implies every
+//! other word was empty, conflicts still install nothing *into the
+//! winner's ownership*, and every clear still bumps the epoch.
+
+use crate::shadow::RaceError;
+use sharc_checker::step::{
+    sharded::{self, ShardStep},
+    Access,
+};
+use sharc_checker::{OwnedCache, ShadowGeometry};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+pub use crate::scalable::WideThreadId;
+
+/// Upper bound on words per granule the stack-allocated snapshot
+/// supports: 15 shards + overflow = exact identities for 945
+/// threads. Raise it if you genuinely run wider.
+pub const MAX_WORDS_PER_GRANULE: usize = 16;
+
+/// Shadow state with the sharded hybrid encoding (bitmap shards +
+/// adaptive overflow).
+#[derive(Debug)]
+pub struct ShardedShadow {
+    /// Flat store: granule `g`'s words at `g * stride ..`.
+    words: Vec<AtomicU64>,
+    geom: ShadowGeometry,
+    /// Bumped by every clear; owned-granule caches self-invalidate
+    /// when it moves.
+    epoch: AtomicU64,
+}
+
+impl ShardedShadow {
+    /// Creates state for `n_granules` granules under the default
+    /// one-shard geometry (exact to 63 threads, adaptive overflow
+    /// beyond).
+    pub fn new(n_granules: usize) -> Self {
+        Self::with_geometry(n_granules, ShadowGeometry::default())
+    }
+
+    /// Creates state for `n_granules` granules under `geom` — e.g.
+    /// `ShadowGeometry::for_threads(256)` for exact identities at
+    /// 256 native threads.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the geometry needs more than
+    /// [`MAX_WORDS_PER_GRANULE`] words per granule.
+    pub fn with_geometry(n_granules: usize, geom: ShadowGeometry) -> Self {
+        assert!(
+            geom.words_per_granule() <= MAX_WORDS_PER_GRANULE,
+            "geometry too wide: {} words per granule (max {})",
+            geom.words_per_granule(),
+            MAX_WORDS_PER_GRANULE
+        );
+        let mut words = Vec::with_capacity(n_granules * geom.words_per_granule());
+        words.resize_with(n_granules * geom.words_per_granule(), AtomicU64::default);
+        ShardedShadow {
+            words,
+            geom,
+            epoch: AtomicU64::new(0),
+        }
+    }
+
+    /// The shard layout.
+    pub fn geometry(&self) -> ShadowGeometry {
+        self.geom
+    }
+
+    /// Number of granules covered.
+    pub fn len(&self) -> usize {
+        self.words.len() / self.geom.words_per_granule()
+    }
+
+    /// True if no granules are covered.
+    pub fn is_empty(&self) -> bool {
+        self.words.is_empty()
+    }
+
+    /// Shadow bytes consumed: `8 × (shards + 1)` per granule — the
+    /// price of exactness past 63 threads (the adaptive encoding
+    /// stays at 8 regardless).
+    pub fn shadow_bytes(&self) -> usize {
+        self.words.len() * 8
+    }
+
+    /// The current clear-epoch (see [`sharc_checker::cache`]).
+    #[inline]
+    pub fn epoch(&self) -> u64 {
+        self.epoch.load(Ordering::Relaxed)
+    }
+
+    #[inline]
+    fn bump_epoch(&self) {
+        self.epoch.fetch_add(1, Ordering::Release);
+    }
+
+    #[inline]
+    fn base(&self, granule: usize) -> usize {
+        granule * self.geom.words_per_granule()
+    }
+
+    /// Loads a `SeqCst` snapshot of the granule's words into `buf`,
+    /// returning the populated prefix.
+    #[inline]
+    fn snapshot<'b>(&self, granule: usize, buf: &'b mut [u64; MAX_WORDS_PER_GRANULE]) -> &'b [u64] {
+        let stride = self.geom.words_per_granule();
+        let base = self.base(granule);
+        for (i, slot) in buf.iter_mut().enumerate().take(stride) {
+            *slot = self.words[base + i].load(Ordering::SeqCst);
+        }
+        &buf[..stride]
+    }
+
+    /// The snapshot → step → CAS → revalidate protocol (module docs).
+    fn check(&self, granule: usize, tid: WideThreadId, access: Access) -> Result<bool, RaceError> {
+        assert!(
+            tid.0 >= 1 && (tid.0 as u64) <= sharc_checker::step::adaptive::TID_MASK,
+            "thread id out of range"
+        );
+        let base = self.base(granule);
+        let mut buf = [0u64; MAX_WORDS_PER_GRANULE];
+        loop {
+            let snap = self.snapshot(granule, &mut buf);
+            match sharded::step(snap, self.geom, tid.0, access) {
+                ShardStep::Unchanged => return Ok(false),
+                ShardStep::Conflict => {
+                    return Err(RaceError {
+                        granule,
+                        was_write: access.is_write(),
+                        observed: self.observed(snap, tid.0),
+                    })
+                }
+                ShardStep::Install { index, word } => {
+                    let expected = snap[index];
+                    if self.words[base + index]
+                        .compare_exchange(expected, word, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_err()
+                    {
+                        // Our own word moved: somebody raced us in the
+                        // same shard. Retry with a fresh snapshot.
+                        continue;
+                    }
+                    // Revalidate across the *other* words: a racer in
+                    // a different shard may have installed between our
+                    // snapshot and our CAS. SeqCst totally orders the
+                    // two installs; the later one sees the earlier.
+                    let reread = self.snapshot(granule, &mut buf);
+                    if sharded::step(reread, self.geom, tid.0, access).is_conflict() {
+                        return Err(RaceError {
+                            granule,
+                            was_write: access.is_write(),
+                            observed: self.observed(reread, tid.0),
+                        });
+                    }
+                    return Ok(true);
+                }
+            }
+        }
+    }
+
+    /// The most diagnostic single word for a conflict report: the
+    /// acting thread's own word if it holds foreign state, else the
+    /// first non-empty foreign word.
+    fn observed(&self, snap: &[u64], tid: u32) -> u64 {
+        let own = match self.geom.shard_of(tid) {
+            Some(s) => s,
+            None => self.geom.overflow_index(),
+        };
+        snap.iter()
+            .enumerate()
+            .find_map(|(i, &w)| (i != own && w != 0).then_some(w))
+            .unwrap_or(snap[own])
+    }
+
+    /// The `chkread` check-and-record. Returns `Ok(newly_set)` or
+    /// the conflict.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
+    pub fn check_read(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+        self.check(granule, tid, Access::Read)
+    }
+
+    /// The `chkwrite` check-and-record.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
+    pub fn check_write(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
+        self.check(granule, tid, Access::Write)
+    }
+
+    /// [`ShardedShadow::check_read`] with the owned-granule fast
+    /// path (see [`sharc_checker::cache`] for the invariants, which
+    /// carry over to the sharded words verbatim).
+    #[inline]
+    pub fn check_read_cached<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        // The epoch must be observed before the slow-path check so a
+        // concurrent clear invalidates whatever we are about to cache.
+        let epoch = self.epoch();
+        if cache.lookup(epoch, granule, false) {
+            return Ok(false);
+        }
+        self.fill_read(granule, tid, cache)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn fill_read<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        let newly = self.check_read(granule, tid)?;
+        cache.insert(granule, false);
+        Ok(newly)
+    }
+
+    /// [`ShardedShadow::check_write`] with the owned-granule fast
+    /// path.
+    #[inline]
+    pub fn check_write_cached<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        let epoch = self.epoch();
+        if cache.lookup(epoch, granule, true) {
+            return Ok(false);
+        }
+        self.fill_write(granule, tid, cache)
+    }
+
+    #[cold]
+    #[inline(never)]
+    fn fill_write<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        let newly = self.check_write(granule, tid)?;
+        // After a passing chkwrite every other word is empty and our
+        // shard word is WRITER_FLAG | bit: this thread owns the
+        // granule across all words.
+        cache.insert(granule, true);
+        Ok(newly)
+    }
+
+    /// Thread-exit clearing: exact (bit-subtracting) for ids within
+    /// the geometry's shards; `SHARED_READ` overflow state cannot be
+    /// partially cleared and is left intact (sound but imprecise).
+    pub fn clear_thread(&self, granule: usize, tid: WideThreadId) {
+        let base = self.base(granule);
+        let mut buf = [0u64; MAX_WORDS_PER_GRANULE];
+        loop {
+            let snap = self.snapshot(granule, &mut buf);
+            match sharded::clear_thread(snap, self.geom, tid.0) {
+                None => break,
+                Some((index, word)) => {
+                    if self.words[base + index]
+                        .compare_exchange(snap[index], word, Ordering::SeqCst, Ordering::SeqCst)
+                        .is_ok()
+                    {
+                        break;
+                    }
+                }
+            }
+        }
+        self.bump_epoch();
+    }
+
+    /// Full reset (`free` / successful sharing cast): every word of
+    /// the granule is zeroed and the epoch moves.
+    pub fn clear(&self, granule: usize) {
+        let base = self.base(granule);
+        for i in 0..self.geom.words_per_granule() {
+            self.words[base + i].store(0, Ordering::SeqCst);
+        }
+        self.bump_epoch();
+    }
+
+    /// The raw shard-0 word (for tids `1..=63` this is the paper's
+    /// single-word encoding), for tests and diagnostics.
+    pub fn raw(&self, granule: usize) -> u64 {
+        self.words[self.base(granule)].load(Ordering::SeqCst)
+    }
+
+    /// All of a granule's words (shards then overflow), for tests.
+    pub fn raw_words(&self, granule: usize) -> Vec<u64> {
+        let base = self.base(granule);
+        (0..self.geom.words_per_granule())
+            .map(|i| self.words[base + i].load(Ordering::SeqCst))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    fn wide(n: usize) -> ShardedShadow {
+        ShardedShadow::with_geometry(n, ShadowGeometry::for_threads(256))
+    }
+
+    #[test]
+    fn readers_past_63_keep_exact_identities() {
+        let s = wide(1);
+        for t in [1u32, 64, 127, 200, 256] {
+            assert!(s.check_read(0, WideThreadId(t)).is_ok(), "reader {t}");
+        }
+        // Any writer conflicts while readers exist...
+        assert!(s.check_write(0, WideThreadId(64)).is_err());
+        // ...and each exit subtracts exactly.
+        for t in [1u32, 127, 200, 256] {
+            s.clear_thread(0, WideThreadId(t));
+        }
+        // Only 64 still reads: its own upgrade now succeeds — the
+        // adaptive encoding can never do this after SHARED_READ.
+        assert!(s.check_write(0, WideThreadId(64)).is_ok());
+    }
+
+    #[test]
+    fn cross_shard_writer_excludes_everyone() {
+        let s = wide(1);
+        s.check_write(0, WideThreadId(100)).unwrap();
+        for t in [1u32, 63, 64, 163, 256, 1000] {
+            assert!(s.check_read(0, WideThreadId(t)).is_err(), "reader {t}");
+            assert!(s.check_write(0, WideThreadId(t)).is_err(), "writer {t}");
+        }
+        assert!(s.check_write(0, WideThreadId(100)).is_ok(), "owner free");
+    }
+
+    #[test]
+    fn overflow_ids_beyond_exact_range_are_sound() {
+        let s = wide(1); // exact to 315
+        assert!(s.check_read(0, WideThreadId(9999)).is_ok());
+        assert!(s.check_write(0, WideThreadId(50)).is_err(), "sees overflow");
+        s.clear(0);
+        assert!(s.check_write(0, WideThreadId(50)).is_ok());
+    }
+
+    #[test]
+    fn clear_resets_every_word() {
+        let s = wide(1);
+        s.check_read(0, WideThreadId(1)).unwrap();
+        s.check_read(0, WideThreadId(100)).unwrap();
+        s.check_read(0, WideThreadId(9999)).unwrap();
+        s.clear(0);
+        assert!(s.raw_words(0).iter().all(|&w| w == 0));
+        assert!(s.check_write(0, WideThreadId(200)).is_ok());
+    }
+
+    #[test]
+    fn cached_paths_agree_with_uncached() {
+        let s = wide(4);
+        let mut cache = OwnedCache::<1>::new();
+        let t = WideThreadId(100);
+        assert_eq!(s.check_write_cached(0, t, &mut cache), Ok(true));
+        for _ in 0..10 {
+            assert_eq!(s.check_write_cached(0, t, &mut cache), Ok(false));
+            assert_eq!(s.check_read_cached(0, t, &mut cache), Ok(false));
+        }
+        assert_eq!(cache.misses, 1, "one fill, then fast-path hits");
+        // An intruder still conflicts, and a clear un-caches.
+        assert!(s.check_write(0, WideThreadId(1)).is_err());
+        s.clear(0);
+        s.check_write(0, WideThreadId(1)).unwrap();
+        assert!(s.check_write_cached(0, t, &mut cache).is_err());
+    }
+
+    #[test]
+    fn concurrent_readers_across_shards_never_conflict() {
+        let s = Arc::new(wide(32));
+        let mut handles = Vec::new();
+        for t in (1..=256u32).step_by(16) {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for g in 0..32 {
+                    s.check_read(g, WideThreadId(t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    fn concurrent_cross_shard_writers_report_at_least_one_conflict() {
+        // The revalidation guarantee: two writers in different shards
+        // racing on one granule can both install, but SeqCst ordering
+        // makes at least one of them see the other and report.
+        for _ in 0..50 {
+            let s = Arc::new(wide(1));
+            let barrier = Arc::new(std::sync::Barrier::new(2));
+            let mut handles = Vec::new();
+            for t in [10u32, 200] {
+                let s = Arc::clone(&s);
+                let b = Arc::clone(&barrier);
+                handles.push(std::thread::spawn(move || {
+                    b.wait();
+                    s.check_write(0, WideThreadId(t)).is_err()
+                }));
+            }
+            let conflicts = handles
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .filter(|&c| c)
+                .count();
+            assert!(conflicts >= 1, "a racing writer pair must be reported");
+        }
+    }
+
+    #[test]
+    fn concurrent_disjoint_high_tid_writers_clean() {
+        let s = Arc::new(wide(128));
+        let mut handles = Vec::new();
+        for (i, t) in (64..=256u32).step_by(24).enumerate() {
+            let s = Arc::clone(&s);
+            handles.push(std::thread::spawn(move || {
+                for rep in 0..200 {
+                    let g = i * 8 + rep % 8;
+                    s.check_write(g, WideThreadId(t)).unwrap();
+                }
+            }));
+        }
+        for h in handles {
+            h.join().unwrap();
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "thread id out of range")]
+    fn zero_tid_rejected() {
+        let s = ShardedShadow::new(1);
+        let _ = s.check_read(0, WideThreadId(0));
+    }
+
+    #[test]
+    fn shadow_bytes_price_the_exactness() {
+        let narrow = ShardedShadow::new(4);
+        let wide = wide(4);
+        assert_eq!(narrow.shadow_bytes(), 4 * 2 * 8, "1 shard + overflow");
+        assert_eq!(wide.shadow_bytes(), 4 * 6 * 8, "5 shards + overflow");
+        assert_eq!(wide.len(), 4);
+    }
+}

@@ -1,0 +1,320 @@
+//! **handoff** — the ownership-transfer idiom of paper §2.1 as a
+//! *native* workload, and the keystone of the event spine.
+//!
+//! A producer thread privately initializes a block of memory, then
+//! transfers it to a consumer through a sharing cast: "the cast
+//! changes the sharing mode of an object when there is exactly one
+//! reference to it. … after the cast, the consumer is free to use
+//! the object as if it had always been private." SharC accepts this
+//! idiom; detectors with no ownership-transfer model (Eraser
+//! locksets, vector clocks judging by pre-transfer history) flag it
+//! as a race — the §6.2 comparison.
+//!
+//! Because [`run_traced`] emits the [`CheckEvent`] vocabulary from a
+//! *real multithreaded execution*, the same run can be replayed
+//! through every [`sharc_checker::CheckBackend`]: SharC stays silent,
+//! the baselines false-positive, and stripping the `SharingCast`
+//! events from the trace makes SharC report too — the cast is
+//! exactly the information the others are missing.
+
+use crate::table::NativeRun;
+use sharc_checker::CheckEvent;
+use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, GRANULE_WORDS};
+use sharc_testkit::sync::Mutex;
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+/// Sentinel job telling a consumer to exit.
+const DONE: usize = usize::MAX;
+
+/// Lock id used for the job queue in the emitted trace.
+const QUEUE_LOCK: usize = 0;
+
+/// Workload parameters.
+#[derive(Debug, Clone, Copy)]
+pub struct Params {
+    /// Number of blocks produced and handed off.
+    pub blocks: usize,
+    /// Payload words per block (rounded up to whole granules so a
+    /// transfer never splits a granule between owners).
+    pub block_words: usize,
+    /// Consumer thread count (tids 2..2+consumers).
+    pub consumers: usize,
+}
+
+impl Default for Params {
+    fn default() -> Self {
+        Params {
+            blocks: 32,
+            block_words: 16,
+            consumers: 2,
+        }
+    }
+}
+
+impl Params {
+    /// Words per block after granule alignment.
+    fn aligned_words(&self) -> usize {
+        self.block_words
+            .next_multiple_of(GRANULE_WORDS)
+            .max(GRANULE_WORDS)
+    }
+}
+
+/// Runs the handoff workload with access policy `P`.
+pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
+    run_with_sink::<P>(params, None)
+}
+
+/// Runs the workload **checked and traced**, returning the run record
+/// and the linearized native event trace for detector replay.
+pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
+    let sink = Arc::new(EventLog::new());
+    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    (run, sink.take())
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+    let words = params.aligned_words();
+    let arena: Arc<Arena> = Arc::new(Arena::new(params.blocks * words));
+    let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new(VecDeque::new()));
+
+    // --- Consumers (tids 2..) start first and run *concurrently*
+    // with production: they claim blocks off the queue and use them
+    // as if they had always been private — reads *and* writes, no
+    // lock held over the payload. An empty pop yields and retries.
+    let mut handles = Vec::new();
+    for c in 0..params.consumers {
+        let tid = ThreadId(c as u8 + 2);
+        if let Some(s) = &sink {
+            s.record(CheckEvent::Fork {
+                parent: 1,
+                child: tid.0 as u32,
+            });
+        }
+        let arena = Arc::clone(&arena);
+        let queue = Arc::clone(&queue);
+        let sink = sink.clone();
+        handles.push(std::thread::spawn(move || {
+            let mut ctx = match sink {
+                Some(s) => ThreadCtx::with_sink(tid, s),
+                None => ThreadCtx::new(tid),
+            };
+            let mut sum = 0u64;
+            loop {
+                let job = {
+                    let mut q = queue.lock();
+                    if let Some(s) = &ctx.sink {
+                        s.record(CheckEvent::Acquire {
+                            tid: tid.0 as u32,
+                            lock: QUEUE_LOCK,
+                        });
+                    }
+                    let job = q.pop_front();
+                    if let Some(s) = &ctx.sink {
+                        s.record(CheckEvent::Release {
+                            tid: tid.0 as u32,
+                            lock: QUEUE_LOCK,
+                        });
+                    }
+                    job
+                };
+                match job {
+                    Some(DONE) => break,
+                    None => std::thread::yield_now(),
+                    Some(b) => {
+                        let start = b * words;
+                        for i in 0..words {
+                            let v = P::read(&arena, &mut ctx, start + i);
+                            sum = sum.wrapping_add(v);
+                            // The new owner also writes — the access
+                            // kind locksets judge most harshly.
+                            P::write(&arena, &mut ctx, start + i, v.wrapping_add(1));
+                        }
+                    }
+                }
+            }
+            let record = (sum, ctx.checked_accesses, ctx.total_accesses, ctx.conflicts);
+            arena.thread_exit(&mut ctx);
+            record
+        }));
+    }
+
+    // --- Producer (tid 1): initialize each block privately, then
+    // transfer it. The writes go through `P` (checked in the SharC
+    // build), so before the cast the shadow records tid 1 as the
+    // block's writer — exactly the state a detector would hold
+    // against the consumer if the transfer were invisible.
+    let mut producer = match &sink {
+        Some(s) => ThreadCtx::with_sink(ThreadId(1), Arc::clone(s)),
+        None => ThreadCtx::new(ThreadId(1)),
+    };
+    for b in 0..params.blocks {
+        let start = b * words;
+        for i in 0..words {
+            P::write(&arena, &mut producer, start + i, (b as u64) << 8 | i as u64);
+        }
+        // The sharing cast: one reference, ownership moves. Clearing
+        // the shadow range is the runtime effect; the event records
+        // it for replay.
+        let g0 = start / GRANULE_WORDS;
+        let g1 = (start + words - 1) / GRANULE_WORDS;
+        for g in g0..=g1 {
+            if let Some(s) = &sink {
+                s.record(CheckEvent::SharingCast {
+                    tid: 1,
+                    granule: g,
+                    refs: 1,
+                });
+            }
+        }
+        arena.clear_range(start, words);
+        // Publish the block index. The queue itself is lock-protected;
+        // the lock events are recorded while the lock is held so the
+        // linearized trace preserves acquisition order.
+        let mut q = queue.lock();
+        if let Some(s) = &sink {
+            s.record(CheckEvent::Acquire {
+                tid: 1,
+                lock: QUEUE_LOCK,
+            });
+        }
+        q.push_back(b);
+        if let Some(s) = &sink {
+            s.record(CheckEvent::Release {
+                tid: 1,
+                lock: QUEUE_LOCK,
+            });
+        }
+    }
+    {
+        let mut q = queue.lock();
+        for _ in 0..params.consumers {
+            q.push_back(DONE);
+        }
+    }
+
+    let mut checksum = 0u64;
+    let mut checked = producer.checked_accesses;
+    let mut total = producer.total_accesses;
+    let mut conflicts = producer.conflicts;
+    for h in handles {
+        let (s, c, t, cf) = h.join().expect("consumer panicked");
+        checksum = checksum.wrapping_add(s);
+        checked += c;
+        total += t;
+        conflicts += cf;
+    }
+    arena.thread_exit(&mut producer);
+
+    NativeRun {
+        checksum,
+        checked,
+        total,
+        conflicts,
+        payload_bytes: arena.payload_bytes(),
+        shadow_bytes: arena.shadow_bytes(),
+        threads: params.consumers + 1,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use sharc_checker::{replay, BitmapBackend};
+    use sharc_detectors::{BaselineBackend, Eraser, VcDetector};
+    use sharc_runtime::Unchecked;
+
+    #[test]
+    fn checksum_agrees_between_policies_and_no_conflicts() {
+        let p = Params::default();
+        let orig = run_native::<Unchecked>(&p);
+        let sharc = run_native::<Checked>(&p);
+        assert_eq!(orig.checksum, sharc.checksum);
+        assert_eq!(sharc.conflicts, 0, "transfer makes the idiom clean");
+        assert!(sharc.checked > 0);
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let p = Params::default();
+        let (run, trace) = run_traced(&p);
+        assert_eq!(run.checksum, run_native::<Checked>(&p).checksum);
+        assert!(
+            trace.len() as u64 >= run.checked,
+            "every checked access is in the trace"
+        );
+    }
+
+    #[test]
+    fn sharc_is_silent_on_the_native_trace() {
+        let (_, trace) = run_traced(&Params::default());
+        let conflicts = replay(&trace, &mut BitmapBackend::new());
+        assert!(
+            conflicts.is_empty(),
+            "SharC models the transfer: {conflicts:?}"
+        );
+    }
+
+    #[test]
+    fn eraser_false_positives_on_the_same_execution() {
+        // §6.2: the *same* native execution, judged through the same
+        // interface. The payload accesses happen outside the queue
+        // lock (the whole point of the transfer), so Eraser's lockset
+        // for the blocks goes empty and it reports — while the
+        // happens-before detector accepts the run because the queue's
+        // release/acquire pair orders producer before consumer.
+        let (_, trace) = run_traced(&Params::default());
+        let eraser = replay(&trace, &mut BaselineBackend::new(Eraser::new()));
+        let vc = replay(&trace, &mut BaselineBackend::new(VcDetector::new()));
+        assert!(!eraser.is_empty(), "Eraser misses the ownership transfer");
+        assert!(vc.is_empty(), "HB sees the lock edge: {vc:?}");
+    }
+
+    #[test]
+    fn without_lock_edges_even_happens_before_false_positives() {
+        // Strip the queue's lock events so the only justification for
+        // the transfer is the sharing cast itself. SharC still
+        // accepts (the cast is its evidence); the happens-before
+        // detector now has no edge and flags the consumer.
+        let (_, trace) = run_traced(&Params::default());
+        let cast_only: Vec<CheckEvent> = trace
+            .into_iter()
+            .filter(|e| !matches!(e, CheckEvent::Acquire { .. } | CheckEvent::Release { .. }))
+            .collect();
+        let sharc = replay(&cast_only, &mut BitmapBackend::new());
+        assert!(
+            sharc.is_empty(),
+            "the cast alone satisfies SharC: {sharc:?}"
+        );
+        let vc = replay(&cast_only, &mut BaselineBackend::new(VcDetector::new()));
+        assert!(!vc.is_empty(), "the cast is invisible to vector clocks");
+    }
+
+    #[test]
+    fn stripping_the_casts_makes_sharc_report_too() {
+        // The cast is the load-bearing event: without it, tid 1's
+        // writer state survives and the consumer's first access is a
+        // genuine sharing violation.
+        let (_, trace) = run_traced(&Params::default());
+        let stripped: Vec<CheckEvent> = trace
+            .into_iter()
+            .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+            .collect();
+        let conflicts = replay(&stripped, &mut BitmapBackend::new());
+        assert!(!conflicts.is_empty(), "no cast, no transfer, real conflict");
+    }
+
+    #[test]
+    fn trace_carries_the_full_event_vocabulary() {
+        let (_, trace) = run_traced(&Params::default());
+        let has = |f: fn(&CheckEvent) -> bool| trace.iter().any(f);
+        assert!(has(|e| matches!(e, CheckEvent::Fork { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::Read { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::Write { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::SharingCast { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::Acquire { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::Release { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::ThreadExit { .. })));
+    }
+}

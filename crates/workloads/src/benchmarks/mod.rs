@@ -1,7 +1,9 @@
-//! The six Table 1 benchmarks.
+//! The six Table 1 benchmarks, plus the §2.1 ownership-transfer
+//! workload that anchors the native event spine.
 pub mod aget;
 pub mod dillo;
 pub mod fftw;
+pub mod handoff;
 pub mod pbzip2;
 pub mod pfscan;
 pub mod stunnel;

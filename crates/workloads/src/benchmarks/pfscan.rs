@@ -12,7 +12,8 @@
 
 use crate::substrates::filesys::{FsConfig, SynthFs};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_runtime::{AccessPolicy, Arena, Checked, ThreadCtx, ThreadId, Unchecked};
+use sharc_checker::CheckEvent;
+use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, Unchecked};
 use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -27,7 +28,9 @@ pub struct Params {
 }
 
 impl Params {
-    fn scaled(scale: Scale) -> Self {
+    /// Parameters for a given benchmark scale (also used by the
+    /// `sharc native` facade).
+    pub fn scaled(scale: Scale) -> Self {
         Params {
             fs: FsConfig {
                 n_dirs: if scale.quick { 2 } else { 8 },
@@ -72,6 +75,21 @@ fn byte_at<P: AccessPolicy>(
 
 /// Runs the scan with access policy `P`, returning the run record.
 pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
+    run_with_sink::<P>(params, None)
+}
+
+/// Runs the scan **checked and traced**: every checked access, lock
+/// operation, fork and thread exit is mirrored into an [`EventLog`],
+/// so the exact native execution can be replayed through any
+/// [`sharc_checker::CheckBackend`] — this is the native end of the
+/// event spine (`sharc native pfscan --detector ...`).
+pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
+    let sink = Arc::new(EventLog::new());
+    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    (run, sink.take())
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
     let fs = SynthFs::generate(params.fs, "needle");
     let total_bytes = fs.total_bytes();
 
@@ -111,8 +129,21 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
     for w in 0..params.workers {
         let arena = Arc::clone(&arena);
         let queue = Arc::clone(&queue);
+        let sink = sink.clone();
+        if let Some(sink) = &sink {
+            // Fork is recorded by the parent *before* the child can
+            // emit, so the linearized trace orders it first.
+            sink.record(CheckEvent::Fork {
+                parent: 1,
+                child: w as u32 + 2,
+            });
+        }
         handles.push(std::thread::spawn(move || {
-            let mut ctx = ThreadCtx::new(ThreadId(w as u8 + 2));
+            let tid = ThreadId(w as u8 + 2);
+            let mut ctx = match sink {
+                Some(sink) => ThreadCtx::with_sink(tid, sink),
+                None => ThreadCtx::new(tid),
+            };
             let mut matches = 0u64;
             let mut cache = (usize::MAX, 0u64);
             loop {
@@ -302,6 +333,24 @@ mod tests {
         let params = Params::scaled(Scale::quick());
         let r = run_native::<Checked>(&params);
         assert_eq!(r.conflicts, 0, "read-sharing is legal in dynamic mode");
+    }
+
+    #[test]
+    fn traced_run_replays_silently_through_sharc() {
+        // Read-sharing the file buffers is legal in dynamic mode, so
+        // the native trace replays clean through SharC's own backend.
+        let params = Params::scaled(Scale::quick());
+        let fs = SynthFs::generate(params.fs, "needle");
+        let (run, trace) = run_traced(&params);
+        assert_eq!(run.checksum, fs.count_occurrences(NEEDLE) as u64);
+        assert!(
+            trace.len() as u64 >= run.checked,
+            "all checked accesses traced: {} events, {} checked",
+            trace.len(),
+            run.checked
+        );
+        let conflicts = sharc_checker::replay(&trace, &mut sharc_checker::BitmapBackend::new());
+        assert!(conflicts.is_empty(), "{conflicts:?}");
     }
 
     #[test]

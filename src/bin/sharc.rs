@@ -7,12 +7,20 @@
 //! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
 //! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
 //!                       [--detector sharc|eraser|vc]
+//! sharc native <pfscan|handoff>   [--detector sharc|eraser|vc]
 //! ```
 //!
 //! `--detector` selects which engine judges the execution: SharC's
 //! own runtime checks (default), or one of the §6.2 baselines
 //! (Eraser locksets, vector clocks) replaying the trace of the very
 //! same seeded run through the unified `CheckBackend` interface.
+//!
+//! `native` runs a *real-thread* workload instead of a MiniC program:
+//! the execution records its `CheckEvent` trace and the selected
+//! detector judges that single native run through the same replay
+//! interface — `sharc native handoff --detector eraser` shows the
+//! lockset false positive on an ownership transfer that
+//! `--detector sharc` accepts.
 
 use sharc::prelude::*;
 use std::process::ExitCode;
@@ -21,13 +29,71 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
          sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
-         [--detector sharc|eraser|vc]"
+         [--detector sharc|eraser|vc]\n  \
+         sharc native <pfscan|handoff> [--detector sharc|eraser|vc]"
     );
     ExitCode::from(2)
 }
 
+/// `sharc native <workload> [--detector …]`: run a real-thread
+/// workload, record its event trace, judge it with one engine.
+fn cmd_native(args: &[String]) -> ExitCode {
+    let Some(workload) = args.first() else {
+        return usage();
+    };
+    let workload: NativeWorkload = match workload.parse() {
+        Ok(w) => w,
+        Err(e) => {
+            eprintln!("sharc: {e}");
+            return usage();
+        }
+    };
+    let mut detector = DetectorKind::Sharc;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--detector" => {
+                detector = match args.get(i + 1).map(|v| v.parse()) {
+                    Some(Ok(d)) => d,
+                    Some(Err(e)) => {
+                        eprintln!("sharc: {e}");
+                        return usage();
+                    }
+                    None => {
+                        eprintln!("sharc: --detector needs a value");
+                        return usage();
+                    }
+                };
+                i += 2;
+            }
+            other => {
+                eprintln!("sharc: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let r = run_native_with_detector(workload, detector);
+    println!(
+        "{workload:?}: {} threads, {} checked / {} total accesses, \
+         {} trace events, checksum {:#x}",
+        r.run.threads, r.run.checked, r.run.total, r.events, r.run.checksum
+    );
+    if r.conflicts.is_empty() {
+        println!("[{}] no conflicts.", r.detector);
+        ExitCode::SUCCESS
+    } else {
+        for c in &r.conflicts {
+            eprintln!("[{}] {c}", r.detector);
+        }
+        ExitCode::FAILURE
+    }
+}
+
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("native") {
+        return cmd_native(&args[1..]);
+    }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),
         _ => return usage(),

@@ -278,11 +278,96 @@ fn dedup_conflicts(raw: Vec<checker::Conflict>) -> Vec<checker::Conflict> {
     raw.into_iter().filter(|c| seen.insert(*c)).collect()
 }
 
+/// A *native* (real-thread) workload that can emit a
+/// [`checker::CheckEvent`] trace — the native end of the event
+/// spine. `sharc native <workload> --detector …` replays one real
+/// multithreaded execution through the selected engine, exactly as
+/// `sharc run --detector` does for VM executions.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum NativeWorkload {
+    /// The parallel file scanner (Table 1 row 1): read-shared
+    /// dynamic-mode buffers, clean under every detector.
+    Pfscan,
+    /// The §2.1 producer/consumer ownership transfer: clean under
+    /// SharC (the cast is its evidence), false-positived by Eraser.
+    Handoff,
+}
+
+impl std::str::FromStr for NativeWorkload {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s {
+            "pfscan" => Ok(NativeWorkload::Pfscan),
+            "handoff" => Ok(NativeWorkload::Handoff),
+            other => Err(format!(
+                "unknown native workload `{other}` (expected pfscan or handoff)"
+            )),
+        }
+    }
+}
+
+/// A native execution judged by a selected detector.
+#[derive(Debug)]
+pub struct NativeDetectorRun {
+    /// The workload's run record (checksum, access counters, sizes).
+    pub run: workloads::table::NativeRun,
+    /// Number of events in the recorded trace.
+    pub events: usize,
+    /// The engine's name, for output headers.
+    pub detector: &'static str,
+    /// Deduplicated conflicts from replaying the trace.
+    pub conflicts: Vec<checker::Conflict>,
+}
+
+/// Runs `workload` once with real threads, recording its
+/// [`checker::CheckEvent`] trace, and judges that single execution
+/// with `kind`. For [`DetectorKind::Sharc`] the trace is replayed
+/// through [`checker::BitmapBackend`] — the same engine that ran
+/// inline during the execution, so its verdict mirrors the native
+/// conflict count.
+pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) -> NativeDetectorRun {
+    use sharc_checker::CheckBackend as _;
+    let (run, trace) = match workload {
+        NativeWorkload::Pfscan => {
+            let params =
+                workloads::benchmarks::pfscan::Params::scaled(workloads::table::Scale::quick());
+            workloads::benchmarks::pfscan::run_traced(&params)
+        }
+        NativeWorkload::Handoff => workloads::benchmarks::handoff::run_traced(
+            &workloads::benchmarks::handoff::Params::default(),
+        ),
+    };
+    let (detector, conflicts) = match kind {
+        DetectorKind::Sharc => {
+            let mut backend = checker::BitmapBackend::new();
+            let raw = checker::replay(&trace, &mut backend);
+            ("sharc", dedup_conflicts(raw))
+        }
+        DetectorKind::Eraser => {
+            let mut backend = detectors::BaselineBackend::new(detectors::Eraser::new());
+            let raw = checker::replay(&trace, &mut backend);
+            (backend.name(), dedup_conflicts(raw))
+        }
+        DetectorKind::Vc => {
+            let mut backend = detectors::BaselineBackend::new(detectors::VcDetector::new());
+            let raw = checker::replay(&trace, &mut backend);
+            (backend.name(), dedup_conflicts(raw))
+        }
+    };
+    NativeDetectorRun {
+        run,
+        events: trace.len(),
+        detector,
+        conflicts,
+    }
+}
+
 /// The most common imports for users of the crate.
 pub mod prelude {
     pub use crate::{
-        check, check_and_run, run, run_with_detector, CheckedProgram, DetectorKind, DetectorRun,
-        RunConfig, RunOutcome,
+        check, check_and_run, run, run_native_with_detector, run_with_detector, CheckedProgram,
+        DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig, RunOutcome,
     };
     pub use minic::{Diagnostic, Severity};
     pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};
@@ -301,6 +386,27 @@ mod tests {
         )
         .unwrap();
         assert_eq!(out.output, vec!["42"]);
+    }
+
+    #[test]
+    fn native_handoff_splits_sharc_from_eraser() {
+        // The acceptance criterion for the event spine: one *native*
+        // execution, judged through the same CheckBackend interface,
+        // with SharC silent and Eraser false-positiving on the
+        // ownership transfer.
+        let sharc = run_native_with_detector(NativeWorkload::Handoff, DetectorKind::Sharc);
+        assert!(sharc.conflicts.is_empty(), "{:?}", sharc.conflicts);
+        assert!(sharc.events > 0);
+        let eraser = run_native_with_detector(NativeWorkload::Handoff, DetectorKind::Eraser);
+        assert!(!eraser.conflicts.is_empty(), "Eraser cannot see the cast");
+        assert_eq!(eraser.detector, "eraser-lockset");
+    }
+
+    #[test]
+    fn native_pfscan_is_clean_under_sharc() {
+        let r = run_native_with_detector(NativeWorkload::Pfscan, DetectorKind::Sharc);
+        assert!(r.conflicts.is_empty(), "{:?}", r.conflicts);
+        assert!(r.run.checked > 0 && r.events as u64 >= r.run.checked);
     }
 
     #[test]

@@ -26,9 +26,9 @@
 
 use std::collections::HashMap;
 
-use sharc_checker::{BitmapBackend, CheckBackend, CheckEvent, OwnedCache};
+use sharc_checker::{BitmapBackend, CheckBackend, CheckEvent, OwnedCache, ShadowGeometry};
 use sharc_detectors::{BaselineBackend, Eraser};
-use sharc_runtime::{ScalableShadow, Shadow, ThreadId, WideThreadId};
+use sharc_runtime::{ScalableShadow, Shadow, ShardedShadow, ThreadId, WideThreadId};
 use sharc_testkit::gen::{self, Gen};
 use sharc_testkit::prop::Config;
 use sharc_testkit::{forall, prop_assert};
@@ -155,7 +155,7 @@ fn all_engines_agree_on_every_verdict() {
 fn cache_is_invisible_under_adversarial_clears() {
     let shadow: Shadow = Shadow::new(4);
     let cached: Shadow = Shadow::new(4);
-    let mut cache = OwnedCache::with_slots(2); // force collisions
+    let mut cache: OwnedCache = OwnedCache::with_slots(2); // force collisions
     let t1 = ThreadId(1);
     let t2 = ThreadId(2);
     for round in 0..50 {
@@ -177,6 +177,243 @@ fn cache_is_invisible_under_adversarial_clears() {
             "round {round} intruder read"
         );
     }
+}
+
+/// Wide-tid vocabulary for the sharded differential: accesses from
+/// ids spanning several shards, full clears, and thread exits (the
+/// operation the adaptive encoding is documented to coarsen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WideOp {
+    Read { tid: u32, granule: usize },
+    Write { tid: u32, granule: usize },
+    Clear { granule: usize },
+    ThreadExit { tid: u32 },
+}
+
+const WIDE_THREADS: u32 = 256;
+
+fn wide_op_gen() -> Gen<WideOp> {
+    let access = gen::pair(
+        gen::u32_range(1..WIDE_THREADS + 1),
+        gen::usize_range(0..GRANULES),
+    );
+    gen::one_of(vec![
+        access
+            .clone()
+            .map(|&(tid, granule)| WideOp::Read { tid, granule }),
+        access
+            .clone()
+            .map(|&(tid, granule)| WideOp::Write { tid, granule }),
+        gen::usize_range(0..GRANULES).map(|&granule| WideOp::Clear { granule }),
+        gen::u32_range(1..WIDE_THREADS + 1).map(|&tid| WideOp::ThreadExit { tid }),
+    ])
+}
+
+/// Beyond 63 threads the sharded engines must *stay* exact: for any
+/// trace over tids `1..=256` the lock-free [`ShardedShadow`] (cached
+/// and uncached) returns the same per-operation verdict — and ends
+/// with the same shadow words — as the VM's [`BitmapBackend`] over
+/// the identical five-shard geometry. The adaptive engine rides
+/// along as the soundness baseline, pinned to its exact contract:
+///
+/// * verdicts are *identical* until the first thread exit
+///   (`SHARED_READ` forgets reader identities, so exits are the one
+///   operation it coarsens);
+/// * the first verdict divergence, if any, is always an **extra**
+///   adaptive conflict (a phantom retained reader), never a hidden
+///   one. After that first extra report the histories legitimately
+///   drift — conflicts never install, so the engines record
+///   different access sets and per-op comparison is meaningless
+///   (e.g. the exact engine installs a write the adaptive engine
+///   rejected, and a later read then conflicts only in the exact
+///   engine);
+/// * what survives at whole-execution level: if the exact engines
+///   report anything, the adaptive engine reports something too.
+#[test]
+fn sharded_engines_agree_up_to_256_threads() {
+    let geom = ShadowGeometry::for_threads(WIDE_THREADS as usize);
+    assert!(geom.shards() > 1, "the point is a multi-shard geometry");
+    forall!(
+        "sharded_engines_agree_up_to_256_threads",
+        cfg(),
+        gen::vec_of(wide_op_gen(), 0..96),
+        |ops| {
+            let mut oracle = BitmapBackend::with_geometry(geom);
+            let sharded = ShardedShadow::with_geometry(GRANULES, geom);
+            let cached = ShardedShadow::with_geometry(GRANULES, geom);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let adaptive = ScalableShadow::new(GRANULES);
+            // Adaptive tracking: exact until the first exit; the
+            // first divergence must be an extra adaptive conflict;
+            // afterwards only the whole-trace implication holds.
+            let mut exits_seen = false;
+            let mut diverged = false;
+            let mut exact_conflicts = 0usize;
+            let mut adaptive_conflicts = 0usize;
+
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    WideOp::Read { tid, granule } => {
+                        let a = oracle.chkread(tid, granule).is_conflict();
+                        let b = sharded.check_read(granule, WideThreadId(tid)).is_err();
+                        let cache = caches.entry(tid).or_default();
+                        let c = cached
+                            .check_read_cached(granule, WideThreadId(tid), cache)
+                            .is_err();
+                        let d = adaptive.check_read(granule, WideThreadId(tid)).is_err();
+                        prop_assert!(a == b, "op {}: oracle vs sharded (read)", i);
+                        prop_assert!(b == c, "op {}: sharded vs cached (read)", i);
+                        exact_conflicts += a as usize;
+                        adaptive_conflicts += d as usize;
+                        if !diverged && a != d {
+                            prop_assert!(exits_seen, "op {}: adaptive diverged before any exit", i);
+                            prop_assert!(d && !a, "op {}: adaptive hid a read conflict", i);
+                            diverged = true;
+                        }
+                    }
+                    WideOp::Write { tid, granule } => {
+                        let a = oracle.chkwrite(tid, granule).is_conflict();
+                        let b = sharded.check_write(granule, WideThreadId(tid)).is_err();
+                        let cache = caches.entry(tid).or_default();
+                        let c = cached
+                            .check_write_cached(granule, WideThreadId(tid), cache)
+                            .is_err();
+                        let d = adaptive.check_write(granule, WideThreadId(tid)).is_err();
+                        prop_assert!(a == b, "op {}: oracle vs sharded (write)", i);
+                        prop_assert!(b == c, "op {}: sharded vs cached (write)", i);
+                        exact_conflicts += a as usize;
+                        adaptive_conflicts += d as usize;
+                        if !diverged && a != d {
+                            prop_assert!(exits_seen, "op {}: adaptive diverged before any exit", i);
+                            prop_assert!(d && !a, "op {}: adaptive hid a write conflict", i);
+                            diverged = true;
+                        }
+                    }
+                    WideOp::Clear { granule } => {
+                        oracle.on_alloc(granule);
+                        sharded.clear(granule);
+                        cached.clear(granule);
+                        adaptive.clear(granule);
+                    }
+                    WideOp::ThreadExit { tid } => {
+                        oracle.on_thread_exit(tid);
+                        for g in 0..GRANULES {
+                            // Clearing a granule the thread never
+                            // touched is a no-op in every engine, so
+                            // sweeping all of them mirrors the
+                            // oracle's access-log walk.
+                            sharded.clear_thread(g, WideThreadId(tid));
+                            cached.clear_thread(g, WideThreadId(tid));
+                            adaptive.clear_thread(g, WideThreadId(tid));
+                        }
+                        exits_seen = true;
+                    }
+                }
+            }
+            // Whole-execution soundness for the adaptive engine: it
+            // may report extra conflicts and its history may drift
+            // after doing so, but it never stays silent on a trace
+            // the exact engines flag.
+            prop_assert!(
+                exact_conflicts == 0 || adaptive_conflicts > 0,
+                "adaptive engine hid the whole race ({} exact conflicts)",
+                exact_conflicts
+            );
+            // Beyond per-op verdicts, the sharded engines and the
+            // oracle agree on every shadow word of every granule.
+            for g in 0..GRANULES {
+                prop_assert!(
+                    oracle.raw_words(g) == sharded.raw_words(g),
+                    "final words of granule {}",
+                    g
+                );
+                prop_assert!(
+                    sharded.raw_words(g) == cached.raw_words(g),
+                    "cached words of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
+/// The named cross-shard regression: ownership hand-off where the
+/// producer and consumer live in *different shards* of the wide
+/// geometry (tid 1 → shard 0, tid 200 → shard 3). The sharing cast
+/// must clear every shard word, not just the producer's — a
+/// shard-0-only clear would leave the producer's writer bit behind
+/// and turn the legal hand-off into a phantom conflict.
+#[test]
+fn cross_shard_ownership_transfer_is_exact() {
+    let geom = ShadowGeometry::for_threads(256);
+    let (producer, consumer) = (1u32, 200u32);
+    assert_ne!(
+        geom.shard_of(producer),
+        geom.shard_of(consumer),
+        "the pair must straddle a shard boundary"
+    );
+    let g = 0;
+
+    // Replay level: the wide BitmapBackend accepts the §2.1 trace.
+    use CheckEvent as E;
+    let trace = vec![
+        E::Fork {
+            parent: producer,
+            child: consumer,
+        },
+        E::Write {
+            tid: producer,
+            granule: g,
+        },
+        E::SharingCast {
+            tid: producer,
+            granule: g,
+            refs: 1,
+        },
+        E::Read {
+            tid: consumer,
+            granule: g,
+        },
+        E::Write {
+            tid: consumer,
+            granule: g,
+        },
+    ];
+    let mut wide = BitmapBackend::with_geometry(geom);
+    let conflicts = sharc_checker::replay(&trace, &mut wide);
+    assert!(
+        conflicts.is_empty(),
+        "cross-shard hand-off is legal: {conflicts:?}"
+    );
+    assert!(
+        wide.raw_words(g).iter().any(|&w| w != 0),
+        "the consumer re-registered after the cast"
+    );
+
+    // Native level: the lock-free ShardedShadow agrees.
+    let s = ShardedShadow::with_geometry(4, geom);
+    s.check_write(g, WideThreadId(producer)).unwrap();
+    s.clear(g); // the successful sharing cast
+    s.check_read(g, WideThreadId(consumer)).unwrap();
+    s.check_write(g, WideThreadId(consumer)).unwrap();
+
+    // And without the cast both levels report the cross-shard race.
+    let no_cast: Vec<CheckEvent> = trace
+        .iter()
+        .copied()
+        .filter(|e| !matches!(e, E::SharingCast { .. }))
+        .collect();
+    let mut wide2 = BitmapBackend::with_geometry(geom);
+    assert!(
+        !sharc_checker::replay(&no_cast, &mut wide2).is_empty(),
+        "without the cast the consumer's access races"
+    );
+    let s2 = ShardedShadow::with_geometry(4, geom);
+    s2.check_write(g, WideThreadId(producer)).unwrap();
+    assert!(
+        s2.check_read(g, WideThreadId(consumer)).is_err(),
+        "sharded engine sees the same cross-shard race"
+    );
 }
 
 /// The named regression: ownership hand-off through a sharing cast
