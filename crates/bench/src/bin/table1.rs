@@ -95,4 +95,16 @@ fn main() {
          CheckBackend — sharc: {n_sharc} conflicts, online eraser: {n_online}.",
         trace.len()
     );
+
+    // In smoke mode also regenerate the repo-root `BENCH_checker.json`
+    // (the epoch-geometry rows plus exact flush/miss counters) and
+    // enforce the region-vs-global win, so the CI pipeline records
+    // the bench trajectory without a separate `cargo bench` step.
+    if quick {
+        let mut b = sharc_testkit::Bench::new("checker");
+        b.sample_size(5);
+        let counters = sharc_bench::epoch_rows(&mut b);
+        sharc_bench::write_checker_json_at_repo_root(&b, &counters);
+        sharc_bench::assert_epoch_wins(&b);
+    }
 }

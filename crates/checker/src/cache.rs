@@ -43,13 +43,22 @@
 //!    flag over `t`'s read bit is itself a conflict, which does not
 //!    install). So a cached read entry is valid as long as no clear
 //!    intervened.
-//! 3. **Every clear bumps the shadow's epoch.** `clear`,
-//!    `clear_range`, and `clear_thread` (free, sharing casts, thread
-//!    exit) increment a shared epoch counter. A cache whose recorded
-//!    epoch differs from the shadow's current epoch discards itself
-//!    wholesale before answering. The epoch is read *before* the
-//!    slow-path check that populates an entry, so an entry can never
-//!    be newer than the epoch it is guarded by.
+//! 3. **Every clear bumps the epoch of the granule's region.**
+//!    `clear`, `clear_range`, and `clear_thread` (free, sharing
+//!    casts, thread exit) increment the [`crate::EpochTable`]
+//!    counter of the region(s) they touch. Each cache entry carries
+//!    the region epoch it was filled under; an entry whose tag
+//!    differs from the region's current epoch never answers. The
+//!    region epoch is read *before* the slow-path check, so an entry
+//!    can never be newer than the epoch guarding it — per region.
+//!
+//! Invariant 3 is the per-region refinement of PR 2's global rule.
+//! Since the cache compares the caller-supplied region epoch against
+//! the probed entry's own tag, entries in *other* regions are simply
+//! never consulted by the comparison — they stay live across the
+//! clear without any scan. The old whole-cache flush survives as the
+//! `R = 1` degenerate [`crate::EpochTable::global`], where every
+//! granule shares region 0 and one bump stales every entry at once.
 //!
 //! These invariants are stated for one shadow word but hold verbatim
 //! for the sharded hybrid ([`crate::step::sharded`]): a passing
@@ -65,14 +74,27 @@
 /// Default number of cache entries (must be a power of two).
 pub const DEFAULT_SLOTS: usize = 256;
 
-/// One entry, keyed by granule index + 1 (0 = empty). The two keys
-/// make both probes a single integer compare — `write_key` is set
-/// only when the cached ownership is exclusive (writable), and a
-/// write entry always implies a read entry.
+/// One 16-byte entry: `key` packs the granule and the cached right —
+/// bit 0 is the *writable* flag, bits 1.. hold granule + 1 (`key ==
+/// 0` = empty) — and `epoch` tags the entry with its region's epoch
+/// at fill time. The packing keeps both probes a single integer
+/// compare (a write probe matches `key` exactly; a read probe ORs in
+/// bit 0 first, since a write entry always implies a read entry) and
+/// keeps the slot at two words even with the per-region tag, so the
+/// probe stride is what it was before regions existed. An entry
+/// answers only when its `epoch` equals the region's current epoch.
 #[derive(Debug, Clone, Copy, Default)]
 struct Slot {
-    read_key: usize,
-    write_key: usize,
+    key: u64,
+    epoch: u64,
+}
+
+impl Slot {
+    /// The granule part of a key (bit 0 masked off).
+    #[inline]
+    fn granule_key(granule: usize) -> u64 {
+        (granule as u64 + 1) << 1
+    }
 }
 
 /// A per-thread owned-granule cache, `WAYS`-way set-associative
@@ -80,7 +102,6 @@ struct Slot {
 /// thread's `ThreadCtx` (runtime) holds it by value.
 #[derive(Debug, Clone)]
 pub struct OwnedCache<const WAYS: usize = 1> {
-    epoch: u64,
     /// `sets × WAYS` entries; set `s`'s ways are contiguous at
     /// `s * WAYS`.
     slots: Box<[Slot]>,
@@ -93,7 +114,11 @@ pub struct OwnedCache<const WAYS: usize = 1> {
     /// costs more than the probe itself. Misses and flushes are
     /// updated only on the outlined cold paths, where they are free.
     pub misses: u64,
-    /// Whole-cache flushes forced by an epoch change.
+    /// Entries discarded because their region's epoch moved. Under
+    /// the `R = 1` degenerate table this counts one per *entry*
+    /// (where PR 2 counted one per whole-cache reset); under a real
+    /// region table it counts exactly the collateral damage of
+    /// clears — the quantity per-region epochs exist to minimise.
     pub flushes: u64,
 }
 
@@ -116,7 +141,6 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
         const { assert!(WAYS >= 1, "a cache needs at least one way") };
         let sets = (slots / WAYS).max(1).next_power_of_two();
         OwnedCache {
-            epoch: 0,
             slots: vec![Slot::default(); sets * WAYS].into_boxed_slice(),
             victim: vec![0u8; sets].into_boxed_slice(),
             misses: 0,
@@ -136,64 +160,74 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
         (granule & (self.sets() - 1)) * WAYS
     }
 
-    /// Answers whether `granule` is cached with sufficient rights
-    /// for the access, first discarding everything if the shadow's
-    /// epoch moved. This is the entire fast path, and it is kept
-    /// deliberately tiny — one epoch compare, one masked probe,
-    /// `WAYS` key compares (the loop fully unrolls: `WAYS` is a
-    /// const) — with the epoch-flush outlined ([`Self::reset`]) so
-    /// the inlined hot loop stays small enough to register-allocate.
+    /// Answers whether `granule` is cached with sufficient rights for
+    /// the access *under the current epoch of its region*. The caller
+    /// reads `region_epoch` from the shadow's [`crate::EpochTable`]
+    /// (a relaxed load) before probing; an entry filled under an
+    /// older epoch of the same region fails the tag compare and is
+    /// discarded on the outlined cold path — entries for granules in
+    /// *other* regions are untouched, which is the whole point. The
+    /// fast path stays tiny: one masked probe, `WAYS` key compares
+    /// plus one epoch compare on the hit way (the loop fully
+    /// unrolls: `WAYS` is a const), no stores.
     #[inline]
-    pub fn lookup(&mut self, shadow_epoch: u64, granule: usize, is_write: bool) -> bool {
-        if self.epoch != shadow_epoch {
-            self.reset(shadow_epoch);
-            return false;
-        }
+    pub fn lookup(&mut self, region_epoch: u64, granule: usize, is_write: bool) -> bool {
         let base = self.base(granule);
-        let key = granule + 1;
-        // One compare per way either way (`is_write` is a constant at
-        // every call site), and deliberately no hit counter: see the
-        // `misses` field for why the fast path stays store-free.
+        let want = Slot::granule_key(granule) | 1;
+        // One key compare per way either way (`is_write` is a
+        // constant at every call site, and a read probe folds the
+        // writable bit away with one OR), and deliberately no hit
+        // counter: see the `misses` field for why the fast path
+        // stays store-free.
         for w in 0..WAYS {
             let s = self.slots[base + w];
-            let hit = if is_write {
-                s.write_key == key
-            } else {
-                s.read_key == key
-            };
-            if hit {
-                return true;
+            let k = if is_write { s.key } else { s.key | 1 };
+            if k == want {
+                if s.epoch == region_epoch {
+                    return true;
+                }
+                self.discard_stale(base + w);
+                return false;
             }
         }
         false
     }
 
-    /// The outlined epoch-change path: discard every entry and adopt
-    /// the new epoch.
+    /// The outlined stale-entry path: the probed entry's region moved
+    /// on; drop it so a later fill re-checks against the new state.
     #[cold]
     #[inline(never)]
-    fn reset(&mut self, shadow_epoch: u64) {
-        self.slots.iter_mut().for_each(|s| *s = Slot::default());
-        self.epoch = shadow_epoch;
+    fn discard_stale(&mut self, idx: usize) {
+        self.slots[idx] = Slot::default();
         self.flushes += 1;
     }
 
-    /// Records that the owning thread holds `granule` (exclusively
-    /// if `writable`). Call only after the slow-path check passed
-    /// and only with the epoch that [`OwnedCache::lookup`] was
-    /// given — the epoch must be read *before* the check.
+    /// Records that the owning thread holds `granule` (exclusively if
+    /// `writable`), tagged with `region_epoch`. Call only after the
+    /// slow-path check passed and only with the epoch that
+    /// [`OwnedCache::lookup`] was given — the region epoch must be
+    /// read *before* the check, so the entry can never be newer than
+    /// the epoch guarding it.
     #[inline]
-    pub fn insert(&mut self, granule: usize, writable: bool) {
+    pub fn insert(&mut self, granule: usize, writable: bool, region_epoch: u64) {
         self.misses += 1;
         let base = self.base(granule);
-        let key = granule + 1;
-        // Upgrade in place if the granule already occupies a way;
-        // a read never downgrades a write entry.
+        let gkey = Slot::granule_key(granule);
+        let new_key = gkey | writable as u64;
+        // Upgrade in place if the granule already occupies a way with
+        // a current tag (a read never downgrades a write entry); a
+        // stale resident for the same granule is replaced wholesale —
+        // its old write right predates the region's clear.
         for w in 0..WAYS {
             let s = &mut self.slots[base + w];
-            if s.read_key == key {
-                if writable {
-                    s.write_key = key;
+            if (s.key | 1) == (gkey | 1) {
+                if s.epoch == region_epoch {
+                    s.key |= new_key & 1;
+                } else {
+                    *s = Slot {
+                        key: new_key,
+                        epoch: region_epoch,
+                    };
                 }
                 return;
             }
@@ -201,7 +235,7 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
         // Prefer an empty way, else evict round-robin within the set.
         let mut way = None;
         for w in 0..WAYS {
-            if self.slots[base + w].read_key == 0 {
+            if self.slots[base + w].key == 0 {
                 way = Some(w);
                 break;
             }
@@ -213,8 +247,8 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
             v
         });
         self.slots[base + way] = Slot {
-            read_key: key,
-            write_key: if writable { key } else { 0 },
+            key: new_key,
+            epoch: region_epoch,
         };
     }
 
@@ -233,7 +267,7 @@ mod tests {
     fn hit_after_insert_same_epoch() {
         let mut c = OwnedCache::<1>::with_slots(8);
         assert!(!c.lookup(0, 5, true));
-        c.insert(5, true);
+        c.insert(5, true, 0);
         assert!(c.lookup(0, 5, true));
         assert!(c.lookup(0, 5, false), "writable implies readable");
         assert_eq!(c.misses, 1, "hits never refill");
@@ -242,7 +276,7 @@ mod tests {
     #[test]
     fn read_entry_does_not_authorize_writes() {
         let mut c = OwnedCache::<1>::with_slots(8);
-        c.insert(3, false);
+        c.insert(3, false, 0);
         assert!(c.lookup(0, 3, false));
         assert!(!c.lookup(0, 3, true));
     }
@@ -250,26 +284,55 @@ mod tests {
     #[test]
     fn write_entry_survives_read_insert() {
         let mut c = OwnedCache::<1>::with_slots(8);
-        c.insert(3, true);
-        c.insert(3, false);
+        c.insert(3, true, 0);
+        c.insert(3, false, 0);
         assert!(c.lookup(0, 3, true), "no downgrade");
     }
 
     #[test]
-    fn epoch_change_flushes_everything() {
+    fn stale_region_epoch_discards_only_the_probed_entry() {
         let mut c = OwnedCache::<1>::with_slots(8);
-        c.insert(1, true);
-        c.insert(2, true);
-        assert!(!c.lookup(7, 1, true), "stale epoch discards");
-        assert!(!c.lookup(7, 2, true), "the flush removed all entries");
-        assert_eq!(c.flushes, 1, "one flush for the whole epoch change");
+        c.insert(1, true, 0);
+        c.insert(2, true, 0);
+        // Granule 1's region moved to epoch 7; granule 2's did not.
+        assert!(!c.lookup(7, 1, true), "stale tag never answers");
+        assert_eq!(c.flushes, 1, "one discard, not a whole-cache reset");
+        assert!(
+            c.lookup(0, 2, true),
+            "entries in unaffected regions stay live — partial invalidation"
+        );
+        assert_eq!(c.flushes, 1);
+    }
+
+    #[test]
+    fn r1_degeneracy_stales_every_entry() {
+        // With a global (R = 1) table every granule shares one epoch,
+        // so one bump makes every probe discard — the PR 2 behaviour,
+        // now paid per entry instead of per reset.
+        let mut c = OwnedCache::<1>::with_slots(8);
+        c.insert(1, true, 0);
+        c.insert(2, true, 0);
+        assert!(!c.lookup(1, 1, true));
+        assert!(!c.lookup(1, 2, true));
+        assert_eq!(c.flushes, 2);
+    }
+
+    #[test]
+    fn stale_entry_is_replaced_not_upgraded_by_insert() {
+        let mut c = OwnedCache::<1>::with_slots(8);
+        c.insert(3, true, 0);
+        // Region cleared (epoch 1); the slow path re-ran and only a
+        // read right survived. The old write tag must not resurface.
+        c.insert(3, false, 1);
+        assert!(c.lookup(1, 3, false));
+        assert!(!c.lookup(1, 3, true), "pre-clear write right is dead");
     }
 
     #[test]
     fn direct_mapping_evicts_colliding_granules() {
         let mut c = OwnedCache::<1>::with_slots(4);
-        c.insert(0, true);
-        c.insert(4, true); // same set, one way
+        c.insert(0, true, 0);
+        c.insert(4, true, 0); // same set, one way
         assert!(!c.lookup(0, 0, true));
         assert!(c.lookup(0, 4, true));
     }
@@ -279,12 +342,12 @@ mod tests {
         // The same trace that evicts under direct mapping keeps both
         // residents with two ways — the whole point of the sweep.
         let mut c = OwnedCache::<2>::with_slots(8); // 4 sets × 2 ways
-        c.insert(0, true);
-        c.insert(4, true); // same set, second way
+        c.insert(0, true, 0);
+        c.insert(4, true, 0); // same set, second way
         assert!(c.lookup(0, 0, true));
         assert!(c.lookup(0, 4, true));
         // A third alias evicts round-robin, not wholesale.
-        c.insert(8, true);
+        c.insert(8, true, 0);
         assert!(c.lookup(0, 8, true));
         assert!(
             c.lookup(0, 0, true) ^ c.lookup(0, 4, true),
@@ -295,23 +358,23 @@ mod tests {
     #[test]
     fn two_way_upgrade_finds_entry_in_either_way() {
         let mut c = OwnedCache::<2>::with_slots(8);
-        c.insert(0, false);
-        c.insert(4, false);
-        c.insert(4, true); // upgrade in place, second way
+        c.insert(0, false, 0);
+        c.insert(4, false, 0);
+        c.insert(4, true, 0); // upgrade in place, second way
         assert!(c.lookup(0, 4, true));
         assert!(c.lookup(0, 0, false), "first way untouched");
         assert!(!c.lookup(0, 0, true));
     }
 
     #[test]
-    fn two_way_epoch_flush_and_invalidate() {
+    fn two_way_stale_discard_and_invalidate() {
         let mut c = OwnedCache::<2>::with_slots(8);
-        c.insert(1, true);
-        c.insert(5, true);
+        c.insert(1, true, 0);
+        c.insert(5, true, 0);
         assert!(!c.lookup(3, 1, true), "epoch moved");
         assert!(!c.lookup(3, 5, true));
-        assert_eq!(c.flushes, 1);
-        c.insert(1, true);
+        assert_eq!(c.flushes, 2, "per-entry discards");
+        c.insert(1, true, 3);
         c.invalidate_all();
         assert!(!c.lookup(3, 1, true));
     }

@@ -23,6 +23,14 @@
 //!   shards back each granule ([`step::sharded`] is the matching
 //!   transition function). This is what lifts the paper's 63-thread
 //!   cap without forgetting reader identities.
+//! * [`epoch`] — [`EpochTable`]: per-region epoch counters so a
+//!   `free`/cast/clear invalidates only the cache entries whose
+//!   region actually changed, instead of flushing every thread's
+//!   whole cache. `R = 1` degenerates to the old global epoch.
+//! * [`trace`] — the offline text format for [`CheckEvent`] traces
+//!   (`sharc native --trace-out` / `sharc replay`): an exact,
+//!   line-oriented round-trip so one recorded execution can be
+//!   re-judged by any backend in a later process.
 //!
 //! ## The granule constant
 //!
@@ -35,13 +43,17 @@
 
 pub mod backend;
 pub mod cache;
+pub mod epoch;
 pub mod geometry;
 pub mod step;
+pub mod trace;
 
 pub use backend::{replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict};
 pub use cache::OwnedCache;
+pub use epoch::{EpochTable, DEFAULT_REGIONS};
 pub use geometry::{ShadowGeometry, THREADS_PER_SHARD};
 pub use step::{Access, Transition};
+pub use trace::{parse_text as parse_trace, to_text as trace_to_text};
 
 /// Bytes of payload memory covered by one shadow granule (§4.2.1:
 /// "for every 16 bytes of memory, SharC maintains n additional

@@ -19,7 +19,7 @@ use crate::report::{ConflictKind, ConflictReport, Reporter};
 use minic::ast::BinOp;
 use minic::span::SourceMap;
 use sharc_checker::step::{bitmap, Access, Transition};
-use sharc_checker::OwnedCache;
+use sharc_checker::{EpochTable, OwnedCache};
 use sharc_testkit::rng::{Rng, Xoshiro256pp};
 use std::collections::{HashMap, HashSet, VecDeque};
 
@@ -30,6 +30,14 @@ pub const MAX_THREADS: usize = sharc_checker::MAX_CHECKED_THREADS;
 // The VM's simulated threads and the real-thread runtime must agree
 // on the bitmap width; both are pinned by the checker core.
 const _: () = assert!(MAX_THREADS == 63);
+
+/// Granules per epoch region in the VM (power of two). The VM's heap
+/// is small and grows on demand, so a small block keeps point frees
+/// local: with the default [`VmConfig::epoch_regions`] = 64 regions
+/// the table covers 512 distinct granules (4 KiB of modelled memory
+/// at the 16-byte granule) before indices wrap — conservative past
+/// that, never unsound.
+const VM_GRANULES_PER_REGION: usize = 8;
 
 /// One memory/synchronization event of an execution, for feeding
 /// trace-based race detectors (cross-validation against the §6.2
@@ -111,11 +119,18 @@ pub struct VmConfig {
     pub collect_trace: bool,
     /// Per-thread owned-granule cache mirroring the native runtime's
     /// [`OwnedCache`]: repeated private accesses skip the shadow
-    /// transition entirely, guarded by an epoch that every shadow
-    /// clear (free, sharing cast, thread exit) bumps. Verdicts are
-    /// identical with the cache on or off; only the work per check
-    /// changes (the `vm_cache` bench group measures the delta).
+    /// transition entirely, guarded by per-region epochs that every
+    /// shadow clear (free, sharing cast, thread exit) bumps for the
+    /// region(s) actually cleared. Verdicts are identical with the
+    /// cache on or off; only the work per check changes (the
+    /// `vm_cache` bench group measures the delta).
     pub owned_cache: bool,
+    /// Number of epoch regions guarding the owned cache
+    /// ([`sharc_checker::EpochTable`]; rounded up to a power of two).
+    /// `1` is the degenerate global epoch — every clear flushes every
+    /// thread's whole cache, the pre-region behaviour, kept for
+    /// differential comparison. Verdicts are identical for any value.
+    pub epoch_regions: usize,
 }
 
 impl Default for VmConfig {
@@ -129,6 +144,7 @@ impl Default for VmConfig {
             stop_on_error: false,
             collect_trace: false,
             owned_cache: true,
+            epoch_regions: sharc_checker::DEFAULT_REGIONS,
         }
     }
 }
@@ -241,6 +257,21 @@ struct Thread {
     /// The thread's owned-granule cache (mirrors the native runtime's
     /// per-`ThreadCtx` cache; see [`VmConfig::owned_cache`]).
     owned: OwnedCache,
+    /// The latest cache-served access per kind (`[read, write]`,
+    /// indexed by `is_write`): a hit skips the granule's `last_*`
+    /// bookkeeping, so without this a report after a hot private loop
+    /// would name the stale install site. One entry per kind is
+    /// enough to fix exactly that case — the hot loop's latest read
+    /// (write) *is* the thread's latest read (write) hit.
+    last_hit: [Option<LastHit>; 2],
+}
+
+/// Compact per-thread record of the most recent cache-served access
+/// of one kind (see [`Thread::last_hit`]).
+#[derive(Debug, Clone, Copy)]
+struct LastHit {
+    granule: u32,
+    site: u32,
 }
 
 /// One shadow granule. `word` is the checker core's reader/writer
@@ -285,9 +316,13 @@ struct Vm<'m> {
     free_objs: Vec<u32>,
     free_blocks: HashMap<u32, Vec<u32>>,
     shadow: Vec<Granule>,
-    /// Bumped by every shadow clear; stale per-thread caches flush on
-    /// the next lookup (the native runtime's exact invalidation rule).
-    shadow_epoch: u64,
+    /// Per-region clear epochs (the native runtime's exact
+    /// invalidation rule): a shadow clear bumps only the region(s) it
+    /// touches, and stale per-thread cache entries of those regions
+    /// fail their tag compare on the next lookup. The VM's granule
+    /// space grows on demand, so the table wraps granule indices
+    /// modulo its region count — conservative, never unsound.
+    shadow_epochs: EpochTable,
     touched_granules: HashSet<u32>,
     threads: Vec<Thread>,
     free_tids: Vec<u8>,
@@ -329,6 +364,7 @@ impl<'m> Vm<'m> {
             .map(|f| f.slot_sizes.iter().sum::<u32>().max(1))
             .collect();
         let max_reports = config.max_reports;
+        let shadow_epochs = EpochTable::new(config.epoch_regions, VM_GRANULES_PER_REGION);
         let mut vm = Vm {
             module,
             rng: Xoshiro256pp::seed_from_u64(config.seed),
@@ -340,7 +376,7 @@ impl<'m> Vm<'m> {
             free_objs: Vec::new(),
             free_blocks: HashMap::new(),
             shadow: Vec::new(),
-            shadow_epoch: 0,
+            shadow_epochs,
             touched_granules: HashSet::new(),
             threads: Vec::new(),
             free_tids: Vec::new(),
@@ -522,7 +558,10 @@ impl<'m> Vm<'m> {
                 self.shadow[g as usize] = Granule::default();
             }
         }
-        self.shadow_epoch += 1;
+        // Bump only the region(s) covering the freed object: every
+        // other region's cached entries stay live.
+        self.shadow_epochs
+            .bump_granule_range(g0 as usize, g1 as usize + 1);
         self.free_blocks.entry(size).or_default().push(base);
     }
 
@@ -552,31 +591,62 @@ impl<'m> Vm<'m> {
             // already holds the exact ownership the access needs
             // (read bit for reads, exclusive writer state for
             // writes), so the transition would be `Unchanged` — skip
-            // it. Every shadow clear bumps `shadow_epoch`, which
-            // flushes stale entries on the next lookup.
+            // it. Every shadow clear bumps the epoch of the region(s)
+            // it touches; entries tagged with an older region epoch
+            // fail their compare on the next lookup, while entries
+            // for unaffected regions keep answering.
+            let is_write = matches!(access, Access::Write);
+            // Read the region epoch *before* the transition below, so
+            // an entry can never be newer than the epoch guarding it.
+            let region_epoch = self.shadow_epochs.epoch_of(gi as usize);
             if self.config.owned_cache
-                && self.threads[self.current].owned.lookup(
-                    self.shadow_epoch,
-                    gi as usize,
-                    matches!(access, Access::Write),
-                )
+                && self.threads[self.current]
+                    .owned
+                    .lookup(region_epoch, gi as usize, is_write)
             {
                 self.stats.cache_hits += 1;
+                // The granule's `last_*` bookkeeping is skipped on
+                // hits; remember the site per thread so a later
+                // conflict report can still name the true latest
+                // access (see `Thread::last_hit`).
+                self.threads[self.current].last_hit[is_write as usize] =
+                    Some(LastHit { granule: gi, site });
                 continue;
             }
             let (t, last) = {
                 let g = self.granule_mut(gi);
                 // Report another thread's access as the "last" one
-                // (offending writer first on write conflicts).
+                // (offending writer first on write conflicts),
+                // remembering which kind of record it came from.
                 let last = match access {
-                    Access::Read => g.last_write.filter(|l| l.tid != tid),
+                    Access::Read => g.last_write.filter(|l| l.tid != tid).map(|l| (l, true)),
                     Access::Write => g
                         .last_write
                         .filter(|l| l.tid != tid)
-                        .or(g.last_read.filter(|l| l.tid != tid)),
+                        .map(|l| (l, true))
+                        .or(g.last_read.filter(|l| l.tid != tid).map(|l| (l, false))),
                 };
                 (bitmap::step(g.word, tid as u32, access), last)
             };
+            // If the reported thread's latest touch of this granule
+            // was served by its cache, the granule metadata is stale:
+            // the per-thread last-hit record is newer by construction
+            // (hits happen only after the recorded install).
+            let last = last.map(|(l, was_write)| {
+                let newer = self.threads.iter().rev().find_map(|th| {
+                    (th.id == l.tid)
+                        .then_some(th.last_hit[was_write as usize])
+                        .flatten()
+                        .filter(|h| h.granule == gi)
+                });
+                match newer {
+                    Some(h) => LastAccess {
+                        tid: l.tid,
+                        site: h.site,
+                    },
+                    None => l,
+                }
+            });
             match t {
                 Transition::Conflict => {
                     let kind = match access {
@@ -594,9 +664,11 @@ impl<'m> Vm<'m> {
                     }
                     self.threads[self.current].access_log.push(gi);
                     if self.config.owned_cache {
-                        self.threads[self.current]
-                            .owned
-                            .insert(gi as usize, matches!(access, Access::Write));
+                        self.threads[self.current].owned.insert(
+                            gi as usize,
+                            is_write,
+                            region_epoch,
+                        );
                     }
                 }
                 Transition::Unchanged => {
@@ -606,9 +678,11 @@ impl<'m> Vm<'m> {
                         Access::Write => g.last_write = Some(LastAccess { tid, site }),
                     }
                     if self.config.owned_cache {
-                        self.threads[self.current]
-                            .owned
-                            .insert(gi as usize, matches!(access, Access::Write));
+                        self.threads[self.current].owned.insert(
+                            gi as usize,
+                            is_write,
+                            region_epoch,
+                        );
                     }
                 }
             }
@@ -666,6 +740,7 @@ impl<'m> Vm<'m> {
             held_locks: Vec::new(),
             access_log: Vec::new(),
             owned: OwnedCache::new(),
+            last_hit: [None; 2],
         };
         self.threads.push(th);
         self.stats.threads_spawned += 1;
@@ -683,8 +758,12 @@ impl<'m> Vm<'m> {
         // Clear this thread's shadow bits: non-overlapping thread
         // lifetimes do not constitute races.
         let log = std::mem::take(&mut self.threads[idx].access_log);
-        if !log.is_empty() {
-            self.shadow_epoch += 1;
+        // Bump each region the exiting thread actually touched, once.
+        let mut bumped: HashSet<usize> = HashSet::new();
+        for &g in &log {
+            if bumped.insert(self.shadow_epochs.region_of(g as usize)) {
+                self.shadow_epochs.bump(g as usize);
+            }
         }
         for g in log {
             if (g as usize) < self.shadow.len() {
@@ -745,6 +824,7 @@ impl<'m> Vm<'m> {
             held_locks: Vec::new(),
             access_log: Vec::new(),
             owned: OwnedCache::new(),
+            last_hit: [None; 2],
         });
         self.stats.max_live_threads = 1;
 
@@ -1253,7 +1333,8 @@ impl<'m> Vm<'m> {
                                         self.shadow[g as usize] = Granule::default();
                                     }
                                 }
-                                self.shadow_epoch += 1;
+                                self.shadow_epochs
+                                    .bump_granule_range(g0 as usize, g1 as usize + 1);
                             }
                         }
                     }

@@ -526,6 +526,129 @@ fn owned_cache_never_changes_verdicts() {
 }
 
 #[test]
+fn epoch_region_count_never_changes_verdicts() {
+    // The epoch-region geometry is a pure performance knob: runs with
+    // the per-region table (default), the degenerate global epoch
+    // (`epoch_regions: 1`), and the cache disabled entirely must
+    // produce the same status, output, and report multiset on the
+    // same seeded schedule. The region table can only ever *keep*
+    // entries the global epoch would have flushed, so its hit count
+    // dominates too.
+    let srcs = [
+        // Clean private loops racing with unrelated alloc/free churn
+        // (the workload regions exist for).
+        "void worker(int * d) { int i; for (i = 0; i < 100; i++) *d = *d + 1; }\n\
+         void main() { int * p; int * q; int i; p = new(int); spawn(worker, p); \
+           for (i = 0; i < 20; i++) { q = new(int); *q = i; free(q); } \
+           join_all(); print(*p); }",
+        // Racy: two writers on one object, with a free afterwards.
+        "void worker(int * d) { int i; for (i = 0; i < 50; i++) *d = *d + 1; }\n\
+         void main() { int * p; p = new(int); \
+           spawn(worker, p); spawn(worker, p); join_all(); free(p); }",
+        // Free + reuse in a tight loop: every epoch bump on the hot
+        // region itself.
+        "void main() { int * p; int i; \
+           for (i = 0; i < 10; i++) { p = new(int); *p = i; free(p); } print(1); }",
+    ];
+    for (n, src) in srcs.iter().enumerate() {
+        for seed in 0..3u64 {
+            let region = compile_and_run("e.c", src, cfg(seed)).unwrap();
+            let global = compile_and_run(
+                "e.c",
+                src,
+                VmConfig {
+                    seed,
+                    epoch_regions: 1,
+                    ..VmConfig::default()
+                },
+            )
+            .unwrap();
+            let off = compile_and_run(
+                "e.c",
+                src,
+                VmConfig {
+                    seed,
+                    owned_cache: false,
+                    ..VmConfig::default()
+                },
+            )
+            .unwrap();
+            for other in [&global, &off] {
+                assert_eq!(region.status, other.status, "src {n} seed {seed}");
+                assert_eq!(region.output, other.output, "src {n} seed {seed}");
+                assert_eq!(
+                    region.reports.len(),
+                    other.reports.len(),
+                    "src {n} seed {seed}: {:?} vs {:?}",
+                    region.reports,
+                    other.reports
+                );
+            }
+            // Region validity dominates global validity on identical
+            // traces: anything the global epoch keeps alive, the
+            // region table keeps alive too.
+            assert!(
+                region.stats.cache_hits >= global.stats.cache_hits,
+                "src {n} seed {seed}: region {} < global {}",
+                region.stats.cache_hits,
+                global.stats.cache_hits
+            );
+        }
+    }
+}
+
+#[test]
+fn report_after_hot_private_loop_names_latest_access() {
+    // Cache hits skip the granule's `last_*` bookkeeping, so without
+    // the per-thread last-hit record a conflict after a hot private
+    // loop would blame the loop's *install* site (line 2) instead of
+    // the loop body that actually touched the data last (line 3).
+    // Deterministic schedule: round-robin with a huge quantum plus
+    // explicit yields hands control main -> worker (install + full
+    // loop, cache-served) -> main (conflicting write).
+    let src = "void worker(int * d) { int i;\n\
+               *d = 1;\n\
+               for (i = 0; i < 300; i++) *d = *d + 2;\n\
+               yield_now(); }\n\
+               void main() { int * p; p = new(int);\n\
+               spawn(worker, p);\n\
+               yield_now();\n\
+               *p = 5;\n\
+               join_all(); }";
+    let out = compile_and_run(
+        "lasthit.c",
+        src,
+        VmConfig {
+            seed: 1,
+            policy: SchedPolicy::RoundRobin(1_000_000),
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(out.status, ExitStatus::Completed);
+    assert!(
+        out.stats.cache_hits > 300,
+        "the loop must be cache-served for this test to bite: {}",
+        out.stats.cache_hits
+    );
+    let r = out
+        .reports
+        .iter()
+        .find(|r| r.kind == ConflictKind::Write)
+        .expect("main's write must conflict with the worker's exclusive state");
+    let last = r.last.as_ref().expect("write conflict names a last access");
+    assert!(
+        last.location.ends_with(": 3"),
+        "last must name the loop body, not the stale install site: {last:?}"
+    );
+    assert!(
+        r.who.location.ends_with(": 8"),
+        "who is main's write: {:?}",
+        r.who
+    );
+}
+
+#[test]
 fn owned_cache_absorbs_repeated_private_accesses() {
     // A tight private loop should be served almost entirely by the
     // per-thread cache — the VM-side mirror of the native

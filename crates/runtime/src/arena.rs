@@ -36,6 +36,20 @@ impl<W: ShadowWord> Arena<W> {
         }
     }
 
+    /// [`Arena::new`] with an explicit epoch-region count for the
+    /// shadow (see [`sharc_checker::epoch`]); `regions = 1` is the
+    /// degenerate global epoch where every `free` flushes every
+    /// thread's whole owned cache.
+    pub fn with_epoch_regions(n_words: usize, regions: usize) -> Self {
+        let mut data = Vec::with_capacity(n_words);
+        data.resize_with(n_words, AtomicU64::default);
+        let n_granules = n_words.div_ceil(GRANULE_WORDS);
+        Arena {
+            data,
+            shadow: Shadow::with_epoch_regions(n_granules, regions),
+        }
+    }
+
     /// Number of payload words.
     pub fn len(&self) -> usize {
         self.data.len()
@@ -358,6 +372,35 @@ mod tests {
         // new owner.
         a.write_cached(&mut c1, 0, 3);
         assert_eq!(c1.conflicts, 1);
+    }
+
+    #[test]
+    fn cached_policy_survives_unrelated_free() {
+        // 256 words = 128 granules over the default 64-region table:
+        // freeing the low granules must not flush a worker's cached
+        // ownership of the high granules (the cached-epoch-thrash
+        // worst case per-region epochs exist to fix).
+        let a: Arena = Arena::new(256);
+        let mut c1 = ThreadCtx::new(ThreadId(1));
+        a.write_cached(&mut c1, 255, 1);
+        let fills = c1.owned_cache.misses;
+        a.clear_range(0, 2); // a distant free
+        a.write_cached(&mut c1, 255, 2);
+        assert_eq!(c1.conflicts, 0);
+        assert_eq!(
+            c1.owned_cache.misses, fills,
+            "the distant free must not cost a refill"
+        );
+        // Same trace under the degenerate R = 1 table: the free
+        // flushes the cache and the next access refills.
+        let a1: Arena = Arena::with_epoch_regions(256, 1);
+        let mut d1 = ThreadCtx::new(ThreadId(1));
+        a1.write_cached(&mut d1, 255, 1);
+        let fills = d1.owned_cache.misses;
+        a1.clear_range(0, 2);
+        a1.write_cached(&mut d1, 255, 2);
+        assert_eq!(d1.conflicts, 0, "verdicts never change");
+        assert_eq!(d1.owned_cache.misses, fills + 1, "global epoch refills");
     }
 
     #[test]

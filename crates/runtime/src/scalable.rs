@@ -38,7 +38,7 @@
 
 use crate::shadow::RaceError;
 use crate::sharded::ShardedShadow;
-use sharc_checker::ShadowGeometry;
+use sharc_checker::{EpochTable, OwnedCache, ShadowGeometry};
 
 /// A thread id for the scalable encoding (1-based, up to 2³⁰ − 1).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -56,6 +56,24 @@ impl ScalableShadow {
         ScalableShadow {
             inner: ShardedShadow::with_geometry(n_granules, ShadowGeometry::adaptive_only()),
         }
+    }
+
+    /// [`ScalableShadow::new`] with an explicit epoch-region count
+    /// (`regions = 1` = the degenerate global epoch; see
+    /// [`sharc_checker::epoch`]).
+    pub fn with_epoch_regions(n_granules: usize, regions: usize) -> Self {
+        ScalableShadow {
+            inner: ShardedShadow::with_epoch_regions(
+                n_granules,
+                ShadowGeometry::adaptive_only(),
+                regions,
+            ),
+        }
+    }
+
+    /// The epoch-region table guarding this shadow.
+    pub fn epochs(&self) -> &EpochTable {
+        self.inner.epochs()
     }
 
     /// Number of granules covered.
@@ -90,6 +108,30 @@ impl ScalableShadow {
     /// Panics if `tid` is zero or exceeds 2³⁰ − 1.
     pub fn check_write(&self, granule: usize, tid: WideThreadId) -> Result<bool, RaceError> {
         self.inner.check_write(granule, tid)
+    }
+
+    /// [`ScalableShadow::check_read`] with the owned-granule fast
+    /// path (per-region epochs; see [`sharc_checker::cache`]).
+    #[inline]
+    pub fn check_read_cached<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        self.inner.check_read_cached(granule, tid, cache)
+    }
+
+    /// [`ScalableShadow::check_write`] with the owned-granule fast
+    /// path.
+    #[inline]
+    pub fn check_write_cached<const WAYS: usize>(
+        &self,
+        granule: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+    ) -> Result<bool, RaceError> {
+        self.inner.check_write_cached(granule, tid, cache)
     }
 
     /// Thread-exit clearing: exact for granules this thread owns

@@ -11,11 +11,15 @@
 //! path ([`Shadow::check_read_cached`] /
 //! [`Shadow::check_write_cached`]): a per-thread [`OwnedCache`]
 //! skips the atomic check entirely on repeated private accesses,
-//! guarded by [`Shadow::epoch`], which every clear bumps. See
-//! `sharc_checker::cache` for the soundness invariants.
+//! guarded by a per-region [`EpochTable`] — every clear bumps only
+//! the epoch of the region containing the cleared granule, so caches
+//! keep their entries for unrelated regions alive. See
+//! `sharc_checker::cache` and `sharc_checker::epoch` for the
+//! soundness invariants; [`Shadow::with_epoch_regions`] with
+//! `regions = 1` reproduces the old single-global-epoch behaviour.
 
 use sharc_checker::step::{bitmap, Access, Transition};
-use sharc_checker::OwnedCache;
+use sharc_checker::{EpochTable, OwnedCache};
 use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
 /// A checked-thread identifier: `1 ..= 8n - 1` for a width of `n`
@@ -107,20 +111,35 @@ const _: () = assert!(
 #[derive(Debug)]
 pub struct Shadow<W: ShadowWord = AtomicU8> {
     words: Vec<W>,
-    /// Bumped by every clear; owned-granule caches self-invalidate
-    /// when it moves.
-    epoch: AtomicU64,
+    /// Per-region clear epochs; a clear bumps only the region holding
+    /// the cleared granule, and owned-granule caches self-invalidate
+    /// entries of regions whose epoch moved.
+    epochs: EpochTable,
 }
 
 impl<W: ShadowWord> Shadow<W> {
-    /// Creates shadow state for `n_granules` granules.
+    /// Creates shadow state for `n_granules` granules, with the
+    /// default epoch-region geometry
+    /// ([`EpochTable::for_granules`]).
     pub fn new(n_granules: usize) -> Self {
+        Self::with_epochs(n_granules, EpochTable::for_granules(n_granules))
+    }
+
+    /// Creates shadow state with an explicit epoch-region count.
+    /// `regions = 1` is the degenerate global-epoch geometry: every
+    /// clear invalidates every cache wholesale (the pre-region
+    /// behaviour, kept for differential tests and benches).
+    pub fn with_epoch_regions(n_granules: usize, regions: usize) -> Self {
+        Self::with_epochs(
+            n_granules,
+            EpochTable::new(regions, n_granules.max(1).div_ceil(regions.max(1))),
+        )
+    }
+
+    fn with_epochs(n_granules: usize, epochs: EpochTable) -> Self {
         let mut words = Vec::with_capacity(n_granules);
         words.resize_with(n_granules, W::default);
-        Shadow {
-            words,
-            epoch: AtomicU64::new(0),
-        }
+        Shadow { words, epochs }
     }
 
     /// Number of granules covered.
@@ -143,15 +162,16 @@ impl<W: ShadowWord> Shadow<W> {
         W::MAX_THREAD
     }
 
-    /// The current clear-epoch (see [`sharc_checker::cache`]).
+    /// The current clear-epoch of `granule`'s region (see
+    /// [`sharc_checker::cache`] / [`sharc_checker::epoch`]).
     #[inline]
-    pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+    pub fn epoch_of(&self, granule: usize) -> u64 {
+        self.epochs.epoch_of(granule)
     }
 
-    #[inline]
-    fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::Release);
+    /// The epoch-region table guarding this shadow.
+    pub fn epochs(&self) -> &EpochTable {
+        &self.epochs
     }
 
     /// The CAS retry loop over the pure transition function — the
@@ -213,13 +233,14 @@ impl<W: ShadowWord> Shadow<W> {
         tid: ThreadId,
         cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
-        // The epoch must be observed before the slow-path check so a
+        // The region epoch must be observed before the slow-path
+        // check (and before the shadow-word read inside it) so a
         // concurrent clear invalidates whatever we are about to cache.
-        let epoch = self.epoch();
+        let epoch = self.epochs.epoch_of(granule);
         if cache.lookup(epoch, granule, false) {
             return Ok(false);
         }
-        self.fill_read(granule, tid, cache)
+        self.fill_read(granule, tid, cache, epoch)
     }
 
     /// The outlined miss path of [`Shadow::check_read_cached`]:
@@ -233,9 +254,10 @@ impl<W: ShadowWord> Shadow<W> {
         granule: usize,
         tid: ThreadId,
         cache: &mut OwnedCache<WAYS>,
+        epoch: u64,
     ) -> Result<bool, RaceError> {
         let newly = self.check_read(granule, tid)?;
-        cache.insert(granule, false);
+        cache.insert(granule, false, epoch);
         Ok(newly)
     }
 
@@ -249,11 +271,11 @@ impl<W: ShadowWord> Shadow<W> {
         tid: ThreadId,
         cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
-        let epoch = self.epoch();
+        let epoch = self.epochs.epoch_of(granule);
         if cache.lookup(epoch, granule, true) {
             return Ok(false);
         }
-        self.fill_write(granule, tid, cache)
+        self.fill_write(granule, tid, cache, epoch)
     }
 
     /// The outlined miss path of [`Shadow::check_write_cached`].
@@ -264,11 +286,12 @@ impl<W: ShadowWord> Shadow<W> {
         granule: usize,
         tid: ThreadId,
         cache: &mut OwnedCache<WAYS>,
+        epoch: u64,
     ) -> Result<bool, RaceError> {
         let newly = self.check_write(granule, tid)?;
         // After a passing chkwrite the word is exactly
         // WRITER_FLAG | bit(tid): this thread owns the granule.
-        cache.insert(granule, true);
+        cache.insert(granule, true, epoch);
         Ok(newly)
     }
 
@@ -288,14 +311,15 @@ impl<W: ShadowWord> Shadow<W> {
                 Err(now) => cur = now,
             }
         }
-        self.bump_epoch();
+        self.epochs.bump(granule);
     }
 
     /// Clears a granule entirely (`free`, or a successful sharing
-    /// cast's mode change).
+    /// cast's mode change). Bumps only the epoch of the granule's
+    /// region: caches keep entries for every other region.
     pub fn clear(&self, granule: usize) {
         self.words[granule].clear();
-        self.bump_epoch();
+        self.epochs.bump(granule);
     }
 
     /// Raw bits, for tests and diagnostics.
@@ -497,6 +521,31 @@ mod tests {
         // Thread 1's next cached access must NOT fast-path: the new
         // owner is thread 2 and the access is a real conflict.
         assert!(s.check_write_cached(0, ThreadId(1), &mut c1).is_err());
+    }
+
+    #[test]
+    fn clear_leaves_other_regions_cached() {
+        // 128 granules / 64 regions: granules 0 and 64 are guarded by
+        // different epochs, so clearing 0 must not cost 64 a refill.
+        let s: Shadow = Shadow::new(128);
+        let mut c: OwnedCache = OwnedCache::new();
+        s.check_write_cached(64, ThreadId(1), &mut c).unwrap();
+        assert_eq!(c.misses, 1);
+        s.clear(0);
+        assert_eq!(
+            s.check_write_cached(64, ThreadId(1), &mut c),
+            Ok(false),
+            "entry in an unaffected region still answers"
+        );
+        assert_eq!(c.misses, 1, "no refill after the distant clear");
+        assert_eq!(c.flushes, 0, "nothing was discarded");
+        // The degenerate R = 1 geometry still flushes everything.
+        let s1: Shadow = Shadow::with_epoch_regions(128, 1);
+        let mut c1: OwnedCache = OwnedCache::new();
+        s1.check_write_cached(64, ThreadId(1), &mut c1).unwrap();
+        s1.clear(0);
+        assert_eq!(s1.check_write_cached(64, ThreadId(1), &mut c1), Ok(false));
+        assert_eq!(c1.misses, 2, "global epoch: the clear cost a refill");
     }
 
     #[test]

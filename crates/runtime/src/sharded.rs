@@ -37,14 +37,18 @@
 //! The owned-granule epoch cache rides on top unchanged (see
 //! [`sharc_checker::cache`]): a passing write still implies every
 //! other word was empty, conflicts still install nothing *into the
-//! winner's ownership*, and every clear still bumps the epoch.
+//! winner's ownership*, and every clear still bumps an epoch — now
+//! the per-region epoch of the cleared granule ([`EpochTable`]), so
+//! caches keep entries for unrelated regions alive across a `free`.
+//! [`ShardedShadow::with_epoch_regions`] with `regions = 1` restores
+//! the old whole-cache-flush behaviour.
 
 use crate::shadow::RaceError;
 use sharc_checker::step::{
     sharded::{self, ShardStep},
     Access,
 };
-use sharc_checker::{OwnedCache, ShadowGeometry};
+use sharc_checker::{EpochTable, OwnedCache, ShadowGeometry};
 use std::sync::atomic::{AtomicU64, Ordering};
 
 pub use crate::scalable::WideThreadId;
@@ -61,9 +65,10 @@ pub struct ShardedShadow {
     /// Flat store: granule `g`'s words at `g * stride ..`.
     words: Vec<AtomicU64>,
     geom: ShadowGeometry,
-    /// Bumped by every clear; owned-granule caches self-invalidate
-    /// when it moves.
-    epoch: AtomicU64,
+    /// Per-region clear epochs; a clear bumps only the region of the
+    /// cleared granule, and owned-granule caches self-invalidate
+    /// entries of regions whose epoch moved.
+    epochs: EpochTable,
 }
 
 impl ShardedShadow {
@@ -83,6 +88,24 @@ impl ShardedShadow {
     /// Panics if the geometry needs more than
     /// [`MAX_WORDS_PER_GRANULE`] words per granule.
     pub fn with_geometry(n_granules: usize, geom: ShadowGeometry) -> Self {
+        // Wider geometries pay more per refill, so the region table
+        // scales with the geometry (see `EpochTable::for_geometry`).
+        Self::with_epochs(n_granules, geom, EpochTable::for_geometry(geom, n_granules))
+    }
+
+    /// [`ShardedShadow::with_geometry`] with an explicit epoch-region
+    /// count. `regions = 1` is the degenerate global-epoch geometry
+    /// (every clear flushes every cache), kept for differential tests
+    /// and benches.
+    pub fn with_epoch_regions(n_granules: usize, geom: ShadowGeometry, regions: usize) -> Self {
+        Self::with_epochs(
+            n_granules,
+            geom,
+            EpochTable::new(regions, n_granules.max(1).div_ceil(regions.max(1))),
+        )
+    }
+
+    fn with_epochs(n_granules: usize, geom: ShadowGeometry, epochs: EpochTable) -> Self {
         assert!(
             geom.words_per_granule() <= MAX_WORDS_PER_GRANULE,
             "geometry too wide: {} words per granule (max {})",
@@ -94,7 +117,7 @@ impl ShardedShadow {
         ShardedShadow {
             words,
             geom,
-            epoch: AtomicU64::new(0),
+            epochs,
         }
     }
 
@@ -120,15 +143,16 @@ impl ShardedShadow {
         self.words.len() * 8
     }
 
-    /// The current clear-epoch (see [`sharc_checker::cache`]).
+    /// The current clear-epoch of `granule`'s region (see
+    /// [`sharc_checker::cache`] / [`sharc_checker::epoch`]).
     #[inline]
-    pub fn epoch(&self) -> u64 {
-        self.epoch.load(Ordering::Relaxed)
+    pub fn epoch_of(&self, granule: usize) -> u64 {
+        self.epochs.epoch_of(granule)
     }
 
-    #[inline]
-    fn bump_epoch(&self) {
-        self.epoch.fetch_add(1, Ordering::Release);
+    /// The epoch-region table guarding this shadow.
+    pub fn epochs(&self) -> &EpochTable {
+        &self.epochs
     }
 
     #[inline]
@@ -238,13 +262,14 @@ impl ShardedShadow {
         tid: WideThreadId,
         cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
-        // The epoch must be observed before the slow-path check so a
-        // concurrent clear invalidates whatever we are about to cache.
-        let epoch = self.epoch();
+        // The region epoch must be observed before the slow-path
+        // check (and its shadow-word snapshot) so a concurrent clear
+        // invalidates whatever we are about to cache.
+        let epoch = self.epochs.epoch_of(granule);
         if cache.lookup(epoch, granule, false) {
             return Ok(false);
         }
-        self.fill_read(granule, tid, cache)
+        self.fill_read(granule, tid, cache, epoch)
     }
 
     #[cold]
@@ -254,9 +279,10 @@ impl ShardedShadow {
         granule: usize,
         tid: WideThreadId,
         cache: &mut OwnedCache<WAYS>,
+        epoch: u64,
     ) -> Result<bool, RaceError> {
         let newly = self.check_read(granule, tid)?;
-        cache.insert(granule, false);
+        cache.insert(granule, false, epoch);
         Ok(newly)
     }
 
@@ -269,11 +295,11 @@ impl ShardedShadow {
         tid: WideThreadId,
         cache: &mut OwnedCache<WAYS>,
     ) -> Result<bool, RaceError> {
-        let epoch = self.epoch();
+        let epoch = self.epochs.epoch_of(granule);
         if cache.lookup(epoch, granule, true) {
             return Ok(false);
         }
-        self.fill_write(granule, tid, cache)
+        self.fill_write(granule, tid, cache, epoch)
     }
 
     #[cold]
@@ -283,12 +309,13 @@ impl ShardedShadow {
         granule: usize,
         tid: WideThreadId,
         cache: &mut OwnedCache<WAYS>,
+        epoch: u64,
     ) -> Result<bool, RaceError> {
         let newly = self.check_write(granule, tid)?;
         // After a passing chkwrite every other word is empty and our
         // shard word is WRITER_FLAG | bit: this thread owns the
         // granule across all words.
-        cache.insert(granule, true);
+        cache.insert(granule, true, epoch);
         Ok(newly)
     }
 
@@ -312,17 +339,18 @@ impl ShardedShadow {
                 }
             }
         }
-        self.bump_epoch();
+        self.epochs.bump(granule);
     }
 
     /// Full reset (`free` / successful sharing cast): every word of
-    /// the granule is zeroed and the epoch moves.
+    /// the granule is zeroed and the epoch of *its region* moves —
+    /// cached entries for other regions stay live.
     pub fn clear(&self, granule: usize) {
         let base = self.base(granule);
         for i in 0..self.geom.words_per_granule() {
             self.words[base + i].store(0, Ordering::SeqCst);
         }
-        self.bump_epoch();
+        self.epochs.bump(granule);
     }
 
     /// The raw shard-0 word (for tids `1..=63` this is the paper's
@@ -413,6 +441,36 @@ mod tests {
         s.clear(0);
         s.check_write(0, WideThreadId(1)).unwrap();
         assert!(s.check_write_cached(0, t, &mut cache).is_err());
+    }
+
+    #[test]
+    fn clear_leaves_other_regions_cached() {
+        // Wide geometry, 128 granules: a clear of granule 0 must not
+        // cost a cached owner of a distant granule its entry.
+        let s = wide(128);
+        assert!(s.epochs().regions() > 1, "a real region table");
+        let mut c = OwnedCache::<1>::new();
+        s.check_write_cached(127, WideThreadId(200), &mut c)
+            .unwrap();
+        assert_eq!(c.misses, 1);
+        s.clear(0);
+        assert_eq!(
+            s.check_write_cached(127, WideThreadId(200), &mut c),
+            Ok(false)
+        );
+        assert_eq!(c.misses, 1, "no refill after the distant clear");
+        // The degenerate R = 1 geometry still flushes everything.
+        let s1 = ShardedShadow::with_epoch_regions(128, ShadowGeometry::for_threads(256), 1);
+        assert_eq!(s1.epochs().regions(), 1);
+        let mut c1 = OwnedCache::<1>::new();
+        s1.check_write_cached(127, WideThreadId(200), &mut c1)
+            .unwrap();
+        s1.clear(0);
+        assert_eq!(
+            s1.check_write_cached(127, WideThreadId(200), &mut c1),
+            Ok(false)
+        );
+        assert_eq!(c1.misses, 2, "global epoch: the clear cost a refill");
     }
 
     #[test]

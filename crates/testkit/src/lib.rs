@@ -35,6 +35,7 @@ pub mod gen;
 pub mod json;
 pub mod prop;
 pub mod rng;
+pub mod stress;
 pub mod sync;
 
 pub use bench::Bench;
@@ -42,3 +43,4 @@ pub use gen::{Gen, Tree};
 pub use json::Json;
 pub use prop::Config;
 pub use rng::{seed_from_env, Rng, RngCore, SplitMix64, Xoshiro256pp};
+pub use stress::BarrierSchedule;

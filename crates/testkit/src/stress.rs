@@ -1,0 +1,211 @@
+//! Barrier-schedule stress harness: make racing operations actually
+//! race.
+//!
+//! Property tests over interleavings ([`crate::prop`]) explore
+//! *logical* schedules; this module drives *real* threads into
+//! simultaneous conflict windows. The recipe is the standard one for
+//! exercising lock-free protocols: align every participant at a
+//! [`std::sync::Barrier`] immediately before the contended operation
+//! (so the OS cannot accidentally serialize them by scheduling),
+//! optionally jitter each thread by a few seeded spin cycles (so the
+//! post-barrier interleaving differs between rounds), and repeat for
+//! many rounds. Each round is fenced by a second barrier so rounds
+//! cannot bleed into one another — an assertion about round `r` is an
+//! assertion about exactly the operations of round `r`.
+//!
+//! The harness is generic over the contended operation: participants
+//! get a [`Ctx`] with their index, the round number, a per-(round,
+//! thread) seeded RNG, and the [`Ctx::sync`]/[`Ctx::stagger`]
+//! phase-control primitives. Results come back as a `[round][thread]`
+//! matrix, which is the shape conflict-counting assertions want
+//! ("at least one participant in this round observed the race").
+
+use crate::rng::{splitmix64, RngCore, Xoshiro256pp};
+use std::sync::Barrier;
+
+/// A fixed roster of threads re-racing a closure for many rounds.
+#[derive(Debug, Clone, Copy)]
+pub struct BarrierSchedule {
+    /// Number of participant threads (spawned once, reused across
+    /// rounds).
+    pub threads: usize,
+    /// Number of aligned rounds to run.
+    pub rounds: usize,
+    /// Base seed; each (round, thread) derives its own RNG stream, so
+    /// a run is reproducible given the seed.
+    pub seed: u64,
+}
+
+impl BarrierSchedule {
+    /// A schedule with the given roster size and round count, seeded
+    /// from `SHARC_TEST_SEED` when set (the same knob the property
+    /// runner uses) so CI can pin an interleaving-exploration run.
+    pub fn new(threads: usize, rounds: usize) -> Self {
+        BarrierSchedule {
+            threads,
+            rounds,
+            seed: crate::rng::seed_from_env(0x5AC5_57E5),
+        }
+    }
+
+    /// Runs `f` on every (round, thread) pair with barrier-aligned
+    /// round boundaries, returning results as `out[round][thread]`.
+    ///
+    /// Within a round, `f` decides its own phase structure with
+    /// [`Ctx::sync`]: every participant must perform the same number
+    /// of `sync` calls per round (it is a full-roster barrier), which
+    /// is what lets a test stage "thread 0 clears, then everyone
+    /// races" setups deterministically.
+    pub fn run<T, F>(&self, f: F) -> Vec<Vec<T>>
+    where
+        T: Send,
+        F: Fn(&mut Ctx) -> T + Sync,
+    {
+        assert!(self.threads >= 1, "a race needs participants");
+        let barrier = Barrier::new(self.threads);
+        let mut per_thread: Vec<Vec<T>> = Vec::new();
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..self.threads)
+                .map(|t| {
+                    let barrier = &barrier;
+                    let f = &f;
+                    let seed = self.seed;
+                    let rounds = self.rounds;
+                    scope.spawn(move || {
+                        (0..rounds)
+                            .map(|round| {
+                                let mut state =
+                                    seed ^ (round as u64).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+                                let _ = splitmix64(&mut state);
+                                let mut ctx = Ctx {
+                                    thread: t,
+                                    round,
+                                    rng: Xoshiro256pp::seed_from_u64(state ^ ((t as u64) << 32)),
+                                    barrier,
+                                };
+                                // Aligned entry: nobody starts round
+                                // `r` until everyone finished `r-1`
+                                // (the closing sync below).
+                                ctx.sync();
+                                let out = f(&mut ctx);
+                                ctx.sync();
+                                out
+                            })
+                            .collect::<Vec<T>>()
+                    })
+                })
+                .collect();
+            per_thread = handles
+                .into_iter()
+                .map(|h| h.join().expect("stress participant panicked"))
+                .collect();
+        });
+        // Transpose [thread][round] → [round][thread].
+        let mut rounds: Vec<Vec<T>> = (0..self.rounds).map(|_| Vec::new()).collect();
+        for thread_results in per_thread {
+            for (r, v) in thread_results.into_iter().enumerate() {
+                rounds[r].push(v);
+            }
+        }
+        rounds
+    }
+}
+
+/// A participant's view of one round.
+pub struct Ctx<'a> {
+    /// Participant index, `0..threads`.
+    pub thread: usize,
+    /// Round index, `0..rounds`.
+    pub round: usize,
+    /// Seeded per-(round, thread) stream for schedule jitter and
+    /// data-choice randomness.
+    pub rng: Xoshiro256pp,
+    barrier: &'a Barrier,
+}
+
+impl Ctx<'_> {
+    /// Full-roster barrier: returns only once every participant of
+    /// the round has arrived. Every participant must call `sync` the
+    /// same number of times per round.
+    pub fn sync(&self) {
+        self.barrier.wait();
+    }
+
+    /// Burns a seeded number of spin cycles (up to `max_spins`), so
+    /// the instants at which aligned participants hit the contended
+    /// operation differ from round to round — without this, the
+    /// post-barrier interleaving is often the same one every time.
+    pub fn stagger(&mut self, max_spins: u32) {
+        if max_spins == 0 {
+            return;
+        }
+        let spins = self.rng.next_u64() % (max_spins as u64 + 1);
+        for _ in 0..spins {
+            std::hint::spin_loop();
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    #[test]
+    fn every_pair_runs_and_lands_in_its_slot() {
+        let sched = BarrierSchedule {
+            threads: 4,
+            rounds: 8,
+            seed: 7,
+        };
+        let out = sched.run(|ctx| (ctx.round, ctx.thread));
+        assert_eq!(out.len(), 8);
+        for (r, row) in out.iter().enumerate() {
+            assert_eq!(row.len(), 4);
+            for (t, &(rr, tt)) in row.iter().enumerate() {
+                assert_eq!((rr, tt), (r, t));
+            }
+        }
+    }
+
+    #[test]
+    fn rounds_are_fenced() {
+        // The closing barrier means no participant can observe a
+        // counter value from a later round: each round adds exactly
+        // `threads`, and every participant reads a value within the
+        // current round's window.
+        let counter = AtomicU64::new(0);
+        let sched = BarrierSchedule {
+            threads: 3,
+            rounds: 16,
+            seed: 11,
+        };
+        let out = sched.run(|ctx| {
+            ctx.stagger(100);
+            counter.fetch_add(1, Ordering::Relaxed);
+            let seen = counter.load(Ordering::Relaxed);
+            (ctx.round, seen)
+        });
+        for (r, row) in out.iter().enumerate() {
+            for &(_, seen) in row {
+                let lo = (r as u64) * 3 + 1;
+                let hi = (r as u64 + 1) * 3;
+                assert!(
+                    (lo..=hi).contains(&seen),
+                    "round {r} observed {seen}, outside [{lo}, {hi}]"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn same_seed_same_jitter_streams() {
+        let sched = BarrierSchedule {
+            threads: 2,
+            rounds: 4,
+            seed: 42,
+        };
+        let draws = |s: &BarrierSchedule| s.run(|ctx| ctx.rng.next_u64());
+        assert_eq!(draws(&sched), draws(&sched), "reproducible given the seed");
+    }
+}

@@ -18,7 +18,8 @@
 use crate::substrates::compress::compress_block;
 use crate::substrates::net::fnv;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_runtime::{sharing_cast, LpRc, RcScheme};
+use sharc_checker::CheckEvent;
+use sharc_runtime::{sharing_cast, EventLog, LpRc, RcScheme};
 use sharc_testkit::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -32,7 +33,9 @@ pub struct Params {
 }
 
 impl Params {
-    fn scaled(scale: Scale) -> Self {
+    /// Parameters for a given benchmark scale (also used by the
+    /// `sharc native` facade).
+    pub fn scaled(scale: Scale) -> Self {
         Params {
             input_size: if scale.quick { 64 * 1024 } else { 512 * 1024 },
             block: 16 * 1024,
@@ -58,10 +61,18 @@ impl Slot {
         }
     }
 
-    fn put(&self, v: Vec<u8>) {
+    /// Publishes a block. When tracing, the lock events are recorded
+    /// *while the slot mutex is held* (after the wait loop settles),
+    /// so the linearized trace orders this release before the
+    /// consumer's acquire — the edge a happens-before replay needs.
+    fn put(&self, v: Vec<u8>, trace: Option<(&EventLog, u32, usize)>) {
         let mut b = self.buf.lock();
         while b.is_some() {
             self.cv.wait(&mut b);
+        }
+        if let Some((s, tid, lock)) = trace {
+            s.record(CheckEvent::Acquire { tid, lock });
+            s.record(CheckEvent::Release { tid, lock });
         }
         *b = Some(v);
         self.cv.notify_all();
@@ -78,6 +89,28 @@ pub fn make_input(size: usize) -> Vec<u8> {
 /// hand-off performs the SharC instrumentation: an RC write barrier
 /// on the slot plus a `oneref` sharing cast (the paper's `SCAST`).
 pub fn run_native(params: &Params, checked: bool) -> NativeRun {
+    run_with_sink(params, checked, None)
+}
+
+/// Runs the pipeline **checked and traced**: each block's lifecycle —
+/// the reader's private fill, the `oneref` cast into the hand-off
+/// slot, the worker's private (de)compression, and the second cast to
+/// the writer — is mirrored into an [`EventLog`] as [`CheckEvent`]s,
+/// so this exact native execution can be replayed through any
+/// [`sharc_checker::CheckBackend`] (`sharc native pbzip2
+/// --detector …`). One granule per block; the benign racy
+/// "reading finished" flag is annotated `racy` in the paper and is
+/// deliberately *not* traced — racy-mode accesses are unchecked.
+pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
+    let sink = Arc::new(EventLog::new());
+    let run = run_with_sink(params, true, Some(Arc::clone(&sink)));
+    (run, sink.take())
+}
+
+/// Trace tids: the reader/writer main thread is 1, workers are
+/// `2..2 + workers`. Lock ids: slot `w` is `w`, the results vector is
+/// `workers`.
+fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<EventLog>>) -> NativeRun {
     let input = make_input(params.input_size);
     let n_blocks = input.len().div_ceil(params.block);
 
@@ -95,6 +128,7 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
     let done_flag = Arc::new(AtomicBool::new(false));
     let results: Results = Arc::new(Mutex::new(Vec::new()));
 
+    let results_lock = params.workers;
     std::thread::scope(|scope| {
         // Worker threads: take a block, compress privately, hand off.
         for w in 0..params.workers {
@@ -103,10 +137,22 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
             let rc = Arc::clone(&rc);
             let scast_failures = Arc::clone(&scast_failures);
             let done = Arc::clone(&done_flag);
+            let tid = w as u32 + 2;
+            if let Some(s) = &sink {
+                // Fork is recorded by the parent *before* the child
+                // can emit, so the linearized trace orders it first.
+                s.record(CheckEvent::Fork {
+                    parent: 1,
+                    child: tid,
+                });
+            }
+            let sink = sink.clone();
             scope.spawn(move || {
                 let mutator = w + 1;
                 loop {
-                    // The benign racy "reading finished" flag.
+                    // The benign racy "reading finished" flag —
+                    // `racy`-annotated in the paper, so unchecked and
+                    // untraced.
                     if done.load(Ordering::Relaxed) {
                         let empty = work_slots[w].buf.lock().is_none();
                         if empty {
@@ -115,6 +161,15 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
                     }
                     let mut guard = work_slots[w].buf.lock();
                     let taken = guard.take();
+                    if taken.is_some() {
+                        if let Some(s) = &sink {
+                            // Recorded while the slot mutex is held:
+                            // the trace orders the reader's release
+                            // of this lock before this acquire.
+                            s.record(CheckEvent::Acquire { tid, lock: w });
+                            s.record(CheckEvent::Release { tid, lock: w });
+                        }
+                    }
                     drop(guard);
                     let Some(block) = taken else {
                         std::thread::yield_now();
@@ -128,13 +183,40 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
                             scast_failures.fetch_add(1, Ordering::Relaxed);
                         }
                     }
+                    if let Some(s) = &sink {
+                        s.record(CheckEvent::SharingCast {
+                            tid,
+                            granule: idx,
+                            refs: 1,
+                        });
+                        // The block is private again: the compression
+                        // loop reads the input and writes the output
+                        // in place, lock-free — the access pattern
+                        // locksets judge most harshly.
+                        s.record(CheckEvent::Read { tid, granule: idx });
+                        s.record(CheckEvent::Write { tid, granule: idx });
+                    }
                     // Compression on the privately-owned buffer:
                     // unchecked in both builds (annotated private).
                     let compressed = compress_block(&data);
                     if checked {
                         rc.store(mutator, 2 * idx + 1, Some(sharc_runtime::ObjId(idx as u32)));
                     }
-                    results.lock().push((idx, compressed));
+                    let mut r = results.lock();
+                    if let Some(s) = &sink {
+                        s.record(CheckEvent::Acquire {
+                            tid,
+                            lock: results_lock,
+                        });
+                        s.record(CheckEvent::Release {
+                            tid,
+                            lock: results_lock,
+                        });
+                    }
+                    r.push((idx, compressed));
+                }
+                if let Some(s) = &sink {
+                    s.record(CheckEvent::ThreadExit { tid });
                 }
             });
         }
@@ -142,17 +224,46 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
         // The reader thread (here: main) splits input into blocks and
         // distributes them round-robin.
         for (idx, chunk) in input.chunks(params.block).enumerate() {
+            if let Some(s) = &sink {
+                // A fresh block, filled privately by the reader, then
+                // cast into the hand-off slot (the RC write barrier
+                // below is the runtime effect the event records).
+                s.record(CheckEvent::Alloc { granule: idx });
+                s.record(CheckEvent::Write {
+                    tid: 1,
+                    granule: idx,
+                });
+                s.record(CheckEvent::SharingCast {
+                    tid: 1,
+                    granule: idx,
+                    refs: 1,
+                });
+            }
             if checked {
                 // Publish the block pointer into the hand-off slot,
                 // with the RC write barrier.
                 rc.store(0, 2 * idx, Some(sharc_runtime::ObjId(idx as u32)));
             }
-            work_slots[idx % params.workers].put(encode_block(idx, chunk));
+            let w = idx % params.workers;
+            work_slots[w].put(
+                encode_block(idx, chunk),
+                sink.as_deref().map(|s| (s, 1u32, w)),
+            );
         }
         done_flag.store(true, Ordering::Relaxed);
     });
 
-    // Writer phase: collect in order, verify, and checksum.
+    // Writer phase: collect in order, verify, and checksum. In the
+    // trace this runs as tid 1 again (it *is* the main thread), after
+    // the joins that scope exit performed.
+    if let Some(s) = &sink {
+        for w in 0..params.workers {
+            s.record(CheckEvent::Join {
+                parent: 1,
+                child: w as u32 + 2,
+            });
+        }
+    }
     let mut results = Arc::try_unwrap(results)
         .expect("all threads joined")
         .into_inner();
@@ -163,6 +274,19 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
     for (idx, c) in &results {
         if checked && sharing_cast(&*rc, writer_mutator, 2 * idx + 1).is_err() {
             scast_failures.fetch_add(1, Ordering::Relaxed);
+        }
+        if let Some(s) = &sink {
+            // The worker-to-writer hand-off: the second `oneref`
+            // cast, then the writer's ordered read of the block.
+            s.record(CheckEvent::SharingCast {
+                tid: 1,
+                granule: *idx,
+                refs: 1,
+            });
+            s.record(CheckEvent::Read {
+                tid: 1,
+                granule: *idx,
+            });
         }
         checksum = checksum.wrapping_add(fnv(c).wrapping_mul(*idx as u64 + 1));
         compressed_total += c.len();
@@ -327,6 +451,45 @@ mod tests {
             (r.checked as f64 / r.total as f64) < 0.01,
             "paper reports ~0.0% dynamic for pbzip2"
         );
+    }
+
+    #[test]
+    fn traced_run_matches_untraced() {
+        let params = Params::scaled(Scale::quick());
+        let (run, trace) = run_traced(&params);
+        assert_eq!(run.checksum, run_native(&params, true).checksum);
+        assert_eq!(run.conflicts, 0);
+        assert!(!trace.is_empty());
+    }
+
+    #[test]
+    fn sharc_is_clean_and_eraser_false_positives_on_the_same_execution() {
+        // Table 1 row 3 through the event spine: the per-block
+        // ownership transfers (reader -> worker -> writer) are clean
+        // under SharC — each cast is the evidence — while Eraser's
+        // lockset for the block payload goes empty (the whole point
+        // of private annotation is compressing without a lock held).
+        use sharc_checker::{replay, BitmapBackend};
+        use sharc_detectors::{BaselineBackend, Eraser};
+        let (_, trace) = run_traced(&Params::scaled(Scale::quick()));
+        let sharc = replay(&trace, &mut BitmapBackend::new());
+        assert!(sharc.is_empty(), "SharC models the transfers: {sharc:?}");
+        let eraser = replay(&trace, &mut BaselineBackend::new(Eraser::new()));
+        assert!(!eraser.is_empty(), "Eraser misses the ownership transfer");
+    }
+
+    #[test]
+    fn stripping_the_casts_makes_sharc_report_too() {
+        // The casts are load-bearing: without them the reader's
+        // writer-state survives into the worker's accesses.
+        use sharc_checker::{replay, BitmapBackend};
+        let (_, trace) = run_traced(&Params::scaled(Scale::quick()));
+        let stripped: Vec<CheckEvent> = trace
+            .into_iter()
+            .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+            .collect();
+        let conflicts = replay(&stripped, &mut BitmapBackend::new());
+        assert!(!conflicts.is_empty(), "no cast, no transfer, real conflict");
     }
 
     #[test]

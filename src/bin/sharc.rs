@@ -7,7 +7,9 @@
 //! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
 //! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
 //!                       [--detector sharc|eraser|vc]
-//! sharc native <pfscan|handoff>   [--detector sharc|eraser|vc]
+//! sharc native <pfscan|handoff|pbzip2> [--detector sharc|eraser|vc]
+//!                                      [--trace-out <path>]
+//! sharc replay <trace-file>       [--detector sharc|eraser|vc]
 //! ```
 //!
 //! `--detector` selects which engine judges the execution: SharC's
@@ -20,7 +22,11 @@
 //! detector judges that single native run through the same replay
 //! interface — `sharc native handoff --detector eraser` shows the
 //! lockset false positive on an ownership transfer that
-//! `--detector sharc` accepts.
+//! `--detector sharc` accepts. `--trace-out` saves the recorded
+//! trace as line-oriented text, and `replay` re-judges a saved trace
+//! offline — the verdict is a function of the file alone, so the
+//! same execution can be interrogated by every engine long after the
+//! threads are gone.
 
 use sharc::prelude::*;
 use std::process::ExitCode;
@@ -30,13 +36,34 @@ fn usage() -> ExitCode {
         "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
          sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
          [--detector sharc|eraser|vc]\n  \
-         sharc native <pfscan|handoff> [--detector sharc|eraser|vc]"
+         sharc native <pfscan|handoff|pbzip2> [--detector sharc|eraser|vc] \
+         [--trace-out <path>]\n  \
+         sharc replay <trace-file> [--detector sharc|eraser|vc]"
     );
     ExitCode::from(2)
 }
 
-/// `sharc native <workload> [--detector …]`: run a real-thread
-/// workload, record its event trace, judge it with one engine.
+/// Parses a `--detector <kind>` pair at `args[i]`, advancing `i`.
+fn parse_detector(args: &[String], i: &mut usize) -> Result<DetectorKind, ()> {
+    match args.get(*i + 1).map(|v| v.parse()) {
+        Some(Ok(d)) => {
+            *i += 2;
+            Ok(d)
+        }
+        Some(Err(e)) => {
+            eprintln!("sharc: {e}");
+            Err(())
+        }
+        None => {
+            eprintln!("sharc: --detector needs a value");
+            Err(())
+        }
+    }
+}
+
+/// `sharc native <workload> [--detector …] [--trace-out <path>]`: run
+/// a real-thread workload, record its event trace, judge it with one
+/// engine, optionally saving the trace for offline replay.
 fn cmd_native(args: &[String]) -> ExitCode {
     let Some(workload) = args.first() else {
         return usage();
@@ -49,21 +76,20 @@ fn cmd_native(args: &[String]) -> ExitCode {
         }
     };
     let mut detector = DetectorKind::Sharc;
+    let mut trace_out: Option<String> = None;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
-            "--detector" => {
-                detector = match args.get(i + 1).map(|v| v.parse()) {
-                    Some(Ok(d)) => d,
-                    Some(Err(e)) => {
-                        eprintln!("sharc: {e}");
-                        return usage();
-                    }
-                    None => {
-                        eprintln!("sharc: --detector needs a value");
-                        return usage();
-                    }
+            "--detector" => match parse_detector(args, &mut i) {
+                Ok(d) => detector = d,
+                Err(()) => return usage(),
+            },
+            "--trace-out" => {
+                let Some(path) = args.get(i + 1) else {
+                    eprintln!("sharc: --trace-out needs a path");
+                    return usage();
                 };
+                trace_out = Some(path.clone());
                 i += 2;
             }
             other => {
@@ -72,18 +98,66 @@ fn cmd_native(args: &[String]) -> ExitCode {
             }
         }
     }
-    let r = run_native_with_detector(workload, detector);
+    let (run, trace) = sharc::native_trace(workload);
+    if let Some(path) = &trace_out {
+        if let Err(e) = sharc::write_trace_file(std::path::Path::new(path), &trace) {
+            eprintln!("sharc: cannot write trace to {path}: {e}");
+            return ExitCode::FAILURE;
+        }
+        println!("{} trace events written to {path}", trace.len());
+    }
+    let (name, conflicts) = sharc::judge_trace(&trace, detector);
     println!(
         "{workload:?}: {} threads, {} checked / {} total accesses, \
          {} trace events, checksum {:#x}",
-        r.run.threads, r.run.checked, r.run.total, r.events, r.run.checksum
+        run.threads,
+        run.checked,
+        run.total,
+        trace.len(),
+        run.checksum
     );
-    if r.conflicts.is_empty() {
-        println!("[{}] no conflicts.", r.detector);
+    report_conflicts(name, &conflicts)
+}
+
+/// `sharc replay <trace-file> [--detector …]`: re-judge a saved trace
+/// offline, without re-running any threads.
+fn cmd_replay(args: &[String]) -> ExitCode {
+    let Some(path) = args.first() else {
+        return usage();
+    };
+    let mut detector = DetectorKind::Sharc;
+    let mut i = 1;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--detector" => match parse_detector(args, &mut i) {
+                Ok(d) => detector = d,
+                Err(()) => return usage(),
+            },
+            other => {
+                eprintln!("sharc: unknown flag {other}");
+                return usage();
+            }
+        }
+    }
+    let trace = match sharc::read_trace_file(std::path::Path::new(path)) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("sharc: {e}");
+            return ExitCode::FAILURE;
+        }
+    };
+    println!("{path}: {} trace events", trace.len());
+    let (name, conflicts) = sharc::judge_trace(&trace, detector);
+    report_conflicts(name, &conflicts)
+}
+
+fn report_conflicts(detector: &str, conflicts: &[sharc::checker::Conflict]) -> ExitCode {
+    if conflicts.is_empty() {
+        println!("[{detector}] no conflicts.");
         ExitCode::SUCCESS
     } else {
-        for c in &r.conflicts {
-            eprintln!("[{}] {c}", r.detector);
+        for c in conflicts {
+            eprintln!("[{detector}] {c}");
         }
         ExitCode::FAILURE
     }
@@ -93,6 +167,9 @@ fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
     if args.first().map(String::as_str) == Some("native") {
         return cmd_native(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("replay") {
+        return cmd_replay(&args[1..]);
     }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),

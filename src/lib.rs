@@ -291,6 +291,11 @@ pub enum NativeWorkload {
     /// The §2.1 producer/consumer ownership transfer: clean under
     /// SharC (the cast is its evidence), false-positived by Eraser.
     Handoff,
+    /// The parallel block compressor (Table 1 row 3): per-block
+    /// `oneref` casts reader → worker → writer. Clean under SharC,
+    /// false-positived by Eraser (the blocks are compressed with no
+    /// lock held — that is what the private annotation buys).
+    Pbzip2,
 }
 
 impl std::str::FromStr for NativeWorkload {
@@ -300,8 +305,9 @@ impl std::str::FromStr for NativeWorkload {
         match s {
             "pfscan" => Ok(NativeWorkload::Pfscan),
             "handoff" => Ok(NativeWorkload::Handoff),
+            "pbzip2" => Ok(NativeWorkload::Pbzip2),
             other => Err(format!(
-                "unknown native workload `{other}` (expected pfscan or handoff)"
+                "unknown native workload `{other}` (expected pfscan, handoff or pbzip2)"
             )),
         }
     }
@@ -320,15 +326,13 @@ pub struct NativeDetectorRun {
     pub conflicts: Vec<checker::Conflict>,
 }
 
-/// Runs `workload` once with real threads, recording its
-/// [`checker::CheckEvent`] trace, and judges that single execution
-/// with `kind`. For [`DetectorKind::Sharc`] the trace is replayed
-/// through [`checker::BitmapBackend`] — the same engine that ran
-/// inline during the execution, so its verdict mirrors the native
-/// conflict count.
-pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) -> NativeDetectorRun {
-    use sharc_checker::CheckBackend as _;
-    let (run, trace) = match workload {
+/// Runs `workload` once with real threads and returns its run record
+/// plus the recorded [`checker::CheckEvent`] trace — the raw material
+/// for [`judge_trace`], `--trace-out`, or an offline `sharc replay`.
+pub fn native_trace(
+    workload: NativeWorkload,
+) -> (workloads::table::NativeRun, Vec<checker::CheckEvent>) {
+    match workload {
         NativeWorkload::Pfscan => {
             let params =
                 workloads::benchmarks::pfscan::Params::scaled(workloads::table::Scale::quick());
@@ -337,24 +341,68 @@ pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) ->
         NativeWorkload::Handoff => workloads::benchmarks::handoff::run_traced(
             &workloads::benchmarks::handoff::Params::default(),
         ),
-    };
-    let (detector, conflicts) = match kind {
+        NativeWorkload::Pbzip2 => {
+            let params =
+                workloads::benchmarks::pbzip2::Params::scaled(workloads::table::Scale::quick());
+            workloads::benchmarks::pbzip2::run_traced(&params)
+        }
+    }
+}
+
+/// Judges a [`checker::CheckEvent`] trace with the selected engine,
+/// returning the engine's name and its deduplicated conflicts. The
+/// trace may have been recorded seconds ago by [`native_trace`] or
+/// read back from a `--trace-out` file in a different process — the
+/// verdict is a function of the trace alone.
+pub fn judge_trace(
+    trace: &[checker::CheckEvent],
+    kind: DetectorKind,
+) -> (&'static str, Vec<checker::Conflict>) {
+    use sharc_checker::CheckBackend as _;
+    match kind {
         DetectorKind::Sharc => {
             let mut backend = checker::BitmapBackend::new();
-            let raw = checker::replay(&trace, &mut backend);
+            let raw = checker::replay(trace, &mut backend);
             ("sharc", dedup_conflicts(raw))
         }
         DetectorKind::Eraser => {
             let mut backend = detectors::BaselineBackend::new(detectors::Eraser::new());
-            let raw = checker::replay(&trace, &mut backend);
+            let raw = checker::replay(trace, &mut backend);
             (backend.name(), dedup_conflicts(raw))
         }
         DetectorKind::Vc => {
             let mut backend = detectors::BaselineBackend::new(detectors::VcDetector::new());
-            let raw = checker::replay(&trace, &mut backend);
+            let raw = checker::replay(trace, &mut backend);
             (backend.name(), dedup_conflicts(raw))
         }
-    };
+    }
+}
+
+/// Writes a trace in the offline text format of [`checker::trace`].
+pub fn write_trace_file(
+    path: &std::path::Path,
+    events: &[checker::CheckEvent],
+) -> std::io::Result<()> {
+    std::fs::write(path, checker::trace::to_text(events))
+}
+
+/// Reads a trace written by [`write_trace_file`] (or by hand — the
+/// format is line-oriented text).
+pub fn read_trace_file(path: &std::path::Path) -> Result<Vec<checker::CheckEvent>, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    checker::trace::parse_text(&text)
+}
+
+/// Runs `workload` once with real threads, recording its
+/// [`checker::CheckEvent`] trace, and judges that single execution
+/// with `kind`. For [`DetectorKind::Sharc`] the trace is replayed
+/// through [`checker::BitmapBackend`] — the same engine that ran
+/// inline during the execution, so its verdict mirrors the native
+/// conflict count.
+pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) -> NativeDetectorRun {
+    let (run, trace) = native_trace(workload);
+    let (detector, conflicts) = judge_trace(&trace, kind);
     NativeDetectorRun {
         run,
         events: trace.len(),
@@ -366,7 +414,8 @@ pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) ->
 /// The most common imports for users of the crate.
 pub mod prelude {
     pub use crate::{
-        check, check_and_run, run, run_native_with_detector, run_with_detector, CheckedProgram,
+        check, check_and_run, judge_trace, native_trace, read_trace_file, run,
+        run_native_with_detector, run_with_detector, write_trace_file, CheckedProgram,
         DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig, RunOutcome,
     };
     pub use minic::{Diagnostic, Severity};
@@ -400,6 +449,27 @@ mod tests {
         let eraser = run_native_with_detector(NativeWorkload::Handoff, DetectorKind::Eraser);
         assert!(!eraser.conflicts.is_empty(), "Eraser cannot see the cast");
         assert_eq!(eraser.detector, "eraser-lockset");
+    }
+
+    #[test]
+    fn pbzip2_trace_survives_the_file_round_trip_with_verdicts_intact() {
+        // The offline spine end to end: record a native pbzip2 run,
+        // write the trace to disk, read it back in (as `sharc replay`
+        // would in another process), and check the §6.2 split is a
+        // property of the file — SharC clean, Eraser false-positive.
+        let (run, trace) = native_trace(NativeWorkload::Pbzip2);
+        assert_eq!(run.conflicts, 0);
+        let path =
+            std::env::temp_dir().join(format!("sharc-trace-test-{}.txt", std::process::id()));
+        write_trace_file(&path, &trace).expect("trace written");
+        let reread = read_trace_file(&path).expect("trace parses");
+        std::fs::remove_file(&path).ok();
+        assert_eq!(reread, trace, "the file is the execution");
+        let (name, sharc) = judge_trace(&reread, DetectorKind::Sharc);
+        assert_eq!(name, "sharc");
+        assert!(sharc.is_empty(), "{sharc:?}");
+        let (_, eraser) = judge_trace(&reread, DetectorKind::Eraser);
+        assert!(!eraser.is_empty(), "Eraser misses the per-block casts");
     }
 
     #[test]

@@ -145,6 +145,112 @@ fn all_engines_agree_on_every_verdict() {
     );
 }
 
+/// The per-region epoch refinement is invisible to verdicts: for any
+/// trace, a cached engine over a real region table (here the finest
+/// one — one granule per region), a cached engine over the degenerate
+/// `R = 1` global table, the uncached engine, the adaptive engine,
+/// and the VM's direct-step oracle all return the same verdict for
+/// every single operation. Only the *cost* differs, which the `misses`
+/// counters make observable: across the whole run the region-epoch
+/// caches can never refill more often than the global-epoch ones.
+#[test]
+fn region_epoch_engines_agree_with_global_epoch() {
+    forall!(
+        "region_epoch_engines_agree_with_global_epoch",
+        cfg(),
+        trace_gen(),
+        |ops| {
+            let mut oracle = BitmapBackend::new();
+            let uncached: Shadow = Shadow::new(GRANULES);
+            let region: Shadow = Shadow::new(GRANULES);
+            let global: Shadow = Shadow::with_epoch_regions(GRANULES, 1);
+            let adaptive = ScalableShadow::new(GRANULES);
+            let adaptive_global = ScalableShadow::with_epoch_regions(GRANULES, 1);
+            prop_assert!(
+                region.epochs().regions() > 1,
+                "the region engine must have a real table"
+            );
+            prop_assert!(global.epochs().regions() == 1, "the R = 1 degeneracy");
+            let mut region_caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut global_caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut ad_region_caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut ad_global_caches: HashMap<u32, OwnedCache> = HashMap::new();
+
+            for (i, &op) in ops.iter().enumerate() {
+                let (tid, granule, is_write) = match op {
+                    Op::Read { tid, granule } => (tid, granule, false),
+                    Op::Write { tid, granule } => (tid, granule, true),
+                    Op::Clear { granule } => {
+                        oracle.on_alloc(granule);
+                        uncached.clear(granule);
+                        region.clear(granule);
+                        global.clear(granule);
+                        adaptive.clear(granule);
+                        adaptive_global.clear(granule);
+                        continue;
+                    }
+                };
+                let t8 = ThreadId(tid as u8);
+                let tw = WideThreadId(tid);
+                let rc = region_caches.entry(tid).or_default();
+                let gc = global_caches.entry(tid).or_default();
+                let arc = ad_region_caches.entry(tid).or_default();
+                let agc = ad_global_caches.entry(tid).or_default();
+                let verdicts = if is_write {
+                    [
+                        oracle.chkwrite(tid, granule).is_conflict(),
+                        uncached.check_write(granule, t8).is_err(),
+                        region.check_write_cached(granule, t8, rc).is_err(),
+                        global.check_write_cached(granule, t8, gc).is_err(),
+                        adaptive.check_write_cached(granule, tw, arc).is_err(),
+                        adaptive_global
+                            .check_write_cached(granule, tw, agc)
+                            .is_err(),
+                    ]
+                } else {
+                    [
+                        oracle.chkread(tid, granule).is_conflict(),
+                        uncached.check_read(granule, t8).is_err(),
+                        region.check_read_cached(granule, t8, rc).is_err(),
+                        global.check_read_cached(granule, t8, gc).is_err(),
+                        adaptive.check_read_cached(granule, tw, arc).is_err(),
+                        adaptive_global.check_read_cached(granule, tw, agc).is_err(),
+                    ]
+                };
+                prop_assert!(
+                    verdicts.iter().all(|&v| v == verdicts[0]),
+                    "op {} ({}): verdicts diverged {:?} \
+                     [oracle, uncached, region, global, ad-region, ad-global]",
+                    i,
+                    if is_write { "write" } else { "read" },
+                    verdicts
+                );
+            }
+            // States agree word for word across the bitmap engines.
+            for g in 0..GRANULES {
+                prop_assert!(
+                    oracle.raw(g) == region.raw(g) && region.raw(g) == global.raw(g),
+                    "final word of granule {}",
+                    g
+                );
+            }
+            // Cost: partial invalidation can only remove refills. Per
+            // thread, the region-epoch cache never misses more often
+            // than the global-epoch cache on the identical trace.
+            for (tid, rc) in &region_caches {
+                let gc = &global_caches[tid];
+                prop_assert!(
+                    rc.misses <= gc.misses,
+                    "tid {}: region cache refilled more than global ({} > {})",
+                    tid,
+                    rc.misses,
+                    gc.misses
+                );
+            }
+        }
+    );
+}
+
 /// The epoch cache never changes which conflicts exist — only who
 /// pays to discover them. Interleaving clears (epoch bumps) at
 /// arbitrary points must leave the cached engine in lockstep; this
@@ -241,7 +347,12 @@ fn sharded_engines_agree_up_to_256_threads() {
             let mut oracle = BitmapBackend::with_geometry(geom);
             let sharded = ShardedShadow::with_geometry(GRANULES, geom);
             let cached = ShardedShadow::with_geometry(GRANULES, geom);
+            // The same engine under the degenerate R = 1 epoch table:
+            // the per-region refinement must be invisible to verdicts
+            // even at five-shard geometry and 256 tids.
+            let cached_global = ShardedShadow::with_epoch_regions(GRANULES, geom, 1);
             let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut global_caches: HashMap<u32, OwnedCache> = HashMap::new();
             let adaptive = ScalableShadow::new(GRANULES);
             // Adaptive tracking: exact until the first exit; the
             // first divergence must be an extra adaptive conflict;
@@ -260,9 +371,14 @@ fn sharded_engines_agree_up_to_256_threads() {
                         let c = cached
                             .check_read_cached(granule, WideThreadId(tid), cache)
                             .is_err();
+                        let gcache = global_caches.entry(tid).or_default();
+                        let cg = cached_global
+                            .check_read_cached(granule, WideThreadId(tid), gcache)
+                            .is_err();
                         let d = adaptive.check_read(granule, WideThreadId(tid)).is_err();
                         prop_assert!(a == b, "op {}: oracle vs sharded (read)", i);
                         prop_assert!(b == c, "op {}: sharded vs cached (read)", i);
+                        prop_assert!(c == cg, "op {}: region vs global epoch (read)", i);
                         exact_conflicts += a as usize;
                         adaptive_conflicts += d as usize;
                         if !diverged && a != d {
@@ -278,9 +394,14 @@ fn sharded_engines_agree_up_to_256_threads() {
                         let c = cached
                             .check_write_cached(granule, WideThreadId(tid), cache)
                             .is_err();
+                        let gcache = global_caches.entry(tid).or_default();
+                        let cg = cached_global
+                            .check_write_cached(granule, WideThreadId(tid), gcache)
+                            .is_err();
                         let d = adaptive.check_write(granule, WideThreadId(tid)).is_err();
                         prop_assert!(a == b, "op {}: oracle vs sharded (write)", i);
                         prop_assert!(b == c, "op {}: sharded vs cached (write)", i);
+                        prop_assert!(c == cg, "op {}: region vs global epoch (write)", i);
                         exact_conflicts += a as usize;
                         adaptive_conflicts += d as usize;
                         if !diverged && a != d {
@@ -293,6 +414,7 @@ fn sharded_engines_agree_up_to_256_threads() {
                         oracle.on_alloc(granule);
                         sharded.clear(granule);
                         cached.clear(granule);
+                        cached_global.clear(granule);
                         adaptive.clear(granule);
                     }
                     WideOp::ThreadExit { tid } => {
@@ -304,6 +426,7 @@ fn sharded_engines_agree_up_to_256_threads() {
                             // oracle's access-log walk.
                             sharded.clear_thread(g, WideThreadId(tid));
                             cached.clear_thread(g, WideThreadId(tid));
+                            cached_global.clear_thread(g, WideThreadId(tid));
                             adaptive.clear_thread(g, WideThreadId(tid));
                         }
                         exits_seen = true;
@@ -330,6 +453,11 @@ fn sharded_engines_agree_up_to_256_threads() {
                 prop_assert!(
                     sharded.raw_words(g) == cached.raw_words(g),
                     "cached words of granule {}",
+                    g
+                );
+                prop_assert!(
+                    cached.raw_words(g) == cached_global.raw_words(g),
+                    "global-epoch words of granule {}",
                     g
                 );
             }
