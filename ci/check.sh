@@ -48,6 +48,19 @@ SHARC_TEST_SEED=0xE9 SHARC_TEST_CASES=64 \
     region_epoch_engines_agree_with_global_epoch \
     cache_is_invisible_under_adversarial_clears
 
+echo "== ranged checks: range-vs-fold differential, fixed seed =="
+# A range verdict must equal the fold of per-granule verdicts on
+# every engine (single-word, cached owned-run, adaptive, and the
+# five-shard 256-tid geometry, with adversarial mid-range clears),
+# and replay-lowering a ranged trace must be bit-identical for
+# SharC, Eraser, and the vector-clock detector alike. Fixed seed
+# pins one known exploration.
+SHARC_TEST_SEED=0x4A6E SHARC_TEST_CASES=64 \
+    cargo test -q --offline --release --test checker_differential -- \
+    range_checks_equal_per_granule_fold \
+    ranged_sharded_checks_agree_up_to_256_threads \
+    range_replay_lowering_is_bit_identical_for_every_backend
+
 echo "== sharded revalidation stress: barrier-aligned real races =="
 # Real threads, barrier-aligned into the cross-shard conflict
 # window: a racing conflict must be reported by at least one
@@ -74,14 +87,28 @@ if cargo run --release --offline --bin sharc -- replay "$trace_file" --detector 
     echo "ERROR: eraser accepted the pbzip2 hand-offs it should false-positive on" >&2
     exit 1
 fi
+# aget on the spine: workers store whole chunks with ranged writes
+# and exit before main's ranged verification sweep — clean under
+# SharC's lifetime model (exit 0), a false positive under Eraser
+# (no lock ever protects the shared buffer; exit 1, inverted).
+cargo run --release --offline --bin sharc -- native aget --detector sharc
+if cargo run --release --offline --bin sharc -- native aget --detector eraser; then
+    echo "ERROR: eraser accepted the aget download it should false-positive on" >&2
+    exit 1
+fi
 
-echo "== checker bench --smoke (epoch-thrash gate) =="
-# Asserts the tentpole claim in --smoke mode: the per-region epoch
+echo "== checker bench --smoke (epoch-thrash + ranged gates) =="
+# Asserts the perf claims in --smoke mode: the per-region epoch
 # table is >=2x faster than the R=1 global geometry under
-# clear-thrash and within noise on the private loop, and the cached
-# fast path stays competitive with the raw CAS protocol. Full rows
+# clear-thrash and within noise on the private loop, the cached
+# fast path stays competitive with the raw CAS protocol, and the
+# ranged owned-4k sweep (one epoch-sum + run-slot compare per lap)
+# beats the per-granule cached loop >=4x. Full rows — including the
+# range/* family and the epoch-geom/r{R}-ws{WS} geometry sweep —
 # plus deterministic flush/miss counters land in the repo-root
-# BENCH_checker.json (also written by table1 --smoke above).
+# BENCH_checker.json, the single canonical location (nothing is
+# written under target/ anymore; also written by table1 --smoke
+# above).
 cargo bench --offline -p sharc-bench --bench checker -- --smoke
 test -f BENCH_checker.json || {
     echo "ERROR: BENCH_checker.json missing at the repo root" >&2

@@ -4,8 +4,10 @@
 //! already owns (pfscan's scan buffers, pbzip2's per-worker blocks).
 //!
 //! Runs on the sharc-testkit bench harness (`harness = false`);
-//! results land in `target/BENCH_checker.json`. Accepts `--quick`
-//! (or its CI alias `--smoke`) to shrink sample counts.
+//! results land in the repo-root `BENCH_checker.json` (the single
+//! canonical location — nothing is written under `target/` anymore).
+//! Accepts `--quick` (or its CI alias `--smoke`) to shrink sample
+//! counts.
 
 use sharc_checker::{OwnedCache, ShadowGeometry};
 use sharc_interp::{compile_and_run, VmConfig};
@@ -91,6 +93,58 @@ fn main() {
     // their exact flush/miss counters (shared with `table1 --smoke`
     // via sharc_bench so both write the same repo-root JSON).
     let epoch_counters = sharc_bench::epoch_rows(&mut g);
+
+    // ---- Epoch geometry sweep: regions x working set ----
+    //
+    // The `epoch-geom/r{R}-ws{WS}` grid grounding DEFAULT_REGIONS =
+    // 64 (see sharc_bench::epoch_geometry_rows for the pattern).
+    sharc_bench::epoch_geometry_rows(&mut g);
+
+    // ---- Ranged checks: one chkread/chkwrite per buffer sweep ----
+    //
+    // The tentpole rows. One granule models 16 bytes, so 4 KiB = 256
+    // granules (exactly the per-granule rows' working set, making
+    // `range/owned-4k` vs `owned-write/cached` a like-for-like lap)
+    // and 64 KiB = 4096 granules.
+    for &(kb, granules) in &[(4usize, 256usize), (64, 4096)] {
+        // Steady-state owned sweep, cached: after the first lap the
+        // whole sweep is one epoch-sum compare against the owned-run
+        // summary — the >=4x acceptance gate below is on this row.
+        {
+            let s: Shadow = Shadow::new(granules);
+            let mut cache: OwnedCache = OwnedCache::new();
+            g.bench(&format!("range/owned-{kb}k"), || {
+                s.check_range_write_cached(0, granules, t, &mut cache, |_| {}, |_| {})
+            });
+        }
+        // Every granule SHARED_READ with this tid's bit already set:
+        // the uncached ranged read classifies the run with one load +
+        // `range::recorded` test per granule, no CAS, no cache.
+        {
+            let s: Shadow = Shadow::new(granules);
+            for i in 0..granules {
+                s.check_read(i, ThreadId(1)).unwrap();
+                s.check_read(i, ThreadId(2)).unwrap();
+            }
+            g.bench(&format!("range/shared-read-{kb}k"), || {
+                s.check_range_read(0, granules, t, |_| {}, |_| {})
+            });
+        }
+        // Mixed: a mid-range point clear per lap bumps one covered
+        // region epoch, so the covering stamp misses every lap and
+        // the sweep pays the outlined fill path (per-granule cached
+        // checks; only the cleared region's granule actually
+        // re-checks through the CAS protocol).
+        {
+            let s: Shadow = Shadow::new(granules);
+            let mut cache: OwnedCache = OwnedCache::new();
+            g.bench(&format!("range/mixed-{kb}k"), || {
+                let c = s.check_range_write_cached(0, granules, t, &mut cache, |_| {}, |_| {});
+                s.clear(granules / 2);
+                c
+            });
+        }
+    }
 
     // ---- Associativity × slot-count sweep ----
     //
@@ -222,10 +276,10 @@ fn main() {
         .unwrap()
     });
 
-    g.finish();
-
     // Machine-readable trajectory across PRs: the full row set plus
-    // the deterministic flush/miss counters, at the repo root.
+    // the deterministic flush/miss counters, at the repo root — the
+    // ONLY place this group's JSON lands (the old duplicate under
+    // `crates/bench/target/` is gone).
     sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters);
 
     // The acceptance criterion, enforced at bench time: the cached
@@ -261,4 +315,15 @@ fn main() {
     // And the tentpole claim: the region table wins >=2x under thrash
     // and is free when nothing is cleared.
     sharc_bench::assert_epoch_wins(&g);
+
+    // Ranged acceptance gate: on the owned 4 KiB lap (256 granules,
+    // the same working set as `owned-write/cached`), the steady-state
+    // ranged sweep — one epoch-sum + one run-slot compare — must beat
+    // the per-granule cached loop by >=4x.
+    let (rng, per) = (min("range/owned-4k"), min("owned-write/cached"));
+    eprintln!("range owned-4k: ranged {rng} ns/lap (min) vs per-granule cached {per} ns/lap");
+    assert!(
+        rng * 4 <= per,
+        "ranged owned sweep must beat the per-granule cached loop >=4x ({rng} * 4 > {per} ns)"
+    );
 }

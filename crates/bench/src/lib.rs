@@ -276,6 +276,35 @@ pub fn epoch_rows(g: &mut sharc_testkit::Bench) -> Vec<EpochCounters> {
     counters
 }
 
+/// The `epoch-geom/r{R}-ws{WS}` grid: region count × working set on
+/// the Table 1 access shape the region table exists for — a hot
+/// private upper half (pfscan scan buffers, pbzip2 per-worker blocks)
+/// plus an alloc-use-free churn prefix whose clears bump epochs.
+/// With R = 1 every clear flushes the hot half's entries (the
+/// degenerate global epoch); as R grows the churn confines itself to
+/// the low regions until, past ~one region per churn granule, extra
+/// regions buy nothing — the knee that grounds `DEFAULT_REGIONS =
+/// 64`. Rows land in `BENCH_checker.json` with everything else.
+pub fn epoch_geometry_rows(g: &mut sharc_testkit::Bench) {
+    let t = ThreadId(1);
+    for &ws in &[64usize, 256, 1024] {
+        for &r in &[1usize, 16, 64, 256] {
+            let s: Shadow = Shadow::with_epoch_regions(ws, r);
+            let mut cache: OwnedCache = OwnedCache::new();
+            let churn = (ws / 16).max(4);
+            g.bench(&format!("epoch-geom/r{r}-ws{ws}"), || {
+                for i in ws / 2..ws {
+                    s.check_write_cached(i, t, &mut cache).unwrap();
+                }
+                for i in 0..churn {
+                    s.check_write(i, t).unwrap(); // alloc + use
+                    s.clear(i); // free
+                }
+            });
+        }
+    }
+}
+
 /// Asserts the epoch-table perf claims: region-epoch ≥2× faster than
 /// global-epoch under thrash, and within noise of it on the no-clear
 /// private loop. Compared on per-row minima — the loops do constant

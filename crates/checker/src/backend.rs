@@ -108,6 +108,23 @@ pub enum CheckEvent {
         tid: u32,
         granule: usize,
     },
+    /// A ranged dynamic-mode read of `len` contiguous granules
+    /// starting at `granule` — one event per buffer sweep. [`replay`]
+    /// **lowers** it to `len` per-granule `chkread`s for *every*
+    /// backend, so the fold contract holds by construction: a range
+    /// event's verdicts (SharC, Eraser, VC alike) are bit-identical
+    /// to the per-granule event sequence it abbreviates.
+    RangeRead {
+        tid: u32,
+        granule: usize,
+        len: usize,
+    },
+    /// The write analogue of [`CheckEvent::RangeRead`].
+    RangeWrite {
+        tid: u32,
+        granule: usize,
+        len: usize,
+    },
     /// A `locked(l)`-mode access requiring `lock` held.
     LockedAccess {
         tid: u32,
@@ -203,6 +220,27 @@ pub fn replay(events: &[CheckEvent], backend: &mut dyn CheckBackend) -> Vec<Conf
         let verdict = match e {
             CheckEvent::Read { tid, granule } => backend.chkread(tid, granule),
             CheckEvent::Write { tid, granule } => backend.chkwrite(tid, granule),
+            // Replay-lowering: a range event is *exactly* its
+            // per-granule expansion, for every backend — each
+            // granule's verdict is collected individually, so a
+            // conflicting granule mid-range reports just like the
+            // unabbreviated trace would.
+            CheckEvent::RangeRead { tid, granule, len } => {
+                for g in granule..granule + len {
+                    if let Verdict::Fail(c) = backend.chkread(tid, g) {
+                        out.push(c);
+                    }
+                }
+                Verdict::Pass // per-granule failures already pushed
+            }
+            CheckEvent::RangeWrite { tid, granule, len } => {
+                for g in granule..granule + len {
+                    if let Verdict::Fail(c) = backend.chkwrite(tid, g) {
+                        out.push(c);
+                    }
+                }
+                Verdict::Pass
+            }
             CheckEvent::LockedAccess { tid, lock } => {
                 if backend.lock_held(tid, lock) {
                     Verdict::Pass
@@ -248,6 +286,29 @@ pub fn replay(events: &[CheckEvent], backend: &mut dyn CheckBackend) -> Vec<Conf
         };
         if let Verdict::Fail(c) = verdict {
             out.push(c);
+        }
+    }
+    out
+}
+
+/// Expands every range event into its per-granule events, leaving
+/// everything else verbatim — the explicit form of the lowering
+/// [`replay`] performs implicitly. `replay(events) ==
+/// replay(lower_ranges(events))` for every backend (pinned by the
+/// trace round-trip property and the engine differentials), which is
+/// what makes a `v2` trace with ranges interchangeable with the `v1`
+/// per-granule trace it abbreviates.
+pub fn lower_ranges(events: &[CheckEvent]) -> Vec<CheckEvent> {
+    let mut out = Vec::with_capacity(events.len());
+    for &e in events {
+        match e {
+            CheckEvent::RangeRead { tid, granule, len } => {
+                out.extend((granule..granule + len).map(|g| CheckEvent::Read { tid, granule: g }));
+            }
+            CheckEvent::RangeWrite { tid, granule, len } => {
+                out.extend((granule..granule + len).map(|g| CheckEvent::Write { tid, granule: g }));
+            }
+            other => out.push(other),
         }
     }
     out

@@ -74,6 +74,32 @@
 /// Default number of cache entries (must be a power of two).
 pub const DEFAULT_SLOTS: usize = 256;
 
+/// Number of owned-*run* summary slots per cache (fully associative,
+/// round-robin eviction). Each slot summarises one contiguous granule
+/// run the thread swept with a passing ranged check, so a repeat
+/// sweep over the same buffer is **one** stamp compare instead of
+/// `len` probes. A handful of slots suffices: the target pattern is a
+/// worker lapping the same few buffers (pfscan's scan window,
+/// pbzip2's block, a VM bulk move), not a zoo of distinct ranges.
+pub const RUN_SLOTS: usize = 4;
+
+/// One owned-run summary: `key` packs the start granule and the
+/// writable bit exactly like [`Slot::granule_key`] (`key == 0` =
+/// empty), `len` is the run length in granules, and `stamp` is the
+/// **covering constraint** — the sum of the epochs of every region
+/// overlapping the run at fill time
+/// ([`crate::EpochTable::epoch_sum_of_range`]). Epoch counters are
+/// monotone, so the sums match iff *no* covered region was bumped
+/// since the fill: a clear anywhere inside the run kills it, a clear
+/// elsewhere leaves it live. Runs spanning several regions therefore
+/// need no splitting — they store the constraint that covers them.
+#[derive(Debug, Clone, Copy, Default)]
+struct RunSlot {
+    key: u64,
+    len: u64,
+    stamp: u64,
+}
+
 /// One 16-byte entry: `key` packs the granule and the cached right —
 /// bit 0 is the *writable* flag, bits 1.. hold granule + 1 (`key ==
 /// 0` = empty) — and `epoch` tags the entry with its region's epoch
@@ -107,6 +133,10 @@ pub struct OwnedCache<const WAYS: usize = 1> {
     slots: Box<[Slot]>,
     /// Round-robin eviction cursor per set (unused when `WAYS == 1`).
     victim: Box<[u8]>,
+    /// Owned-run summaries (see [`RunSlot`]), fully associative.
+    runs: [RunSlot; RUN_SLOTS],
+    /// Round-robin eviction cursor for the run slots.
+    run_victim: u8,
     /// Slow-path fills. Hits are *derived* (`accesses - misses`, the
     /// caller knows its access count): counting them directly would
     /// put a read-modify-write on the same word into every fast-path
@@ -143,6 +173,8 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
         OwnedCache {
             slots: vec![Slot::default(); sets * WAYS].into_boxed_slice(),
             victim: vec![0u8; sets].into_boxed_slice(),
+            runs: [RunSlot::default(); RUN_SLOTS],
+            run_victim: 0,
             misses: 0,
             flushes: 0,
         }
@@ -252,10 +284,97 @@ impl<const WAYS: usize> OwnedCache<WAYS> {
         };
     }
 
+    /// Answers whether the exact run `start .. start + len` is cached
+    /// with sufficient rights for the access, under the current
+    /// covering epoch sum `stamp`. The caller computes `stamp` with
+    /// [`crate::EpochTable::epoch_sum_of_range`] over the *same*
+    /// granule range — and, as with [`OwnedCache::lookup`], reads it
+    /// **before** any slow-path sweep whose result it might record.
+    ///
+    /// Matching is exact on `(start, len)`: the summary exists for
+    /// the repeat-sweep pattern (the same buffer lapped again), and
+    /// an exact match means the probe's stamp was computed over
+    /// exactly the regions the entry's stamp covers, so one integer
+    /// compare settles validity. A hit proves every granule in the
+    /// run still records the access for the owning thread (cache
+    /// invariants 1–2 per granule, the covering constraint for the
+    /// clears), so the whole sweep can be skipped — no stores, no
+    /// per-granule probes.
+    #[inline]
+    pub fn lookup_run(&mut self, stamp: u64, start: usize, len: usize, is_write: bool) -> bool {
+        let want = (Slot::granule_key(start) | 1, len as u64);
+        for i in 0..RUN_SLOTS {
+            let r = self.runs[i];
+            let k = if is_write { r.key } else { r.key | 1 };
+            if (k, r.len) == want {
+                if r.stamp == stamp {
+                    return true;
+                }
+                self.discard_stale_run(i);
+                return false;
+            }
+        }
+        false
+    }
+
+    /// The outlined stale-run path: some region covered by the run
+    /// was cleared since the fill; drop the summary so a later sweep
+    /// re-checks against the new shadow state.
+    #[cold]
+    #[inline(never)]
+    fn discard_stale_run(&mut self, idx: usize) {
+        self.runs[idx] = RunSlot::default();
+        self.flushes += 1;
+    }
+
+    /// Records that the owning thread holds the whole run
+    /// `start .. start + len` (exclusively if `writable`), stamped
+    /// with the covering epoch sum read *before* the sweep that
+    /// proved it. Call only after a ranged slow path passed with
+    /// **zero conflicts** — a run summary has no way to remember a
+    /// conflicting granule inside it.
+    #[inline]
+    pub fn insert_run(&mut self, start: usize, len: usize, writable: bool, stamp: u64) {
+        if len == 0 {
+            return;
+        }
+        self.misses += 1;
+        let gkey = Slot::granule_key(start);
+        let new = RunSlot {
+            key: gkey | writable as u64,
+            len: len as u64,
+            stamp,
+        };
+        // Upgrade / restamp in place when the same (start, len) run
+        // is already resident; never downgrade a writable run with a
+        // read-only refill under the same stamp.
+        for i in 0..RUN_SLOTS {
+            let r = &mut self.runs[i];
+            if (r.key | 1) == (gkey | 1) && r.len == new.len {
+                if r.stamp == stamp {
+                    r.key |= new.key & 1;
+                } else {
+                    *r = new;
+                }
+                return;
+            }
+        }
+        // Prefer an empty slot, else evict round-robin.
+        let idx = (0..RUN_SLOTS)
+            .find(|&i| self.runs[i].key == 0)
+            .unwrap_or_else(|| {
+                let v = self.run_victim as usize % RUN_SLOTS;
+                self.run_victim = self.run_victim.wrapping_add(1);
+                v
+            });
+        self.runs[idx] = new;
+    }
+
     /// Drops every entry (e.g. at thread exit, before the shadow
     /// clears this thread's bits).
     pub fn invalidate_all(&mut self) {
         self.slots.iter_mut().for_each(|s| *s = Slot::default());
+        self.runs = [RunSlot::default(); RUN_SLOTS];
     }
 }
 
@@ -364,6 +483,68 @@ mod tests {
         assert!(c.lookup(0, 4, true));
         assert!(c.lookup(0, 0, false), "first way untouched");
         assert!(!c.lookup(0, 0, true));
+    }
+
+    #[test]
+    fn run_hit_requires_exact_range_and_stamp() {
+        let mut c = OwnedCache::<1>::with_slots(8);
+        assert!(!c.lookup_run(7, 16, 64, true));
+        c.insert_run(16, 64, true, 7);
+        assert!(c.lookup_run(7, 16, 64, true));
+        assert!(c.lookup_run(7, 16, 64, false), "writable implies readable");
+        // Different start, different len, or moved stamp: no answer.
+        assert!(!c.lookup_run(7, 17, 64, true));
+        assert!(!c.lookup_run(7, 16, 63, true));
+        assert!(!c.lookup_run(8, 16, 64, true), "covered region bumped");
+        assert_eq!(c.flushes, 1, "the stale probe discarded the run");
+        assert!(!c.lookup_run(8, 16, 64, true), "and it stays gone");
+    }
+
+    #[test]
+    fn run_read_entry_does_not_authorize_writes() {
+        let mut c = OwnedCache::<1>::with_slots(8);
+        c.insert_run(0, 16, false, 0);
+        assert!(c.lookup_run(0, 0, 16, false));
+        assert!(!c.lookup_run(0, 0, 16, true));
+        // Upgrading under the same stamp keeps one slot.
+        c.insert_run(0, 16, true, 0);
+        assert!(c.lookup_run(0, 0, 16, true));
+        // A read refill never downgrades it.
+        c.insert_run(0, 16, false, 0);
+        assert!(c.lookup_run(0, 0, 16, true));
+    }
+
+    #[test]
+    fn run_slots_evict_round_robin_and_invalidate() {
+        let mut c = OwnedCache::<1>::with_slots(8);
+        for i in 0..RUN_SLOTS {
+            c.insert_run(i * 100, 10, true, 0);
+        }
+        for i in 0..RUN_SLOTS {
+            assert!(c.lookup_run(0, i * 100, 10, true), "slot {i} resident");
+        }
+        c.insert_run(900, 10, true, 0); // evicts the round-robin victim
+        assert!(c.lookup_run(0, 900, 10, true));
+        let survivors = (0..RUN_SLOTS)
+            .filter(|&i| c.lookup_run(0, i * 100, 10, true))
+            .count();
+        assert_eq!(survivors, RUN_SLOTS - 1, "exactly one eviction");
+        c.invalidate_all();
+        assert!(!c.lookup_run(0, 900, 10, true));
+        // Zero-length runs are never recorded.
+        c.insert_run(5, 0, true, 0);
+        assert!(!c.lookup_run(0, 5, 0, true));
+    }
+
+    #[test]
+    fn run_restamp_replaces_stale_rights() {
+        let mut c = OwnedCache::<1>::with_slots(8);
+        c.insert_run(4, 8, true, 0);
+        // A covered region was cleared (stamp 1); the re-sweep only
+        // proved read rights. The old write right must not resurface.
+        c.insert_run(4, 8, false, 1);
+        assert!(c.lookup_run(1, 4, 8, false));
+        assert!(!c.lookup_run(1, 4, 8, true), "pre-clear right is dead");
     }
 
     #[test]

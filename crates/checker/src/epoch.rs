@@ -178,6 +178,48 @@ impl EpochTable {
             e.fetch_add(1, Ordering::Release);
         }
     }
+
+    /// Sum of the epochs of every region overlapping granules
+    /// `start..end`, each region counted exactly once (wrap-aware: a
+    /// span covering ≥ `R` blocks sums the whole table). An empty
+    /// range sums nothing and returns 0.
+    ///
+    /// This is the **covering constraint** for owned-*run* cache
+    /// entries (see `OwnedCache`'s run slots): a run spanning several
+    /// regions is stamped with the sum of their epochs at fill time.
+    /// Epoch counters are monotone non-decreasing, so the sums are
+    /// equal **iff** every covered region's epoch is unchanged — any
+    /// bump of any overlapped region strictly increases the sum and
+    /// kills the run, while bumps of non-overlapping regions leave it
+    /// live. (Strictly: a counter would have to wrap `u64` for a
+    /// coincidental sum collision, i.e. 2⁶⁴ clears — out of scope by
+    /// the same argument that lets the per-granule tag be a `u64`.)
+    ///
+    /// Loads are `Relaxed` like [`EpochTable::epoch_of`]: the sum is a
+    /// guard read *before* the slow-path sweep that fills the run, and
+    /// a stale read can only miss, never false-hit.
+    #[inline]
+    pub fn epoch_sum_of_range(&self, start: usize, end: usize) -> u64 {
+        if start >= end {
+            return 0;
+        }
+        let mask = self.epochs.len() - 1;
+        let first = start >> self.region_shift;
+        let last = (end - 1) >> self.region_shift;
+        if last - first >= mask {
+            // The run covers every region at least once; count each
+            // exactly once.
+            return self
+                .epochs
+                .iter()
+                .fold(0u64, |s, e| s.wrapping_add(e.load(Ordering::Relaxed)));
+        }
+        let mut sum = 0u64;
+        for block in first..=last {
+            sum = sum.wrapping_add(self.epochs[block & mask].load(Ordering::Relaxed));
+        }
+        sum
+    }
 }
 
 #[cfg(test)]
@@ -261,6 +303,25 @@ mod tests {
         // Still capped by the granule count.
         let tiny = EpochTable::for_geometry(ShadowGeometry::for_threads(256), 8);
         assert_eq!(tiny.regions(), 8);
+    }
+
+    #[test]
+    fn epoch_sum_tracks_exactly_the_covered_regions() {
+        // 4 regions x 8 granules.
+        let t = EpochTable::new(4, 8);
+        let s0 = t.epoch_sum_of_range(4, 20); // blocks 0, 1, 2
+        assert_eq!(s0, 0);
+        t.bump(30); // region 3 — not covered
+        assert_eq!(t.epoch_sum_of_range(4, 20), s0, "uncovered bump is free");
+        t.bump(12); // region 1 — covered
+        assert_eq!(t.epoch_sum_of_range(4, 20), s0 + 1, "covered bump kills");
+        // A run covering >= R blocks sums every region exactly once,
+        // even though block space revisits regions after wrapping.
+        let full = t.epoch_sum_of_range(0, 4 * 8 * 3);
+        assert_eq!(full, 2, "one bump in region 3 + one in region 1");
+        // Empty ranges sum nothing.
+        assert_eq!(t.epoch_sum_of_range(9, 9), 0);
+        assert_eq!(t.epoch_sum_of_range(9, 5), 0);
     }
 
     #[test]

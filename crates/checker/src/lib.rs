@@ -48,10 +48,13 @@ pub mod geometry;
 pub mod step;
 pub mod trace;
 
-pub use backend::{replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict};
-pub use cache::OwnedCache;
+pub use backend::{
+    lower_ranges, replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict,
+};
+pub use cache::{OwnedCache, RUN_SLOTS};
 pub use epoch::{EpochTable, DEFAULT_REGIONS};
 pub use geometry::{ShadowGeometry, THREADS_PER_SHARD};
+pub use step::range::RangeStep;
 pub use step::{Access, Transition};
 pub use trace::{parse_text as parse_trace, to_text as trace_to_text};
 

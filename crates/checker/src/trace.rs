@@ -8,15 +8,28 @@
 //! ignored:
 //!
 //! ```text
-//! # sharc-trace v1
+//! # sharc-trace v2
 //! fork 1 2
 //! write 1 17
+//! rwrite 1 18 4
 //! cast 1 17 1
 //! acquire 2 0
 //! release 2 0
 //! read 2 17
+//! rread 2 18 4
 //! exit 2
 //! ```
+//!
+//! `v2` adds the two ranged lines: `rread tid granule len` /
+//! `rwrite tid granule len`, one line per buffer sweep. The format
+//! bump is backwards compatible by construction — the header is a
+//! comment, and every `v1` keyword parses unchanged — so a `v1` file
+//! written by an older `--trace-out` replays bit-identically under
+//! this parser (the `v1` compatibility test below pins it). A `v2`
+//! trace is interchangeable with its `v1` per-granule expansion:
+//! replay lowers each range to per-granule checks
+//! ([`crate::backend::lower_ranges`]), so both spell the same
+//! verdicts.
 //!
 //! Round-tripping is exact ([`parse_text`] ∘ [`to_text`] is the
 //! identity on any event vector), which is what makes an offline
@@ -30,7 +43,11 @@ use std::fmt::Write as _;
 /// The header written at the top of every trace file. Parsing does
 /// not require it (it is a comment), but it lets a future format
 /// bump fail loudly instead of misparsing.
-pub const TRACE_HEADER: &str = "# sharc-trace v1";
+pub const TRACE_HEADER: &str = "# sharc-trace v2";
+
+/// The `v1` header, still accepted (it is a comment): a `v1` file
+/// contains only per-granule lines, all of which parse unchanged.
+pub const TRACE_HEADER_V1: &str = "# sharc-trace v1";
 
 /// Renders `events` in the line format, header included.
 pub fn to_text(events: &[CheckEvent]) -> String {
@@ -41,6 +58,12 @@ pub fn to_text(events: &[CheckEvent]) -> String {
         match *e {
             CheckEvent::Read { tid, granule } => writeln!(out, "read {tid} {granule}"),
             CheckEvent::Write { tid, granule } => writeln!(out, "write {tid} {granule}"),
+            CheckEvent::RangeRead { tid, granule, len } => {
+                writeln!(out, "rread {tid} {granule} {len}")
+            }
+            CheckEvent::RangeWrite { tid, granule, len } => {
+                writeln!(out, "rwrite {tid} {granule} {len}")
+            }
             CheckEvent::LockedAccess { tid, lock } => writeln!(out, "locked {tid} {lock}"),
             CheckEvent::SharingCast { tid, granule, refs } => {
                 writeln!(out, "cast {tid} {granule} {refs}")
@@ -91,6 +114,16 @@ fn parse_line(line: &str) -> Result<CheckEvent, String> {
             tid: arg("tid")? as u32,
             granule: arg("granule")? as usize,
         },
+        "rread" => CheckEvent::RangeRead {
+            tid: arg("tid")? as u32,
+            granule: arg("granule")? as usize,
+            len: arg("len")? as usize,
+        },
+        "rwrite" => CheckEvent::RangeWrite {
+            tid: arg("tid")? as u32,
+            granule: arg("granule")? as usize,
+            len: arg("len")? as usize,
+        },
         "locked" => CheckEvent::LockedAccess {
             tid: arg("tid")? as u32,
             lock: arg("lock")? as usize,
@@ -137,7 +170,7 @@ mod tests {
 
     fn event_gen() -> Gen<CheckEvent> {
         gen::pair(
-            gen::u32_range(0..10),
+            gen::u32_range(0..12),
             gen::triple(
                 gen::u32_range(1..300),
                 gen::usize_range(0..4096),
@@ -146,6 +179,7 @@ mod tests {
         )
         .map(|&(kind, (tid, granule, refs))| {
             let lock = granule % 8;
+            let len = (granule % 7) + 1;
             match kind {
                 0 => CheckEvent::Read { tid, granule },
                 1 => CheckEvent::Write { tid, granule },
@@ -162,6 +196,8 @@ mod tests {
                     child: tid + 1,
                 },
                 8 => CheckEvent::ThreadExit { tid },
+                9 => CheckEvent::RangeRead { tid, granule, len },
+                10 => CheckEvent::RangeWrite { tid, granule, len },
                 _ => CheckEvent::Alloc { granule },
             }
         })
@@ -175,6 +211,59 @@ mod tests {
             |events| {
                 let parsed = parse_text(&to_text(events)).expect("well-formed");
                 prop_assert_eq!(&parsed, events);
+            }
+        );
+    }
+
+    #[test]
+    fn v1_files_still_parse_under_the_v2_parser() {
+        // A file written by the v1 `--trace-out` (v1 header, only
+        // per-granule lines) parses unchanged: the header is a
+        // comment and every v1 keyword survived the format bump.
+        let v1 = format!("{TRACE_HEADER_V1}\nfork 1 2\nwrite 1 17\nread 2 17\nexit 2\n");
+        let parsed = parse_text(&v1).expect("v1 compatible");
+        assert_eq!(
+            parsed,
+            vec![
+                CheckEvent::Fork {
+                    parent: 1,
+                    child: 2
+                },
+                CheckEvent::Write {
+                    tid: 1,
+                    granule: 17
+                },
+                CheckEvent::Read {
+                    tid: 2,
+                    granule: 17
+                },
+                CheckEvent::ThreadExit { tid: 2 },
+            ]
+        );
+    }
+
+    #[test]
+    fn v2_trace_and_its_v1_lowering_replay_identically() {
+        // The v1 -> v2 round trip: any v2 trace (ranges included) can
+        // be lowered to a pure-v1 vocabulary, serialized, re-parsed,
+        // and replayed — and the verdicts are bit-identical to
+        // replaying the v2 file directly.
+        use crate::backend::{lower_ranges, replay, BitmapBackend};
+        forall!(
+            "trace_v2_lowering_preserves_verdicts",
+            gen::vec_of(event_gen(), 0..48),
+            |events| {
+                let v2 = parse_text(&to_text(events)).expect("v2 parses");
+                let lowered = lower_ranges(&v2);
+                let v1_text = to_text(&lowered);
+                assert!(
+                    !v1_text.contains("\nrread ") && !v1_text.contains("\nrwrite "),
+                    "lowering leaves only the v1 vocabulary"
+                );
+                let v1 = parse_text(&v1_text).expect("lowered trace parses");
+                let a = replay(&v2, &mut BitmapBackend::new());
+                let b = replay(&v1, &mut BitmapBackend::new());
+                prop_assert_eq!(&a, &b);
             }
         );
     }
@@ -194,5 +283,7 @@ mod tests {
         assert!(e.contains("refs"), "{e}");
         let e = parse_text("exit 1 2\n").unwrap_err();
         assert!(e.contains("trailing"), "{e}");
+        let e = parse_text("rread 1 2\n").unwrap_err();
+        assert!(e.contains("len"), "{e}");
     }
 }

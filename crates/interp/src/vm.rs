@@ -183,6 +183,9 @@ pub struct VmStats {
     /// Checked granule-accesses served by the per-thread owned-granule
     /// cache (a subset of `dynamic_accesses`' granule visits).
     pub cache_hits: u64,
+    /// Multi-granule checks answered whole by an owned-run summary
+    /// (each such hit also adds its span to `cache_hits`).
+    pub range_hits: u64,
 }
 
 impl VmStats {
@@ -586,6 +589,34 @@ impl<'m> Vm<'m> {
         let gran = self.config.granule;
         let g0 = addr / gran;
         let g1 = (addr + size - 1) / gran;
+        let is_write = matches!(access, Access::Write);
+        // Ranged fast path: a bulk op (struct copy, checked library
+        // sweep) spans several granules, and a single owned-run probe
+        // can answer the whole sweep.  The stamp is the wrapping sum
+        // of the covered region epochs, read *before* any transition
+        // below so a summary can never be newer than the epochs
+        // guarding it; any clear in the range bumps a covered epoch
+        // and fails the compare.
+        let span = (g1 - g0 + 1) as usize;
+        let run_stamp = if self.config.owned_cache && span > 1 {
+            let stamp = self
+                .shadow_epochs
+                .epoch_sum_of_range(g0 as usize, g1 as usize + 1);
+            if self.threads[self.current]
+                .owned
+                .lookup_run(stamp, g0 as usize, span, is_write)
+            {
+                self.stats.cache_hits += span as u64;
+                self.stats.range_hits += 1;
+                self.threads[self.current].last_hit[is_write as usize] =
+                    Some(LastHit { granule: g1, site });
+                return;
+            }
+            Some(stamp)
+        } else {
+            None
+        };
+        let mut clean = true;
         for gi in g0..=g1 {
             // Owned-granule fast path: a cache hit proves this thread
             // already holds the exact ownership the access needs
@@ -595,7 +626,6 @@ impl<'m> Vm<'m> {
             // it touches; entries tagged with an older region epoch
             // fail their compare on the next lookup, while entries
             // for unaffected regions keep answering.
-            let is_write = matches!(access, Access::Write);
             // Read the region epoch *before* the transition below, so
             // an entry can never be newer than the epoch guarding it.
             let region_epoch = self.shadow_epochs.epoch_of(gi as usize);
@@ -654,6 +684,7 @@ impl<'m> Vm<'m> {
                         Access::Write => ConflictKind::Write,
                     };
                     self.conflict(kind, Addr(gi * gran), tid, site, last);
+                    clean = false;
                 }
                 Transition::Install(new) => {
                     let g = self.granule_mut(gi);
@@ -685,6 +716,17 @@ impl<'m> Vm<'m> {
                         );
                     }
                 }
+            }
+        }
+        // A clean multi-granule sweep becomes one owned-run summary:
+        // the next identical bulk op is a single stamp compare.  A
+        // sweep that reported a conflict is never summarized — a run
+        // entry cannot remember a conflicting granule.
+        if clean {
+            if let Some(stamp) = run_stamp {
+                self.threads[self.current]
+                    .owned
+                    .insert_run(g0 as usize, span, is_write, stamp);
             }
         }
     }
@@ -1034,6 +1076,18 @@ impl<'m> Vm<'m> {
                 }
                 self.stats.total_accesses += 2 * n as u64;
                 for i in 0..n {
+                    // The bulk move is visible to trace-based
+                    // detectors cell by cell (ranges are a checker
+                    // optimization, not a semantic change), exactly
+                    // like the Load/Store pair it replaces.
+                    self.emit(TraceEvent::Read {
+                        tid,
+                        addr: src.0 + i,
+                    });
+                    self.emit(TraceEvent::Write {
+                        tid,
+                        addr: dst.0 + i,
+                    });
                     let v = self.mem[(src.0 + i) as usize];
                     self.write_cell(dst.0 + i, v);
                 }

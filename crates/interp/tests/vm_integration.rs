@@ -663,3 +663,62 @@ fn owned_cache_absorbs_repeated_private_accesses() {
         out.stats.cache_hits
     );
 }
+
+#[test]
+fn struct_copies_ride_the_owned_run_cache_without_changing_verdicts() {
+    // A struct copy through a dynamic-mode pointer is ONE ranged
+    // chkread/chkwrite spanning several granules. After the first
+    // sweep installs ownership, every repeat copy is answered by a
+    // single owned-run stamp compare — and the fast path is
+    // verdict-transparent: status, output and reports match the
+    // cache-off run exactly.
+    let src = "struct big { int a; int b; int c; int d; int e; };\n\
+               void worker(struct big * p) { struct big loc; int i; \
+                 p->a = 1; \
+                 for (i = 0; i < 50; i++) { loc = *p; *p = loc; } }\n\
+               void main() { struct big * p = new(struct big); int t; \
+                 t = spawn(worker, p); join(t); \
+                 print(p->a); }";
+    let on = compile_and_run("copy.c", src, cfg(7)).unwrap();
+    let off = compile_and_run(
+        "copy.c",
+        src,
+        VmConfig {
+            seed: 7,
+            owned_cache: false,
+            ..VmConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(on.status, ExitStatus::Completed);
+    assert_eq!(on.status, off.status);
+    assert_eq!(on.output, off.output);
+    assert_eq!(on.output, vec!["1"]);
+    assert!(on.reports.is_empty() && off.reports.is_empty());
+    // Both runs check the same cells; only the work per check differs.
+    assert_eq!(on.stats.dynamic_accesses, off.stats.dynamic_accesses);
+    assert_eq!(off.stats.range_hits, 0, "flag off means no run cache");
+    assert!(
+        on.stats.range_hits >= 90,
+        "~2 run hits per iteration after warmup: {}",
+        on.stats.range_hits
+    );
+}
+
+#[test]
+fn freeing_the_struct_flushes_its_owned_run() {
+    // The run summary is guarded by the epoch-sum stamp: a free in
+    // the covered range bumps a region epoch, so the recycled object
+    // re-checks from scratch (no stale whole-run answers).
+    let src = "struct big { int a; int b; int c; int d; int e; };\n\
+               void touch(struct big * p) { struct big loc; int i; \
+                 for (i = 0; i < 5; i++) { loc = *p; *p = loc; } }\n\
+               void main() { struct big * p; int t; \
+                 p = new(struct big); t = spawn(touch, p); join(t); free(p); \
+                 p = new(struct big); t = spawn(touch, p); join(t); free(p); \
+                 print(0); }";
+    let out = compile_and_run("recycle.c", src, cfg(3)).unwrap();
+    assert_eq!(out.status, ExitStatus::Completed);
+    assert!(out.reports.is_empty(), "{:?}", out.reports);
+    assert!(out.stats.range_hits > 0, "repeat sweeps hit the run cache");
+}

@@ -8,6 +8,8 @@ use crate::shadow::{Shadow, ShadowWord};
 use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
 
 /// Payload 8-byte words per shadow granule, derived from the one
+/// workspace-wide granule definition — re-exported at the crate root
+/// so workloads can convert word spans to granule spans.
 /// workspace-wide granule definition (`sharc_checker::GRANULE_BYTES`
 /// = the paper's 16 bytes).
 pub const GRANULE_WORDS: usize = sharc_checker::GRANULE_WORDS;
@@ -149,6 +151,128 @@ impl<W: ShadowWord> Arena<W> {
         self.data[i].store(v, Ordering::Release);
     }
 
+    /// The granule span `(first, len)` covered by payload words
+    /// `start .. start + words` (`words > 0`).
+    #[inline]
+    fn granule_span(start: usize, words: usize) -> (usize, usize) {
+        let g0 = start / GRANULE_WORDS;
+        let g1 = (start + words - 1) / GRANULE_WORDS;
+        (g0, g1 - g0 + 1)
+    }
+
+    /// A dynamic-mode **ranged** read: ONE `chkread` over the whole
+    /// granule span of `start .. start + words`, then the loads —
+    /// `each(i, value)` fires once per word. The verdict is the fold
+    /// of per-granule checks (see
+    /// [`crate::Shadow::check_range_read`]), but conflicts are
+    /// counted **per granule**, not per word: a per-word loop through
+    /// [`Arena::read_checked`] re-reports a conflicting granule for
+    /// every word that touches it.
+    pub fn read_range_checked(
+        &self,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        mut each: impl FnMut(usize, u64),
+    ) {
+        if words == 0 {
+            return;
+        }
+        ctx.checked_accesses += words as u64;
+        let (g0, glen) = Self::granule_span(start, words);
+        ctx.emit_range(g0, glen, false);
+        let tid = ctx.tid;
+        ctx.conflicts +=
+            self.shadow
+                .check_range_read(g0, glen, tid, |g| ctx.access_log.push(g), |_| {});
+        for i in start..start + words {
+            each(i, self.data[i].load(Ordering::Acquire));
+        }
+    }
+
+    /// A dynamic-mode **ranged** write: one `chkwrite` over the
+    /// granule span, then the stores — word `i` receives `value(i)`.
+    pub fn write_range_checked(
+        &self,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        mut value: impl FnMut(usize) -> u64,
+    ) {
+        if words == 0 {
+            return;
+        }
+        ctx.checked_accesses += words as u64;
+        let (g0, glen) = Self::granule_span(start, words);
+        ctx.emit_range(g0, glen, true);
+        let tid = ctx.tid;
+        ctx.conflicts +=
+            self.shadow
+                .check_range_write(g0, glen, tid, |g| ctx.access_log.push(g), |_| {});
+        for i in start..start + words {
+            self.data[i].store(value(i), Ordering::Release);
+        }
+    }
+
+    /// [`Arena::read_range_checked`] through the owned-**run** cache:
+    /// a repeat sweep over a run this thread already owns costs one
+    /// epoch-stamp compare for the whole buffer (see
+    /// [`sharc_checker::cache`]'s run slots).
+    pub fn read_range_cached(
+        &self,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        mut each: impl FnMut(usize, u64),
+    ) {
+        if words == 0 {
+            return;
+        }
+        ctx.checked_accesses += words as u64;
+        let (g0, glen) = Self::granule_span(start, words);
+        ctx.emit_range(g0, glen, false);
+        let tid = ctx.tid;
+        ctx.conflicts += self.shadow.check_range_read_cached(
+            g0,
+            glen,
+            tid,
+            &mut ctx.owned_cache,
+            |g| ctx.access_log.push(g),
+            |_| {},
+        );
+        for i in start..start + words {
+            each(i, self.data[i].load(Ordering::Acquire));
+        }
+    }
+
+    /// [`Arena::write_range_checked`] through the owned-run cache.
+    pub fn write_range_cached(
+        &self,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        mut value: impl FnMut(usize) -> u64,
+    ) {
+        if words == 0 {
+            return;
+        }
+        ctx.checked_accesses += words as u64;
+        let (g0, glen) = Self::granule_span(start, words);
+        ctx.emit_range(g0, glen, true);
+        let tid = ctx.tid;
+        ctx.conflicts += self.shadow.check_range_write_cached(
+            g0,
+            glen,
+            tid,
+            &mut ctx.owned_cache,
+            |g| ctx.access_log.push(g),
+            |_| {},
+        );
+        for i in start..start + words {
+            self.data[i].store(value(i), Ordering::Release);
+        }
+    }
+
     /// Clears the shadow state covering `words` starting at `start`
     /// (used by `free` and after successful sharing casts).
     pub fn clear_range(&self, start: usize, words: usize) {
@@ -189,6 +313,38 @@ pub trait AccessPolicy: Copy + Send + 'static {
     const NAME: &'static str;
     fn read<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize) -> u64;
     fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64);
+
+    /// One sweep reading words `start .. start + words`, `each(i, v)`
+    /// per word. The default lowers to per-word [`AccessPolicy::read`]
+    /// calls; checked policies override it with **one** ranged check
+    /// per sweep — same verdicts, one shadow pass.
+    #[inline]
+    fn read_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        each: &mut dyn FnMut(usize, u64),
+    ) {
+        for i in start..start + words {
+            each(i, Self::read(arena, ctx, i));
+        }
+    }
+
+    /// One sweep writing `value(i)` to words `start .. start + words`.
+    #[inline]
+    fn write_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        value: &mut dyn FnMut(usize) -> u64,
+    ) {
+        for i in start..start + words {
+            let v = value(i);
+            Self::write(arena, ctx, i, v);
+        }
+    }
 }
 
 /// Baseline: no instrumentation at all.
@@ -207,6 +363,32 @@ impl AccessPolicy for Unchecked {
         ctx.total_accesses += 1;
         arena.write_unchecked(i, v);
     }
+    #[inline]
+    fn read_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        each: &mut dyn FnMut(usize, u64),
+    ) {
+        ctx.total_accesses += words as u64;
+        for i in start..start + words {
+            each(i, arena.read_unchecked(i));
+        }
+    }
+    #[inline]
+    fn write_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        value: &mut dyn FnMut(usize) -> u64,
+    ) {
+        ctx.total_accesses += words as u64;
+        for i in start..start + words {
+            arena.write_unchecked(i, value(i));
+        }
+    }
 }
 
 /// SharC dynamic-mode checking.
@@ -224,6 +406,28 @@ impl AccessPolicy for Checked {
     fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64) {
         ctx.total_accesses += 1;
         arena.write_checked(ctx, i, v);
+    }
+    #[inline]
+    fn read_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        each: &mut dyn FnMut(usize, u64),
+    ) {
+        ctx.total_accesses += words as u64;
+        arena.read_range_checked(ctx, start, words, each);
+    }
+    #[inline]
+    fn write_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        value: &mut dyn FnMut(usize) -> u64,
+    ) {
+        ctx.total_accesses += words as u64;
+        arena.write_range_checked(ctx, start, words, value);
     }
 }
 
@@ -244,6 +448,28 @@ impl AccessPolicy for CachedChecked {
     fn write<W: ShadowWord>(arena: &Arena<W>, ctx: &mut ThreadCtx, i: usize, v: u64) {
         ctx.total_accesses += 1;
         arena.write_cached(ctx, i, v);
+    }
+    #[inline]
+    fn read_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        each: &mut dyn FnMut(usize, u64),
+    ) {
+        ctx.total_accesses += words as u64;
+        arena.read_range_cached(ctx, start, words, each);
+    }
+    #[inline]
+    fn write_range<W: ShadowWord>(
+        arena: &Arena<W>,
+        ctx: &mut ThreadCtx,
+        start: usize,
+        words: usize,
+        value: &mut dyn FnMut(usize) -> u64,
+    ) {
+        ctx.total_accesses += words as u64;
+        arena.write_range_cached(ctx, start, words, value);
     }
 }
 
@@ -401,6 +627,125 @@ mod tests {
         a1.write_cached(&mut d1, 255, 2);
         assert_eq!(d1.conflicts, 0, "verdicts never change");
         assert_eq!(d1.owned_cache.misses, fills + 1, "global epoch refills");
+    }
+
+    #[test]
+    fn ranged_sweep_data_and_verdicts_match_per_word_loop() {
+        // Same payload and shadow outcome through the ranged path as
+        // through the word loop; conflicts are per granule.
+        let a: Arena = Arena::new(32);
+        let b: Arena = Arena::new(32);
+        let mut ca = ThreadCtx::new(ThreadId(1));
+        let mut cb = ThreadCtx::new(ThreadId(1));
+        for i in 0..32 {
+            a.write_checked(&mut ca, i, i as u64 * 3);
+        }
+        b.write_range_checked(&mut cb, 0, 32, |i| i as u64 * 3);
+        assert_eq!(ca.conflicts, 0);
+        assert_eq!(cb.conflicts, 0);
+        let mut sa = 0u64;
+        let mut sb = 0u64;
+        for i in 0..32 {
+            sa += a.read_checked(&mut ca, i);
+        }
+        b.read_range_checked(&mut cb, 0, 32, |i, v| {
+            assert_eq!(v, i as u64 * 3);
+            sb += v;
+        });
+        assert_eq!(sa, sb);
+        assert_eq!(ca.checked_accesses, cb.checked_accesses);
+        // Both record ownership of the same granules.
+        let mut la = ca.access_log.clone();
+        la.sort_unstable();
+        let mut lb = cb.access_log.clone();
+        lb.sort_unstable();
+        assert_eq!(la, lb);
+    }
+
+    #[test]
+    fn ranged_sweep_counts_conflicting_granules_once() {
+        let a: Arena = Arena::new(8);
+        let mut intruder = ThreadCtx::new(ThreadId(2));
+        a.write_checked(&mut intruder, 2, 9); // owns granule 1
+        let mut ctx = ThreadCtx::new(ThreadId(1));
+        a.write_range_checked(&mut ctx, 0, 8, |_| 0);
+        assert_eq!(ctx.conflicts, 1, "granule 1 conflicts exactly once");
+        // The per-word loop reports it once per word instead.
+        let mut ctx2 = ThreadCtx::new(ThreadId(3));
+        for i in 0..8 {
+            a.write_checked(&mut ctx2, i, 0);
+        }
+        assert!(ctx2.conflicts >= 2, "per-word re-reports the granule");
+    }
+
+    #[test]
+    fn cached_ranged_repeat_sweep_skips_the_shadow() {
+        let a: Arena = Arena::new(256);
+        let mut ctx = ThreadCtx::new(ThreadId(1));
+        a.write_range_cached(&mut ctx, 0, 256, |i| i as u64);
+        let fills = ctx.owned_cache.misses;
+        for rep in 0..20 {
+            a.write_range_cached(&mut ctx, 0, 256, |i| i as u64 + rep);
+            let mut sum = 0u64;
+            a.read_range_cached(&mut ctx, 0, 256, |_, v| sum += v);
+        }
+        assert_eq!(ctx.conflicts, 0);
+        assert_eq!(
+            ctx.owned_cache.misses, fills,
+            "every repeat sweep is one run-stamp compare"
+        );
+        // A free inside the buffer invalidates the run; the next
+        // sweep refills and still sees the new owner's conflict.
+        a.clear_range(4, 2);
+        let mut thief = ThreadCtx::new(ThreadId(2));
+        a.write_checked(&mut thief, 4, 1);
+        a.write_range_cached(&mut ctx, 0, 256, |i| i as u64);
+        assert_eq!(ctx.conflicts, 1, "stale run cannot hide the thief");
+    }
+
+    #[test]
+    fn ranged_policies_agree_with_per_word_policies() {
+        fn sweep<P: AccessPolicy>(a: &Arena, ctx: &mut ThreadCtx) -> u64 {
+            P::write_range(a, ctx, 0, 16, &mut |i| i as u64);
+            let mut sum = 0;
+            P::read_range(a, ctx, 0, 16, &mut |_, v| sum += v);
+            sum
+        }
+        let a: Arena = Arena::new(16);
+        let mut ctx = ThreadCtx::new(ThreadId(1));
+        assert_eq!(sweep::<Unchecked>(&a, &mut ctx), 120);
+        assert_eq!(sweep::<Checked>(&a, &mut ctx), 120);
+        assert_eq!(sweep::<CachedChecked>(&a, &mut ctx), 120);
+        assert_eq!(ctx.conflicts, 0);
+        assert_eq!(ctx.total_accesses, 96);
+    }
+
+    #[test]
+    fn ranged_sweeps_emit_range_events_that_replay_clean() {
+        use crate::events::EventLog;
+        use sharc_checker::{replay, BitmapBackend};
+        let a: Arena = Arena::new(8);
+        let log = Arc::new(EventLog::new());
+        let mut ctx = ThreadCtx::with_sink(ThreadId(1), Arc::clone(&log));
+        a.write_range_checked(&mut ctx, 0, 8, |i| i as u64);
+        a.read_range_checked(&mut ctx, 0, 8, |_, _| {});
+        let evs = log.snapshot();
+        assert_eq!(
+            evs,
+            vec![
+                sharc_checker::CheckEvent::RangeWrite {
+                    tid: 1,
+                    granule: 0,
+                    len: 4
+                },
+                sharc_checker::CheckEvent::RangeRead {
+                    tid: 1,
+                    granule: 0,
+                    len: 4
+                },
+            ]
+        );
+        assert!(replay(&evs, &mut BitmapBackend::new()).is_empty());
     }
 
     #[test]

@@ -51,6 +51,19 @@ impl EventLog {
         });
     }
 
+    /// Convenience for the arena's ranged-access hook: one event per
+    /// buffer sweep (`len` granules starting at `granule`). Replay
+    /// lowers it to per-granule checks, so the recorded trace spells
+    /// the same verdicts as `len` individual access events.
+    #[inline]
+    pub fn record_range(&self, tid: u32, granule: usize, len: usize, is_write: bool) {
+        self.record(if is_write {
+            CheckEvent::RangeWrite { tid, granule, len }
+        } else {
+            CheckEvent::RangeRead { tid, granule, len }
+        });
+    }
+
     /// Number of events recorded so far.
     pub fn len(&self) -> usize {
         self.inner.lock().expect("event log poisoned").len()

@@ -95,6 +95,15 @@ impl ThreadCtx {
         }
     }
 
+    /// Emits one ranged-access event for a whole buffer sweep if a
+    /// sink is attached (called by the arena's ranged checked paths).
+    #[inline]
+    pub(crate) fn emit_range(&self, granule: usize, len: usize, is_write: bool) {
+        if let Some(sink) = &self.sink {
+            sink.record_range(self.tid.0 as u32, granule, len, is_write);
+        }
+    }
+
     /// True if `lock` is in this thread's held-lock log.
     pub fn holds(&self, lock: LockId) -> bool {
         self.held.contains(&lock)

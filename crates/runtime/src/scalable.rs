@@ -134,6 +134,66 @@ impl ScalableShadow {
         self.inner.check_write_cached(granule, tid, cache)
     }
 
+    /// Ranged `chkread` over `start..start + len` — one call per
+    /// buffer sweep; same fold-of-per-granule contract as
+    /// [`crate::Shadow::check_range_read`].
+    pub fn check_range_read(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.inner
+            .check_range_read(start, len, tid, on_newly, on_conflict)
+    }
+
+    /// Ranged `chkwrite` over `start..start + len`.
+    pub fn check_range_write(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.inner
+            .check_range_write(start, len, tid, on_newly, on_conflict)
+    }
+
+    /// [`ScalableShadow::check_range_read`] with the owned-run fast
+    /// path (repeat sweeps are one epoch-stamp compare).
+    #[inline]
+    pub fn check_range_read_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.inner
+            .check_range_read_cached(start, len, tid, cache, on_newly, on_conflict)
+    }
+
+    /// [`ScalableShadow::check_range_write`] with the owned-run fast
+    /// path.
+    #[inline]
+    pub fn check_range_write_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.inner
+            .check_range_write_cached(start, len, tid, cache, on_newly, on_conflict)
+    }
+
     /// Thread-exit clearing: exact for granules this thread owns
     /// exclusively; `SHARED_READ` granules cannot be partially
     /// cleared (identities are not tracked) and are left intact.
@@ -267,5 +327,35 @@ mod tests {
     fn zero_tid_rejected() {
         let s = ScalableShadow::new(1);
         let _ = s.check_read(0, WideThreadId(0));
+    }
+
+    #[test]
+    fn ranged_sweep_matches_per_granule_and_caches_the_run() {
+        let s = ScalableShadow::new(16);
+        let t = WideThreadId(70_000);
+        // Foreign owner in the middle of the run.
+        s.check_write(7, WideThreadId(3)).unwrap();
+        let mut newly = Vec::new();
+        let mut bad = Vec::new();
+        let n = s.check_range_write(0, 16, t, |g| newly.push(g), |e| bad.push(e.granule));
+        assert_eq!(n, 1);
+        assert_eq!(bad, vec![7]);
+        assert_eq!(newly.len(), 15, "every clean granule newly installed");
+        // Clear the intruder; the cached sweep now fills and then
+        // hits the run summary on repeats.
+        s.clear(7);
+        let mut c = OwnedCache::<2>::new();
+        assert_eq!(
+            s.check_range_write_cached(0, 16, t, &mut c, |_| {}, |_| panic!("clean")),
+            0
+        );
+        let misses = c.misses;
+        for _ in 0..5 {
+            assert_eq!(
+                s.check_range_write_cached(0, 16, t, &mut c, |_| panic!(), |_| panic!()),
+                0
+            );
+        }
+        assert_eq!(c.misses, misses, "repeat sweeps are one stamp compare");
     }
 }

@@ -18,7 +18,7 @@
 //! soundness invariants; [`Shadow::with_epoch_regions`] with
 //! `regions = 1` reproduces the old single-global-epoch behaviour.
 
-use sharc_checker::step::{bitmap, Access, Transition};
+use sharc_checker::step::{bitmap, range, Access, Transition};
 use sharc_checker::{EpochTable, OwnedCache};
 use std::sync::atomic::{AtomicU16, AtomicU32, AtomicU64, AtomicU8, Ordering};
 
@@ -295,6 +295,195 @@ impl<W: ShadowWord> Shadow<W> {
         Ok(newly)
     }
 
+    // ----- ranged checks -----
+    //
+    // One `chkread`/`chkwrite` per buffer sweep instead of one per
+    // granule. The uncached pair is a word-at-a-time sweep over the
+    // pure `recorded` predicate (`step::range`), falling back to the
+    // full CAS protocol only for granules that need a state
+    // transition; the cached pair adds the owned-*run* summary on
+    // top, so a repeat sweep over the same buffer is one epoch-sum
+    // compare. **The fold contract:** every variant's verdict equals
+    // the fold of per-granule verdicts — each granule is judged by
+    // the same `step` against its own shadow word, conflicts are
+    // reported per granule via `on_conflict`, and newly-installed
+    // granules via `on_newly` (for exit-time clearing logs). The
+    // return value is the number of conflicting granules.
+
+    /// The shared ranged sweep: skips granules whose snapshot already
+    /// records the access, runs the full per-granule check for the
+    /// rest.
+    #[inline]
+    fn check_range(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        access: Access,
+        mut on_newly: impl FnMut(usize),
+        mut on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let mut conflicts = 0;
+        let end = start + len;
+        let mut g = start;
+        while g < end {
+            // Fast classification: one load + one branch-light
+            // `recorded` test per already-recorded granule.
+            while g < end && range::recorded(self.words[g].load(), tid.0 as u32, access) {
+                g += 1;
+            }
+            if g >= end {
+                break;
+            }
+            // Boundary / first-contact / conflicting granule: the
+            // per-granule fallback (full CAS protocol).
+            match self.check(g, tid, access) {
+                Ok(true) => on_newly(g),
+                Ok(false) => {}
+                Err(e) => {
+                    conflicts += 1;
+                    on_conflict(e);
+                }
+            }
+            g += 1;
+        }
+        conflicts
+    }
+
+    /// Ranged `chkread` over granules `start .. start + len`. Calls
+    /// `on_newly` for each granule whose read bit was newly
+    /// installed, `on_conflict` per conflicting granule; returns the
+    /// conflict count. Equivalent to folding [`Shadow::check_read`]
+    /// over the range.
+    pub fn check_range_read(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.check_range(start, len, tid, Access::Read, on_newly, on_conflict)
+    }
+
+    /// Ranged `chkwrite`; see [`Shadow::check_range_read`].
+    pub fn check_range_write(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.check_range(start, len, tid, Access::Write, on_newly, on_conflict)
+    }
+
+    /// [`Shadow::check_range_read`] with the owned-run fast path: if
+    /// `cache` holds a summary proving this thread already swept
+    /// exactly this run (and no covered region was cleared since —
+    /// the epoch-*sum* covering constraint), the whole sweep is
+    /// skipped. The miss path runs per-granule cached checks and, if
+    /// the run came back conflict-free, records the summary.
+    #[inline]
+    pub fn check_range_read_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        // The covering stamp must be observed before the sweep, so
+        // the run entry can never be newer than the epochs guarding
+        // it (the per-region invariant, summed over the run).
+        let stamp = self.epochs.epoch_sum_of_range(start, start + len);
+        if cache.lookup_run(stamp, start, len, false) {
+            return 0;
+        }
+        self.fill_range(
+            start,
+            len,
+            tid,
+            cache,
+            stamp,
+            Access::Read,
+            on_newly,
+            on_conflict,
+        )
+    }
+
+    /// [`Shadow::check_range_write`] with the owned-run fast path;
+    /// see [`Shadow::check_range_read_cached`].
+    #[inline]
+    pub fn check_range_write_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let stamp = self.epochs.epoch_sum_of_range(start, start + len);
+        if cache.lookup_run(stamp, start, len, true) {
+            return 0;
+        }
+        self.fill_range(
+            start,
+            len,
+            tid,
+            cache,
+            stamp,
+            Access::Write,
+            on_newly,
+            on_conflict,
+        )
+    }
+
+    /// The outlined miss path of the cached ranged checks: per-granule
+    /// cached checks (so single-granule entries refill too), then the
+    /// run summary — only when **zero** granules conflicted, since a
+    /// summary cannot remember a conflicting granule inside it.
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn fill_range<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        stamp: u64,
+        access: Access,
+        mut on_newly: impl FnMut(usize),
+        mut on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let mut conflicts = 0;
+        for g in start..start + len {
+            let epoch = self.epochs.epoch_of(g);
+            if cache.lookup(epoch, g, access.is_write()) {
+                continue;
+            }
+            match self.check(g, tid, access) {
+                Ok(newly) => {
+                    cache.insert(g, access.is_write(), epoch);
+                    if newly {
+                        on_newly(g);
+                    }
+                }
+                Err(e) => {
+                    conflicts += 1;
+                    on_conflict(e);
+                }
+            }
+        }
+        if conflicts == 0 {
+            cache.insert_run(start, len, access.is_write(), stamp);
+        }
+        conflicts
+    }
+
     /// Clears a thread's bit on exit ("SharC does not consider it a
     /// race for two threads to access the same location if their
     /// execution does not overlap").
@@ -557,5 +746,130 @@ mod tests {
         // After the exit-clear the cached read entry is discarded and
         // the slow path re-installs.
         assert_eq!(s.check_read_cached(0, ThreadId(1), &mut c1), Ok(true));
+    }
+
+    // ----- ranged checks -----
+
+    /// Folds the per-granule check over a range, mirroring the ranged
+    /// API's observable outputs: (newly list, conflict granules).
+    fn fold_check(
+        s: &Shadow,
+        start: usize,
+        len: usize,
+        tid: ThreadId,
+        write: bool,
+    ) -> (Vec<usize>, Vec<usize>) {
+        let (mut newly, mut conf) = (Vec::new(), Vec::new());
+        for g in start..start + len {
+            let r = if write {
+                s.check_write(g, tid)
+            } else {
+                s.check_read(g, tid)
+            };
+            match r {
+                Ok(true) => newly.push(g),
+                Ok(false) => {}
+                Err(e) => conf.push(e.granule),
+            }
+        }
+        (newly, conf)
+    }
+
+    #[test]
+    fn range_verdict_equals_the_per_granule_fold() {
+        // Two identically prepared shadows: granules 0..4 owned by
+        // tid 1, granule 4 owned by tid 2, 5..8 untouched.
+        let prep = || {
+            let s: Shadow = Shadow::new(8);
+            for g in 0..4 {
+                s.check_write(g, ThreadId(1)).unwrap();
+            }
+            s.check_write(4, ThreadId(2)).unwrap();
+            s
+        };
+        let (a, b) = (prep(), prep());
+        let (mut newly, mut conf) = (Vec::new(), Vec::new());
+        let n = a.check_range_write(
+            0,
+            8,
+            ThreadId(1),
+            |g| newly.push(g),
+            |e| conf.push(e.granule),
+        );
+        let (fnewly, fconf) = fold_check(&b, 0, 8, ThreadId(1), true);
+        assert_eq!(newly, fnewly, "newly-installed granules agree");
+        assert_eq!(conf, fconf, "conflicting granules agree");
+        assert_eq!(n, conf.len());
+        assert_eq!(conf, vec![4], "only tid 2's granule conflicts");
+        // And the shadow words are bit-identical afterwards.
+        for g in 0..8 {
+            assert_eq!(a.raw(g), b.raw(g), "granule {g}");
+        }
+    }
+
+    #[test]
+    fn cached_range_repeat_sweep_is_one_stamp_compare() {
+        let s: Shadow = Shadow::new(64);
+        let mut c: OwnedCache = OwnedCache::new();
+        let t = ThreadId(1);
+        let mut newly = 0;
+        let n = s.check_range_write_cached(0, 64, t, &mut c, |_| newly += 1, |_| {});
+        assert_eq!((n, newly), (0, 64), "first sweep installs everything");
+        let misses_after_fill = c.misses;
+        for _ in 0..5 {
+            let n = s.check_range_write_cached(0, 64, t, &mut c, |_| panic!(), |_| panic!());
+            assert_eq!(n, 0);
+        }
+        assert_eq!(c.misses, misses_after_fill, "repeat sweeps are run hits");
+        // Reads ride the writable run too.
+        let n = s.check_range_read_cached(0, 64, t, &mut c, |_| panic!(), |_| panic!());
+        assert_eq!(n, 0);
+    }
+
+    #[test]
+    fn clear_inside_run_kills_it_clear_outside_does_not() {
+        // 128 granules / 64 regions of 2: the run 0..8 covers regions
+        // 0..4; granule 100 lives far away.
+        let s: Shadow = Shadow::new(128);
+        let mut c: OwnedCache = OwnedCache::new();
+        let t = ThreadId(1);
+        s.check_range_write_cached(0, 8, t, &mut c, |_| {}, |_| {});
+        let baseline = c.misses;
+        s.clear(100); // outside the run's regions
+        s.check_range_write_cached(0, 8, t, &mut c, |_| {}, |_| {});
+        assert_eq!(c.misses, baseline, "distant clear leaves the run live");
+        s.clear(3); // inside
+        let n = s.check_range_write_cached(0, 8, t, &mut c, |_| {}, |_| {});
+        assert_eq!(n, 0);
+        assert!(c.misses > baseline, "covered bump forced a re-sweep");
+        // The re-swept run answers again.
+        let m = c.misses;
+        s.check_range_write_cached(0, 8, t, &mut c, |_| panic!(), |_| panic!());
+        assert_eq!(c.misses, m);
+    }
+
+    #[test]
+    fn cached_range_never_hides_a_conflict() {
+        let s: Shadow = Shadow::new(8);
+        let mut c1: OwnedCache = OwnedCache::new();
+        let mut c2: OwnedCache = OwnedCache::new();
+        s.check_range_write_cached(0, 8, ThreadId(1), &mut c1, |_| {}, |_| {});
+        // Thread 2 sweeps the same buffer: every granule conflicts,
+        // and no run summary may be recorded for it.
+        let mut conf = Vec::new();
+        let n = s.check_range_write_cached(
+            0,
+            8,
+            ThreadId(2),
+            &mut c2,
+            |_| {},
+            |e| conf.push(e.granule),
+        );
+        assert_eq!(n, 8);
+        assert_eq!(conf, (0..8).collect::<Vec<_>>());
+        let n = s.check_range_write_cached(0, 8, ThreadId(2), &mut c2, |_| {}, |_| {});
+        assert_eq!(n, 8, "conflicting sweep was not summarised");
+        // Thread 1's run is still valid (conflicts never install).
+        s.check_range_write_cached(0, 8, ThreadId(1), &mut c1, |_| panic!(), |_| panic!());
     }
 }

@@ -45,6 +45,7 @@
 
 use crate::shadow::RaceError;
 use sharc_checker::step::{
+    range,
     sharded::{self, ShardStep},
     Access,
 };
@@ -319,6 +320,179 @@ impl ShardedShadow {
         Ok(newly)
     }
 
+    /// One `chkread`/`chkwrite` over a contiguous run of granules
+    /// (the ranged check, same contract as
+    /// [`crate::Shadow::check_range_read`]): the verdict equals the
+    /// fold of per-granule checks, but granules whose snapshot is
+    /// already fully recorded for `tid`
+    /// ([`range::recorded_sharded`]) are classified in a word-sweep
+    /// without entering the CAS protocol.
+    fn check_range(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        access: Access,
+        mut on_newly: impl FnMut(usize),
+        mut on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let mut conflicts = 0usize;
+        let end = start + len;
+        let mut buf = [0u64; MAX_WORDS_PER_GRANULE];
+        let mut g = start;
+        while g < end {
+            // Fast sweep: skip every granule whose snapshot already
+            // records this access for `tid`. `recorded_sharded` being
+            // true means the pure step is `Unchanged`, so skipping is
+            // exactly what the per-granule loop would have done.
+            while g < end {
+                let snap = self.snapshot(g, &mut buf);
+                if !range::recorded_sharded(snap, self.geom, tid.0, access) {
+                    break;
+                }
+                g += 1;
+            }
+            if g >= end {
+                break;
+            }
+            match self.check(g, tid, access) {
+                Ok(true) => on_newly(g),
+                Ok(false) => {}
+                Err(e) => {
+                    conflicts += 1;
+                    on_conflict(e);
+                }
+            }
+            g += 1;
+        }
+        conflicts
+    }
+
+    /// Ranged `chkread` over `start..start + len`. Returns the number
+    /// of conflicting granules; `on_newly` fires for each granule
+    /// whose shadow state this call changed, `on_conflict` for each
+    /// conflict (so the per-granule outcome fold is reconstructible).
+    pub fn check_range_read(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.check_range(start, len, tid, Access::Read, on_newly, on_conflict)
+    }
+
+    /// Ranged `chkwrite` over `start..start + len`.
+    pub fn check_range_write(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        self.check_range(start, len, tid, Access::Write, on_newly, on_conflict)
+    }
+
+    /// [`ShardedShadow::check_range_read`] with the owned-run fast
+    /// path: a repeat sweep over a run this thread already owns (or
+    /// reads) is a single epoch-stamp compare. See
+    /// [`crate::Shadow::check_range_read_cached`] for the stamp
+    /// discipline — identical here.
+    #[inline]
+    pub fn check_range_read_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let stamp = self.epochs.epoch_sum_of_range(start, start + len);
+        if cache.lookup_run(stamp, start, len, false) {
+            return 0;
+        }
+        self.fill_range(
+            start,
+            len,
+            tid,
+            cache,
+            stamp,
+            Access::Read,
+            on_newly,
+            on_conflict,
+        )
+    }
+
+    /// [`ShardedShadow::check_range_write`] with the owned-run fast
+    /// path.
+    #[inline]
+    pub fn check_range_write_cached<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        on_newly: impl FnMut(usize),
+        on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let stamp = self.epochs.epoch_sum_of_range(start, start + len);
+        if cache.lookup_run(stamp, start, len, true) {
+            return 0;
+        }
+        self.fill_range(
+            start,
+            len,
+            tid,
+            cache,
+            stamp,
+            Access::Write,
+            on_newly,
+            on_conflict,
+        )
+    }
+
+    #[cold]
+    #[inline(never)]
+    #[allow(clippy::too_many_arguments)]
+    fn fill_range<const WAYS: usize>(
+        &self,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        cache: &mut OwnedCache<WAYS>,
+        stamp: u64,
+        access: Access,
+        mut on_newly: impl FnMut(usize),
+        mut on_conflict: impl FnMut(RaceError),
+    ) -> usize {
+        let mut conflicts = 0usize;
+        for g in start..start + len {
+            let epoch = self.epochs.epoch_of(g);
+            if cache.lookup(epoch, g, access.is_write()) {
+                continue;
+            }
+            match self.check(g, tid, access) {
+                Ok(newly) => {
+                    cache.insert(g, access.is_write(), epoch);
+                    if newly {
+                        on_newly(g);
+                    }
+                }
+                Err(e) => {
+                    conflicts += 1;
+                    on_conflict(e);
+                }
+            }
+        }
+        if conflicts == 0 {
+            cache.insert_run(start, len, access.is_write(), stamp);
+        }
+        conflicts
+    }
+
     /// Thread-exit clearing: exact (bit-subtracting) for ids within
     /// the geometry's shards; `SHARED_READ` overflow state cannot be
     /// partially cleared and is left intact (sound but imprecise).
@@ -532,6 +706,93 @@ mod tests {
         for h in handles {
             h.join().unwrap();
         }
+    }
+
+    /// The per-granule fold the ranged check must reproduce.
+    fn fold_check(
+        s: &ShardedShadow,
+        start: usize,
+        len: usize,
+        tid: WideThreadId,
+        access: Access,
+    ) -> (usize, Vec<usize>) {
+        let mut conflicts = 0;
+        let mut newly = Vec::new();
+        for g in start..start + len {
+            match s.check(g, tid, access) {
+                Ok(true) => newly.push(g),
+                Ok(false) => {}
+                Err(_) => conflicts += 1,
+            }
+        }
+        (conflicts, newly)
+    }
+
+    #[test]
+    fn range_verdict_equals_the_per_granule_fold_across_shards() {
+        // Two identically prepared wide shadows: per-granule fold on
+        // one, ranged check on the other, same verdicts — including
+        // high-tid owners and a cross-shard conflicting stripe.
+        let a = wide(32);
+        let b = wide(32);
+        for s in [&a, &b] {
+            for g in 0..8 {
+                s.check_write(g, WideThreadId(200)).unwrap();
+            }
+            for g in 8..16 {
+                s.check_read(g, WideThreadId(1)).unwrap();
+                s.check_read(g, WideThreadId(100)).unwrap();
+            }
+            // 16..24 foreign-owned: conflicts for tid 200.
+            for g in 16..24 {
+                s.check_write(g, WideThreadId(7)).unwrap();
+            }
+            // 24..32 untouched: newly installed by the sweep.
+        }
+        let t = WideThreadId(200);
+        let (want_conflicts, want_newly) = fold_check(&a, 0, 32, t, Access::Read);
+        let mut got_newly = Vec::new();
+        let mut got_errs = Vec::new();
+        let got_conflicts = b.check_range_read(
+            0,
+            32,
+            t,
+            |g| got_newly.push(g),
+            |e| got_errs.push(e.granule),
+        );
+        assert_eq!(got_conflicts, want_conflicts);
+        assert_eq!(got_newly, want_newly);
+        assert_eq!(got_errs.len(), got_conflicts);
+        assert_eq!(got_errs, (16..24).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn cached_range_repeat_sweep_is_one_stamp_compare() {
+        let s = wide(64);
+        let mut c = OwnedCache::<4>::new();
+        let t = WideThreadId(150);
+        let n = s.check_range_write_cached(0, 64, t, &mut c, |_| {}, |_| panic!("clean"));
+        assert_eq!(n, 0);
+        let misses_after_fill = c.misses;
+        for _ in 0..10 {
+            assert_eq!(
+                s.check_range_write_cached(0, 64, t, &mut c, |_| panic!(), |_| panic!()),
+                0
+            );
+            // Reads of a writable run ride the same summary slot.
+            assert_eq!(
+                s.check_range_read_cached(0, 64, t, &mut c, |_| panic!(), |_| panic!()),
+                0
+            );
+        }
+        assert_eq!(c.misses, misses_after_fill, "repeats are run hits");
+        // A clear inside the run discards the summary, and the refill
+        // sees the intruder.
+        s.clear(3);
+        s.check_write(3, WideThreadId(9)).unwrap();
+        let mut conflicts = Vec::new();
+        s.check_range_write_cached(0, 64, t, &mut c, |_| {}, |e| conflicts.push(e.granule));
+        assert_eq!(conflicts, vec![3], "stale run cannot hide the intruder");
     }
 
     #[test]

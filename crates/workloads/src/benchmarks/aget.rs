@@ -12,7 +12,8 @@
 
 use crate::substrates::net::{fnv, ChunkServer};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
-use sharc_runtime::{AccessPolicy, Arena, Checked, ThreadCtx, ThreadId, Unchecked};
+use sharc_checker::CheckEvent;
+use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, Unchecked};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,7 +27,9 @@ pub struct Params {
 }
 
 impl Params {
-    fn scaled(scale: Scale) -> Self {
+    /// Parameters for a given benchmark scale (also used by the
+    /// `sharc native` facade).
+    pub fn scaled(scale: Scale) -> Self {
         Params {
             file_size: if scale.quick { 32 * 1024 } else { 256 * 1024 },
             chunk: 4096,
@@ -44,6 +47,25 @@ impl Params {
 /// output buffer; each worker owns a disjoint range but the buffer is
 /// a single dynamic-mode object (as in aget's shared output file).
 pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
+    run_with_sink::<P>(params, None)
+}
+
+/// Runs the download **checked and traced**: every fetched chunk's
+/// store is one ranged write event, the workers' exits clear their
+/// shadow footprint, and main's verification sweep is one ranged read
+/// — so the exact native execution replays through any
+/// [`sharc_checker::CheckBackend`] (`sharc native aget --detector …`).
+/// SharC is clean (the exits end the workers' lifetimes before main
+/// reads); Eraser's lockset for the buffer is empty — the whole point
+/// of segment ownership is downloading without a lock held — so it
+/// false-positives on the same execution.
+pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
+    let sink = Arc::new(EventLog::new());
+    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    (run, sink.take())
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
     let server = Arc::new(ChunkServer::new(params.file_size, params.latency, 0xA6E7));
     // The output buffer packs 8 bytes per word, as C memory does.
     let arena: Arc<Arena> = Arc::new(Arena::new(params.file_size.div_ceil(8) + 1));
@@ -56,19 +78,41 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
         let chunk = params.chunk;
         let start = w * per_worker;
         let end = ((w + 1) * per_worker).min(params.file_size);
+        let tid = ThreadId(w as u8 + 2);
+        if let Some(s) = &sink {
+            // Fork is recorded by the parent *before* the child can
+            // emit, so the linearized trace orders it first.
+            s.record(CheckEvent::Fork {
+                parent: 1,
+                child: tid.0 as u32,
+            });
+        }
+        let sink = sink.clone();
         handles.push(std::thread::spawn(move || {
-            let mut ctx = ThreadCtx::new(ThreadId(w as u8 + 2));
+            let mut ctx = match sink {
+                Some(s) => ThreadCtx::with_sink(tid, s),
+                None => ThreadCtx::new(tid),
+            };
             let mut off = start;
+            let mut words: Vec<u64> = Vec::new();
             while off < end {
                 let len = chunk.min(end - off);
                 let bytes = server.fetch(off, len);
-                for (i, chnk) in bytes.chunks(8).enumerate() {
-                    let mut w = 0u64;
+                // Pack the fetched bytes into words, then store the
+                // whole chunk with ONE ranged chkwrite — the bulk
+                // inner loop on the ranged path.
+                words.clear();
+                for chnk in bytes.chunks(8) {
+                    let mut v = 0u64;
                     for (k, &b) in chnk.iter().enumerate() {
-                        w |= (b as u64) << (k * 8);
+                        v |= (b as u64) << (k * 8);
                     }
-                    P::write(&arena, &mut ctx, off / 8 + i, w);
+                    words.push(v);
                 }
+                let wstart = off / 8; // chunks are word-aligned
+                P::write_range(&arena, &mut ctx, wstart, words.len(), &mut |i| {
+                    words[i - wstart]
+                });
                 off += len;
             }
             let rec = (ctx.checked_accesses, ctx.total_accesses, ctx.conflicts);
@@ -86,15 +130,46 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
         total += t;
         conflicts += cf;
     }
-
-    // Main verifies the download (reads are main-private afterwards).
-    let mut main_ctx = ThreadCtx::new(ThreadId(1));
-    let mut assembled = Vec::with_capacity(params.file_size);
-    for i in 0..params.file_size {
-        let w = Unchecked::read(&arena, &mut main_ctx, i / 8);
-        assembled.push((w >> ((i % 8) * 8)) as u8);
+    if let Some(s) = &sink {
+        for w in 0..params.workers {
+            s.record(CheckEvent::Join {
+                parent: 1,
+                child: w as u32 + 2,
+            });
+        }
     }
+
+    // Main verifies the download — one ranged sweep over the whole
+    // buffer through the policy. The workers' exits cleared their
+    // shadow bits (non-overlapping lifetimes are not races), so the
+    // sweep is clean under SharC.
+    let mut main_ctx = match &sink {
+        Some(s) => ThreadCtx::with_sink(ThreadId(1), Arc::clone(s)),
+        None => ThreadCtx::new(ThreadId(1)),
+    };
+    let n_words = params.file_size.div_ceil(8);
+    let mut assembled = Vec::with_capacity(params.file_size);
+    let mut word0 = 0u64;
+    P::read_range(&arena, &mut main_ctx, 0, n_words, &mut |i, w| {
+        if i == 0 {
+            word0 = w;
+        }
+        for k in 0..8 {
+            if assembled.len() < params.file_size {
+                assembled.push((w >> (k * 8)) as u8);
+            }
+        }
+    });
+    // aget's completion touch-up: main re-stamps the file header in
+    // place (same bytes, so the checksum is untouched). Under SharC
+    // this is a legal single-reader upgrade; under Eraser it is the
+    // Shared-Modified transition with an empty lockset — the false
+    // positive the §6.2 comparison is about.
+    P::write(&arena, &mut main_ctx, 0, word0);
+    checked += main_ctx.checked_accesses;
     total += main_ctx.total_accesses;
+    conflicts += main_ctx.conflicts;
+    arena.thread_exit(&mut main_ctx);
 
     NativeRun {
         checksum: fnv(&assembled),
@@ -208,6 +283,38 @@ mod tests {
             ratio < 1.6,
             "network-bound: overhead should drown in latency (ratio {ratio:.2})"
         );
+    }
+
+    #[test]
+    fn traced_run_splits_sharc_from_eraser() {
+        // §6.2 through the native event spine: the SAME download
+        // execution is clean under SharC (segment ownership ends at
+        // thread exit, before main's verification sweep) and a false
+        // positive under Eraser (no lock ever protects the buffer).
+        use sharc_checker::{replay, BitmapBackend};
+        use sharc_detectors::{BaselineBackend, Eraser};
+        let params = Params {
+            latency: Duration::ZERO,
+            ..Params::scaled(Scale::quick())
+        };
+        let (run, trace) = run_traced(&params);
+        assert_eq!(run.conflicts, 0, "the native run itself is clean");
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, CheckEvent::RangeWrite { .. })),
+            "chunk stores are ranged events"
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, CheckEvent::RangeRead { .. })),
+            "the verification sweep is a ranged event"
+        );
+        let sharc = replay(&trace, &mut BitmapBackend::new());
+        assert!(sharc.is_empty(), "SharC models the lifetimes: {sharc:?}");
+        let eraser = replay(&trace, &mut BaselineBackend::new(Eraser::new()));
+        assert!(!eraser.is_empty(), "Eraser has no lifetime model");
     }
 
     #[test]

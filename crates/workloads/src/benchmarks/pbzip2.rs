@@ -44,6 +44,20 @@ impl Params {
     }
 }
 
+/// Symbolic shadow granules per block in the emitted trace: blocks
+/// are 16 KiB, so their footprint spans many granules; the trace
+/// models that with [`BLOCK_GRANULES`] granules per block, swept by
+/// ONE `RangeRead`/`RangeWrite` event per (de)compression pass — the
+/// bulk inner loop on the ranged path. Replay lowers each range to
+/// per-granule checks, so verdicts match the per-granule spelling.
+pub const BLOCK_GRANULES: usize = 4;
+
+/// First symbolic granule of block `idx`.
+#[inline]
+fn block_granule(idx: usize) -> usize {
+    idx * BLOCK_GRANULES
+}
+
 /// A block exchanged through the pipeline. The payload vector is the
 /// privately-owned buffer; `slot` is the reference-counted cell that
 /// models the pointer hand-off the paper instruments.
@@ -98,7 +112,8 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
 /// the writer — is mirrored into an [`EventLog`] as [`CheckEvent`]s,
 /// so this exact native execution can be replayed through any
 /// [`sharc_checker::CheckBackend`] (`sharc native pbzip2
-/// --detector …`). One granule per block; the benign racy
+/// --detector …`). [`BLOCK_GRANULES`] granules per block, swept by
+/// one ranged event per (de)compression pass; the benign racy
 /// "reading finished" flag is annotated `racy` in the paper and is
 /// deliberately *not* traced — racy-mode accesses are unchecked.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
@@ -184,17 +199,29 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<EventLog>>) ->
                         }
                     }
                     if let Some(s) = &sink {
-                        s.record(CheckEvent::SharingCast {
-                            tid,
-                            granule: idx,
-                            refs: 1,
-                        });
+                        let base = block_granule(idx);
+                        for g in base..base + BLOCK_GRANULES {
+                            s.record(CheckEvent::SharingCast {
+                                tid,
+                                granule: g,
+                                refs: 1,
+                            });
+                        }
                         // The block is private again: the compression
                         // loop reads the input and writes the output
                         // in place, lock-free — the access pattern
-                        // locksets judge most harshly.
-                        s.record(CheckEvent::Read { tid, granule: idx });
-                        s.record(CheckEvent::Write { tid, granule: idx });
+                        // locksets judge most harshly. One ranged
+                        // sweep per pass over the block's granules.
+                        s.record(CheckEvent::RangeRead {
+                            tid,
+                            granule: base,
+                            len: BLOCK_GRANULES,
+                        });
+                        s.record(CheckEvent::RangeWrite {
+                            tid,
+                            granule: base,
+                            len: BLOCK_GRANULES,
+                        });
                     }
                     // Compression on the privately-owned buffer:
                     // unchecked in both builds (annotated private).
@@ -225,19 +252,26 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<EventLog>>) ->
         // distributes them round-robin.
         for (idx, chunk) in input.chunks(params.block).enumerate() {
             if let Some(s) = &sink {
-                // A fresh block, filled privately by the reader, then
-                // cast into the hand-off slot (the RC write barrier
-                // below is the runtime effect the event records).
-                s.record(CheckEvent::Alloc { granule: idx });
-                s.record(CheckEvent::Write {
+                // A fresh block, filled privately by the reader (one
+                // ranged write over its whole footprint), then cast
+                // into the hand-off slot (the RC write barrier below
+                // is the runtime effect the events record).
+                let base = block_granule(idx);
+                for g in base..base + BLOCK_GRANULES {
+                    s.record(CheckEvent::Alloc { granule: g });
+                }
+                s.record(CheckEvent::RangeWrite {
                     tid: 1,
-                    granule: idx,
+                    granule: base,
+                    len: BLOCK_GRANULES,
                 });
-                s.record(CheckEvent::SharingCast {
-                    tid: 1,
-                    granule: idx,
-                    refs: 1,
-                });
+                for g in base..base + BLOCK_GRANULES {
+                    s.record(CheckEvent::SharingCast {
+                        tid: 1,
+                        granule: g,
+                        refs: 1,
+                    });
+                }
             }
             if checked {
                 // Publish the block pointer into the hand-off slot,
@@ -277,15 +311,20 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<EventLog>>) ->
         }
         if let Some(s) = &sink {
             // The worker-to-writer hand-off: the second `oneref`
-            // cast, then the writer's ordered read of the block.
-            s.record(CheckEvent::SharingCast {
+            // cast, then the writer's ordered ranged read of the
+            // whole block.
+            let base = block_granule(*idx);
+            for g in base..base + BLOCK_GRANULES {
+                s.record(CheckEvent::SharingCast {
+                    tid: 1,
+                    granule: g,
+                    refs: 1,
+                });
+            }
+            s.record(CheckEvent::RangeRead {
                 tid: 1,
-                granule: *idx,
-                refs: 1,
-            });
-            s.record(CheckEvent::Read {
-                tid: 1,
-                granule: *idx,
+                granule: base,
+                len: BLOCK_GRANULES,
             });
         }
         checksum = checksum.wrapping_add(fnv(c).wrapping_mul(*idx as u64 + 1));

@@ -36,9 +36,8 @@ impl Params {
                 n_dirs: if scale.quick { 2 } else { 8 },
                 files_per_dir: if scale.quick { 4 } else { 12 },
                 file_size: if scale.quick { 2048 } else { 8192 },
-                // Plant needles densely enough that every scale hits
-                // word-boundary backtracking (the re-read cost that
-                // pushes the checked fraction above one-per-word).
+                // Plant needles densely enough that every scale finds
+                // matches in every file it sweeps.
                 needle_every: 256,
                 ..FsConfig::default()
             },
@@ -55,22 +54,11 @@ struct Job {
     len: usize,
 }
 
-/// Reads byte `pos` of the packed arena through the policy, caching
-/// the last word so sequential scans pay one checked access per 8
-/// bytes — the 16-byte-granule cost model of real SharC.
+/// Byte `pos` out of a word buffer previously swept out of the arena
+/// (words are packed 8 bytes each, little-endian, as C memory).
 #[inline]
-fn byte_at<P: AccessPolicy>(
-    arena: &Arena,
-    ctx: &mut ThreadCtx,
-    cache: &mut (usize, u64),
-    pos: usize,
-) -> u8 {
-    let w = pos / 8;
-    if cache.0 != w {
-        cache.1 = P::read(arena, ctx, w);
-        cache.0 = w;
-    }
-    (cache.1 >> ((pos % 8) * 8)) as u8
+fn byte_of(words: &[u64], pos: usize) -> u8 {
+    (words[pos / 8] >> ((pos % 8) * 8)) as u8
 }
 
 /// Runs the scan with access policy `P`, returning the run record.
@@ -145,22 +133,25 @@ fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) 
                 None => ThreadCtx::new(tid),
             };
             let mut matches = 0u64;
-            let mut cache = (usize::MAX, 0u64);
+            let mut buf: Vec<u64> = Vec::new();
             loop {
                 let job = queue.lock().pop_front();
                 let Some(job) = job else { break };
-                // Scan for the needle, reading through the policy.
+                // The bulk inner loop: ONE ranged `chkread` sweeps the
+                // whole file buffer out of the arena (one check per
+                // sweep instead of one per word), then the scan runs
+                // on the local copy.
+                let wstart = job.offset / 8; // files are word-aligned
+                let wlen = job.len.div_ceil(8);
+                buf.clear();
+                P::read_range(&arena, &mut ctx, wstart, wlen, &mut |_, v| buf.push(v));
                 let n = NEEDLE.len();
                 if job.len >= n {
                     for i in 0..=job.len - n {
-                        let mut hit = true;
-                        for (k, &nb) in NEEDLE.iter().enumerate() {
-                            let b = byte_at::<P>(&arena, &mut ctx, &mut cache, job.offset + i + k);
-                            if b != nb {
-                                hit = false;
-                                break;
-                            }
-                        }
+                        let hit = NEEDLE
+                            .iter()
+                            .enumerate()
+                            .all(|(k, &nb)| byte_of(&buf, i + k) == nb);
                         if hit {
                             matches += 1;
                         }
@@ -320,9 +311,12 @@ mod tests {
         // unchecked.
         let params = Params::scaled(Scale::quick());
         let r = run_native::<Checked>(&params);
+        // The ranged sweep reads each word exactly once, so the split
+        // is exactly produce-unchecked / scan-checked: half of all
+        // accesses are dynamic-mode.
         assert!(
-            r.checked as f64 / r.total as f64 > 0.5,
-            "most accesses are checked scans: {}/{}",
+            r.checked as f64 / r.total as f64 >= 0.5,
+            "scan accesses are checked: {}/{}",
             r.checked,
             r.total
         );
@@ -343,11 +337,30 @@ mod tests {
         let fs = SynthFs::generate(params.fs, "needle");
         let (run, trace) = run_traced(&params);
         assert_eq!(run.checksum, fs.count_occurrences(NEEDLE) as u64);
+        // Every checked access is covered by the trace — now mostly
+        // as ranged events, one per buffer sweep (a RangeRead of
+        // `len` granules covers up to `len * GRANULE_WORDS` word
+        // accesses).
+        let covered: u64 = trace
+            .iter()
+            .map(|e| match e {
+                CheckEvent::Read { .. } | CheckEvent::Write { .. } => 1,
+                CheckEvent::RangeRead { len, .. } | CheckEvent::RangeWrite { len, .. } => {
+                    (len * sharc_runtime::GRANULE_WORDS) as u64
+                }
+                _ => 0,
+            })
+            .sum();
         assert!(
-            trace.len() as u64 >= run.checked,
-            "all checked accesses traced: {} events, {} checked",
-            trace.len(),
+            covered >= run.checked,
+            "all checked accesses covered: {covered} covered, {} checked",
             run.checked
+        );
+        assert!(
+            trace
+                .iter()
+                .any(|e| matches!(e, CheckEvent::RangeRead { .. })),
+            "file sweeps are ranged events"
         );
         let conflicts = sharc_checker::replay(&trace, &mut sharc_checker::BitmapBackend::new());
         assert!(conflicts.is_empty(), "{conflicts:?}");

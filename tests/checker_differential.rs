@@ -544,6 +544,397 @@ fn cross_shard_ownership_transfer_is_exact() {
     );
 }
 
+// ----- Ranged checks (PR 5) -----
+
+/// Granule universe for the ranged traces: big enough that runs have
+/// room to span several epoch regions, small enough that threads
+/// keep colliding.
+const RANGE_GRANULES: usize = 16;
+
+/// Vocabulary for the ranged differential: buffer sweeps (the new
+/// ranged checks), single-granule accesses (the old vocabulary,
+/// interleaved so point entries and run summaries coexist in one
+/// cache), and **mid-range clears** — the adversarial case, since a
+/// clear inside a summarized run must kill the summary while a clear
+/// elsewhere must not resurrect anything.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RangeOp {
+    Range {
+        tid: u32,
+        start: usize,
+        len: usize,
+        is_write: bool,
+    },
+    Point {
+        tid: u32,
+        granule: usize,
+        is_write: bool,
+    },
+    Clear {
+        granule: usize,
+    },
+}
+
+fn range_op_gen(threads: u32) -> Gen<RangeOp> {
+    let sweep = gen::pair(
+        gen::pair(gen::u32_range(1..threads + 1), gen::bool_any()),
+        gen::pair(
+            gen::usize_range(0..RANGE_GRANULES),
+            gen::usize_range(1..RANGE_GRANULES + 1),
+        ),
+    );
+    gen::one_of(vec![
+        sweep.map(|&((tid, is_write), (start, len))| RangeOp::Range {
+            tid,
+            start,
+            len: len.min(RANGE_GRANULES - start),
+            is_write,
+        }),
+        gen::pair(
+            gen::pair(gen::u32_range(1..threads + 1), gen::bool_any()),
+            gen::usize_range(0..RANGE_GRANULES),
+        )
+        .map(|&((tid, is_write), granule)| RangeOp::Point {
+            tid,
+            granule,
+            is_write,
+        }),
+        gen::usize_range(0..RANGE_GRANULES).map(|&granule| RangeOp::Clear { granule }),
+    ])
+}
+
+/// Folds the per-granule check over a run on the oracle backend,
+/// returning the conflict count — the definition the ranged checks
+/// must reproduce.
+fn oracle_fold(oracle: &mut BitmapBackend, tid: u32, start: usize, len: usize, w: bool) -> usize {
+    (start..start + len)
+        .filter(|&g| {
+            if w {
+                oracle.chkwrite(tid, g).is_conflict()
+            } else {
+                oracle.chkread(tid, g).is_conflict()
+            }
+        })
+        .count()
+}
+
+/// The ranged fold contract, engine-differentially: for any trace of
+/// sweeps, point accesses, and mid-range clears, the per-op conflict
+/// count of `check_range_*` — uncached, cached (owned runs + point
+/// entries), and on the adaptive engine — equals the fold of
+/// per-granule verdicts on the VM's direct-step oracle, and the
+/// bitmap engines end bit-identical word for word.
+#[test]
+fn range_checks_equal_per_granule_fold() {
+    forall!(
+        "range_checks_equal_per_granule_fold",
+        cfg(),
+        gen::vec_of(range_op_gen(THREADS), 0..96),
+        |ops| {
+            let mut oracle = BitmapBackend::new();
+            let ranged: Shadow = Shadow::new(RANGE_GRANULES);
+            let cached: Shadow = Shadow::new(RANGE_GRANULES);
+            let adaptive = ScalableShadow::new(RANGE_GRANULES);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut ad_caches: HashMap<u32, OwnedCache> = HashMap::new();
+
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    RangeOp::Range {
+                        tid,
+                        start,
+                        len,
+                        is_write,
+                    } => {
+                        let want = oracle_fold(&mut oracle, tid, start, len, is_write);
+                        let t8 = ThreadId(tid as u8);
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let ad_cache = ad_caches.entry(tid).or_default();
+                        let got = if is_write {
+                            [
+                                ranged.check_range_write(start, len, t8, |_| {}, |_| {}),
+                                cached.check_range_write_cached(
+                                    start,
+                                    len,
+                                    t8,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                adaptive.check_range_write_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    ad_cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                            ]
+                        } else {
+                            [
+                                ranged.check_range_read(start, len, t8, |_| {}, |_| {}),
+                                cached.check_range_read_cached(
+                                    start,
+                                    len,
+                                    t8,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                adaptive.check_range_read_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    ad_cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                            ]
+                        };
+                        prop_assert!(
+                            got == [want; 3],
+                            "op {} (range {} {}..{}): fold {} vs \
+                             [uncached, cached, adaptive] {:?}",
+                            i,
+                            if is_write { "write" } else { "read" },
+                            start,
+                            start + len,
+                            want,
+                            got
+                        );
+                    }
+                    RangeOp::Point {
+                        tid,
+                        granule,
+                        is_write,
+                    } => {
+                        let t8 = ThreadId(tid as u8);
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let ad_cache = ad_caches.entry(tid).or_default();
+                        let verdicts = if is_write {
+                            [
+                                oracle.chkwrite(tid, granule).is_conflict(),
+                                ranged.check_write(granule, t8).is_err(),
+                                cached.check_write_cached(granule, t8, cache).is_err(),
+                                adaptive.check_write_cached(granule, tw, ad_cache).is_err(),
+                            ]
+                        } else {
+                            [
+                                oracle.chkread(tid, granule).is_conflict(),
+                                ranged.check_read(granule, t8).is_err(),
+                                cached.check_read_cached(granule, t8, cache).is_err(),
+                                adaptive.check_read_cached(granule, tw, ad_cache).is_err(),
+                            ]
+                        };
+                        prop_assert!(
+                            verdicts.iter().all(|&v| v == verdicts[0]),
+                            "op {} (point): verdicts diverged {:?}",
+                            i,
+                            verdicts
+                        );
+                    }
+                    RangeOp::Clear { granule } => {
+                        oracle.on_alloc(granule);
+                        ranged.clear(granule);
+                        cached.clear(granule);
+                        adaptive.clear(granule);
+                    }
+                }
+            }
+            for g in 0..RANGE_GRANULES {
+                prop_assert!(
+                    oracle.raw(g) == ranged.raw(g) && ranged.raw(g) == cached.raw(g),
+                    "final word of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
+/// The same fold contract on the five-shard geometry: ranged checks
+/// from tids up to 256 — cached and uncached, with mid-range clears —
+/// agree per op with the per-granule fold on the wide oracle, and
+/// every shard word ends bit-identical.
+#[test]
+fn ranged_sharded_checks_agree_up_to_256_threads() {
+    let geom = ShadowGeometry::for_threads(WIDE_THREADS as usize);
+    assert!(geom.shards() > 1, "the point is a multi-shard geometry");
+    forall!(
+        "ranged_sharded_checks_agree_up_to_256_threads",
+        cfg(),
+        gen::vec_of(range_op_gen(WIDE_THREADS), 0..96),
+        |ops| {
+            let mut oracle = BitmapBackend::with_geometry(geom);
+            let ranged = ShardedShadow::with_geometry(RANGE_GRANULES, geom);
+            let cached = ShardedShadow::with_geometry(RANGE_GRANULES, geom);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    RangeOp::Range {
+                        tid,
+                        start,
+                        len,
+                        is_write,
+                    } => {
+                        let want = oracle_fold(&mut oracle, tid, start, len, is_write);
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let got = if is_write {
+                            [
+                                ranged.check_range_write(start, len, tw, |_| {}, |_| {}),
+                                cached.check_range_write_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                            ]
+                        } else {
+                            [
+                                ranged.check_range_read(start, len, tw, |_| {}, |_| {}),
+                                cached.check_range_read_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                            ]
+                        };
+                        prop_assert!(
+                            got == [want; 2],
+                            "op {} (wide range): fold {} vs [uncached, cached] {:?}",
+                            i,
+                            want,
+                            got
+                        );
+                    }
+                    RangeOp::Point {
+                        tid,
+                        granule,
+                        is_write,
+                    } => {
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let verdicts = if is_write {
+                            [
+                                oracle.chkwrite(tid, granule).is_conflict(),
+                                ranged.check_write(granule, tw).is_err(),
+                                cached.check_write_cached(granule, tw, cache).is_err(),
+                            ]
+                        } else {
+                            [
+                                oracle.chkread(tid, granule).is_conflict(),
+                                ranged.check_read(granule, tw).is_err(),
+                                cached.check_read_cached(granule, tw, cache).is_err(),
+                            ]
+                        };
+                        prop_assert!(
+                            verdicts.iter().all(|&v| v == verdicts[0]),
+                            "op {} (wide point): verdicts diverged {:?}",
+                            i,
+                            verdicts
+                        );
+                    }
+                    RangeOp::Clear { granule } => {
+                        oracle.on_alloc(granule);
+                        ranged.clear(granule);
+                        cached.clear(granule);
+                    }
+                }
+            }
+            for g in 0..RANGE_GRANULES {
+                prop_assert!(
+                    oracle.raw_words(g) == ranged.raw_words(g),
+                    "final words of granule {}",
+                    g
+                );
+                prop_assert!(
+                    ranged.raw_words(g) == cached.raw_words(g),
+                    "cached words of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
+/// Replay-lowering is verdict-invisible for **every** backend, not
+/// just SharC's: a trace with range events and the same trace with
+/// each range expanded to per-granule events produce bit-identical
+/// conflict lists under the bitmap engine, Eraser, and the
+/// vector-clock detector. This is what licenses workloads to emit one
+/// event per buffer sweep while the §6.2 detector comparison keeps
+/// judging the same execution.
+#[test]
+fn range_replay_lowering_is_bit_identical_for_every_backend() {
+    use sharc_checker::lower_ranges;
+    use sharc_detectors::VcDetector;
+
+    fn spine_event_gen() -> Gen<CheckEvent> {
+        use CheckEvent as E;
+        gen::pair(
+            gen::u32_range(0..12),
+            gen::pair(gen::u32_range(1..6), gen::usize_range(0..GRANULES)),
+        )
+        .map(|&(kind, (tid, granule))| {
+            let lock = granule % 3;
+            let len = (granule % 5) + 1;
+            match kind {
+                0 => E::Read { tid, granule },
+                1 => E::Write { tid, granule },
+                2 | 3 => E::RangeRead { tid, granule, len },
+                4 | 5 => E::RangeWrite { tid, granule, len },
+                6 => E::Acquire { tid, lock },
+                7 => E::Release { tid, lock },
+                8 => E::Fork {
+                    parent: tid,
+                    child: tid + 1,
+                },
+                9 => E::SharingCast {
+                    tid,
+                    granule,
+                    refs: 1,
+                },
+                10 => E::ThreadExit { tid },
+                _ => E::Alloc { granule },
+            }
+        })
+    }
+
+    forall!(
+        "range_replay_lowering_is_bit_identical_for_every_backend",
+        cfg(),
+        gen::vec_of(spine_event_gen(), 0..64),
+        |events| {
+            let lowered = lower_ranges(events);
+            prop_assert!(
+                !lowered.iter().any(|e| matches!(
+                    e,
+                    CheckEvent::RangeRead { .. } | CheckEvent::RangeWrite { .. }
+                )),
+                "lowering leaves only per-granule events"
+            );
+            let a = sharc_checker::replay(events, &mut BitmapBackend::new());
+            let b = sharc_checker::replay(&lowered, &mut BitmapBackend::new());
+            prop_assert!(a == b, "sharc: ranged {:?} vs lowered {:?}", a, b);
+            let a = sharc_checker::replay(events, &mut BaselineBackend::new(Eraser::new()));
+            let b = sharc_checker::replay(&lowered, &mut BaselineBackend::new(Eraser::new()));
+            prop_assert!(a == b, "eraser: ranged {:?} vs lowered {:?}", a, b);
+            let a = sharc_checker::replay(events, &mut BaselineBackend::new(VcDetector::new()));
+            let b = sharc_checker::replay(&lowered, &mut BaselineBackend::new(VcDetector::new()));
+            prop_assert!(a == b, "vc: ranged {:?} vs lowered {:?}", a, b);
+        }
+    );
+}
+
 /// The named regression: ownership hand-off through a sharing cast
 /// (the paper's §2.1 producer/consumer idiom, `examples/minic/handoff.c`).
 /// SharC's engine is silent — the `oneref`-checked cast transfers the
