@@ -97,6 +97,19 @@ if cargo run --release --offline --bin sharc -- native aget --detector eraser; t
     exit 1
 fi
 
+echo "== wide-tid stunnel smoke: 100+ threads, record -> replay =="
+# The fleet run: 128 real worker threads (tids past the second shard
+# boundary) recorded once, then the saved trace re-judged offline.
+# SharC must stay clean at the wide geometry (exit 0); Eraser must
+# false-positive on the session hand-offs (exit 1, inverted).
+stunnel_trace="target/ci-stunnel.trace"
+cargo run --release --offline --bin sharc -- native stunnel --trace-out "$stunnel_trace"
+cargo run --release --offline --bin sharc -- replay "$stunnel_trace" --detector sharc
+if cargo run --release --offline --bin sharc -- replay "$stunnel_trace" --detector eraser; then
+    echo "ERROR: eraser accepted the stunnel hand-offs it should false-positive on" >&2
+    exit 1
+fi
+
 echo "== checker bench --smoke (epoch-thrash + ranged gates) =="
 # Asserts the perf claims in --smoke mode: the per-region epoch
 # table is >=2x faster than the R=1 global geometry under
@@ -112,6 +125,19 @@ echo "== checker bench --smoke (epoch-thrash + ranged gates) =="
 cargo bench --offline -p sharc-bench --bench checker -- --smoke
 test -f BENCH_checker.json || {
     echo "ERROR: BENCH_checker.json missing at the repo root" >&2
+    exit 1
+}
+# The stunnel fleet must be in the record: the headline timing rows
+# (throughput pair + contention sweep, p50/p95 with every other row)
+# and the derived messages-per-second figures.
+for row in "stunnel/fleet-sharc" "stunnel/fleet-orig" "stunnel/sweep-c64-w16"; do
+    grep -q "$row" BENCH_checker.json || {
+        echo "ERROR: BENCH_checker.json is missing the $row row" >&2
+        exit 1
+    }
+done
+grep -q "msgs_per_sec" BENCH_checker.json || {
+    echo "ERROR: BENCH_checker.json has no stunnel throughput records" >&2
     exit 1
 }
 

@@ -276,11 +276,20 @@ fn main() {
         .unwrap()
     });
 
+    // ---- Wide-tid stunnel fleet ----
+    //
+    // End-to-end server rows: 100+ real worker threads per run on the
+    // checked spine, the unchecked twin for overhead, and the
+    // clients × workers contention sweep. Timing rows land in the
+    // group (p50/p95 with everything else); the derived
+    // messages-per-second records go into the JSON's `stunnel` array.
+    let stunnel_rows = sharc_bench::stunnel_rows(&mut g, smoke);
+
     // Machine-readable trajectory across PRs: the full row set plus
     // the deterministic flush/miss counters, at the repo root — the
     // ONLY place this group's JSON lands (the old duplicate under
     // `crates/bench/target/` is gone).
-    sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters);
+    sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters, &stunnel_rows);
 
     // The acceptance criterion, enforced at bench time: the cached
     // fast path must stay competitive with the uncached CAS on the

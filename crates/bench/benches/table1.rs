@@ -5,7 +5,7 @@
 //! Runs on the sharc-testkit bench harness (`harness = false`);
 //! results land in `target/BENCH_table1.json`.
 
-use sharc_runtime::{Checked, Unchecked};
+use sharc_runtime::{Checked, Unchecked, WideChecked, WideUnchecked};
 use sharc_testkit::Bench;
 use sharc_workloads::benchmarks::{aget, dillo, fftw, pbzip2, pfscan, stunnel};
 
@@ -34,8 +34,8 @@ fn main() {
     g.bench("fftw/sharc", || fftw::run_native(&ff, true));
 
     let st = stunnel_params();
-    g.bench("stunnel/orig", || stunnel::run_native::<Unchecked>(&st));
-    g.bench("stunnel/sharc", || stunnel::run_native::<Checked>(&st));
+    g.bench("stunnel/orig", || stunnel::run_native::<WideUnchecked>(&st));
+    g.bench("stunnel/sharc", || stunnel::run_native::<WideChecked>(&st));
 
     g.finish();
 }
@@ -88,7 +88,8 @@ fn fftw_params() -> fftw::Params {
 
 fn stunnel_params() -> stunnel::Params {
     stunnel::Params {
-        clients: 3,
+        clients: 8,
+        workers: 8,
         messages: 50,
         msg_len: 256,
     }

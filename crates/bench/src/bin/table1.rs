@@ -104,7 +104,8 @@ fn main() {
         let mut b = sharc_testkit::Bench::new("checker");
         b.sample_size(5);
         let counters = sharc_bench::epoch_rows(&mut b);
-        sharc_bench::write_checker_json_at_repo_root(&b, &counters);
+        let stunnel = sharc_bench::stunnel_rows(&mut b, true);
+        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel);
         sharc_bench::assert_epoch_wins(&b);
     }
 }

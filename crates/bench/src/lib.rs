@@ -341,10 +341,97 @@ pub fn assert_epoch_wins(g: &sharc_testkit::Bench) {
     );
 }
 
+/// A derived throughput record for one wide-fleet stunnel
+/// configuration. The timing row itself (median/p95 latency per
+/// fleet run) lands in the bench group like every other row; this
+/// carries the messages-per-second figure computed from the median
+/// so `BENCH_checker.json` states the server-facing number directly.
+#[derive(Debug, Clone)]
+pub struct StunnelRow {
+    /// Bench row name (`stunnel/...`), shared with the timing row.
+    pub name: String,
+    /// Simulated client connections per run.
+    pub clients: usize,
+    /// Real worker threads per run.
+    pub workers: usize,
+    /// Messages per client per run.
+    pub messages: usize,
+    /// Echoed messages per second, derived from the median run time.
+    pub msgs_per_sec: i64,
+}
+
+/// Benches the wide-tid stunnel fleet into `g`: the checked/original
+/// pair at the fleet shape (throughput plus the harness's p50/p95),
+/// then the clients × workers contention sweep — same total client
+/// count served by fleets from narrow (everything in shard 0) to
+/// wider than two shards, so the sweep prices shard-crossing
+/// contention on the session and counter locks. Returns the derived
+/// throughput records for the JSON document.
+pub fn stunnel_rows(g: &mut sharc_testkit::Bench, smoke: bool) -> Vec<StunnelRow> {
+    use sharc_runtime::{WideChecked, WideUnchecked};
+    use sharc_workloads::benchmarks::stunnel::{run_native, Params};
+
+    let shape = |clients: usize, workers: usize| Params {
+        clients,
+        workers,
+        messages: 4,
+        msg_len: 256,
+    };
+    // The headline pair: the full fleet, checked vs unchecked.
+    let fleet = shape(128, 128);
+    let mut specs: Vec<(String, Params, bool)> = vec![
+        ("stunnel/fleet-sharc".to_string(), fleet, true),
+        ("stunnel/fleet-orig".to_string(), fleet, false),
+    ];
+    // Contention sweep: clients × worker threads.
+    let sweep: &[(usize, usize)] = if smoke {
+        &[(64, 16), (64, 64)]
+    } else {
+        &[(64, 16), (64, 64), (128, 32), (128, 128), (256, 64)]
+    };
+    for &(c, w) in sweep {
+        specs.push((format!("stunnel/sweep-c{c}-w{w}"), shape(c, w), true));
+    }
+
+    let mut rows = Vec::new();
+    for (name, params, checked) in specs {
+        if checked {
+            g.bench(&name, || run_native::<WideChecked>(&params));
+        } else {
+            g.bench(&name, || run_native::<WideUnchecked>(&params));
+        }
+        let stats = g
+            .results()
+            .iter()
+            .find(|s| s.name == name)
+            .expect("stunnel row ran");
+        let total_msgs = (params.clients * params.messages) as u128;
+        let msgs_per_sec = (total_msgs * 1_000_000_000 / (stats.median_ns as u128).max(1)) as i64;
+        eprintln!(
+            "{name}: {msgs_per_sec} msgs/s \
+             ({} clients x {} msgs over {} workers, median run)",
+            params.clients, params.messages, params.workers
+        );
+        rows.push(StunnelRow {
+            name,
+            clients: params.clients,
+            workers: params.workers,
+            messages: params.messages,
+            msgs_per_sec,
+        });
+    }
+    rows
+}
+
 /// Writes `BENCH_checker.json` at the repo root: the standard bench
-/// document augmented with the exact `flushes`/`misses` counters, so
-/// the bench trajectory is recorded across PRs.
-pub fn write_checker_json_at_repo_root(g: &sharc_testkit::Bench, counters: &[EpochCounters]) {
+/// document augmented with the exact `flushes`/`misses` counters and
+/// the stunnel fleet's derived throughput records, so the bench
+/// trajectory is recorded across PRs.
+pub fn write_checker_json_at_repo_root(
+    g: &sharc_testkit::Bench,
+    counters: &[EpochCounters],
+    stunnel: &[StunnelRow],
+) {
     use sharc_testkit::Json;
     let mut doc = g.to_json();
     let arr = Json::Arr(
@@ -360,8 +447,23 @@ pub fn write_checker_json_at_repo_root(g: &sharc_testkit::Bench, counters: &[Epo
             })
             .collect(),
     );
+    let stunnel_arr = Json::Arr(
+        stunnel
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.name.clone())),
+                    ("clients", Json::Int(r.clients as i64)),
+                    ("workers", Json::Int(r.workers as i64)),
+                    ("messages", Json::Int(r.messages as i64)),
+                    ("msgs_per_sec", Json::Int(r.msgs_per_sec)),
+                ])
+            })
+            .collect(),
+    );
     if let Json::Obj(pairs) = &mut doc {
         pairs.push(("counters".to_string(), arr));
+        pairs.push(("stunnel".to_string(), stunnel_arr));
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")

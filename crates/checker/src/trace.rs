@@ -216,6 +216,57 @@ mod tests {
     }
 
     #[test]
+    fn wide_tids_round_trip_exactly_at_shard_boundaries() {
+        // The fleet-width regression: tids straddling every 63-wide
+        // shard boundary, spelled only in the vocabulary a wide
+        // server run actually emits — ranged sweeps interleaved with
+        // the sharing casts and thread exits that clear them. The
+        // text format has no tid width anywhere, so the round trip
+        // must be the identity with the boundary identities intact.
+        const BOUNDARY_TIDS: [u32; 8] = [63, 64, 126, 127, 189, 252, 315, 316];
+        let wide_event = gen::pair(
+            gen::pair(
+                gen::u32_range(0..4),
+                gen::u32_range(0..BOUNDARY_TIDS.len() as u32),
+            ),
+            gen::pair(gen::usize_range(0..4096), gen::usize_range(1..9)),
+        )
+        .map(|&((kind, which), (granule, len))| {
+            let tid = BOUNDARY_TIDS[which as usize];
+            match kind {
+                0 => CheckEvent::RangeRead { tid, granule, len },
+                1 => CheckEvent::RangeWrite { tid, granule, len },
+                2 => CheckEvent::SharingCast {
+                    tid,
+                    granule,
+                    refs: 1 + (granule % 3) as u64,
+                },
+                _ => CheckEvent::ThreadExit { tid },
+            }
+        });
+        forall!(
+            "trace_wide_tids_round_trip",
+            gen::vec_of(wide_event, 0..96),
+            |events| {
+                let parsed = parse_text(&to_text(events)).expect("well-formed");
+                prop_assert_eq!(&parsed, events);
+                // Every tid survived verbatim — no narrowing through
+                // any 63-entry shard encoding on the way to disk.
+                for (e, p) in events.iter().zip(&parsed) {
+                    let tid_of = |e: &CheckEvent| match *e {
+                        CheckEvent::RangeRead { tid, .. }
+                        | CheckEvent::RangeWrite { tid, .. }
+                        | CheckEvent::SharingCast { tid, .. }
+                        | CheckEvent::ThreadExit { tid } => tid,
+                        _ => unreachable!("not in the generated vocabulary"),
+                    };
+                    prop_assert_eq!(tid_of(e), tid_of(p));
+                }
+            }
+        );
+    }
+
+    #[test]
     fn v1_files_still_parse_under_the_v2_parser() {
         // A file written by the v1 `--trace-out` (v1 header, only
         // per-granule lines) parses unchanged: the header is a

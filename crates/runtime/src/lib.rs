@@ -40,6 +40,7 @@ pub mod scalable;
 pub mod scast;
 pub mod shadow;
 pub mod sharded;
+pub mod wide;
 
 pub use arena::{AccessPolicy, Arena, CachedChecked, Checked, Unchecked, GRANULE_WORDS};
 pub use events::EventLog;
@@ -49,3 +50,7 @@ pub use scalable::{ScalableShadow, WideThreadId};
 pub use scast::{sharing_cast, ScastError};
 pub use shadow::{RaceError, Shadow, ShadowWord, ThreadId};
 pub use sharded::{ShardedShadow, MAX_WORDS_PER_GRANULE};
+pub use wide::{
+    WideArena, WideChecked, WideLockNotHeld, WideLockRegistry, WidePolicy, WideThreadCtx,
+    WideUnchecked,
+};

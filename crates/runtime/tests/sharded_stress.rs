@@ -149,3 +149,97 @@ fn fenced_clears_force_cache_revalidation_without_false_reports() {
         );
     }
 }
+
+#[test]
+fn wide_server_rounds() {
+    // The stunnel geometry, one connection per round: an acceptor in
+    // shard 0 initializes a handshake granule, casts it away (a
+    // fenced clear), and a worker in *another shard* takes ownership
+    // through its owned cache. A second fenced clear models the
+    // connection teardown, so the worker's next touch must flush the
+    // stale entry and refill through the sharded slow path. The whole
+    // hand-off schedule is clean — zero reports — while a deliberate
+    // all-writers race on a sibling granule closes every round and
+    // must be reported at least once.
+    let n = CROSS_SHARD_TIDS.len();
+    let shadow = wide(2 * ROUNDS);
+    let caches: Vec<Mutex<OwnedCache>> = (0..n).map(|_| Mutex::new(OwnedCache::new())).collect();
+    let sched = BarrierSchedule::new(n, ROUNDS);
+    let out = sched.run(|ctx| {
+        let tid = WideThreadId(CROSS_SHARD_TIDS[ctx.thread]);
+        let handshake = 2 * ctx.round;
+        let contended = 2 * ctx.round + 1;
+        // The acceptor is participant 0; the connection's worker
+        // rotates over the cross-shard rest.
+        let worker = 1 + ctx.round % (n - 1);
+        let mut clean = false;
+        // Accept: private init, then the sharing cast.
+        if ctx.thread == 0 {
+            clean |= shadow.check_write(handshake, tid).is_err();
+            shadow.clear(handshake);
+        }
+        ctx.sync();
+        // Hand-off: the worker adopts the granule through its cache.
+        if ctx.thread == worker {
+            let mut cache = caches[ctx.thread].lock();
+            clean |= shadow
+                .check_read_cached(handshake, tid, &mut cache)
+                .is_err();
+            clean |= shadow
+                .check_write_cached(handshake, tid, &mut cache)
+                .is_err();
+        }
+        ctx.sync();
+        // Teardown: the fenced clear revokes the worker's ownership.
+        if ctx.thread == 0 {
+            shadow.clear(handshake);
+        }
+        ctx.sync();
+        // Reuse: the worker's cache entry is stale and must refill —
+        // still private, still silent.
+        if ctx.thread == worker {
+            let mut cache = caches[ctx.thread].lock();
+            clean |= shadow
+                .check_write_cached(handshake, tid, &mut cache)
+                .is_err();
+        }
+        ctx.sync();
+        // The racing coda: every participant writes the sibling
+        // granule unguarded.
+        ctx.stagger(200);
+        let raced = shadow.check_write(contended, tid).is_err();
+        (clean, raced)
+    });
+    for (r, row) in out.iter().enumerate() {
+        assert!(
+            row.iter().all(|&(clean, _)| !clean),
+            "round {r}: the fenced hand-off schedule produced a false report"
+        );
+        let raced = row.iter().filter(|&&(_, raced)| raced).count();
+        assert!(
+            raced >= 1,
+            "round {r}: {} cross-shard writers raced one granule and \
+             nobody reported",
+            row.len()
+        );
+    }
+    // Cache-economics lower bounds: each worker served ROUNDS / (n-1)
+    // connections; every connection costs a fill miss plus a
+    // post-teardown flush-and-refill.
+    for (t, slot) in caches.iter().enumerate().skip(1) {
+        let cache = slot.lock();
+        let served = ROUNDS / (n - 1);
+        assert!(
+            cache.misses as usize >= 2 * served,
+            "worker {t}: {} misses for {served} connections — the \
+             hand-offs never went through the slow path",
+            cache.misses
+        );
+        assert!(
+            cache.flushes as usize >= served,
+            "worker {t}: {} flushes for {served} teardowns — stale \
+             ownership was never discarded",
+            cache.flushes
+        );
+    }
+}

@@ -17,13 +17,18 @@
 
 use crate::substrates::net::DnsServer;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
+use sharc_checker::CheckEvent;
 use sharc_runtime::{
-    AccessPolicy, Arena, Checked, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId, Unchecked,
+    AccessPolicy, Arena, Checked, EventLog, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId,
+    Unchecked,
 };
 use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
 use std::time::Duration;
+
+/// Lock id of the request queue in the emitted trace.
+const QUEUE_LOCK: usize = 0;
 
 /// Workload parameters.
 #[derive(Debug, Clone, Copy)]
@@ -35,7 +40,8 @@ pub struct Params {
 }
 
 impl Params {
-    fn scaled(scale: Scale) -> Self {
+    /// The default pipeline shape at the given scale.
+    pub fn scaled(scale: Scale) -> Self {
         Params {
             n_hosts: 64,
             n_requests: if scale.quick { 64 } else { 512 },
@@ -51,6 +57,18 @@ impl Params {
 
 /// Runs the DNS-prefetch pipeline.
 pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
+    run_with_sink::<P>(params, None)
+}
+
+/// Runs the pipeline **checked and traced**, returning the run record
+/// and the linearized native event trace for detector replay.
+pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
+    let sink = Arc::new(EventLog::new());
+    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    (run, sink.take())
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
     let dns = Arc::new(DnsServer::new(params.n_hosts, params.latency, 0xD111));
     // The shared result cache: one granule (16 bytes) per request,
     // matching dillo's 16-byte-aligned request allocations (§4.5's
@@ -65,14 +83,44 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
 
     let mut handles = Vec::new();
     for w in 0..params.workers {
+        let tid = ThreadId(w as u8 + 2);
+        if let Some(s) = &sink {
+            s.record(CheckEvent::Fork {
+                parent: 1,
+                child: tid.0 as u32,
+            });
+        }
         let dns = Arc::clone(&dns);
         let arena = Arc::clone(&arena);
         let queue = Arc::clone(&queue);
         let bogus_rc = Arc::clone(&bogus_rc);
+        let sink = sink.clone();
         handles.push(std::thread::spawn(move || {
-            let mut ctx = ThreadCtx::new(ThreadId(w as u8 + 2));
+            let mut ctx = match sink {
+                Some(s) => ThreadCtx::with_sink(tid, s),
+                None => ThreadCtx::new(tid),
+            };
             loop {
-                let req = queue.lock().pop_front();
+                // Claim a request under the queue lock; the events
+                // are recorded while the lock is held so the trace
+                // linearizes through it.
+                let req = {
+                    let mut q = queue.lock();
+                    if let Some(s) = &ctx.sink {
+                        s.record(CheckEvent::Acquire {
+                            tid: tid.0 as u32,
+                            lock: QUEUE_LOCK,
+                        });
+                    }
+                    let req = q.pop_front();
+                    if let Some(s) = &ctx.sink {
+                        s.record(CheckEvent::Release {
+                            tid: tid.0 as u32,
+                            lock: QUEUE_LOCK,
+                        });
+                    }
+                    req
+                };
                 let Some(req) = req else { break };
                 if is_checked {
                     // The request id travels in a pointer-typed field:
@@ -95,21 +143,51 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
     let mut checked = 0u64;
     let mut total = 0u64;
     let mut conflicts = 0usize;
-    for h in handles {
+    for (w, h) in handles.into_iter().enumerate() {
         let (c, t, cf) = h.join().expect("worker panicked");
+        if let Some(s) = &sink {
+            s.record(CheckEvent::Join {
+                parent: 1,
+                child: w as u32 + 2,
+            });
+        }
         checked += c;
         total += t;
         conflicts += cf;
     }
 
-    // Main renders: sums the resolved addresses (its own accesses are
-    // private-mode reads after join).
-    let mut main_ctx = ThreadCtx::new(ThreadId(1));
+    // Main renders: one ranged sweep over the shared cache sums the
+    // resolved addresses, then a completion touch-up re-writes the
+    // first cell (same value — dillo stamps the page "rendered").
+    // The workers' thread exits already cleared their shadow bits, so
+    // SharC accepts main's reads; a lockset detector replaying the
+    // same trace sees unlocked cross-thread read-then-write and
+    // reports.
+    let mut main_ctx = match &sink {
+        Some(s) => ThreadCtx::with_sink(ThreadId(1), Arc::clone(s)),
+        None => ThreadCtx::new(ThreadId(1)),
+    };
     let mut checksum = 0u64;
-    for i in 0..params.n_requests {
-        checksum = checksum.wrapping_add(Unchecked::read(&arena, &mut main_ctx, 2 * i));
-    }
+    let mut first = 0u64;
+    P::read_range(
+        &arena,
+        &mut main_ctx,
+        0,
+        2 * params.n_requests,
+        &mut |i, v| {
+            if i % 2 == 0 {
+                checksum = checksum.wrapping_add(v);
+            }
+            if i == 0 {
+                first = v;
+            }
+        },
+    );
+    P::write(&arena, &mut main_ctx, 0, first);
+    checked += main_ctx.checked_accesses;
+    conflicts += main_ctx.conflicts;
     total += main_ctx.total_accesses;
+    arena.thread_exit(&mut main_ctx);
 
     // Memory: shadow plus the bogus-pointer RC metadata (slots and
     // counters), which dominates — the paper's 78.8% row.
@@ -222,6 +300,30 @@ pub fn bench(scale: Scale) -> BenchResult {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use sharc_checker::{replay, BitmapBackend};
+    use sharc_detectors::{BaselineBackend, Eraser, VcDetector};
+
+    #[test]
+    fn traced_run_splits_sharc_from_eraser() {
+        // One recorded execution, two verdicts (§6.2): the workers
+        // publish cache cells with no lock held and exit; main then
+        // reads and re-writes the cache. SharC accepts (thread exits
+        // end the workers' claims), the happens-before detector
+        // accepts (fork/join edges), but Eraser's locksets for the
+        // cells are empty by the time main writes, so it reports.
+        let params = Params {
+            latency: Duration::ZERO,
+            ..Params::scaled(Scale::quick())
+        };
+        let (run, trace) = run_traced(&params);
+        assert_eq!(run.checksum, run_native::<Checked>(&params).checksum);
+        let sharc = replay(&trace, &mut BitmapBackend::new());
+        assert!(sharc.is_empty(), "SharC models the lifetimes: {sharc:?}");
+        let vc = replay(&trace, &mut BaselineBackend::new(VcDetector::new()));
+        assert!(vc.is_empty(), "HB sees the join edges: {vc:?}");
+        let eraser = replay(&trace, &mut BaselineBackend::new(Eraser::new()));
+        assert!(!eraser.is_empty(), "Eraser misses the lifetime hand-off");
+    }
 
     #[test]
     fn resolves_deterministically() {

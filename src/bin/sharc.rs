@@ -7,8 +7,8 @@
 //! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
 //! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
 //!                       [--detector sharc|eraser|vc]
-//! sharc native <pfscan|handoff|pbzip2|aget> [--detector sharc|eraser|vc]
-//!                                           [--trace-out <path>]
+//! sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel>
+//!              [--detector sharc|eraser|vc] [--trace-out <path>]
 //! sharc replay <trace-file>       [--detector sharc|eraser|vc]
 //! ```
 //!
@@ -36,8 +36,8 @@ fn usage() -> ExitCode {
         "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
          sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
          [--detector sharc|eraser|vc]\n  \
-         sharc native <pfscan|handoff|pbzip2|aget> [--detector sharc|eraser|vc] \
-         [--trace-out <path>]\n  \
+         sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel> \
+         [--detector sharc|eraser|vc] [--trace-out <path>]\n  \
          sharc replay <trace-file> [--detector sharc|eraser|vc]"
     );
     ExitCode::from(2)

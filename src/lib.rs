@@ -302,6 +302,22 @@ pub enum NativeWorkload {
     /// under SharC (non-overlapping lifetimes), false-positived by
     /// Eraser (no lock ever protects the buffer).
     Aget,
+    /// The DNS-prefetch pipeline (Table 1 row 4): workers publish
+    /// cache cells with no lock and exit; main renders afterwards.
+    /// Clean under SharC and happens-before, false-positived by
+    /// Eraser.
+    Dillo,
+    /// The FFT batch (Table 1 row 5): per-transform descriptor
+    /// granules sharing-cast main → worker and written back. Clean
+    /// under SharC, false-positived by Eraser.
+    Fftw,
+    /// The TLS tunnel (Table 1 row 6) at fleet width: 100+ real
+    /// worker threads on the sharded wide-tid geometry, handshake
+    /// buffers sharing-cast acceptor → worker through the session
+    /// lock, ranged per-message sweeps, and `locked(l)` counters.
+    /// Clean under SharC and happens-before, false-positived by
+    /// Eraser on every hand-off.
+    Stunnel,
 }
 
 impl std::str::FromStr for NativeWorkload {
@@ -313,8 +329,12 @@ impl std::str::FromStr for NativeWorkload {
             "handoff" => Ok(NativeWorkload::Handoff),
             "pbzip2" => Ok(NativeWorkload::Pbzip2),
             "aget" => Ok(NativeWorkload::Aget),
+            "dillo" => Ok(NativeWorkload::Dillo),
+            "fftw" => Ok(NativeWorkload::Fftw),
+            "stunnel" => Ok(NativeWorkload::Stunnel),
             other => Err(format!(
-                "unknown native workload `{other}` (expected pfscan, handoff, pbzip2 or aget)"
+                "unknown native workload `{other}` (expected pfscan, handoff, pbzip2, \
+                 aget, dillo, fftw or stunnel)"
             )),
         }
     }
@@ -358,7 +378,49 @@ pub fn native_trace(
                 workloads::benchmarks::aget::Params::scaled(workloads::table::Scale::quick());
             workloads::benchmarks::aget::run_traced(&params)
         }
+        NativeWorkload::Dillo => {
+            let params = workloads::benchmarks::dillo::Params {
+                latency: std::time::Duration::ZERO,
+                ..workloads::benchmarks::dillo::Params::scaled(workloads::table::Scale::quick())
+            };
+            workloads::benchmarks::dillo::run_traced(&params)
+        }
+        NativeWorkload::Fftw => {
+            let params =
+                workloads::benchmarks::fftw::Params::scaled(workloads::table::Scale::quick());
+            workloads::benchmarks::fftw::run_traced(&params)
+        }
+        NativeWorkload::Stunnel => {
+            let params =
+                workloads::benchmarks::stunnel::Params::scaled(workloads::table::Scale::quick());
+            workloads::benchmarks::stunnel::run_traced(&params)
+        }
     }
+}
+
+/// The highest checked thread id a trace mentions — what SharC's
+/// replay geometry must be sized for. Narrow traces (≤ 63) get the
+/// default single-shard shadow; anything wider gets exactly enough
+/// shards to keep every tid's identity precise.
+fn max_trace_tid(trace: &[checker::CheckEvent]) -> u32 {
+    use checker::CheckEvent as E;
+    trace
+        .iter()
+        .map(|e| match *e {
+            E::Read { tid, .. }
+            | E::Write { tid, .. }
+            | E::RangeRead { tid, .. }
+            | E::RangeWrite { tid, .. }
+            | E::LockedAccess { tid, .. }
+            | E::SharingCast { tid, .. }
+            | E::Acquire { tid, .. }
+            | E::Release { tid, .. }
+            | E::ThreadExit { tid } => tid,
+            E::Fork { parent, child } | E::Join { parent, child } => parent.max(child),
+            E::Alloc { .. } => 0,
+        })
+        .max()
+        .unwrap_or(0)
 }
 
 /// Judges a [`checker::CheckEvent`] trace with the selected engine,
@@ -373,7 +435,12 @@ pub fn judge_trace(
     use sharc_checker::CheckBackend as _;
     match kind {
         DetectorKind::Sharc => {
-            let mut backend = checker::BitmapBackend::new();
+            // Size the exact shadow to the widest tid the trace
+            // names: a 300-thread stunnel run replays on a 5-shard
+            // geometry, while narrow traces keep the 1-shard default
+            // (for_threads(n <= 63) is the default geometry).
+            let geom = checker::ShadowGeometry::for_threads((max_trace_tid(trace) as usize).max(1));
+            let mut backend = checker::BitmapBackend::with_geometry(geom);
             let raw = checker::replay(trace, &mut backend);
             ("sharc", dedup_conflicts(raw))
         }
@@ -511,6 +578,46 @@ mod tests {
         assert!(sharc.events > 0);
         let eraser = run_native_with_detector(NativeWorkload::Aget, DetectorKind::Eraser);
         assert!(!eraser.conflicts.is_empty(), "Eraser has no lifetime model");
+    }
+
+    #[test]
+    fn native_stunnel_wide_fleet_splits_sharc_from_eraser() {
+        // The acceptance criterion for the wide-tid spine: one
+        // 100+-thread stunnel execution recorded once, judged by
+        // every engine. The replay geometry is sized from the trace
+        // itself (the widest tid it names), so SharC keeps exact
+        // identities across all shards and stays clean; Eraser
+        // false-positives on the handshake hand-offs.
+        let (run, trace) = native_trace(NativeWorkload::Stunnel);
+        assert!(run.threads > 100, "fleet width: {} threads", run.threads);
+        assert_eq!(run.conflicts, 0);
+        assert!(
+            trace.iter().any(|e| matches!(
+                e,
+                checker::CheckEvent::RangeWrite { tid, .. } if *tid > 63
+            )),
+            "checked tids must cross the first shard boundary"
+        );
+        let (_, sharc) = judge_trace(&trace, DetectorKind::Sharc);
+        assert!(sharc.is_empty(), "{sharc:?}");
+        let (_, eraser) = judge_trace(&trace, DetectorKind::Eraser);
+        assert!(!eraser.is_empty(), "Eraser misses the wide hand-offs");
+        let (_, vc) = judge_trace(&trace, DetectorKind::Vc);
+        assert!(vc.is_empty(), "the session lock orders every hand-off");
+    }
+
+    #[test]
+    fn native_dillo_and_fftw_are_on_the_spine() {
+        for w in [NativeWorkload::Dillo, NativeWorkload::Fftw] {
+            let sharc = run_native_with_detector(w, DetectorKind::Sharc);
+            assert!(sharc.conflicts.is_empty(), "{w:?}: {:?}", sharc.conflicts);
+            assert!(sharc.events > 0);
+            let eraser = run_native_with_detector(w, DetectorKind::Eraser);
+            assert!(
+                !eraser.conflicts.is_empty(),
+                "{w:?}: Eraser misses the transfer"
+            );
+        }
     }
 
     #[test]
