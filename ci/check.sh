@@ -61,6 +61,21 @@ SHARC_TEST_SEED=0x4A6E SHARC_TEST_CASES=64 \
     ranged_sharded_checks_agree_up_to_256_threads \
     range_replay_lowering_is_bit_identical_for_every_backend
 
+echo "== streaming detection: stream-vs-replay differential, fixed seed =="
+# The streaming pipeline's tentpole invariant: for every ring
+# count, ring capacity, and drain interleaving, a StreamingSink's
+# conflicts are bit-identical to the serialized replay fold on the
+# same backend (SharC bitmap, Eraser, vector clocks), at narrow and
+# cross-shard tid widths, with the accounting closed (recorded ==
+# drained, peak resident <= ring budget). The fleet-width companion
+# streams one >200-thread recorded stunnel execution through tiny
+# rings and re-runs it live against the collector. Fixed seed pins
+# one known exploration.
+SHARC_TEST_SEED=0x51EA SHARC_TEST_CASES=64 \
+    cargo test -q --offline --release --test checker_differential -- \
+    streaming_verdicts_equal_replay_fold_for_every_backend \
+    stunnel_streaming_is_bit_identical_to_replay_at_fleet_width
+
 echo "== sharded revalidation stress: barrier-aligned real races =="
 # Real threads, barrier-aligned into the cross-shard conflict
 # window: a racing conflict must be reported by at least one
@@ -110,6 +125,24 @@ if cargo run --release --offline --bin sharc -- replay "$stunnel_trace" --detect
     exit 1
 fi
 
+echo "== streaming online smoke: same verdicts, bounded memory =="
+# The same fleet judged while it runs: the epoch-flip collector
+# drains per-thread rings concurrently with the workload, so the
+# exit code must match the record->replay path above on every
+# detector — SharC clean (exit 0), Eraser false-positive (exit 1,
+# inverted) — with peak resident events held inside the --ring-cap
+# budget instead of the full recorded trace.
+cargo run --release --offline --bin sharc -- native stunnel --detector sharc --online --ring-cap 256
+if cargo run --release --offline --bin sharc -- native stunnel --detector eraser --online --ring-cap 256; then
+    echo "ERROR: eraser accepted the stunnel hand-offs while streaming" >&2
+    exit 1
+fi
+cargo run --release --offline --bin sharc -- native handoff --detector sharc --online
+if cargo run --release --offline --bin sharc -- native handoff --detector eraser --online; then
+    echo "ERROR: eraser accepted the hand-off while streaming" >&2
+    exit 1
+fi
+
 echo "== checker bench --smoke (epoch-thrash + ranged gates) =="
 # Asserts the perf claims in --smoke mode: the per-region epoch
 # table is >=2x faster than the R=1 global geometry under
@@ -138,6 +171,19 @@ for row in "stunnel/fleet-sharc" "stunnel/fleet-orig" "stunnel/sweep-c64-w16"; d
 done
 grep -q "msgs_per_sec" BENCH_checker.json || {
     echo "ERROR: BENCH_checker.json has no stunnel throughput records" >&2
+    exit 1
+}
+# The streaming pipeline must be in the record too: timing rows for
+# the streamed-vs-untraced pairs and the memory accounting (peak
+# resident vs ring budget) the bench gate asserts.
+for row in "online/stunnel-stream" "online/stunnel-orig" "online/pbzip2-stream"; do
+    grep -q "$row" BENCH_checker.json || {
+        echo "ERROR: BENCH_checker.json is missing the $row row" >&2
+        exit 1
+    }
+done
+grep -q "ring_budget" BENCH_checker.json || {
+    echo "ERROR: BENCH_checker.json has no streaming memory accounting" >&2
     exit 1
 }
 

@@ -285,11 +285,19 @@ fn main() {
     // messages-per-second records go into the JSON's `stunnel` array.
     let stunnel_rows = sharc_bench::stunnel_rows(&mut g, smoke);
 
+    // ---- Streaming online detection ----
+    //
+    // The bounded-memory pipeline against the untraced checked runs:
+    // stunnel at fleet shape and pbzip2, with ring budgets far below
+    // the runs' event counts. The accounting records land in the
+    // JSON's `online` array; the bounds are asserted below.
+    let online_rows = sharc_bench::online_rows(&mut g, smoke);
+
     // Machine-readable trajectory across PRs: the full row set plus
     // the deterministic flush/miss counters, at the repo root — the
     // ONLY place this group's JSON lands (the old duplicate under
     // `crates/bench/target/` is gone).
-    sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters, &stunnel_rows);
+    sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters, &stunnel_rows, &online_rows);
 
     // The acceptance criterion, enforced at bench time: the cached
     // fast path must stay competitive with the uncached CAS on the
@@ -324,6 +332,11 @@ fn main() {
     // And the tentpole claim: the region table wins >=2x under thrash
     // and is free when nothing is cleared.
     sharc_bench::assert_epoch_wins(&g);
+
+    // Streaming acceptance gate: peak resident events under the ring
+    // budget (with the budget genuinely binding) and the streamed
+    // stunnel fleet within 1.25x of the untraced checked run.
+    sharc_bench::assert_online_bounds(&g, &online_rows);
 
     // Ranged acceptance gate: on the owned 4 KiB lap (256 granules,
     // the same working set as `owned-write/cached`), the steady-state

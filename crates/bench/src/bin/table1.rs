@@ -84,7 +84,9 @@ fn main() {
     // interface (SharC's own engine and an online lockset monitor
     // judge one identical run).
     use sharc_workloads::benchmarks::pfscan;
-    let (_, trace) = pfscan::run_traced(&pfscan::Params::scaled(Scale::quick()));
+    let log = std::sync::Arc::new(sharc_checker::EventLog::new());
+    let _ = pfscan::run_with_events(&pfscan::Params::scaled(Scale::quick()), log.clone());
+    let trace = log.snapshot();
     let mut sharc = sharc_checker::BitmapBackend::new();
     let n_sharc = sharc_checker::replay(&trace, &mut sharc).len();
     let mut online: sharc_detectors::Online<sharc_detectors::Eraser> =
@@ -94,6 +96,18 @@ fn main() {
         "\nEvent spine: one native pfscan run ({} events) replayed through \
          CheckBackend — sharc: {n_sharc} conflicts, online eraser: {n_online}.",
         trace.len()
+    );
+    // Who paid for the recording: per-thread append counts on the
+    // shared log, and how often an append found the log lock busy.
+    let appends: Vec<String> = log
+        .append_counts()
+        .iter()
+        .map(|(tid, n)| format!("t{tid}: {n}"))
+        .collect();
+    println!(
+        "Event log appends by recording thread: {} ({} contended).",
+        appends.join(", "),
+        log.contended_appends()
     );
 
     // In smoke mode also regenerate the repo-root `BENCH_checker.json`
@@ -105,7 +119,9 @@ fn main() {
         b.sample_size(5);
         let counters = sharc_bench::epoch_rows(&mut b);
         let stunnel = sharc_bench::stunnel_rows(&mut b, true);
-        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel);
+        let online = sharc_bench::online_rows(&mut b, true);
+        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel, &online);
         sharc_bench::assert_epoch_wins(&b);
+        sharc_bench::assert_online_bounds(&b, &online);
     }
 }

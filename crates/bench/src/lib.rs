@@ -423,14 +423,186 @@ pub fn stunnel_rows(g: &mut sharc_testkit::Bench, smoke: bool) -> Vec<StunnelRow
     rows
 }
 
+/// The accounting record of one `online/*` streaming configuration:
+/// the bounded-memory pipeline's budget next to what it actually
+/// held resident, so `BENCH_checker.json` states the memory claim as
+/// numbers and CI can gate on it.
+#[derive(Debug, Clone)]
+pub struct OnlineRow {
+    /// Bench row of the streaming run (`online/<w>-stream`).
+    pub stream_row: String,
+    /// Bench row of the untraced checked run (`online/<w>-orig`).
+    pub untraced_row: String,
+    /// Per-thread rings in the sink.
+    pub rings: usize,
+    /// Events per ring buffer.
+    pub ring_cap: usize,
+    /// Events the deterministic side pass recorded.
+    pub recorded: u64,
+    /// Collector drains it took.
+    pub drains: u64,
+    /// Most events ever resident across all rings.
+    pub peak_resident: usize,
+    /// The hard bound: `2 * ring_cap * rings`.
+    pub ring_budget: usize,
+}
+
+/// Benches the `online/*` rows into `g`: for stunnel (fleet shape)
+/// and pbzip2, the streaming pipeline — per-thread rings, epoch-flip
+/// collector, SharC's bitmap backend judging *during* the run —
+/// against the identical untraced checked run. A deterministic side
+/// pass per workload captures the stream accounting; ring budgets
+/// are deliberately far below each workload's recorded event count,
+/// so "peak under budget" means the collector genuinely recycled the
+/// rings rather than the trace having fit in them.
+pub fn online_rows(g: &mut sharc_testkit::Bench, smoke: bool) -> Vec<OnlineRow> {
+    use sharc_checker::{BitmapBackend, ShadowGeometry, StreamingSink};
+    use sharc_runtime::WideChecked;
+    use sharc_workloads::benchmarks::{pbzip2, stunnel};
+
+    let stunnel_params = stunnel::Params {
+        clients: 128,
+        workers: 128,
+        messages: 4,
+        msg_len: 256,
+    };
+    let pbzip2_params = pbzip2::Params {
+        input_size: if smoke { 64 * 1024 } else { 256 * 1024 },
+        block: 16 * 1024,
+        workers: 3,
+    };
+
+    let stunnel_stream = |rings: usize, cap: usize| {
+        let geom = ShadowGeometry::for_threads(stunnel_params.workers + 2);
+        let sink = Arc::new(StreamingSink::new(
+            rings,
+            cap,
+            Box::new(BitmapBackend::with_geometry(geom)),
+        ));
+        let run = stunnel::run_with_events(&stunnel_params, sink.clone());
+        let (conflicts, stats) = sink.finish();
+        assert!(conflicts.is_empty(), "streamed stunnel is clean");
+        (run, stats)
+    };
+    let pbzip2_stream = |rings: usize, cap: usize| {
+        let geom = ShadowGeometry::for_threads(pbzip2_params.workers + 2);
+        let sink = Arc::new(StreamingSink::new(
+            rings,
+            cap,
+            Box::new(BitmapBackend::with_geometry(geom)),
+        ));
+        let run = pbzip2::run_with_events(&pbzip2_params, sink.clone());
+        let (conflicts, stats) = sink.finish();
+        assert!(conflicts.is_empty(), "streamed pbzip2 is clean");
+        (run, stats)
+    };
+
+    let mut rows = Vec::new();
+
+    // stunnel: 4 rings x 256 events, budget 2048 vs a ~5k-event run.
+    let (rings, cap) = (4usize, 256usize);
+    g.bench("online/stunnel-stream", || stunnel_stream(rings, cap));
+    g.bench("online/stunnel-orig", || {
+        stunnel::run_native::<WideChecked>(&stunnel_params)
+    });
+    let (_, stats) = stunnel_stream(rings, cap);
+    rows.push(OnlineRow {
+        stream_row: "online/stunnel-stream".to_string(),
+        untraced_row: "online/stunnel-orig".to_string(),
+        rings,
+        ring_cap: cap,
+        recorded: stats.recorded,
+        drains: stats.drains,
+        peak_resident: stats.peak_resident,
+        ring_budget: stats.ring_budget,
+    });
+
+    // pbzip2: 2 rings x 16 events, budget 64 vs a ~100-event run.
+    let (rings, cap) = (2usize, 16usize);
+    g.bench("online/pbzip2-stream", || pbzip2_stream(rings, cap));
+    g.bench("online/pbzip2-orig", || {
+        pbzip2::run_native(&pbzip2_params, true)
+    });
+    let (_, stats) = pbzip2_stream(rings, cap);
+    rows.push(OnlineRow {
+        stream_row: "online/pbzip2-stream".to_string(),
+        untraced_row: "online/pbzip2-orig".to_string(),
+        rings,
+        ring_cap: cap,
+        recorded: stats.recorded,
+        drains: stats.drains,
+        peak_resident: stats.peak_resident,
+        ring_budget: stats.ring_budget,
+    });
+
+    for r in &rows {
+        eprintln!(
+            "{}: {} events through {} x {} rings, peak resident {} / budget {}, {} drains",
+            r.stream_row, r.recorded, r.rings, r.ring_cap, r.peak_resident, r.ring_budget, r.drains
+        );
+    }
+    rows
+}
+
+/// Asserts the streaming pipeline's two claims on the `online/*`
+/// rows. Memory: peak resident events stay under the ring budget,
+/// and the budget itself is a real constraint (the run recorded more
+/// events than the rings could ever hold at once). Throughput: the
+/// streamed stunnel fleet finishes within 1.25x of the untraced
+/// checked run — compared on per-row minima like
+/// [`assert_epoch_wins`], with a small absolute floor so scheduler
+/// jitter on CI cannot flake the gate.
+pub fn assert_online_bounds(g: &sharc_testkit::Bench, rows: &[OnlineRow]) {
+    for r in rows {
+        assert!(
+            r.peak_resident <= r.ring_budget,
+            "{}: peak resident {} exceeds ring budget {}",
+            r.stream_row,
+            r.peak_resident,
+            r.ring_budget
+        );
+        assert!(
+            r.recorded > r.ring_budget as u64,
+            "{}: budget {} is not binding over {} recorded events",
+            r.stream_row,
+            r.ring_budget,
+            r.recorded
+        );
+        assert!(
+            r.drains >= 2,
+            "{}: the collector must actually run mid-stream ({} drains)",
+            r.stream_row,
+            r.drains
+        );
+    }
+    let row_min = |name: &str| {
+        g.results()
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.min_ns)
+            .expect("online row ran")
+    };
+    let (sm, um) = (
+        row_min("online/stunnel-stream"),
+        row_min("online/stunnel-orig"),
+    );
+    eprintln!("online stunnel: stream {sm} ns vs untraced {um} ns (want <=1.25x)");
+    assert!(
+        sm <= um.saturating_mul(5) / 4 + 2_000_000,
+        "streamed stunnel exceeded 1.25x of the untraced run ({sm} ns vs {um} ns)"
+    );
+}
+
 /// Writes `BENCH_checker.json` at the repo root: the standard bench
-/// document augmented with the exact `flushes`/`misses` counters and
-/// the stunnel fleet's derived throughput records, so the bench
-/// trajectory is recorded across PRs.
+/// document augmented with the exact `flushes`/`misses` counters,
+/// the stunnel fleet's derived throughput records, and the streaming
+/// pipeline's memory accounting, so the bench trajectory is recorded
+/// across PRs.
 pub fn write_checker_json_at_repo_root(
     g: &sharc_testkit::Bench,
     counters: &[EpochCounters],
     stunnel: &[StunnelRow],
+    online: &[OnlineRow],
 ) {
     use sharc_testkit::Json;
     let mut doc = g.to_json();
@@ -461,9 +633,27 @@ pub fn write_checker_json_at_repo_root(
             })
             .collect(),
     );
+    let online_arr = Json::Arr(
+        online
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.stream_row.clone())),
+                    ("untraced", Json::Str(r.untraced_row.clone())),
+                    ("rings", Json::Int(r.rings as i64)),
+                    ("ring_cap", Json::Int(r.ring_cap as i64)),
+                    ("recorded", Json::Int(r.recorded as i64)),
+                    ("drains", Json::Int(r.drains as i64)),
+                    ("peak_resident", Json::Int(r.peak_resident as i64)),
+                    ("ring_budget", Json::Int(r.ring_budget as i64)),
+                ])
+            })
+            .collect(),
+    );
     if let Json::Obj(pairs) = &mut doc {
         pairs.push(("counters".to_string(), arr));
         pairs.push(("stunnel".to_string(), stunnel_arr));
+        pairs.push(("online".to_string(), online_arr));
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")

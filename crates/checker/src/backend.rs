@@ -211,84 +211,127 @@ pub trait CheckBackend {
     fn on_cast_clear(&mut self, _granule: usize) {}
 }
 
+/// Applies one event to `backend`, pushing any conflict onto `out`.
+///
+/// This is the single lowering step shared by [`replay`] (the offline
+/// fold) and the streaming collector (`crate::stream`): both verdict
+/// paths run byte-for-byte the same code, which is what makes
+/// streaming ≡ replay a structural property rather than a test-only
+/// coincidence.
+pub fn apply_event(e: CheckEvent, backend: &mut dyn CheckBackend, out: &mut Vec<Conflict>) {
+    let verdict = match e {
+        CheckEvent::Read { tid, granule } => backend.chkread(tid, granule),
+        CheckEvent::Write { tid, granule } => backend.chkwrite(tid, granule),
+        // Replay-lowering: a range event is *exactly* its
+        // per-granule expansion, for every backend — each
+        // granule's verdict is collected individually, so a
+        // conflicting granule mid-range reports just like the
+        // unabbreviated trace would.
+        CheckEvent::RangeRead { tid, granule, len } => {
+            for g in granule..granule + len {
+                if let Verdict::Fail(c) = backend.chkread(tid, g) {
+                    out.push(c);
+                }
+            }
+            Verdict::Pass // per-granule failures already pushed
+        }
+        CheckEvent::RangeWrite { tid, granule, len } => {
+            for g in granule..granule + len {
+                if let Verdict::Fail(c) = backend.chkwrite(tid, g) {
+                    out.push(c);
+                }
+            }
+            Verdict::Pass
+        }
+        CheckEvent::LockedAccess { tid, lock } => {
+            if backend.lock_held(tid, lock) {
+                Verdict::Pass
+            } else {
+                Verdict::Fail(Conflict {
+                    kind: CheckKind::Lock,
+                    tid,
+                    granule: lock,
+                })
+            }
+        }
+        CheckEvent::SharingCast { tid, granule, refs } => {
+            let v = backend.oneref(tid, granule, refs);
+            if !v.is_conflict() {
+                backend.on_cast_clear(granule);
+            }
+            v
+        }
+        CheckEvent::Acquire { tid, lock } => {
+            backend.on_acquire(tid, lock);
+            Verdict::Pass
+        }
+        CheckEvent::Release { tid, lock } => {
+            backend.on_release(tid, lock);
+            Verdict::Pass
+        }
+        CheckEvent::Fork { parent, child } => {
+            backend.on_fork(parent, child);
+            Verdict::Pass
+        }
+        CheckEvent::Join { parent, child } => {
+            backend.on_join(parent, child);
+            Verdict::Pass
+        }
+        CheckEvent::ThreadExit { tid } => {
+            backend.on_thread_exit(tid);
+            Verdict::Pass
+        }
+        CheckEvent::Alloc { granule } => {
+            backend.on_alloc(granule);
+            Verdict::Pass
+        }
+    };
+    if let Verdict::Fail(c) = verdict {
+        out.push(c);
+    }
+}
+
 /// Drives a trace through `backend`, collecting every conflict. One
 /// seeded execution replayed through several backends is the
 /// workspace's cross-validation methodology (§6.2).
 pub fn replay(events: &[CheckEvent], backend: &mut dyn CheckBackend) -> Vec<Conflict> {
     let mut out = Vec::new();
     for &e in events {
-        let verdict = match e {
-            CheckEvent::Read { tid, granule } => backend.chkread(tid, granule),
-            CheckEvent::Write { tid, granule } => backend.chkwrite(tid, granule),
-            // Replay-lowering: a range event is *exactly* its
-            // per-granule expansion, for every backend — each
-            // granule's verdict is collected individually, so a
-            // conflicting granule mid-range reports just like the
-            // unabbreviated trace would.
-            CheckEvent::RangeRead { tid, granule, len } => {
-                for g in granule..granule + len {
-                    if let Verdict::Fail(c) = backend.chkread(tid, g) {
-                        out.push(c);
-                    }
-                }
-                Verdict::Pass // per-granule failures already pushed
-            }
-            CheckEvent::RangeWrite { tid, granule, len } => {
-                for g in granule..granule + len {
-                    if let Verdict::Fail(c) = backend.chkwrite(tid, g) {
-                        out.push(c);
-                    }
-                }
-                Verdict::Pass
-            }
-            CheckEvent::LockedAccess { tid, lock } => {
-                if backend.lock_held(tid, lock) {
-                    Verdict::Pass
-                } else {
-                    Verdict::Fail(Conflict {
-                        kind: CheckKind::Lock,
-                        tid,
-                        granule: lock,
-                    })
-                }
-            }
-            CheckEvent::SharingCast { tid, granule, refs } => {
-                let v = backend.oneref(tid, granule, refs);
-                if !v.is_conflict() {
-                    backend.on_cast_clear(granule);
-                }
-                v
-            }
-            CheckEvent::Acquire { tid, lock } => {
-                backend.on_acquire(tid, lock);
-                Verdict::Pass
-            }
-            CheckEvent::Release { tid, lock } => {
-                backend.on_release(tid, lock);
-                Verdict::Pass
-            }
-            CheckEvent::Fork { parent, child } => {
-                backend.on_fork(parent, child);
-                Verdict::Pass
-            }
-            CheckEvent::Join { parent, child } => {
-                backend.on_join(parent, child);
-                Verdict::Pass
-            }
-            CheckEvent::ThreadExit { tid } => {
-                backend.on_thread_exit(tid);
-                Verdict::Pass
-            }
-            CheckEvent::Alloc { granule } => {
-                backend.on_alloc(granule);
-                Verdict::Pass
-            }
-        };
-        if let Verdict::Fail(c) = verdict {
-            out.push(c);
-        }
+        apply_event(e, backend, &mut out);
     }
     out
+}
+
+/// The largest thread id a trace mentions (0 for an empty trace —
+/// `Alloc` carries no tid).
+pub fn max_trace_tid(events: &[CheckEvent]) -> u32 {
+    events
+        .iter()
+        .map(|e| match *e {
+            CheckEvent::Read { tid, .. }
+            | CheckEvent::Write { tid, .. }
+            | CheckEvent::RangeRead { tid, .. }
+            | CheckEvent::RangeWrite { tid, .. }
+            | CheckEvent::LockedAccess { tid, .. }
+            | CheckEvent::SharingCast { tid, .. }
+            | CheckEvent::Acquire { tid, .. }
+            | CheckEvent::Release { tid, .. }
+            | CheckEvent::ThreadExit { tid } => tid,
+            CheckEvent::Fork { parent, child } | CheckEvent::Join { parent, child } => {
+                parent.max(child)
+            }
+            CheckEvent::Alloc { .. } => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
+/// The shard geometry that keeps every tid in `events` exact: one
+/// derivation of `ShadowGeometry` from a trace, shared by
+/// `judge_trace`, the differential tests, and the bench harness
+/// instead of each re-deriving it from a private max-tid scan.
+pub fn geometry_for_trace(events: &[CheckEvent]) -> ShadowGeometry {
+    ShadowGeometry::for_threads((max_trace_tid(events) as usize).max(1))
 }
 
 /// Expands every range event into its per-granule events, leaving

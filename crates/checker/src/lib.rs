@@ -27,6 +27,14 @@
 //!   `free`/cast/clear invalidates only the cache entries whose
 //!   region actually changed, instead of flushing every thread's
 //!   whole cache. `R = 1` degenerates to the old global epoch.
+//! * [`sink`] — the [`EventSink`] consumer interface native
+//!   workloads emit into, with [`EventLog`] (record-then-replay,
+//!   with append/contention counters) as the compat sink.
+//! * [`stream`] — [`StreamingSink`]: per-thread bounded event rings
+//!   drained under a Levanoni–Petrank epoch flip, feeding any
+//!   [`CheckBackend`] *during* the run inside a fixed memory budget.
+//!   Streaming verdicts are bit-identical to [`replay`]'s because
+//!   both folds run [`apply_event`] over the same linearization.
 //! * [`trace`] — the offline text format for [`CheckEvent`] traces
 //!   (`sharc native --trace-out` / `sharc replay`): an exact,
 //!   line-oriented round-trip so one recorded execution can be
@@ -45,17 +53,22 @@ pub mod backend;
 pub mod cache;
 pub mod epoch;
 pub mod geometry;
+pub mod sink;
 pub mod step;
+pub mod stream;
 pub mod trace;
 
 pub use backend::{
-    lower_ranges, replay, BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict,
+    apply_event, geometry_for_trace, lower_ranges, max_trace_tid, replay, BitmapBackend,
+    CheckBackend, CheckEvent, CheckKind, Conflict, Verdict,
 };
 pub use cache::{OwnedCache, RUN_SLOTS};
 pub use epoch::{EpochTable, DEFAULT_REGIONS};
 pub use geometry::{ShadowGeometry, THREADS_PER_SHARD};
+pub use sink::{recording_tid, EventLog, EventSink};
 pub use step::range::RangeStep;
 pub use step::{Access, Transition};
+pub use stream::{StreamStats, StreamingSink};
 pub use trace::{parse_text as parse_trace, to_text as trace_to_text};
 
 /// Bytes of payload memory covered by one shadow granule (§4.2.1:

@@ -726,7 +726,7 @@ mod tests {
         use sharc_checker::{replay, BitmapBackend};
         let a: Arena = Arena::new(8);
         let log = Arc::new(EventLog::new());
-        let mut ctx = ThreadCtx::with_sink(ThreadId(1), Arc::clone(&log));
+        let mut ctx = ThreadCtx::with_sink(ThreadId(1), log.clone());
         a.write_range_checked(&mut ctx, 0, 8, |i| i as u64);
         a.read_range_checked(&mut ctx, 0, 8, |_, _| {});
         let evs = log.snapshot();

@@ -1,18 +1,20 @@
 //! The native-execution event spine: real-thread workloads emit the
-//! same [`CheckEvent`] vocabulary the VM's tracer produces, so one
-//! *native* execution can be replayed through any
+//! same [`sharc_checker::CheckEvent`] vocabulary the VM's tracer
+//! produces, so one *native* execution can be judged by any
 //! [`sharc_checker::CheckBackend`] — SharC's own engine, Eraser
-//! locksets, vector clocks — exactly like a VM trace. This closes
-//! the loop between the Table 1 overhead harness (§5) and the §6.2
-//! detector comparison: both now judge the *same* executions through
-//! the *same* interface.
+//! locksets, vector clocks — exactly like a VM trace.
 //!
-//! An [`EventLog`] is a mutex-serialized append-only buffer shared
-//! (`Arc`) between the workload's threads. Appending under one lock
-//! gives the multi-threaded execution a linearization; for the
-//! workloads that use it, every cross-thread hand-off happens under
-//! a real lock or a sharing cast, so the linearized trace preserves
-//! the synchronization order the detectors reason about.
+//! The sink types themselves live in `sharc-checker` now
+//! ([`sharc_checker::sink`] and [`sharc_checker::stream`]), next to
+//! the backends they feed; this module re-exports them so the
+//! runtime's historical paths (`sharc_runtime::EventLog`,
+//! `sharc_runtime::events::EventLog`) keep working. The two
+//! implementations:
+//!
+//! * [`EventLog`] — record-then-replay: a mutex-serialized
+//!   append-only buffer holding the whole run.
+//! * [`StreamingSink`] — online: per-thread bounded rings drained
+//!   under an epoch flip, feeding a backend during the run.
 //!
 //! Access events are emitted *by the arena* whenever a checked
 //! access runs with a sink attached to the [`ThreadCtx`]
@@ -20,123 +22,8 @@
 //! fork/join, sharing casts, frees — are recorded by the workload
 //! code at the point it performs them.
 
-use sharc_checker::CheckEvent;
-use std::sync::Mutex;
+pub use sharc_checker::sink::{recording_tid, EventLog, EventSink};
+pub use sharc_checker::stream::{StreamStats, StreamingSink};
 
-/// A thread-safe, append-only `CheckEvent` buffer.
-#[derive(Debug, Default)]
-pub struct EventLog {
-    inner: Mutex<Vec<CheckEvent>>,
-}
-
-impl EventLog {
-    /// Creates an empty log.
-    pub fn new() -> Self {
-        Self::default()
-    }
-
-    /// Appends one event (linearized under the log's lock).
-    #[inline]
-    pub fn record(&self, e: CheckEvent) {
-        self.inner.lock().expect("event log poisoned").push(e);
-    }
-
-    /// Convenience for the arena's access hook.
-    #[inline]
-    pub fn record_access(&self, tid: u32, granule: usize, is_write: bool) {
-        self.record(if is_write {
-            CheckEvent::Write { tid, granule }
-        } else {
-            CheckEvent::Read { tid, granule }
-        });
-    }
-
-    /// Convenience for the arena's ranged-access hook: one event per
-    /// buffer sweep (`len` granules starting at `granule`). Replay
-    /// lowers it to per-granule checks, so the recorded trace spells
-    /// the same verdicts as `len` individual access events.
-    #[inline]
-    pub fn record_range(&self, tid: u32, granule: usize, len: usize, is_write: bool) {
-        self.record(if is_write {
-            CheckEvent::RangeWrite { tid, granule, len }
-        } else {
-            CheckEvent::RangeRead { tid, granule, len }
-        });
-    }
-
-    /// Number of events recorded so far.
-    pub fn len(&self) -> usize {
-        self.inner.lock().expect("event log poisoned").len()
-    }
-
-    /// True if nothing has been recorded.
-    pub fn is_empty(&self) -> bool {
-        self.len() == 0
-    }
-
-    /// Clones the events out (the log keeps them).
-    pub fn snapshot(&self) -> Vec<CheckEvent> {
-        self.inner.lock().expect("event log poisoned").clone()
-    }
-
-    /// Drains the events out, leaving the log empty.
-    pub fn take(&self) -> Vec<CheckEvent> {
-        std::mem::take(&mut *self.inner.lock().expect("event log poisoned"))
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::*;
-    use std::sync::Arc;
-
-    #[test]
-    fn records_in_order_single_thread() {
-        let log = EventLog::new();
-        log.record(CheckEvent::Fork {
-            parent: 1,
-            child: 2,
-        });
-        log.record_access(2, 7, true);
-        log.record_access(2, 7, false);
-        assert_eq!(log.len(), 3);
-        let evs = log.snapshot();
-        assert_eq!(evs[1], CheckEvent::Write { tid: 2, granule: 7 });
-        assert_eq!(evs[2], CheckEvent::Read { tid: 2, granule: 7 });
-        assert_eq!(log.take().len(), 3);
-        assert!(log.is_empty());
-    }
-
-    #[test]
-    fn concurrent_appends_all_land() {
-        let log = Arc::new(EventLog::new());
-        let mut handles = Vec::new();
-        for t in 1..=4u32 {
-            let log = Arc::clone(&log);
-            handles.push(std::thread::spawn(move || {
-                for g in 0..100 {
-                    log.record_access(t, g, g % 2 == 0);
-                }
-            }));
-        }
-        for h in handles {
-            h.join().unwrap();
-        }
-        assert_eq!(log.len(), 400);
-    }
-
-    #[test]
-    fn native_trace_replays_through_a_backend() {
-        use sharc_checker::{replay, BitmapBackend};
-        let log = EventLog::new();
-        log.record_access(1, 0, true);
-        log.record(CheckEvent::SharingCast {
-            tid: 1,
-            granule: 0,
-            refs: 1,
-        });
-        log.record_access(2, 0, true);
-        let mut b = BitmapBackend::new();
-        assert!(replay(&log.snapshot(), &mut b).is_empty(), "hand-off ok");
-    }
-}
+#[cfg(doc)]
+use crate::locks::ThreadCtx;

@@ -43,7 +43,7 @@ pub mod sharded;
 pub mod wide;
 
 pub use arena::{AccessPolicy, Arena, CachedChecked, Checked, Unchecked, GRANULE_WORDS};
-pub use events::EventLog;
+pub use events::{recording_tid, EventLog, EventSink, StreamStats, StreamingSink};
 pub use locks::{LockId, LockNotHeld, LockRegistry, ThreadCtx};
 pub use rc::{LpRc, NaiveRc, ObjId, RcScheme};
 pub use scalable::{ScalableShadow, WideThreadId};

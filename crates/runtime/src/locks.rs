@@ -6,7 +6,7 @@
 //! required lock is in the log. When the lock is released, the
 //! address of the lock is removed from the log."
 
-use crate::events::EventLog;
+use crate::events::EventSink;
 use crate::shadow::ThreadId;
 use sharc_checker::OwnedCache;
 use sharc_testkit::sync::RawMutex;
@@ -55,12 +55,13 @@ pub struct ThreadCtx {
     /// [`sharc_checker::OwnedCache`] for the soundness invariants).
     pub owned_cache: OwnedCache,
     /// When set, every checked access through this context is also
-    /// appended to the shared [`EventLog`] — the native-execution
+    /// recorded into the shared [`EventSink`] — the native-execution
     /// event spine that lets `sharc run --detector` and the bench
-    /// binaries replay a *real-thread* run through any
-    /// `CheckBackend`. `None` (the default) keeps the hot path free
-    /// of the logging branch's work.
-    pub sink: Option<Arc<EventLog>>,
+    /// binaries judge a *real-thread* run through any
+    /// `CheckBackend`, either by replay (`EventLog`) or online
+    /// (`StreamingSink`). `None` (the default) keeps the hot path
+    /// free of the recording branch's work.
+    pub sink: Option<Arc<dyn EventSink>>,
 }
 
 impl ThreadCtx {
@@ -80,7 +81,7 @@ impl ThreadCtx {
 
     /// Creates a context whose checked accesses are mirrored into
     /// `sink` as [`sharc_checker::CheckEvent`]s.
-    pub fn with_sink(tid: ThreadId, sink: Arc<EventLog>) -> Self {
+    pub fn with_sink(tid: ThreadId, sink: Arc<dyn EventSink>) -> Self {
         let mut ctx = Self::new(tid);
         ctx.sink = Some(sink);
         ctx

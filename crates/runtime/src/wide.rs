@@ -15,7 +15,7 @@
 //!
 //! [`Arena`]: crate::arena::Arena
 
-use crate::events::EventLog;
+use crate::events::EventSink;
 use crate::locks::LockId;
 use crate::scalable::WideThreadId;
 use crate::sharded::ShardedShadow;
@@ -70,9 +70,10 @@ pub struct WideThreadCtx {
     /// exercises.
     pub owned_cache: OwnedCache,
     /// When set, every checked access is mirrored into the shared
-    /// [`EventLog`] so the whole wide run lands on the `CheckEvent`
-    /// spine.
-    pub sink: Option<Arc<EventLog>>,
+    /// [`EventSink`] so the whole wide run lands on the `CheckEvent`
+    /// spine — buffered whole (`EventLog`) or streamed through an
+    /// online collector (`StreamingSink`).
+    pub sink: Option<Arc<dyn EventSink>>,
 }
 
 impl WideThreadCtx {
@@ -92,7 +93,7 @@ impl WideThreadCtx {
 
     /// Creates a context whose checked accesses are mirrored into
     /// `sink` as [`sharc_checker::CheckEvent`]s.
-    pub fn with_sink(tid: WideThreadId, sink: Arc<EventLog>) -> Self {
+    pub fn with_sink(tid: WideThreadId, sink: Arc<dyn EventSink>) -> Self {
         let mut ctx = Self::new(tid);
         ctx.sink = Some(sink);
         ctx
@@ -600,6 +601,7 @@ impl WidePolicy for WideChecked {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::events::EventLog;
 
     #[test]
     fn wide_tids_keep_exact_identities_past_63() {
@@ -666,7 +668,7 @@ mod tests {
     fn policies_agree_on_values_and_the_spine_sees_wide_tids() {
         let sink = Arc::new(EventLog::new());
         let a = WideArena::for_threads(GRANULE_WORDS * 2, 256);
-        let mut ctx = WideThreadCtx::with_sink(WideThreadId(200), Arc::clone(&sink));
+        let mut ctx = WideThreadCtx::with_sink(WideThreadId(200), sink.clone());
         WideChecked::write(&a, &mut ctx, 0, 42);
         assert_eq!(WideChecked::read(&a, &mut ctx, 0), 42);
         assert_eq!(WideUnchecked::read(&a, &mut ctx, 0), 42);

@@ -13,7 +13,9 @@
 use crate::substrates::net::{fnv, ChunkServer};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
-use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, Unchecked};
+use sharc_runtime::{
+    AccessPolicy, Arena, Checked, EventLog, EventSink, ThreadCtx, ThreadId, Unchecked,
+};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -61,11 +63,17 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
 /// false-positives on the same execution.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
 }
 
-fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+/// Runs the download checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink::<Checked>(params, Some(sink))
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let server = Arc::new(ChunkServer::new(params.file_size, params.latency, 0xA6E7));
     // The output buffer packs 8 bytes per word, as C memory does.
     let arena: Arc<Arena> = Arc::new(Arena::new(params.file_size.div_ceil(8) + 1));

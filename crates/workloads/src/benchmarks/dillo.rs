@@ -19,8 +19,8 @@ use crate::substrates::net::DnsServer;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
 use sharc_runtime::{
-    AccessPolicy, Arena, Checked, EventLog, NaiveRc, ObjId, RcScheme, ThreadCtx, ThreadId,
-    Unchecked,
+    AccessPolicy, Arena, Checked, EventLog, EventSink, NaiveRc, ObjId, RcScheme, ThreadCtx,
+    ThreadId, Unchecked,
 };
 use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
@@ -64,11 +64,17 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
 /// and the linearized native event trace for detector replay.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
 }
 
-fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+/// Runs the pipeline checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink::<Checked>(params, Some(sink))
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let dns = Arc::new(DnsServer::new(params.n_hosts, params.latency, 0xD111));
     // The shared result cache: one granule (16 bytes) per request,
     // matching dillo's 16-byte-aligned request allocations (§4.5's

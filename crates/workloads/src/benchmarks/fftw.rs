@@ -17,7 +17,8 @@ use crate::substrates::fft::{fft, random_signal, Complex};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
 use sharc_runtime::{
-    sharing_cast, Arena, EventLog, LpRc, ObjId, RcScheme, ThreadCtx, ThreadId, GRANULE_WORDS,
+    sharing_cast, Arena, EventLog, EventSink, LpRc, ObjId, RcScheme, ThreadCtx, ThreadId,
+    GRANULE_WORDS,
 };
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -148,6 +149,15 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
 /// hand-off of the paper's fftw, made visible to every detector.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
+    let run = run_with_events(params, sink.clone());
+    (run, sink.take())
+}
+
+/// Runs the batch checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses. Same
+/// execution shape as [`run_traced`], which is this plus an
+/// [`EventLog`] to keep the trace.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
     let arena: Arc<Arena> = Arc::new(Arena::new(params.n_transforms * GRANULE_WORDS));
     let mut main_ctx = ThreadCtx::with_sink(ThreadId(1), Arc::clone(&sink));
     let per_worker = params.n_transforms.div_ceil(params.workers);
@@ -230,7 +240,7 @@ pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     arena.thread_exit(&mut main_ctx);
 
     let data_bytes = params.n_transforms * params.size * 16;
-    let run = NativeRun {
+    NativeRun {
         checksum,
         checked,
         total: total + (params.n_transforms * params.size * 4) as u64,
@@ -238,8 +248,7 @@ pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
         payload_bytes: data_bytes,
         shadow_bytes: arena.shadow_bytes(),
         threads: params.workers + 1,
-    };
-    (run, sink.take())
+    }
 }
 
 /// The MiniC port: arrays transferred to workers by sharing casts,

@@ -19,7 +19,9 @@
 
 use crate::table::NativeRun;
 use sharc_checker::CheckEvent;
-use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, GRANULE_WORDS};
+use sharc_runtime::{
+    AccessPolicy, Arena, Checked, EventLog, EventSink, ThreadCtx, ThreadId, GRANULE_WORDS,
+};
 use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -70,11 +72,17 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
 /// and the linearized native event trace for detector replay.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
 }
 
-fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+/// Runs the handoff checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink::<Checked>(params, Some(sink))
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let words = params.aligned_words();
     let arena: Arc<Arena> = Arc::new(Arena::new(params.blocks * words));
     let queue: Arc<Mutex<VecDeque<usize>>> = Arc::new(Mutex::new(VecDeque::new()));

@@ -19,7 +19,7 @@ use crate::substrates::compress::compress_block;
 use crate::substrates::net::fnv;
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
-use sharc_runtime::{sharing_cast, EventLog, LpRc, RcScheme};
+use sharc_runtime::{sharing_cast, EventLog, EventSink, LpRc, RcScheme};
 use sharc_testkit::sync::{Condvar, Mutex};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
@@ -79,7 +79,7 @@ impl Slot {
     /// *while the slot mutex is held* (after the wait loop settles),
     /// so the linearized trace orders this release before the
     /// consumer's acquire — the edge a happens-before replay needs.
-    fn put(&self, v: Vec<u8>, trace: Option<(&EventLog, u32, usize)>) {
+    fn put(&self, v: Vec<u8>, trace: Option<(&dyn EventSink, u32, usize)>) {
         let mut b = self.buf.lock();
         while b.is_some() {
             self.cv.wait(&mut b);
@@ -118,14 +118,20 @@ pub fn run_native(params: &Params, checked: bool) -> NativeRun {
 /// deliberately *not* traced — racy-mode accesses are unchecked.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink(params, true, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
+}
+
+/// Runs the pipeline checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink(params, true, Some(sink))
 }
 
 /// Trace tids: the reader/writer main thread is 1, workers are
 /// `2..2 + workers`. Lock ids: slot `w` is `w`, the results vector is
 /// `workers`.
-fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<EventLog>>) -> NativeRun {
+fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let input = make_input(params.input_size);
     let n_blocks = input.len().div_ceil(params.block);
 

@@ -13,7 +13,9 @@
 use crate::substrates::filesys::{FsConfig, SynthFs};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
-use sharc_runtime::{AccessPolicy, Arena, Checked, EventLog, ThreadCtx, ThreadId, Unchecked};
+use sharc_runtime::{
+    AccessPolicy, Arena, Checked, EventLog, EventSink, ThreadCtx, ThreadId, Unchecked,
+};
 use sharc_testkit::sync::Mutex;
 use std::collections::VecDeque;
 use std::sync::Arc;
@@ -73,11 +75,17 @@ pub fn run_native<P: AccessPolicy>(params: &Params) -> NativeRun {
 /// event spine (`sharc native pfscan --detector ...`).
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink::<Checked>(params, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
 }
 
-fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+/// Runs the scan checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink::<Checked>(params, Some(sink))
+}
+
+fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let fs = SynthFs::generate(params.fs, "needle");
     let total_bytes = fs.total_bytes();
 

@@ -38,8 +38,8 @@ use crate::substrates::cipher::{decrypt, encrypt};
 use crate::table::{run_benchmark, BenchResult, NativeRun, Scale};
 use sharc_checker::CheckEvent;
 use sharc_runtime::{
-    EventLog, LockId, WideArena, WideChecked, WideLockRegistry, WidePolicy, WideThreadCtx,
-    WideThreadId, WideUnchecked, GRANULE_WORDS,
+    EventLog, EventSink, LockId, WideArena, WideChecked, WideLockRegistry, WidePolicy,
+    WideThreadCtx, WideThreadId, WideUnchecked, GRANULE_WORDS,
 };
 use std::sync::Arc;
 
@@ -141,11 +141,17 @@ pub fn run_native<P: WidePolicy>(params: &Params) -> NativeRun {
 /// and the linearized native event trace for detector replay.
 pub fn run_traced(params: &Params) -> (NativeRun, Vec<CheckEvent>) {
     let sink = Arc::new(EventLog::new());
-    let run = run_with_sink::<WideChecked>(params, Some(Arc::clone(&sink)));
+    let run = run_with_events(params, sink.clone());
     (run, sink.take())
 }
 
-fn run_with_sink<P: WidePolicy>(params: &Params, sink: Option<Arc<EventLog>>) -> NativeRun {
+/// Runs the fleet checked, recording into any [`EventSink`] — the
+/// entry the online (`StreamingSink`) detector path uses.
+pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
+    run_with_sink::<WideChecked>(params, Some(sink))
+}
+
+fn run_with_sink<P: WidePolicy>(params: &Params, sink: Option<Arc<dyn EventSink>>) -> NativeRun {
     let is_checked = P::NAME == "sharc";
     // Exact identities for the acceptor plus every worker tid.
     let arena = Arc::new(WideArena::for_threads(
@@ -274,7 +280,7 @@ fn worker_thread<P: WidePolicy>(
     arena: &WideArena,
     locks: &WideLockRegistry,
     tid: WideThreadId,
-    sink: Option<Arc<EventLog>>,
+    sink: Option<Arc<dyn EventSink>>,
     w: usize,
 ) -> (u64, u64, u64, usize) {
     let is_checked = P::NAME == "sharc";

@@ -9,6 +9,7 @@
 //!                       [--detector sharc|eraser|vc]
 //! sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel>
 //!              [--detector sharc|eraser|vc] [--trace-out <path>]
+//!              [--online [--ring-cap N]]
 //! sharc replay <trace-file>       [--detector sharc|eraser|vc]
 //! ```
 //!
@@ -27,6 +28,15 @@
 //! offline — the verdict is a function of the file alone, so the
 //! same execution can be interrogated by every engine long after the
 //! threads are gone.
+//!
+//! `--online` switches `native` from record-then-replay to the
+//! streaming pipeline: events flow through per-thread bounded rings
+//! drained by an epoch-flip collector, so the verdict is produced
+//! concurrently with the run inside a fixed memory budget
+//! (`--ring-cap` events per ring buffer, default 4096). The exit code
+//! and the conflicts are the same as the replay path on the same
+//! seeded run; the report additionally shows peak resident events
+//! and how many collector drains it took.
 
 use sharc::prelude::*;
 use std::process::ExitCode;
@@ -37,7 +47,8 @@ fn usage() -> ExitCode {
          sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
          [--detector sharc|eraser|vc]\n  \
          sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel> \
-         [--detector sharc|eraser|vc] [--trace-out <path>]\n  \
+         [--detector sharc|eraser|vc] [--trace-out <path>] \
+         [--online [--ring-cap N]]\n  \
          sharc replay <trace-file> [--detector sharc|eraser|vc]"
     );
     ExitCode::from(2)
@@ -77,6 +88,8 @@ fn cmd_native(args: &[String]) -> ExitCode {
     };
     let mut detector = DetectorKind::Sharc;
     let mut trace_out: Option<String> = None;
+    let mut online = false;
+    let mut ring_cap = sharc::DEFAULT_RING_CAP;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -92,11 +105,45 @@ fn cmd_native(args: &[String]) -> ExitCode {
                 trace_out = Some(path.clone());
                 i += 2;
             }
+            "--online" => {
+                online = true;
+                i += 1;
+            }
+            "--ring-cap" => {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => ring_cap = n,
+                    _ => {
+                        eprintln!("sharc: --ring-cap needs a positive integer");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("sharc: unknown flag {other}");
                 return usage();
             }
         }
+    }
+    if online {
+        if trace_out.is_some() {
+            eprintln!("sharc: --online streams events into the collector; there is no trace to save (drop --trace-out)");
+            return usage();
+        }
+        let streamed = sharc::run_native_streaming(workload, detector, ring_cap);
+        let run = &streamed.run;
+        println!(
+            "{workload:?} (online): {} threads, {} checked / {} total accesses, \
+             checksum {:#x}",
+            run.threads, run.checked, run.total, run.checksum
+        );
+        let s = &streamed.stats;
+        println!(
+            "online: {} events recorded, {} drained over {} collector drains, \
+             peak resident {} (ring budget {})",
+            s.recorded, s.drained, s.drains, s.peak_resident, s.ring_budget
+        );
+        return report_conflicts(streamed.detector, &streamed.conflicts);
     }
     let (run, trace) = sharc::native_trace(workload);
     if let Some(path) = &trace_out {

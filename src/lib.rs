@@ -353,74 +353,96 @@ pub struct NativeDetectorRun {
     pub conflicts: Vec<checker::Conflict>,
 }
 
-/// Runs `workload` once with real threads and returns its run record
-/// plus the recorded [`checker::CheckEvent`] trace — the raw material
-/// for [`judge_trace`], `--trace-out`, or an offline `sharc replay`.
-pub fn native_trace(
+/// Runs `workload` once with real threads, recording every
+/// [`checker::CheckEvent`] into `sink` — an [`checker::EventLog`]
+/// for record-then-replay, or a [`checker::StreamingSink`] for
+/// bounded-memory online detection. One dispatcher, one set of
+/// quick-scale parameters, both detection modes.
+pub fn run_native_events(
     workload: NativeWorkload,
-) -> (workloads::table::NativeRun, Vec<checker::CheckEvent>) {
+    sink: std::sync::Arc<dyn checker::EventSink>,
+) -> workloads::table::NativeRun {
     match workload {
         NativeWorkload::Pfscan => {
             let params =
                 workloads::benchmarks::pfscan::Params::scaled(workloads::table::Scale::quick());
-            workloads::benchmarks::pfscan::run_traced(&params)
+            workloads::benchmarks::pfscan::run_with_events(&params, sink)
         }
-        NativeWorkload::Handoff => workloads::benchmarks::handoff::run_traced(
+        NativeWorkload::Handoff => workloads::benchmarks::handoff::run_with_events(
             &workloads::benchmarks::handoff::Params::default(),
+            sink,
         ),
         NativeWorkload::Pbzip2 => {
             let params =
                 workloads::benchmarks::pbzip2::Params::scaled(workloads::table::Scale::quick());
-            workloads::benchmarks::pbzip2::run_traced(&params)
+            workloads::benchmarks::pbzip2::run_with_events(&params, sink)
         }
         NativeWorkload::Aget => {
             let params =
                 workloads::benchmarks::aget::Params::scaled(workloads::table::Scale::quick());
-            workloads::benchmarks::aget::run_traced(&params)
+            workloads::benchmarks::aget::run_with_events(&params, sink)
         }
         NativeWorkload::Dillo => {
             let params = workloads::benchmarks::dillo::Params {
                 latency: std::time::Duration::ZERO,
                 ..workloads::benchmarks::dillo::Params::scaled(workloads::table::Scale::quick())
             };
-            workloads::benchmarks::dillo::run_traced(&params)
+            workloads::benchmarks::dillo::run_with_events(&params, sink)
         }
         NativeWorkload::Fftw => {
             let params =
                 workloads::benchmarks::fftw::Params::scaled(workloads::table::Scale::quick());
-            workloads::benchmarks::fftw::run_traced(&params)
+            workloads::benchmarks::fftw::run_with_events(&params, sink)
         }
         NativeWorkload::Stunnel => {
             let params =
                 workloads::benchmarks::stunnel::Params::scaled(workloads::table::Scale::quick());
-            workloads::benchmarks::stunnel::run_traced(&params)
+            workloads::benchmarks::stunnel::run_with_events(&params, sink)
         }
     }
 }
 
-/// The highest checked thread id a trace mentions — what SharC's
-/// replay geometry must be sized for. Narrow traces (≤ 63) get the
-/// default single-shard shadow; anything wider gets exactly enough
-/// shards to keep every tid's identity precise.
-fn max_trace_tid(trace: &[checker::CheckEvent]) -> u32 {
-    use checker::CheckEvent as E;
-    trace
-        .iter()
-        .map(|e| match *e {
-            E::Read { tid, .. }
-            | E::Write { tid, .. }
-            | E::RangeRead { tid, .. }
-            | E::RangeWrite { tid, .. }
-            | E::LockedAccess { tid, .. }
-            | E::SharingCast { tid, .. }
-            | E::Acquire { tid, .. }
-            | E::Release { tid, .. }
-            | E::ThreadExit { tid } => tid,
-            E::Fork { parent, child } | E::Join { parent, child } => parent.max(child),
-            E::Alloc { .. } => 0,
-        })
-        .max()
-        .unwrap_or(0)
+/// Runs `workload` once with real threads and returns its run record
+/// plus the recorded [`checker::CheckEvent`] trace — the raw material
+/// for [`judge_trace`], `--trace-out`, or an offline `sharc replay`.
+pub fn native_trace(
+    workload: NativeWorkload,
+) -> (workloads::table::NativeRun, Vec<checker::CheckEvent>) {
+    let sink = std::sync::Arc::new(checker::EventLog::new());
+    let run = run_native_events(workload, sink.clone());
+    (run, sink.take())
+}
+
+/// The highest checked tid [`run_native_events`]'s quick-scale
+/// execution of `workload` can name: the main/producer/acceptor
+/// thread is 1 and workers are `2 ..= workers + 1`, so the bound is
+/// the thread count itself. The streaming path sizes its shadow
+/// geometry and ring count from this *before* the run, where the
+/// replay path derives the same thing from the finished trace
+/// ([`checker::geometry_for_trace`]).
+fn native_tid_bound(workload: NativeWorkload) -> usize {
+    use workloads::table::Scale;
+    match workload {
+        NativeWorkload::Pfscan => {
+            workloads::benchmarks::pfscan::Params::scaled(Scale::quick()).workers + 1
+        }
+        NativeWorkload::Handoff => workloads::benchmarks::handoff::Params::default().consumers + 1,
+        NativeWorkload::Pbzip2 => {
+            workloads::benchmarks::pbzip2::Params::scaled(Scale::quick()).workers + 1
+        }
+        NativeWorkload::Aget => {
+            workloads::benchmarks::aget::Params::scaled(Scale::quick()).workers + 1
+        }
+        NativeWorkload::Dillo => {
+            workloads::benchmarks::dillo::Params::scaled(Scale::quick()).workers + 1
+        }
+        NativeWorkload::Fftw => {
+            workloads::benchmarks::fftw::Params::scaled(Scale::quick()).workers + 1
+        }
+        NativeWorkload::Stunnel => {
+            workloads::benchmarks::stunnel::Params::scaled(Scale::quick()).workers + 1
+        }
+    }
 }
 
 /// Judges a [`checker::CheckEvent`] trace with the selected engine,
@@ -437,10 +459,9 @@ pub fn judge_trace(
         DetectorKind::Sharc => {
             // Size the exact shadow to the widest tid the trace
             // names: a 300-thread stunnel run replays on a 5-shard
-            // geometry, while narrow traces keep the 1-shard default
-            // (for_threads(n <= 63) is the default geometry).
-            let geom = checker::ShadowGeometry::for_threads((max_trace_tid(trace) as usize).max(1));
-            let mut backend = checker::BitmapBackend::with_geometry(geom);
+            // geometry, while narrow traces keep the 1-shard default.
+            let mut backend =
+                checker::BitmapBackend::with_geometry(checker::geometry_for_trace(trace));
             let raw = checker::replay(trace, &mut backend);
             ("sharc", dedup_conflicts(raw))
         }
@@ -490,12 +511,78 @@ pub fn run_native_with_detector(workload: NativeWorkload, kind: DetectorKind) ->
     }
 }
 
+/// The default per-ring buffer capacity of the streaming path
+/// (`--ring-cap`): small enough that a long stunnel round drains
+/// hundreds of times, large enough that drains amortize.
+pub const DEFAULT_RING_CAP: usize = 4096;
+
+/// A native execution judged *online*: the workload ran with a
+/// [`checker::StreamingSink`] attached, so the verdict was produced
+/// concurrently with the run inside a fixed memory budget — no full
+/// trace ever existed.
+#[derive(Debug)]
+pub struct StreamingRun {
+    /// The workload's run record (checksum, access counters, sizes).
+    pub run: workloads::table::NativeRun,
+    /// The engine's name, for output headers.
+    pub detector: &'static str,
+    /// Deduplicated conflicts from the incremental fold.
+    pub conflicts: Vec<checker::Conflict>,
+    /// Ring/drain counters: events recorded and drained, collect
+    /// passes, peak resident events, and the configured budget.
+    pub stats: checker::StreamStats,
+}
+
+/// Runs `workload` once with real threads, feeding the selected
+/// engine *during* the run through a [`checker::StreamingSink`] of
+/// one ring per thread with `ring_cap` events each. The verdict
+/// matches [`run_native_with_detector`]'s replay of the same
+/// execution order event for event (both folds run
+/// [`checker::apply_event`] over the same linearization); what
+/// changes is memory — peak resident events stay under
+/// `2 × ring_cap × rings` regardless of run length.
+pub fn run_native_streaming(
+    workload: NativeWorkload,
+    kind: DetectorKind,
+    ring_cap: usize,
+) -> StreamingRun {
+    use sharc_checker::CheckBackend as _;
+    let bound = native_tid_bound(workload);
+    let (detector, backend): (&'static str, Box<dyn checker::CheckBackend + Send>) = match kind {
+        DetectorKind::Sharc => (
+            "sharc",
+            Box::new(checker::BitmapBackend::with_geometry(
+                checker::ShadowGeometry::for_threads(bound),
+            )),
+        ),
+        DetectorKind::Eraser => {
+            let b = detectors::BaselineBackend::new(detectors::Eraser::new());
+            (b.name(), Box::new(b))
+        }
+        DetectorKind::Vc => {
+            let b = detectors::BaselineBackend::new(detectors::VcDetector::new());
+            (b.name(), Box::new(b))
+        }
+    };
+    // One ring per thread (tids are 1-based, ring 0 takes Alloc).
+    let sink = std::sync::Arc::new(checker::StreamingSink::new(bound + 1, ring_cap, backend));
+    let run = run_native_events(workload, sink.clone());
+    let (raw, stats) = sink.finish();
+    StreamingRun {
+        run,
+        detector,
+        conflicts: dedup_conflicts(raw),
+        stats,
+    }
+}
+
 /// The most common imports for users of the crate.
 pub mod prelude {
     pub use crate::{
-        check, check_and_run, judge_trace, native_trace, read_trace_file, run,
-        run_native_with_detector, run_with_detector, write_trace_file, CheckedProgram,
-        DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig, RunOutcome,
+        check, check_and_run, judge_trace, native_trace, read_trace_file, run, run_native_events,
+        run_native_streaming, run_native_with_detector, run_with_detector, write_trace_file,
+        CheckedProgram, DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig,
+        RunOutcome, StreamingRun, DEFAULT_RING_CAP,
     };
     pub use minic::{Diagnostic, Severity};
     pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};
@@ -618,6 +705,27 @@ mod tests {
                 "{w:?}: Eraser misses the transfer"
             );
         }
+    }
+
+    #[test]
+    fn streaming_handoff_agrees_with_replay_inside_the_budget() {
+        // The online path end to end: same §6.2 split as the replay
+        // path (SharC clean, Eraser false-positives on the transfer),
+        // produced concurrently with the run, with peak resident
+        // events bounded by the ring budget.
+        let sharc = run_native_streaming(NativeWorkload::Handoff, DetectorKind::Sharc, 64);
+        assert!(sharc.conflicts.is_empty(), "{:?}", sharc.conflicts);
+        assert!(sharc.stats.recorded > 0);
+        assert_eq!(sharc.stats.drained, sharc.stats.recorded);
+        assert!(
+            sharc.stats.peak_resident <= sharc.stats.ring_budget,
+            "peak {} over budget {}",
+            sharc.stats.peak_resident,
+            sharc.stats.ring_budget
+        );
+        let eraser = run_native_streaming(NativeWorkload::Handoff, DetectorKind::Eraser, 64);
+        assert!(!eraser.conflicts.is_empty(), "Eraser cannot see the cast");
+        assert_eq!(eraser.detector, "eraser-lockset");
     }
 
     #[test]

@@ -26,7 +26,10 @@
 
 use std::collections::HashMap;
 
-use sharc_checker::{BitmapBackend, CheckBackend, CheckEvent, OwnedCache, ShadowGeometry};
+use sharc_checker::{
+    geometry_for_trace, BitmapBackend, CheckBackend, CheckEvent, EventSink, OwnedCache,
+    ShadowGeometry, StreamingSink,
+};
 use sharc_detectors::{BaselineBackend, Eraser, VcDetector};
 use sharc_runtime::{ScalableShadow, Shadow, ShardedShadow, ThreadId, WideThreadId};
 use sharc_testkit::gen::{self, Gen};
@@ -866,6 +869,44 @@ fn ranged_sharded_checks_agree_up_to_256_threads() {
     );
 }
 
+/// The whole `CheckEvent` vocabulary over tids `1..=threads`: point
+/// and ranged accesses, lock traffic, forks, sharing casts, exits,
+/// and allocs. Shared by the lowering differential (narrow tids) and
+/// the streaming differential (narrow *and* cross-shard tids).
+fn spine_event_gen(threads: u32) -> Gen<CheckEvent> {
+    use CheckEvent as E;
+    gen::pair(
+        gen::u32_range(0..12),
+        gen::pair(
+            gen::u32_range(1..threads + 1),
+            gen::usize_range(0..GRANULES),
+        ),
+    )
+    .map(|&(kind, (tid, granule))| {
+        let lock = granule % 3;
+        let len = (granule % 5) + 1;
+        match kind {
+            0 => E::Read { tid, granule },
+            1 => E::Write { tid, granule },
+            2 | 3 => E::RangeRead { tid, granule, len },
+            4 | 5 => E::RangeWrite { tid, granule, len },
+            6 => E::Acquire { tid, lock },
+            7 => E::Release { tid, lock },
+            8 => E::Fork {
+                parent: tid,
+                child: tid + 1,
+            },
+            9 => E::SharingCast {
+                tid,
+                granule,
+                refs: 1,
+            },
+            10 => E::ThreadExit { tid },
+            _ => E::Alloc { granule },
+        }
+    })
+}
+
 /// Replay-lowering is verdict-invisible for **every** backend, not
 /// just SharC's: a trace with range events and the same trace with
 /// each range expanded to per-granule events produce bit-identical
@@ -878,41 +919,10 @@ fn range_replay_lowering_is_bit_identical_for_every_backend() {
     use sharc_checker::lower_ranges;
     use sharc_detectors::VcDetector;
 
-    fn spine_event_gen() -> Gen<CheckEvent> {
-        use CheckEvent as E;
-        gen::pair(
-            gen::u32_range(0..12),
-            gen::pair(gen::u32_range(1..6), gen::usize_range(0..GRANULES)),
-        )
-        .map(|&(kind, (tid, granule))| {
-            let lock = granule % 3;
-            let len = (granule % 5) + 1;
-            match kind {
-                0 => E::Read { tid, granule },
-                1 => E::Write { tid, granule },
-                2 | 3 => E::RangeRead { tid, granule, len },
-                4 | 5 => E::RangeWrite { tid, granule, len },
-                6 => E::Acquire { tid, lock },
-                7 => E::Release { tid, lock },
-                8 => E::Fork {
-                    parent: tid,
-                    child: tid + 1,
-                },
-                9 => E::SharingCast {
-                    tid,
-                    granule,
-                    refs: 1,
-                },
-                10 => E::ThreadExit { tid },
-                _ => E::Alloc { granule },
-            }
-        })
-    }
-
     forall!(
         "range_replay_lowering_is_bit_identical_for_every_backend",
         cfg(),
-        gen::vec_of(spine_event_gen(), 0..64),
+        gen::vec_of(spine_event_gen(5), 0..64),
         |events| {
             let lowered = lower_ranges(events);
             prop_assert!(
@@ -1035,8 +1045,12 @@ fn stunnel_wide_trace_pins_all_backends() {
         .unwrap_or(0);
     assert!(widest > 200, "ranged sweeps carry wide tids: max {widest}");
 
-    // SharC, at the geometry the width demands.
-    let geom = ShadowGeometry::for_threads(params.workers + 2);
+    // SharC, at the geometry the recorded tids demand.
+    let geom = geometry_for_trace(&trace);
+    assert!(
+        geom.shards() > 1,
+        "fleet width needs a multi-shard geometry"
+    );
     let mut sharc = BitmapBackend::with_geometry(geom);
     let sharc_conflicts = sharc_checker::replay(&trace, &mut sharc);
     assert!(
@@ -1069,5 +1083,190 @@ fn stunnel_wide_trace_pins_all_backends() {
     assert!(
         !sharc_checker::replay(&no_cast, &mut sharc2).is_empty(),
         "without the casts the wide-tid transfers are races to SharC"
+    );
+}
+
+// ----- Streaming detection (PR 7) -----
+
+/// The streaming pipeline's tentpole invariant: for **every** choice
+/// of ring count, ring capacity, and drain interleaving, feeding a
+/// trace through a [`StreamingSink`] yields conflicts bit-identical
+/// to the serialized replay fold of the same trace on the same
+/// backend — for SharC's bitmap engine, Eraser, and vector clocks
+/// alike. Traces draw from the full spine vocabulary (ranged events
+/// included) at both narrow and cross-shard tid widths, and the
+/// stream's accounting must close: everything recorded is drained,
+/// and the peak resident count never exceeds the ring budget.
+#[test]
+fn streaming_verdicts_equal_replay_fold_for_every_backend() {
+    use sharc_detectors::VcDetector;
+
+    type BackendFactory = Box<dyn Fn() -> Box<dyn CheckBackend + Send>>;
+
+    let scenario = gen::pair(
+        gen::one_of(vec![
+            gen::vec_of(spine_event_gen(5), 0..64),
+            gen::vec_of(spine_event_gen(WIDE_THREADS - 1), 0..64),
+        ]),
+        gen::pair(
+            gen::pair(gen::usize_range(1..5), gen::usize_range(1..17)),
+            gen::usize_range(0..8),
+        ),
+    );
+    forall!(
+        "streaming_verdicts_equal_replay_fold_for_every_backend",
+        cfg(),
+        scenario,
+        |scenario| {
+            let (events, ((rings, cap), drain_every)) = scenario;
+            let (rings, cap, drain_every) = (*rings, *cap, *drain_every);
+            let geom = geometry_for_trace(events);
+            let backends: Vec<(&str, BackendFactory)> = vec![
+                (
+                    "sharc",
+                    Box::new(move || Box::new(BitmapBackend::with_geometry(geom))),
+                ),
+                (
+                    "eraser",
+                    Box::new(|| Box::new(BaselineBackend::new(Eraser::new()))),
+                ),
+                (
+                    "vc",
+                    Box::new(|| Box::new(BaselineBackend::new(VcDetector::new()))),
+                ),
+            ];
+            for (name, make) in &backends {
+                let mut replay_backend = make();
+                let want = sharc_checker::replay(events, replay_backend.as_mut());
+                let sink = StreamingSink::new(rings, cap, make());
+                for (i, &e) in events.iter().enumerate() {
+                    sink.record(e);
+                    if drain_every != 0 && (i + 1) % drain_every == 0 {
+                        sink.collect();
+                    }
+                }
+                let (got, stats) = sink.finish();
+                prop_assert!(
+                    got == want,
+                    "{}: rings {} cap {} drain_every {}: streamed {:?} vs replay {:?}",
+                    name,
+                    rings,
+                    cap,
+                    drain_every,
+                    got,
+                    want
+                );
+                prop_assert!(
+                    stats.recorded == events.len() as u64 && stats.drained == stats.recorded,
+                    "{}: accounting must close: {:?} over {} events",
+                    name,
+                    stats,
+                    events.len()
+                );
+                prop_assert!(
+                    stats.peak_resident <= stats.ring_budget,
+                    "{}: peak {} exceeds ring budget {}",
+                    name,
+                    stats.peak_resident,
+                    stats.ring_budget
+                );
+            }
+        }
+    );
+}
+
+/// Streaming at fleet width: the same >200-worker recorded stunnel
+/// execution that pins the three replay engines is streamed through
+/// per-thread rings with a deliberately tiny capacity, and the
+/// collector's verdict is bit-identical to the replay fold while the
+/// peak resident event count stays inside the fixed ring budget —
+/// the recorded trace is three orders of magnitude larger. A second,
+/// *live* streaming run (real worker threads racing the collector)
+/// then confirms verdict parity under actual concurrency: SharC
+/// clean, Eraser false-positive, with the budget still holding.
+#[test]
+fn stunnel_streaming_is_bit_identical_to_replay_at_fleet_width() {
+    use std::sync::Arc;
+
+    use sharc_workloads::benchmarks::stunnel::{self, Params};
+
+    let params = Params {
+        clients: 220,
+        workers: 220,
+        messages: 2,
+        msg_len: 64,
+    };
+    let (run, trace) = stunnel::run_traced(&params);
+    assert!(
+        run.threads > 200,
+        "fleet width: got {} threads",
+        run.threads
+    );
+    let geom = geometry_for_trace(&trace);
+    assert!(geom.shards() > 1, "wide tids demand a multi-shard geometry");
+
+    // Replay fold of the recorded execution — the pinned oracle.
+    let want = sharc_checker::replay(&trace, &mut BitmapBackend::with_geometry(geom));
+    assert!(want.is_empty(), "SharC accepts the fleet: {want:?}");
+
+    // The identical recorded execution, streamed through tiny rings
+    // with periodic mid-stream drains.
+    let sink = StreamingSink::new(8, 64, Box::new(BitmapBackend::with_geometry(geom)));
+    for (i, &e) in trace.iter().enumerate() {
+        sink.record(e);
+        if (i + 1) % 97 == 0 {
+            sink.collect();
+        }
+    }
+    let (got, stats) = sink.finish();
+    assert_eq!(got, want, "streamed verdicts must equal the replay fold");
+    assert_eq!(stats.recorded, trace.len() as u64);
+    assert_eq!(stats.drained, stats.recorded, "no event may be lost");
+    assert!(
+        stats.peak_resident <= stats.ring_budget,
+        "peak {} exceeds ring budget {}",
+        stats.peak_resident,
+        stats.ring_budget
+    );
+    assert!(
+        stats.ring_budget < trace.len() / 2,
+        "the budget must be far below the trace ({} vs {})",
+        stats.ring_budget,
+        trace.len()
+    );
+
+    // Live: real threads race the collector, same fixed budget.
+    let wide = ShadowGeometry::for_threads(params.workers + 2);
+    let live = Arc::new(StreamingSink::new(
+        8,
+        64,
+        Box::new(BitmapBackend::with_geometry(wide)),
+    ));
+    let live_run = stunnel::run_with_events(&params, live.clone());
+    let (live_conflicts, live_stats) = live.finish();
+    assert_eq!(live_run.conflicts, 0, "the live run itself is clean");
+    assert!(
+        live_conflicts.is_empty(),
+        "live streaming SharC stays clean: {live_conflicts:?}"
+    );
+    assert!(
+        live_stats.peak_resident <= live_stats.ring_budget,
+        "live peak {} exceeds ring budget {}",
+        live_stats.peak_resident,
+        live_stats.ring_budget
+    );
+    assert_eq!(live_stats.drained, live_stats.recorded);
+
+    // Eraser live-streams its ownership-transfer false positive too.
+    let eraser = Arc::new(StreamingSink::new(
+        8,
+        64,
+        Box::new(BaselineBackend::new(Eraser::new())),
+    ));
+    stunnel::run_with_events(&params, eraser.clone());
+    let (eraser_conflicts, _) = eraser.finish();
+    assert!(
+        !eraser_conflicts.is_empty(),
+        "Eraser must false-positive while streaming live"
     );
 }
