@@ -76,6 +76,47 @@ SHARC_TEST_SEED=0x51EA SHARC_TEST_CASES=64 \
     streaming_verdicts_equal_replay_fold_for_every_backend \
     stunnel_streaming_is_bit_identical_to_replay_at_fleet_width
 
+echo "== check elision: differential + mutation, fixed seed =="
+# The elision pass's soundness contract: on program shapes that are
+# race-free by construction, the eliding build is bit-identical to
+# the fully-checked build on every seed, and every race-inducing
+# mutation (second spawn, escaping alias) forces the raced sites
+# back to checked. Fixed seed pins one known exploration.
+SHARC_TEST_SEED=0xE11DE SHARC_TEST_CASES=48 \
+    cargo test -q --offline --release --test elision_differential -- \
+    elided_build_is_bit_identical_on_race_free_executions \
+    racing_mutations_kill_elision \
+    racy_mutant_still_reports_under_elision
+
+echo "== elision exemplar: explanations + racy exit code =="
+# The explanation format end to end: the exemplar's spawn-unique
+# loop and lock-dominated region are elided with their reasons, and
+# the escaping counterexample keeps its checks (the e2e test pins
+# exact line numbers; this smokes the CLI surface). The racy
+# exemplar must STILL exit nonzero under the default (eliding)
+# build — elision may never hide a report.
+explain=$(cargo run --release --offline --bin sharc -- \
+    run examples/minic/elision.c --explain-elision)
+echo "$explain" | grep -q "spawn-unique" || {
+    echo "ERROR: --explain-elision lost the spawn-unique explanation" >&2
+    exit 1
+}
+echo "$explain" | grep -q "lock-held" || {
+    echo "ERROR: --explain-elision lost the lock-held explanation" >&2
+    exit 1
+}
+racy_caught=0
+for seed in 0 1 2 3; do
+    if ! cargo run --release --offline --bin sharc -- \
+        run examples/minic/counter_racy.c --seed "$seed" >/dev/null 2>&1; then
+        racy_caught=1
+    fi
+done
+if [ "$racy_caught" -ne 1 ]; then
+    echo "ERROR: counter_racy.c exited 0 on every seed under elision" >&2
+    exit 1
+fi
+
 echo "== sharded revalidation stress: barrier-aligned real races =="
 # Real threads, barrier-aligned into the cross-shard conflict
 # window: a racing conflict must be reported by at least one
@@ -186,5 +227,27 @@ grep -q "ring_budget" BENCH_checker.json || {
     echo "ERROR: BENCH_checker.json has no streaming memory accounting" >&2
     exit 1
 }
+# The elision record: the three vm/private-loop rows (the elided row
+# must have beaten checked+cached for the bench to have exited 0 —
+# assert_elision_wins), plus per-workload static percentages with
+# nonzero elision on the private-heavy ports.
+for row in "vm/private-loop/elided" "vm/private-loop/cache-on" "vm/private-loop/cache-off"; do
+    grep -q "$row" BENCH_checker.json || {
+        echo "ERROR: BENCH_checker.json is missing the $row row" >&2
+        exit 1
+    }
+done
+grep -q "elided_pct" BENCH_checker.json || {
+    echo "ERROR: BENCH_checker.json has no per-workload elision records" >&2
+    exit 1
+}
+for w in pfscan stunnel dillo; do
+    slots=$(grep -A2 "\"name\": \"$w\"," BENCH_checker.json \
+        | grep '"elided_slots"' | grep -o '[0-9]\+' || true)
+    if [ -z "$slots" ] || [ "$slots" -eq 0 ]; then
+        echo "ERROR: $w must show nonzero static elision (got '${slots:-missing}')" >&2
+        exit 1
+    fi
+done
 
 echo "All checks passed."

@@ -10,7 +10,6 @@
 //! counts.
 
 use sharc_checker::{OwnedCache, ShadowGeometry};
-use sharc_interp::{compile_and_run, VmConfig};
 use sharc_runtime::{ScalableShadow, Shadow, ShardedShadow, ThreadId, WideThreadId};
 use sharc_testkit::Bench;
 
@@ -252,29 +251,29 @@ fn main() {
         });
     }
 
-    // ---- VM owned-granule cache delta ----
+    // ---- VM private loop: elision vs the owned-granule cache ----
     //
-    // The interpreter's per-thread cache mirrors the native one; this
-    // pair records the end-to-end delta on a check-dominated private
-    // loop (same program, cache on vs off).
-    const VM_SRC: &str =
-        "void worker(int * d) { int i; for (i = 0; i < 3000; i++) *d = *d + 1; }\n\
-                          void main() { int * p; int t; p = new(int); \
-                          t = spawn(worker, p); join(t); print(*p); }";
-    g.bench("vm/private-loop/cache-on", || {
-        compile_and_run("v.c", VM_SRC, VmConfig::default()).unwrap()
-    });
-    g.bench("vm/private-loop/cache-off", || {
-        compile_and_run(
-            "v.c",
-            VM_SRC,
-            VmConfig {
-                owned_cache: false,
-                ..VmConfig::default()
-            },
-        )
-        .unwrap()
-    });
+    // The same check-dominated private loop the cache delta has
+    // always used, now three ways: the default build (the elision
+    // pass deletes every check in the worker body) and the
+    // fully-checked reference build with the per-thread cache on and
+    // off. The default build stopped being a cache benchmark when
+    // elision landed — it has no check instructions to cache — so the
+    // cache rows pin the full-checks build explicitly.
+    sharc_bench::elision_vm_rows(&mut g);
+
+    // ---- Per-workload static elision ----
+    //
+    // Deterministic compile-time pass over the Table 1 MiniC ports:
+    // how much of each port's instrumentation the escape+lockset
+    // analysis deletes before it can cost anything at runtime.
+    let elision_rows = sharc_bench::elision_rows();
+    for r in &elision_rows {
+        eprintln!(
+            "elision/{}: {} of {} check slots elided ({:.0}%), {} reads collapsed",
+            r.name, r.elided_slots, r.checked_slots, r.elided_pct, r.collapsed_reads
+        );
+    }
 
     // ---- Wide-tid stunnel fleet ----
     //
@@ -297,7 +296,13 @@ fn main() {
     // the deterministic flush/miss counters, at the repo root — the
     // ONLY place this group's JSON lands (the old duplicate under
     // `crates/bench/target/` is gone).
-    sharc_bench::write_checker_json_at_repo_root(&g, &epoch_counters, &stunnel_rows, &online_rows);
+    sharc_bench::write_checker_json_at_repo_root(
+        &g,
+        &epoch_counters,
+        &stunnel_rows,
+        &online_rows,
+        &elision_rows,
+    );
 
     // The acceptance criterion, enforced at bench time: the cached
     // fast path must stay competitive with the uncached CAS on the
@@ -337,6 +342,10 @@ fn main() {
     // budget (with the budget genuinely binding) and the streamed
     // stunnel fleet within 1.25x of the untraced checked run.
     sharc_bench::assert_online_bounds(&g, &online_rows);
+
+    // Elision acceptance gate: deleting the private loop's checks
+    // statically must beat passing them through the owned cache.
+    sharc_bench::assert_elision_wins(&g);
 
     // Ranged acceptance gate: on the owned 4 KiB lap (256 granules,
     // the same working set as `owned-write/cached`), the steady-state

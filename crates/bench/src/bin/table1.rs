@@ -120,8 +120,11 @@ fn main() {
         let counters = sharc_bench::epoch_rows(&mut b);
         let stunnel = sharc_bench::stunnel_rows(&mut b, true);
         let online = sharc_bench::online_rows(&mut b, true);
-        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel, &online);
+        sharc_bench::elision_vm_rows(&mut b);
+        let elision = sharc_bench::elision_rows();
+        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel, &online, &elision);
         sharc_bench::assert_epoch_wins(&b);
         sharc_bench::assert_online_bounds(&b, &online);
+        sharc_bench::assert_elision_wins(&b);
     }
 }

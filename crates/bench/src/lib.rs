@@ -593,16 +593,144 @@ pub fn assert_online_bounds(g: &sharc_testkit::Bench, rows: &[OnlineRow]) {
     );
 }
 
+// ---- Static check elision (compiler-side ablation) ----
+
+/// Per-workload accounting of the static check-elision pass: how many
+/// check slots the instrumenter requested on the Table 1 MiniC port
+/// and how many the escape+lockset pre-analysis deleted before they
+/// could become instructions. Lands in `BENCH_checker.json` so the
+/// static win is recorded next to the dynamic rows.
+#[derive(Debug, Clone)]
+pub struct ElisionRow {
+    /// Workload name (Table 1 row).
+    pub name: &'static str,
+    /// Check slots the instrumenter emitted.
+    pub checked_slots: usize,
+    /// Slots deleted outright (E1–E4).
+    pub elided_slots: usize,
+    /// Compound-assign read slots folded into their write check (E5).
+    pub collapsed_reads: usize,
+    /// `elided_slots` as a percentage of `checked_slots`.
+    pub elided_pct: f64,
+}
+
+/// Compiles each Table 1 workload's MiniC port and reads the elision
+/// summary off the checked program — a deterministic, timing-free
+/// pass, like the epoch counter pass.
+pub fn elision_rows() -> Vec<ElisionRow> {
+    use sharc_workloads::benchmarks::{aget, dillo, fftw, pbzip2, pfscan, stunnel};
+    let sources: [(&'static str, &'static str); 6] = [
+        ("pfscan", pfscan::minic_source()),
+        ("aget", aget::minic_source()),
+        ("pbzip2", pbzip2::minic_source()),
+        ("dillo", dillo::minic_source()),
+        ("fftw", fftw::minic_source()),
+        ("stunnel", stunnel::minic_source()),
+    ];
+    sources
+        .iter()
+        .map(|&(name, src)| {
+            let checked =
+                sharc_core::compile(&format!("{name}.c"), src).expect("workload port parses");
+            assert!(
+                !checked.diags.has_errors(),
+                "{name} port must check cleanly"
+            );
+            let s = &checked.elision.summary;
+            ElisionRow {
+                name,
+                checked_slots: s.checked_slots,
+                elided_slots: s.elided_slots,
+                collapsed_reads: s.collapsed_reads,
+                elided_pct: s.elided_pct(),
+            }
+        })
+        .collect()
+}
+
+/// The check-dominated private loop the VM cache rows have always
+/// used, minus the `print(*p)` tail: a main-side read is one more
+/// access to the object, which (soundly) defeats the spawn-unique
+/// argument, so the bench program keeps every access inside the one
+/// spawned worker.
+const ELIDE_SRC: &str = "void worker(int * d) { int i; for (i = 0; i < 3000; i++) \
+     { *d = *d + 1; *d = *d + 1; *d = *d + 1; *d = *d + 1; } }\n\
+     void main() { int * p; int t; p = new(int); \
+     t = spawn(worker, p); join(t); }";
+
+/// Benches the three `vm/private-loop/*` rows: the default (eliding)
+/// build against the fully-checked build with the owned cache on and
+/// off. Ordering claim on this loop: elided < checked-cached <
+/// checked-uncached — each layer removes work the previous one only
+/// made cheaper. Returns nothing; the gate is [`assert_elision_wins`].
+pub fn elision_vm_rows(g: &mut sharc_testkit::Bench) {
+    use sharc_interp::{compile_full_checks, compile_module, run, VmConfig};
+    let checked = sharc_core::compile("v.c", ELIDE_SRC).expect("bench source parses");
+    assert!(!checked.diags.has_errors(), "bench source checks");
+    let elided = compile_module(&checked).expect("elided build compiles");
+    let full = compile_full_checks(&checked).expect("full-checks build compiles");
+    assert!(
+        elided.elision.elided > 0,
+        "the private loop's checks must be statically elided"
+    );
+    assert_eq!(
+        full.elision.elided, 0,
+        "the reference build keeps every check"
+    );
+    g.bench("vm/private-loop/elided", || {
+        run(&elided, &checked.source_map, VmConfig::default())
+    });
+    g.bench("vm/private-loop/cache-on", || {
+        run(&full, &checked.source_map, VmConfig::default())
+    });
+    g.bench("vm/private-loop/cache-off", || {
+        run(
+            &full,
+            &checked.source_map,
+            VmConfig {
+                owned_cache: false,
+                ..VmConfig::default()
+            },
+        )
+    });
+}
+
+/// The elision acceptance gate: on the check-dominated private loop,
+/// the eliding build (no check instructions at all) must beat the
+/// fully-checked build even with the PR 5 owned-granule cache turned
+/// on — deleting a check statically is cheaper than any way of
+/// passing it dynamically. Compared on per-row minima like
+/// [`assert_epoch_wins`].
+pub fn assert_elision_wins(g: &sharc_testkit::Bench) {
+    let row_min = |name: &str| {
+        g.results()
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.min_ns)
+            .expect("vm private-loop row ran")
+    };
+    let (e, c) = (
+        row_min("vm/private-loop/elided"),
+        row_min("vm/private-loop/cache-on"),
+    );
+    eprintln!("vm private loop: elided {e} ns/run (min) vs checked+cached {c} ns/run");
+    assert!(
+        e < c,
+        "the eliding build must beat the checked+cached build ({e} ns vs {c} ns)"
+    );
+}
+
 /// Writes `BENCH_checker.json` at the repo root: the standard bench
 /// document augmented with the exact `flushes`/`misses` counters,
-/// the stunnel fleet's derived throughput records, and the streaming
-/// pipeline's memory accounting, so the bench trajectory is recorded
-/// across PRs.
+/// the stunnel fleet's derived throughput records, the streaming
+/// pipeline's memory accounting, and the per-workload static elision
+/// percentages, so the bench trajectory is recorded across PRs.
 pub fn write_checker_json_at_repo_root(
     g: &sharc_testkit::Bench,
     counters: &[EpochCounters],
     stunnel: &[StunnelRow],
     online: &[OnlineRow],
+    elision: &[ElisionRow],
 ) {
     use sharc_testkit::Json;
     let mut doc = g.to_json();
@@ -650,10 +778,25 @@ pub fn write_checker_json_at_repo_root(
             })
             .collect(),
     );
+    let elision_arr = Json::Arr(
+        elision
+            .iter()
+            .map(|r| {
+                Json::obj([
+                    ("name", Json::Str(r.name.to_string())),
+                    ("checked_slots", Json::Int(r.checked_slots as i64)),
+                    ("elided_slots", Json::Int(r.elided_slots as i64)),
+                    ("collapsed_reads", Json::Int(r.collapsed_reads as i64)),
+                    ("elided_pct", Json::Float(r.elided_pct)),
+                ])
+            })
+            .collect(),
+    );
     if let Json::Obj(pairs) = &mut doc {
         pairs.push(("counters".to_string(), arr));
         pairs.push(("stunnel".to_string(), stunnel_arr));
         pairs.push(("online".to_string(), online_arr));
+        pairs.push(("elision".to_string(), elision_arr));
     }
     let path = std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
         .join("..")

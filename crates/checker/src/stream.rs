@@ -57,8 +57,14 @@
 
 use crate::backend::{apply_event, CheckBackend, CheckEvent, Conflict};
 use crate::sink::{recording_tid, EventSink};
+use std::collections::HashSet;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// Default stored-conflict saturation point: generous enough that no
+/// realistic run saturates, small enough to bound a pathological racy
+/// loop that would otherwise buffer one conflict per iteration.
+pub const DEFAULT_CONFLICT_CAP: usize = 65_536;
 
 /// Bit 63 of the stamp: the current epoch's parity.
 const PARITY_BIT: u64 = 1 << 63;
@@ -78,6 +84,11 @@ struct Ring {
 struct CollectorState {
     backend: Box<dyn CheckBackend + Send>,
     conflicts: Vec<Conflict>,
+    /// Every (kind, tid, granule) key ever stored — the dedupe set
+    /// consulted once `conflicts` saturates.
+    seen: HashSet<Conflict>,
+    /// Duplicate conflicts dropped after saturation.
+    suppressed: u64,
     /// Completed collects.
     drains: u64,
     /// Events drained across all collects.
@@ -97,6 +108,10 @@ pub struct StreamStats {
     pub peak_resident: usize,
     /// The configured bound: `2 × cap × rings`.
     pub ring_budget: usize,
+    /// Duplicate conflicts dropped after the stored list saturated at
+    /// the conflict cap (a pathological racy loop would otherwise
+    /// grow the verdict list without bound).
+    pub conflicts_suppressed: u64,
 }
 
 /// The online sink: per-thread bounded rings plus an epoch-flip
@@ -105,6 +120,11 @@ pub struct StreamingSink {
     rings: Vec<Ring>,
     /// Per-buffer capacity before a recorder must collect.
     cap: usize,
+    /// Stored-conflict saturation point: below it every conflict is
+    /// kept verbatim (bit-identical to the replay fold); at or above
+    /// it only conflicts with an unseen (kind, tid, granule) key are
+    /// admitted and duplicates are counted instead of stored.
+    conflict_cap: usize,
     /// Epoch parity (bit 63) packed over the global sequence.
     stamp: AtomicU64,
     collector: Mutex<CollectorState>,
@@ -141,10 +161,13 @@ impl StreamingSink {
         StreamingSink {
             rings: (0..rings.max(1)).map(|_| Ring::default()).collect(),
             cap: cap.max(1),
+            conflict_cap: DEFAULT_CONFLICT_CAP,
             stamp: AtomicU64::new(0),
             collector: Mutex::new(CollectorState {
                 backend,
                 conflicts: Vec::new(),
+                seen: HashSet::new(),
+                suppressed: 0,
                 drains: 0,
                 drained: 0,
             }),
@@ -152,6 +175,14 @@ impl StreamingSink {
             peak_resident: AtomicUsize::new(0),
             recorded: AtomicU64::new(0),
         }
+    }
+
+    /// Overrides the stored-conflict saturation point (tests and
+    /// tools that want tighter memory use a small cap).
+    #[must_use]
+    pub fn with_conflict_cap(mut self, n: usize) -> Self {
+        self.conflict_cap = n.max(1);
+        self
     }
 
     /// The fixed bound on resident events: each ring holds at most
@@ -183,8 +214,17 @@ impl StreamingSink {
         state.drains += 1;
         state.drained += batch.len() as u64;
         let state = &mut *state;
+        let mut fresh = Vec::new();
         for &(_, e) in &batch {
-            apply_event(e, state.backend.as_mut(), &mut state.conflicts);
+            apply_event(e, state.backend.as_mut(), &mut fresh);
+        }
+        for c in fresh {
+            let unseen = state.seen.insert(c);
+            if state.conflicts.len() < self.conflict_cap || unseen {
+                state.conflicts.push(c);
+            } else {
+                state.suppressed += 1;
+            }
         }
     }
 
@@ -202,6 +242,7 @@ impl StreamingSink {
             drains: state.drains,
             peak_resident: self.peak_resident.load(Ordering::Relaxed),
             ring_budget: self.ring_budget(),
+            conflicts_suppressed: state.suppressed,
         };
         (conflicts, stats)
     }
@@ -303,6 +344,74 @@ mod tests {
         let (got, stats) = sink.finish();
         assert_eq!(got, expected);
         assert!(stats.drains >= trace.len() as u64);
+    }
+
+    #[test]
+    fn pathological_racy_loop_saturates_but_stays_inside_the_budget() {
+        // Two threads alternate unsynchronized writes to one granule:
+        // every write after the first pair is a conflict, so an
+        // unbounded collector would buffer one conflict per iteration.
+        // With a small conflict cap the stored list saturates, the
+        // dedupe set admits nothing new (one distinct key per tid),
+        // and the overflow is counted instead of stored.
+        let cap = 8;
+        let sink = StreamingSink::new(2, 16, Box::new(BitmapBackend::new())).with_conflict_cap(cap);
+        for i in 0..5_000u64 {
+            let tid = 1 + (i % 2) as u32;
+            sink.record(CheckEvent::Write { tid, granule: 0 });
+        }
+        let (conflicts, stats) = sink.finish();
+        assert!(!conflicts.is_empty());
+        // Saturation: at most the cap plus the distinct keys that
+        // arrived after it filled (two tids on one granule here).
+        assert!(
+            conflicts.len() <= cap + 2,
+            "stored {} conflicts past the cap",
+            conflicts.len()
+        );
+        // Accounting closes: stored + suppressed equals what the
+        // serialized replay fold would have produced.
+        let full: Vec<CheckEvent> = (0..5_000u64)
+            .map(|i| CheckEvent::Write {
+                tid: 1 + (i % 2) as u32,
+                granule: 0,
+            })
+            .collect();
+        let replayed = replay(&full, &mut BitmapBackend::new());
+        assert_eq!(
+            conflicts.len() as u64 + stats.conflicts_suppressed,
+            replayed.len() as u64
+        );
+        assert!(stats.conflicts_suppressed > 0);
+        assert_eq!(stats.drained, stats.recorded);
+        assert!(
+            stats.peak_resident <= stats.ring_budget,
+            "peak {} over budget {}",
+            stats.peak_resident,
+            stats.ring_budget
+        );
+    }
+
+    #[test]
+    fn below_the_cap_the_stream_is_bit_identical_to_replay() {
+        // The dedupe machinery must be invisible until saturation:
+        // duplicate conflicts below the cap are stored verbatim, so
+        // the stream still equals the serialized replay fold.
+        let trace: Vec<CheckEvent> = (0..20u64)
+            .map(|i| CheckEvent::Write {
+                tid: 1 + (i % 2) as u32,
+                granule: 0,
+            })
+            .collect();
+        let expected = replay(&trace, &mut BitmapBackend::new());
+        assert!(expected.len() > 2, "duplicates must exist for this test");
+        let sink = StreamingSink::new(2, 4, Box::new(BitmapBackend::new()));
+        for &e in &trace {
+            sink.record(e);
+        }
+        let (got, stats) = sink.finish();
+        assert_eq!(got, expected);
+        assert_eq!(stats.conflicts_suppressed, 0);
     }
 
     #[test]

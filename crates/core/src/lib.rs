@@ -33,6 +33,7 @@ pub mod callgraph;
 pub mod check;
 pub mod constraints;
 pub mod elaborate;
+pub mod elide;
 pub mod typer;
 
 use minic::ast::{Program, Qual, Type};
@@ -42,6 +43,7 @@ use minic::span::SourceMap;
 
 pub use analysis::{AnalysisStats, SharingAnalysis};
 pub use check::{AccessCheck, CheckKind, CheckResult, Instrumentation};
+pub use elide::{ElisionFacts, ElisionSummary, Reason, SiteFacts};
 
 /// A fully analyzed, checked, and instrumented program.
 #[derive(Debug)]
@@ -51,6 +53,9 @@ pub struct CheckedProgram {
     pub structs: StructTable,
     /// Runtime checks per l-value occurrence.
     pub instr: Instrumentation,
+    /// Statically-proven-redundant checks (the VM compiler skips
+    /// them; `compile_full_checks` ignores the table).
+    pub elision: elide::ElisionFacts,
     /// Sharing-analysis results (escape info, statistics).
     pub sharing: SharingAnalysis,
     /// All diagnostics from every phase.
@@ -98,10 +103,12 @@ pub fn compile(name: &str, src: &str) -> Result<CheckedProgram, minic::Diagnosti
     let structs = StructTable::build(&program)?;
     let check::CheckResult { diags: cd, instr } = check::check(&program, &structs, &sharing);
     diags.extend(cd);
+    let elision = elide::elide(&program, &instr);
     Ok(CheckedProgram {
         program,
         structs,
         instr,
+        elision,
         sharing,
         diags,
         source_map,

@@ -202,6 +202,19 @@ pub struct FnCode {
     pub slot_sizes: Vec<u32>,
 }
 
+/// Static-elision accounting for a compiled module: how many check
+/// slots the front end proved redundant (and so were never emitted as
+/// instructions), versus how many survived to bytecode.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ElisionCounts {
+    /// Check slots that became `Chk*` instructions.
+    pub emitted: u64,
+    /// Check slots deleted outright by the elision facts.
+    pub elided: u64,
+    /// Compound-assignment reads collapsed into their write check.
+    pub collapsed: u64,
+}
+
 /// A compiled program ready to run on the VM.
 #[derive(Debug, Clone)]
 pub struct Module {
@@ -219,6 +232,8 @@ pub struct Module {
     pub sites: Vec<CheckSite>,
     /// Source file name (for reports).
     pub file: String,
+    /// How many check slots were emitted vs statically elided.
+    pub elision: ElisionCounts,
 }
 
 impl Module {

@@ -18,12 +18,31 @@ use std::collections::HashMap;
 
 /// Compiles `checked` into a runnable [`Module`].
 ///
+/// Check slots the elision pass proved redundant produce **no
+/// instruction**; the savings are recorded in [`Module::elision`].
+/// Use [`compile_full_checks`] for the every-check build.
+///
 /// # Errors
 ///
 /// Returns a diagnostic for constructs the VM cannot execute
 /// (struct-by-value parameters, non-constant global initializers,
 /// missing `main`).
 pub fn compile(checked: &CheckedProgram) -> Result<Module, Diagnostic> {
+    compile_with(checked, true)
+}
+
+/// Compiles `checked` with the elision facts ignored: every check the
+/// checker attached becomes an instruction. This is the reference
+/// build the elision differential compares against.
+///
+/// # Errors
+///
+/// Same failure modes as [`compile`].
+pub fn compile_full_checks(checked: &CheckedProgram) -> Result<Module, Diagnostic> {
+    compile_with(checked, false)
+}
+
+fn compile_with(checked: &CheckedProgram, use_elision: bool) -> Result<Module, Diagnostic> {
     let program = &checked.program;
     let structs = &checked.structs;
 
@@ -58,6 +77,7 @@ pub fn compile(checked: &CheckedProgram) -> Result<Module, Diagnostic> {
     let mut strings: Vec<Vec<u8>> = Vec::new();
     let mut sites: Vec<CheckSite> = Vec::new();
     let mut site_map: HashMap<ast::NodeId, u32> = HashMap::new();
+    let mut elision = ElisionCounts::default();
 
     let mut fns = Vec::new();
     for f in &program.fns {
@@ -85,6 +105,8 @@ pub fn compile(checked: &CheckedProgram) -> Result<Module, Diagnostic> {
             sites: &mut sites,
             site_map: &mut site_map,
             checks_enabled: true,
+            elision: use_elision.then_some(&checked.elision),
+            counts: &mut elision,
         };
         for p in &f.params {
             c.declare_slot(&p.name, p.ty.clone(), 1);
@@ -112,6 +134,7 @@ pub fn compile(checked: &CheckedProgram) -> Result<Module, Diagnostic> {
         strings,
         sites,
         file: checked.source_map.name().to_owned(),
+        elision,
     })
 }
 
@@ -148,6 +171,10 @@ struct FnCompiler<'a> {
     site_map: &'a mut HashMap<ast::NodeId, u32>,
     /// Disabled while compiling synthesized lock expressions.
     checks_enabled: bool,
+    /// Elision facts to consult, or `None` for the full-checks build.
+    elision: Option<&'a sharc_core::ElisionFacts>,
+    /// Module-wide emitted/elided/collapsed accounting.
+    counts: &'a mut ElisionCounts,
 }
 
 impl<'a> FnCompiler<'a> {
@@ -268,6 +295,24 @@ impl<'a> FnCompiler<'a> {
             ac.read.clone()
         };
         let Some(kind) = kind else { return Ok(()) };
+        if let Some(facts) = self.elision {
+            let reason = if is_write {
+                facts.write_reason(id)
+            } else {
+                facts.read_reason(id)
+            };
+            if let Some(r) = reason {
+                // The proven-redundant slot vanishes: no site, no
+                // instruction, no lock-expression evaluation.
+                if matches!(r, sharc_core::Reason::ReadOfWrite) {
+                    self.counts.collapsed += 1;
+                } else {
+                    self.counts.elided += 1;
+                }
+                return Ok(());
+            }
+        }
+        self.counts.emitted += 1;
         let site = self.site_for(id);
         match kind {
             CheckKind::Dynamic => {
@@ -871,6 +916,12 @@ mod tests {
         compile(&checked).unwrap()
     }
 
+    fn compile_src_full(src: &str) -> Module {
+        let checked = sharc_core::compile("t.c", src).unwrap();
+        assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
+        compile_full_checks(&checked).unwrap()
+    }
+
     #[test]
     fn compiles_simple_main() {
         let m = compile_src("void main() { int x; x = 1 + 2; }");
@@ -881,7 +932,9 @@ mod tests {
 
     #[test]
     fn checked_program_emits_check_insns() {
-        let m = compile_src(
+        // The full-checks build keeps every check, even for this
+        // spawn-unique shape the elision pass proves redundant.
+        let m = compile_src_full(
             "void worker(int * d) { *d = 1; }\n\
              void main() { int * q; q = new(int); spawn(worker, q); }",
         );
@@ -891,11 +944,28 @@ mod tests {
             .iter()
             .any(|i| matches!(i, Insn::ChkWrite { .. })));
         assert!(!m.sites.is_empty());
+        assert_eq!(m.elision.elided, 0);
+        assert!(m.elision.emitted > 0);
+    }
+
+    #[test]
+    fn spawn_unique_checks_are_elided_by_default() {
+        let m = compile_src(
+            "void worker(int * d) { *d = 1; }\n\
+             void main() { int * q; q = new(int); spawn(worker, q); }",
+        );
+        let worker = &m.fns[m.fn_index("worker").unwrap() as usize];
+        assert!(!worker
+            .code
+            .iter()
+            .any(|i| matches!(i, Insn::ChkWrite { .. } | Insn::ChkRead { .. })));
+        assert_eq!(m.elision.emitted, 0);
+        assert!(m.elision.elided > 0);
     }
 
     #[test]
     fn locked_access_emits_lock_check() {
-        let m = compile_src(
+        let m = compile_src_full(
             "struct q { mutex * m; int locked(m) c; };\n\
              void worker(struct q * w) { mutex_lock(w->m); w->c = 1; mutex_unlock(w->m); }\n\
              void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
@@ -905,6 +975,48 @@ mod tests {
             .code
             .iter()
             .any(|i| matches!(i, Insn::ChkLockHeld { .. })));
+    }
+
+    #[test]
+    fn lock_dominated_check_is_elided_by_default() {
+        let m = compile_src(
+            "struct q { mutex * m; int locked(m) c; };\n\
+             void worker(struct q * w) { mutex_lock(w->m); w->c = 1; mutex_unlock(w->m); }\n\
+             void main() { struct q * w; w = new(struct q); spawn(worker, w); }",
+        );
+        let worker = &m.fns[m.fn_index("worker").unwrap() as usize];
+        assert!(!worker
+            .code
+            .iter()
+            .any(|i| matches!(i, Insn::ChkLockHeld { .. })));
+        assert!(m.elision.elided > 0);
+    }
+
+    #[test]
+    fn compound_assign_read_collapses_into_the_write_check() {
+        let src = "int dynamic g;\n\
+             void worker(int * d) { g = g + 1; }\n\
+             void main() { int * p; p = new(int); spawn(worker, p); g = g + 1; }";
+        let m = compile_src(src);
+        let worker = &m.fns[m.fn_index("worker").unwrap() as usize];
+        let reads = worker
+            .code
+            .iter()
+            .filter(|i| matches!(i, Insn::ChkRead { .. }))
+            .count();
+        let writes = worker
+            .code
+            .iter()
+            .filter(|i| matches!(i, Insn::ChkWrite { .. }))
+            .count();
+        assert_eq!(reads, 0, "read of `g` should collapse into the write");
+        assert_eq!(writes, 1);
+        assert!(m.elision.collapsed >= 2);
+        // The full-checks build keeps the separate read.
+        let full = compile_src_full(src);
+        let fw = &full.fns[full.fn_index("worker").unwrap() as usize];
+        assert!(fw.code.iter().any(|i| matches!(i, Insn::ChkRead { .. })));
+        assert_eq!(full.elision.collapsed, 0);
     }
 
     #[test]

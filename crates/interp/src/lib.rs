@@ -36,7 +36,8 @@ pub mod formal;
 pub mod report;
 pub mod vm;
 
-pub use bytecode::{Addr, Module, Value};
+pub use bytecode::{Addr, ElisionCounts, Module, Value};
+pub use compile::{compile as compile_module, compile_full_checks};
 pub use report::{ConflictKind, ConflictReport};
 pub use vm::{run, ExitStatus, RunOutcome, SchedPolicy, TraceEvent, VmConfig, VmStats};
 

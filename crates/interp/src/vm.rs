@@ -186,6 +186,13 @@ pub struct VmStats {
     /// Multi-granule checks answered whole by an owned-run summary
     /// (each such hit also adds its span to `cache_hits`).
     pub range_hits: u64,
+    /// Check slots the front end statically elided (copied from the
+    /// module; these never became instructions, so they cost nothing
+    /// per execution).
+    pub checks_elided: u64,
+    /// Compound-assignment reads collapsed into their write check at
+    /// compile time (also from the module).
+    pub checks_collapsed: u64,
 }
 
 impl VmStats {
@@ -392,7 +399,11 @@ impl<'m> Vm<'m> {
             string_addrs: Vec::new(),
             reporter: Reporter::new(sm, &module.sites, max_reports),
             output: Vec::new(),
-            stats: VmStats::default(),
+            stats: VmStats {
+                checks_elided: module.elision.elided,
+                checks_collapsed: module.elision.collapsed,
+                ..VmStats::default()
+            },
             current: 0,
             quantum_left: 0,
             trace: Vec::new(),

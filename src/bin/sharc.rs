@@ -6,7 +6,7 @@
 //! sharc check  <file.c>           # parse, infer, type-check; print reports
 //! sharc infer  <file.c>           # print the fully-inferred program (Fig. 2 style)
 //! sharc run    <file.c> [--seed N] [--trials N] [--stop-on-error]
-//!                       [--detector sharc|eraser|vc]
+//!                       [--detector sharc|eraser|vc] [--explain-elision]
 //! sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel>
 //!              [--detector sharc|eraser|vc] [--trace-out <path>]
 //!              [--online [--ring-cap N]]
@@ -45,7 +45,7 @@ fn usage() -> ExitCode {
     eprintln!(
         "usage:\n  sharc check <file.c>\n  sharc infer <file.c>\n  \
          sharc run <file.c> [--seed N] [--trials N] [--stop-on-error] \
-         [--detector sharc|eraser|vc]\n  \
+         [--detector sharc|eraser|vc] [--explain-elision]\n  \
          sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel> \
          [--detector sharc|eraser|vc] [--trace-out <path>] \
          [--online [--ring-cap N]]\n  \
@@ -245,15 +245,21 @@ fn main() -> ExitCode {
     match cmd {
         "check" => {
             let stats = &checked.sharing.stats;
+            let el = &checked.elision.summary;
             println!(
                 "{}: {} annotations written, {} positions inferred \
-                 ({} dynamic), {} dynamic + {} locked check sites",
+                 ({} dynamic), {} dynamic + {} locked check sites, \
+                 {} of {} check slots elided ({:.0}%) + {} reads collapsed",
                 name,
                 checked.annotation_count,
                 stats.n_vars,
                 stats.n_dynamic,
                 checked.instr.n_dynamic_sites,
-                checked.instr.n_locked_sites
+                checked.instr.n_locked_sites,
+                el.elided_slots,
+                el.checked_slots,
+                el.elided_pct(),
+                el.collapsed_reads
             );
             if checked.diags.is_empty() {
                 println!("no reports.");
@@ -283,10 +289,15 @@ fn main() -> ExitCode {
             let mut seed = 0x5ac5u64;
             let mut trials = 1u64;
             let mut stop_on_error = false;
+            let mut explain = false;
             let mut detector = DetectorKind::Sharc;
             let mut i = 2;
             while i < args.len() {
                 match args[i].as_str() {
+                    "--explain-elision" => {
+                        explain = true;
+                        i += 1;
+                    }
                     "--seed" => {
                         seed = args.get(i + 1).and_then(|v| v.parse().ok()).unwrap_or(seed);
                         i += 2;
@@ -320,6 +331,20 @@ fn main() -> ExitCode {
                         eprintln!("sharc: unknown flag {other}");
                         return usage();
                     }
+                }
+            }
+            if explain {
+                let el = &checked.elision.summary;
+                println!(
+                    "elision: {} of {} check slots elided ({:.0}%), \
+                     {} reads collapsed",
+                    el.elided_slots,
+                    el.checked_slots,
+                    el.elided_pct(),
+                    el.collapsed_reads
+                );
+                for line in sharc::explain_elision(&checked) {
+                    println!("{line}");
                 }
             }
             let mut any_reports = false;

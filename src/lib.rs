@@ -100,6 +100,38 @@ pub fn run(checked: &CheckedProgram, config: RunConfig) -> Result<RunOutcome, mi
     Ok(sharc_interp::run(&module, &checked.source_map, config))
 }
 
+/// Executes a checked program with the elision facts ignored: every
+/// check the checker attached runs, including the ones the elision
+/// pass proved redundant. This is the reference build the elision
+/// differential compares [`run`] against.
+///
+/// # Errors
+///
+/// Same failure modes as [`run`].
+pub fn run_full_checks(
+    checked: &CheckedProgram,
+    config: RunConfig,
+) -> Result<RunOutcome, minic::Diagnostic> {
+    if checked.diags.has_errors() {
+        let first = checked
+            .diags
+            .iter()
+            .find(|d| d.severity == minic::Severity::Error)
+            .expect("has_errors implies an error")
+            .clone();
+        return Err(first);
+    }
+    let module = sharc_interp::compile_full_checks(checked)?;
+    Ok(sharc_interp::run(&module, &checked.source_map, config))
+}
+
+/// Renders the elision pass's verdict for `checked`, one line per
+/// elided or collapsed check slot, each with its machine-checkable
+/// reason and source location (`sharc run --explain-elision`).
+pub fn explain_elision(checked: &CheckedProgram) -> Vec<String> {
+    sharc_core::elide::explain(&checked.elision, &checked.instr, &checked.source_map)
+}
+
 /// One-call convenience: [`check`] then [`run`].
 ///
 /// # Errors
@@ -579,10 +611,10 @@ pub fn run_native_streaming(
 /// The most common imports for users of the crate.
 pub mod prelude {
     pub use crate::{
-        check, check_and_run, judge_trace, native_trace, read_trace_file, run, run_native_events,
-        run_native_streaming, run_native_with_detector, run_with_detector, write_trace_file,
-        CheckedProgram, DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig,
-        RunOutcome, StreamingRun, DEFAULT_RING_CAP,
+        check, check_and_run, explain_elision, judge_trace, native_trace, read_trace_file, run,
+        run_full_checks, run_native_events, run_native_streaming, run_native_with_detector,
+        run_with_detector, write_trace_file, CheckedProgram, DetectorKind, DetectorRun,
+        NativeDetectorRun, NativeWorkload, RunConfig, RunOutcome, StreamingRun, DEFAULT_RING_CAP,
     };
     pub use minic::{Diagnostic, Severity};
     pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};

@@ -251,6 +251,84 @@ fn vm_and_native_runtime_agree_on_granularity() {
     assert!(total > 0, "VM: same granule reports false sharing");
 }
 
+// ----- static check elision -----
+
+#[test]
+fn elision_exemplar_explains_exact_sites() {
+    // The `--explain-elision` contract on examples/minic/elision.c:
+    // the spawn-unique loop body (line 16) and the lock-dominated
+    // region (line 22) are elided with their reasons; the escaping
+    // counterexample (lines 27-28) keeps its checks and must not
+    // appear in the explanation.
+    let src = include_str!("../examples/minic/elision.c");
+    let checked = sharc::check("elision.c", src).unwrap();
+    assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
+    let lines = sharc::explain_elision(&checked);
+    assert_eq!(
+        lines,
+        vec![
+            "elide write *d [spawn-unique] @ elision.c:16",
+            "elide read *d [spawn-unique] @ elision.c:16",
+            "elide write c->v [lock-held] @ elision.c:22",
+            "elide read c->v [lock-held] @ elision.c:22",
+        ]
+    );
+    let el = &checked.elision.summary;
+    assert_eq!(el.elided_slots, 4);
+    assert_eq!(el.checked_slots, 6, "the escaping sites stay checked");
+    // Elided and full-checks builds agree on the clean verdict, and
+    // the elided run needs no dynamic accesses for the private loop
+    // or the locked region.
+    let elided = sharc::run(
+        &checked,
+        RunConfig {
+            seed: 3,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    let full = sharc::run_full_checks(
+        &checked,
+        RunConfig {
+            seed: 3,
+            ..RunConfig::default()
+        },
+    )
+    .unwrap();
+    assert_eq!(elided.status, ExitStatus::Completed);
+    assert_eq!(elided.status, full.status);
+    assert_eq!(elided.output, full.output);
+    assert!(elided.reports.is_empty() && full.reports.is_empty());
+    assert_eq!(elided.stats.checks_elided, 4);
+    assert!(elided.stats.dynamic_accesses < full.stats.dynamic_accesses);
+}
+
+#[test]
+fn racy_exemplar_still_reports_under_elision() {
+    // Elision may never hide a report: the racy counter's accesses
+    // are reached by two threads, so nothing is elided and the race
+    // is still caught by the default (eliding) build.
+    let src = include_str!("../examples/minic/counter_racy.c");
+    let checked = sharc::check("counter_racy.c", src).unwrap();
+    assert!(!checked.diags.has_errors(), "{}", checked.render_diags());
+    assert_eq!(checked.elision.summary.elided_slots, 0);
+    let total: usize = (0..4u64)
+        .map(|seed| {
+            sharc::run(
+                &checked,
+                RunConfig {
+                    seed,
+                    ..RunConfig::default()
+                },
+            )
+            .unwrap()
+            .reports
+            .len()
+        })
+        .sum();
+    assert!(total > 0, "the race must still be reported under elision");
+}
+
 #[test]
 fn output_is_deterministic_per_seed_and_varies_across() {
     let src = "
