@@ -61,6 +61,18 @@ SHARC_TEST_SEED=0x4A6E SHARC_TEST_CASES=64 \
     ranged_sharded_checks_agree_up_to_256_threads \
     range_replay_lowering_is_bit_identical_for_every_backend
 
+echo "== ranged casts & frees: clear-vs-fold differential, fixed seed =="
+# The ranged hand-off must be verdict- and word-invisible: a
+# clear_range / clear_thread_range (one word sweep, one epoch bump
+# per covered region) leaves every engine bit-identical to the
+# per-granule clear fold it replaced, under cached sweeps on the
+# narrow, adaptive, and 256-tid sharded geometries. Fixed seed pins
+# one known exploration.
+SHARC_TEST_SEED=0xCA57 SHARC_TEST_CASES=64 \
+    cargo test -q --offline --release --test checker_differential -- \
+    ranged_clears_equal_per_granule_clear_fold \
+    wide_ranged_clears_equal_per_granule_clear_fold
+
 echo "== streaming detection: stream-vs-replay differential, fixed seed =="
 # The streaming pipeline's tentpole invariant: for every ring
 # count, ring capacity, and drain interleaving, a StreamingSink's
@@ -141,6 +153,36 @@ cargo run --release --offline --bin sharc -- native pbzip2 --trace-out "$trace_f
 cargo run --release --offline --bin sharc -- replay "$trace_file" --detector sharc
 if cargo run --release --offline --bin sharc -- replay "$trace_file" --detector eraser; then
     echo "ERROR: eraser accepted the pbzip2 hand-offs it should false-positive on" >&2
+    exit 1
+fi
+# v2 -> v3 trace compatibility. The recorded trace must be v3 with
+# ONE rcast/rfree line per block hand-off — a per-granule `cast`
+# expansion leaking back in would be the O(granules) spine this PR
+# removed. Its hand-lowered v2 twin (header downgraded, every
+# rcast/rfree expanded to per-granule cast/alloc lines) must replay
+# to the identical exit code on both detectors.
+grep -q '^# sharc-trace v3$' "$trace_file" || {
+    echo "ERROR: recorded pbzip2 trace is not v3" >&2
+    exit 1
+}
+grep -q '^rcast ' "$trace_file" || {
+    echo "ERROR: pbzip2 trace has no ranged casts" >&2
+    exit 1
+}
+if grep -q '^cast ' "$trace_file"; then
+    echo "ERROR: per-granule cast lines leaked into the pbzip2 trace" >&2
+    exit 1
+fi
+trace_v2="target/ci-pbzip2-v2.trace"
+awk '
+    NR == 1 && $0 == "# sharc-trace v3" { print "# sharc-trace v2"; next }
+    $1 == "rcast" { for (i = 0; i < $4; i++) print "cast", $2, $3 + i, $5; next }
+    $1 == "rfree" { for (i = 0; i < $3; i++) print "alloc", $2 + i; next }
+    { print }
+' "$trace_file" > "$trace_v2"
+cargo run --release --offline --bin sharc -- replay "$trace_v2" --detector sharc
+if cargo run --release --offline --bin sharc -- replay "$trace_v2" --detector eraser; then
+    echo "ERROR: eraser accepted the v2-lowered pbzip2 trace" >&2
     exit 1
 fi
 # aget on the spine: workers store whole chunks with ranged writes
@@ -227,6 +269,17 @@ grep -q "ring_budget" BENCH_checker.json || {
     echo "ERROR: BENCH_checker.json has no streaming memory accounting" >&2
     exit 1
 }
+# The ranged-cast rows: one-operation block hand-off vs the
+# per-granule cast+clear loop at both block sizes (the >=4x win is
+# asserted inside the bench by assert_ranged_cast_wins; this pins
+# the rows into the machine-readable record).
+for row in "cast/block-4k-ranged" "cast/block-4k-granule" \
+    "cast/block-64k-ranged" "cast/block-64k-granule"; do
+    grep -q "$row" BENCH_checker.json || {
+        echo "ERROR: BENCH_checker.json is missing the $row row" >&2
+        exit 1
+    }
+done
 # The elision record: the three vm/private-loop rows (the elided row
 # must have beaten checked+cached for the bench to have exited 0 —
 # assert_elision_wins), plus per-workload static percentages with

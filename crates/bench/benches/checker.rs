@@ -9,7 +9,7 @@
 //! Accepts `--quick` (or its CI alias `--smoke`) to shrink sample
 //! counts.
 
-use sharc_checker::{OwnedCache, ShadowGeometry};
+use sharc_checker::{CheckEvent, EventLog, EventSink, OwnedCache, ShadowGeometry};
 use sharc_runtime::{ScalableShadow, Shadow, ShardedShadow, ThreadId, WideThreadId};
 use sharc_testkit::Bench;
 
@@ -141,6 +141,41 @@ fn main() {
                 let c = s.check_range_write_cached(0, granules, t, &mut cache, |_| {}, |_| {});
                 s.clear(granules / 2);
                 c
+            });
+        }
+    }
+
+    // ---- Ranged casts & frees: one-operation block hand-off ----
+    //
+    // The block hand-off exactly as pbzip2/stunnel/handoff perform
+    // it: record the cast on the spine, then clear the block's
+    // shadow. Ranged: ONE `RangeCast` plus `clear_range` (a word
+    // sweep with one epoch bump per covered region). Granule: one
+    // `SharingCast` record plus one `clear` — with its own epoch
+    // bump — per granule, the pre-ranged shape.
+    for &(kb, granules) in &[(4usize, 256usize), (64, 4096)] {
+        {
+            let s: Shadow = Shadow::new(granules);
+            let log = EventLog::new();
+            g.bench(&format!("cast/block-{kb}k-ranged"), || {
+                log.record_range_cast(1, 0, granules, 1);
+                s.clear_range(0, granules);
+                log.take().len()
+            });
+        }
+        {
+            let s: Shadow = Shadow::new(granules);
+            let log = EventLog::new();
+            g.bench(&format!("cast/block-{kb}k-granule"), || {
+                for gr in 0..granules {
+                    log.record(CheckEvent::SharingCast {
+                        tid: 1,
+                        granule: gr,
+                        refs: 1,
+                    });
+                    s.clear(gr);
+                }
+                log.take().len()
             });
         }
     }
@@ -357,4 +392,9 @@ fn main() {
         rng * 4 <= per,
         "ranged owned sweep must beat the per-granule cached loop >=4x ({rng} * 4 > {per} ns)"
     );
+
+    // Ranged-cast acceptance gate: the one-operation block hand-off
+    // beats the per-granule cast+clear loop >=4x on 4 KiB blocks, and
+    // the win holds at 64 KiB.
+    sharc_bench::assert_ranged_cast_wins(&g);
 }

@@ -341,6 +341,39 @@ pub fn assert_epoch_wins(g: &sharc_testkit::Bench) {
     );
 }
 
+/// The ranged-cast acceptance gate on the `cast/*` rows: a block
+/// hand-off as ONE `RangeCast` + `clear_range` (one spine record, one
+/// epoch bump per covered region) must beat the per-granule
+/// `SharingCast` + `clear` loop by >= 4x on 4 KiB blocks, and the win
+/// must hold at 64 KiB — the ranged path's per-block overhead (one
+/// record, <= R region bumps) does not grow with block length, so a
+/// longer block can only widen the gap. Minima, not medians, for the
+/// same reason as every other gate here: constant-work loops, least
+/// noise-contaminated sample.
+pub fn assert_ranged_cast_wins(g: &sharc_testkit::Bench) {
+    let row_min = |name: &str| {
+        g.results()
+            .iter()
+            .find(|s| s.name == name)
+            .map(|s| s.min_ns)
+            .expect("cast row ran")
+    };
+    for kb in [4u32, 64] {
+        let (rng, per) = (
+            row_min(&format!("cast/block-{kb}k-ranged")),
+            row_min(&format!("cast/block-{kb}k-granule")),
+        );
+        eprintln!(
+            "cast block-{kb}k: ranged {rng} ns/hand-off (min) vs per-granule {per} ns (want >=4x)"
+        );
+        assert!(
+            rng * 4 <= per,
+            "ranged {kb}k block hand-off must beat the per-granule cast loop >=4x \
+             ({rng} * 4 > {per} ns)"
+        );
+    }
+}
+
 /// A derived throughput record for one wide-fleet stunnel
 /// configuration. The timing row itself (median/p95 latency per
 /// fleet run) lands in the bench group like every other row; this

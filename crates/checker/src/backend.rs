@@ -137,6 +137,27 @@ pub enum CheckEvent {
         granule: usize,
         refs: u64,
     },
+    /// A ranged sharing cast: ONE event for a whole-block ownership
+    /// transfer covering `len` contiguous granules starting at
+    /// `granule`, each observing `refs` live references. [`replay`]
+    /// lowers it to `len` per-granule [`CheckEvent::SharingCast`]s
+    /// for every backend — same fold contract as
+    /// [`CheckEvent::RangeRead`], so sharc/eraser/vc verdicts are
+    /// bit-identical to the per-granule spelling by construction.
+    RangeCast {
+        tid: u32,
+        granule: usize,
+        len: usize,
+        refs: u64,
+    },
+    /// A ranged free: `len` contiguous granules starting at `granule`
+    /// are reset at once (one event per whole-block `free`). Lowers to
+    /// `len` per-granule [`CheckEvent::Alloc`]s — the existing
+    /// granule-reset event — on every backend.
+    RangeFree {
+        granule: usize,
+        len: usize,
+    },
     Acquire {
         tid: u32,
         lock: usize,
@@ -261,6 +282,32 @@ pub fn apply_event(e: CheckEvent, backend: &mut dyn CheckBackend, out: &mut Vec<
             }
             v
         }
+        // A ranged cast is exactly its per-granule expansion: each
+        // granule runs the full oneref-then-clear-on-pass step, so a
+        // failing granule mid-range conflicts (and keeps its state)
+        // just as the unabbreviated trace would.
+        CheckEvent::RangeCast {
+            tid,
+            granule,
+            len,
+            refs,
+        } => {
+            for g in granule..granule + len {
+                let v = backend.oneref(tid, g, refs);
+                if let Verdict::Fail(c) = v {
+                    out.push(c);
+                } else {
+                    backend.on_cast_clear(g);
+                }
+            }
+            Verdict::Pass
+        }
+        CheckEvent::RangeFree { granule, len } => {
+            for g in granule..granule + len {
+                backend.on_alloc(g);
+            }
+            Verdict::Pass
+        }
         CheckEvent::Acquire { tid, lock } => {
             backend.on_acquire(tid, lock);
             Verdict::Pass
@@ -314,13 +361,14 @@ pub fn max_trace_tid(events: &[CheckEvent]) -> u32 {
             | CheckEvent::RangeWrite { tid, .. }
             | CheckEvent::LockedAccess { tid, .. }
             | CheckEvent::SharingCast { tid, .. }
+            | CheckEvent::RangeCast { tid, .. }
             | CheckEvent::Acquire { tid, .. }
             | CheckEvent::Release { tid, .. }
             | CheckEvent::ThreadExit { tid } => tid,
             CheckEvent::Fork { parent, child } | CheckEvent::Join { parent, child } => {
                 parent.max(child)
             }
-            CheckEvent::Alloc { .. } => 0,
+            CheckEvent::Alloc { .. } | CheckEvent::RangeFree { .. } => 0,
         })
         .max()
         .unwrap_or(0)
@@ -350,6 +398,21 @@ pub fn lower_ranges(events: &[CheckEvent]) -> Vec<CheckEvent> {
             }
             CheckEvent::RangeWrite { tid, granule, len } => {
                 out.extend((granule..granule + len).map(|g| CheckEvent::Write { tid, granule: g }));
+            }
+            CheckEvent::RangeCast {
+                tid,
+                granule,
+                len,
+                refs,
+            } => {
+                out.extend((granule..granule + len).map(|g| CheckEvent::SharingCast {
+                    tid,
+                    granule: g,
+                    refs,
+                }));
+            }
+            CheckEvent::RangeFree { granule, len } => {
+                out.extend((granule..granule + len).map(|g| CheckEvent::Alloc { granule: g }));
             }
             other => out.push(other),
         }

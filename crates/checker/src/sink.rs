@@ -53,6 +53,26 @@ pub trait EventSink: Send + Sync + std::fmt::Debug {
             CheckEvent::RangeRead { tid, granule, len }
         });
     }
+
+    /// Convenience for a whole-block sharing cast: ONE
+    /// [`CheckEvent::RangeCast`] covering `len` granules, instead of
+    /// `len` per-granule cast events.
+    #[inline]
+    fn record_range_cast(&self, tid: u32, granule: usize, len: usize, refs: u64) {
+        self.record(CheckEvent::RangeCast {
+            tid,
+            granule,
+            len,
+            refs,
+        });
+    }
+
+    /// Convenience for a whole-block free: ONE
+    /// [`CheckEvent::RangeFree`] covering `len` granules.
+    #[inline]
+    fn record_range_free(&self, granule: usize, len: usize) {
+        self.record(CheckEvent::RangeFree { granule, len });
+    }
 }
 
 /// The thread *performing* the recording of `e` — the event's tid,
@@ -68,11 +88,12 @@ pub fn recording_tid(e: &CheckEvent) -> u32 {
         | CheckEvent::RangeWrite { tid, .. }
         | CheckEvent::LockedAccess { tid, .. }
         | CheckEvent::SharingCast { tid, .. }
+        | CheckEvent::RangeCast { tid, .. }
         | CheckEvent::Acquire { tid, .. }
         | CheckEvent::Release { tid, .. }
         | CheckEvent::ThreadExit { tid } => tid,
         CheckEvent::Fork { parent, .. } | CheckEvent::Join { parent, .. } => parent,
-        CheckEvent::Alloc { .. } => 0,
+        CheckEvent::Alloc { .. } | CheckEvent::RangeFree { .. } => 0,
     }
 }
 

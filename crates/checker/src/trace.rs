@@ -8,26 +8,31 @@
 //! ignored:
 //!
 //! ```text
-//! # sharc-trace v2
+//! # sharc-trace v3
 //! fork 1 2
 //! write 1 17
 //! rwrite 1 18 4
 //! cast 1 17 1
+//! rcast 1 18 4 1
 //! acquire 2 0
 //! release 2 0
 //! read 2 17
 //! rread 2 18 4
+//! rfree 18 4
 //! exit 2
 //! ```
 //!
-//! `v2` adds the two ranged lines: `rread tid granule len` /
-//! `rwrite tid granule len`, one line per buffer sweep. The format
-//! bump is backwards compatible by construction — the header is a
-//! comment, and every `v1` keyword parses unchanged — so a `v1` file
-//! written by an older `--trace-out` replays bit-identically under
-//! this parser (the `v1` compatibility test below pins it). A `v2`
-//! trace is interchangeable with its `v1` per-granule expansion:
-//! replay lowers each range to per-granule checks
+//! `v2` added the two ranged access lines: `rread tid granule len` /
+//! `rwrite tid granule len`, one line per buffer sweep. `v3` adds the
+//! ranged ownership-transfer lines: `rcast tid granule len refs`, one
+//! line per whole-block sharing cast, and `rfree granule len`, one
+//! line per whole-block free. Each format bump is backwards
+//! compatible by construction — the header is a comment, and every
+//! older keyword parses unchanged — so a `v1` or `v2` file written by
+//! an older `--trace-out` replays bit-identically under this parser
+//! (the compatibility tests below pin it). A `v3` trace is
+//! interchangeable with its per-granule expansion: replay lowers each
+//! range to per-granule checks
 //! ([`crate::backend::lower_ranges`]), so both spell the same
 //! verdicts.
 //!
@@ -43,11 +48,15 @@ use std::fmt::Write as _;
 /// The header written at the top of every trace file. Parsing does
 /// not require it (it is a comment), but it lets a future format
 /// bump fail loudly instead of misparsing.
-pub const TRACE_HEADER: &str = "# sharc-trace v2";
+pub const TRACE_HEADER: &str = "# sharc-trace v3";
 
 /// The `v1` header, still accepted (it is a comment): a `v1` file
 /// contains only per-granule lines, all of which parse unchanged.
 pub const TRACE_HEADER_V1: &str = "# sharc-trace v1";
+
+/// The `v2` header, still accepted: a `v2` file contains per-granule
+/// lines plus `rread`/`rwrite`, all of which parse unchanged.
+pub const TRACE_HEADER_V2: &str = "# sharc-trace v2";
 
 /// Renders `events` in the line format, header included.
 pub fn to_text(events: &[CheckEvent]) -> String {
@@ -68,6 +77,15 @@ pub fn to_text(events: &[CheckEvent]) -> String {
             CheckEvent::SharingCast { tid, granule, refs } => {
                 writeln!(out, "cast {tid} {granule} {refs}")
             }
+            CheckEvent::RangeCast {
+                tid,
+                granule,
+                len,
+                refs,
+            } => {
+                writeln!(out, "rcast {tid} {granule} {len} {refs}")
+            }
+            CheckEvent::RangeFree { granule, len } => writeln!(out, "rfree {granule} {len}"),
             CheckEvent::Acquire { tid, lock } => writeln!(out, "acquire {tid} {lock}"),
             CheckEvent::Release { tid, lock } => writeln!(out, "release {tid} {lock}"),
             CheckEvent::Fork { parent, child } => writeln!(out, "fork {parent} {child}"),
@@ -133,6 +151,16 @@ fn parse_line(line: &str) -> Result<CheckEvent, String> {
             granule: arg("granule")? as usize,
             refs: arg("refs")?,
         },
+        "rcast" => CheckEvent::RangeCast {
+            tid: arg("tid")? as u32,
+            granule: arg("granule")? as usize,
+            len: arg("len")? as usize,
+            refs: arg("refs")?,
+        },
+        "rfree" => CheckEvent::RangeFree {
+            granule: arg("granule")? as usize,
+            len: arg("len")? as usize,
+        },
         "acquire" => CheckEvent::Acquire {
             tid: arg("tid")? as u32,
             lock: arg("lock")? as usize,
@@ -170,7 +198,7 @@ mod tests {
 
     fn event_gen() -> Gen<CheckEvent> {
         gen::pair(
-            gen::u32_range(0..12),
+            gen::u32_range(0..14),
             gen::triple(
                 gen::u32_range(1..300),
                 gen::usize_range(0..4096),
@@ -198,6 +226,13 @@ mod tests {
                 8 => CheckEvent::ThreadExit { tid },
                 9 => CheckEvent::RangeRead { tid, granule, len },
                 10 => CheckEvent::RangeWrite { tid, granule, len },
+                11 => CheckEvent::RangeCast {
+                    tid,
+                    granule,
+                    len,
+                    refs,
+                },
+                12 => CheckEvent::RangeFree { granule, len },
                 _ => CheckEvent::Alloc { granule },
             }
         })
@@ -226,7 +261,7 @@ mod tests {
         const BOUNDARY_TIDS: [u32; 8] = [63, 64, 126, 127, 189, 252, 315, 316];
         let wide_event = gen::pair(
             gen::pair(
-                gen::u32_range(0..4),
+                gen::u32_range(0..5),
                 gen::u32_range(0..BOUNDARY_TIDS.len() as u32),
             ),
             gen::pair(gen::usize_range(0..4096), gen::usize_range(1..9)),
@@ -239,6 +274,12 @@ mod tests {
                 2 => CheckEvent::SharingCast {
                     tid,
                     granule,
+                    refs: 1 + (granule % 3) as u64,
+                },
+                3 => CheckEvent::RangeCast {
+                    tid,
+                    granule,
+                    len,
                     refs: 1 + (granule % 3) as u64,
                 },
                 _ => CheckEvent::ThreadExit { tid },
@@ -257,6 +298,7 @@ mod tests {
                         CheckEvent::RangeRead { tid, .. }
                         | CheckEvent::RangeWrite { tid, .. }
                         | CheckEvent::SharingCast { tid, .. }
+                        | CheckEvent::RangeCast { tid, .. }
                         | CheckEvent::ThreadExit { tid } => tid,
                         _ => unreachable!("not in the generated vocabulary"),
                     };
@@ -294,25 +336,57 @@ mod tests {
     }
 
     #[test]
-    fn v2_trace_and_its_v1_lowering_replay_identically() {
-        // The v1 -> v2 round trip: any v2 trace (ranges included) can
-        // be lowered to a pure-v1 vocabulary, serialized, re-parsed,
-        // and replayed — and the verdicts are bit-identical to
-        // replaying the v2 file directly.
+    fn v2_files_still_parse_under_the_v3_parser() {
+        // A file written by the v2 `--trace-out` (v2 header, ranged
+        // access lines but no ranged casts/frees) parses unchanged.
+        let v2 = format!("{TRACE_HEADER_V2}\nfork 1 2\nrwrite 1 16 4\ncast 1 16 1\nexit 1\n");
+        let parsed = parse_text(&v2).expect("v2 compatible");
+        assert_eq!(
+            parsed,
+            vec![
+                CheckEvent::Fork {
+                    parent: 1,
+                    child: 2
+                },
+                CheckEvent::RangeWrite {
+                    tid: 1,
+                    granule: 16,
+                    len: 4
+                },
+                CheckEvent::SharingCast {
+                    tid: 1,
+                    granule: 16,
+                    refs: 1
+                },
+                CheckEvent::ThreadExit { tid: 1 },
+            ]
+        );
+    }
+
+    #[test]
+    fn v3_trace_and_its_v1_lowering_replay_identically() {
+        // The v1 -> v3 round trip: any v3 trace (ranged accesses,
+        // casts, and frees included) can be lowered to a pure-v1
+        // vocabulary, serialized, re-parsed, and replayed — and the
+        // verdicts are bit-identical to replaying the v3 file
+        // directly.
         use crate::backend::{lower_ranges, replay, BitmapBackend};
         forall!(
-            "trace_v2_lowering_preserves_verdicts",
+            "trace_v3_lowering_preserves_verdicts",
             gen::vec_of(event_gen(), 0..48),
             |events| {
-                let v2 = parse_text(&to_text(events)).expect("v2 parses");
-                let lowered = lower_ranges(&v2);
+                let v3 = parse_text(&to_text(events)).expect("v3 parses");
+                let lowered = lower_ranges(&v3);
                 let v1_text = to_text(&lowered);
                 assert!(
-                    !v1_text.contains("\nrread ") && !v1_text.contains("\nrwrite "),
+                    !v1_text.contains("\nrread ")
+                        && !v1_text.contains("\nrwrite ")
+                        && !v1_text.contains("\nrcast ")
+                        && !v1_text.contains("\nrfree "),
                     "lowering leaves only the v1 vocabulary"
                 );
                 let v1 = parse_text(&v1_text).expect("lowered trace parses");
-                let a = replay(&v2, &mut BitmapBackend::new());
+                let a = replay(&v3, &mut BitmapBackend::new());
                 let b = replay(&v1, &mut BitmapBackend::new());
                 prop_assert_eq!(&a, &b);
             }
@@ -335,6 +409,10 @@ mod tests {
         let e = parse_text("exit 1 2\n").unwrap_err();
         assert!(e.contains("trailing"), "{e}");
         let e = parse_text("rread 1 2\n").unwrap_err();
+        assert!(e.contains("len"), "{e}");
+        let e = parse_text("rcast 1 2 3\n").unwrap_err();
+        assert!(e.contains("refs"), "{e}");
+        let e = parse_text("rfree 2\n").unwrap_err();
         assert!(e.contains("len"), "{e}");
     }
 }

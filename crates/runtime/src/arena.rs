@@ -19,6 +19,43 @@ const _: () = assert!(
     "arena words must tile the shared granule exactly"
 );
 
+/// The granule span `(first, len)` covered by payload words
+/// `start .. start + words` (`words > 0`) — the ONE word-to-granule
+/// conversion shared by the narrow [`Arena`] and the wide
+/// [`crate::wide::WideArena`], so the ranged clear/check paths agree
+/// on coverage by construction.
+#[inline]
+pub fn granule_span(start: usize, words: usize) -> (usize, usize) {
+    let g0 = start / GRANULE_WORDS;
+    let g1 = (start + words - 1) / GRANULE_WORDS;
+    (g0, g1 - g0 + 1)
+}
+
+/// Sorts and dedupes a thread's logged granules, coalescing them into
+/// maximal consecutive runs — `clear_run(start, len)` fires once per
+/// run — and leaves the log empty. A hot-loop thread re-logs a
+/// granule every time a clear lets it re-install its bit, so the raw
+/// log carries duplicates; draining runs instead of entries means
+/// exit pays one ranged clear (one epoch bump per covered region)
+/// per contiguous footprint rather than one clear-plus-bump per
+/// logged access.
+pub(crate) fn drain_logged_runs(log: &mut Vec<usize>, mut clear_run: impl FnMut(usize, usize)) {
+    log.sort_unstable();
+    log.dedup();
+    let mut i = 0;
+    while i < log.len() {
+        let start = log[i];
+        let mut end = start + 1;
+        i += 1;
+        while i < log.len() && log[i] == end {
+            end += 1;
+            i += 1;
+        }
+        clear_run(start, end - start);
+    }
+    log.clear();
+}
+
 /// A word arena with shadow state.
 #[derive(Debug)]
 pub struct Arena<W: ShadowWord = AtomicU8> {
@@ -151,15 +188,6 @@ impl<W: ShadowWord> Arena<W> {
         self.data[i].store(v, Ordering::Release);
     }
 
-    /// The granule span `(first, len)` covered by payload words
-    /// `start .. start + words` (`words > 0`).
-    #[inline]
-    fn granule_span(start: usize, words: usize) -> (usize, usize) {
-        let g0 = start / GRANULE_WORDS;
-        let g1 = (start + words - 1) / GRANULE_WORDS;
-        (g0, g1 - g0 + 1)
-    }
-
     /// A dynamic-mode **ranged** read: ONE `chkread` over the whole
     /// granule span of `start .. start + words`, then the loads —
     /// `each(i, value)` fires once per word. The verdict is the fold
@@ -179,7 +207,7 @@ impl<W: ShadowWord> Arena<W> {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, false);
         let tid = ctx.tid;
         ctx.conflicts +=
@@ -203,7 +231,7 @@ impl<W: ShadowWord> Arena<W> {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, true);
         let tid = ctx.tid;
         ctx.conflicts +=
@@ -229,7 +257,7 @@ impl<W: ShadowWord> Arena<W> {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, false);
         let tid = ctx.tid;
         ctx.conflicts += self.shadow.check_range_read_cached(
@@ -257,7 +285,7 @@ impl<W: ShadowWord> Arena<W> {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, true);
         let tid = ctx.tid;
         ctx.conflicts += self.shadow.check_range_write_cached(
@@ -274,26 +302,28 @@ impl<W: ShadowWord> Arena<W> {
     }
 
     /// Clears the shadow state covering `words` starting at `start`
-    /// (used by `free` and after successful sharing casts).
+    /// (used by `free` and after successful sharing casts): ONE
+    /// word-level ranged clear with a single epoch bump per covered
+    /// region, not a per-granule loop.
     pub fn clear_range(&self, start: usize, words: usize) {
         if words == 0 {
             return;
         }
-        let g0 = start / GRANULE_WORDS;
-        let g1 = (start + words - 1) / GRANULE_WORDS;
-        for g in g0..=g1 {
-            self.shadow.clear(g);
-        }
+        let (g0, glen) = granule_span(start, words);
+        self.shadow.clear_range(g0, glen);
     }
 
     /// Thread exit: clears every shadow bit this thread set
-    /// (non-overlapping lifetimes are not races).
+    /// (non-overlapping lifetimes are not races). The access log is
+    /// coalesced into contiguous runs — duplicates and all — so a
+    /// hot-loop thread pays one ranged clear per footprint, not one
+    /// clear per logged access.
     pub fn thread_exit(&self, ctx: &mut ThreadCtx) {
         let tid = ctx.tid;
         ctx.owned_cache.invalidate_all();
-        for g in ctx.access_log.drain(..) {
-            self.shadow.clear_thread(g, tid);
-        }
+        drain_logged_runs(&mut ctx.access_log, |start, len| {
+            self.shadow.clear_thread_range(start, len, tid)
+        });
         if let Some(sink) = &ctx.sink {
             sink.record(sharc_checker::CheckEvent::ThreadExit { tid: tid.0 as u32 });
         }
@@ -532,6 +562,51 @@ mod tests {
             a.write_checked(&mut c2, i, 0);
         }
         assert_eq!(c2.conflicts, 0);
+    }
+
+    #[test]
+    fn coalesced_thread_exit_matches_per_granule_clear() {
+        // `thread_exit` coalesces the access log into runs and clears
+        // them with `clear_thread_range`; the final shadow words must
+        // be bit-identical to the per-granule `clear_thread` fold it
+        // replaced — including granules another thread still reads.
+        let drive = |a: &Arena| -> (ThreadCtx, ThreadCtx) {
+            let mut c1 = ThreadCtx::new(ThreadId(1));
+            let mut c2 = ThreadCtx::new(ThreadId(2));
+            // Two disjoint runs, logged out of order and with
+            // duplicates (read-then-write registers a granule twice).
+            for i in (20..28).rev() {
+                a.write_checked(&mut c1, i, i as u64);
+            }
+            for i in 0..8 {
+                let _ = a.read_checked(&mut c1, i);
+                a.write_checked(&mut c1, i, i as u64);
+            }
+            // Thread 2 shares reads on part of the first run: its
+            // reader bits must survive thread 1's exit.
+            for i in 0..4 {
+                let _ = a.read_checked(&mut c2, i);
+            }
+            (c1, c2)
+        };
+        let coalesced: Arena = Arena::new(32);
+        let folded: Arena = Arena::new(32);
+        let (mut exit_c1, _keep2) = drive(&coalesced);
+        let (mut fold_c1, _keep2b) = drive(&folded);
+        assert_eq!(exit_c1.access_log, fold_c1.access_log);
+        coalesced.thread_exit(&mut exit_c1);
+        // The pre-coalescing semantics: one clear per logged granule.
+        for g in fold_c1.access_log.drain(..) {
+            folded.shadow.clear_thread(g, ThreadId(1));
+        }
+        for g in 0..16 {
+            assert_eq!(
+                coalesced.shadow.raw(g),
+                folded.shadow.raw(g),
+                "granule {g} diverged"
+            );
+        }
+        assert!(exit_c1.access_log.is_empty(), "exit drains the log");
     }
 
     #[test]

@@ -206,6 +206,19 @@ impl ScalableShadow {
         self.inner.clear(granule);
     }
 
+    /// Clears `len` contiguous granules at once — the whole-block
+    /// `free`/cast reset, with one ranged epoch bump for the span
+    /// (see [`crate::ShardedShadow::clear_range`]).
+    pub fn clear_range(&self, start: usize, len: usize) {
+        self.inner.clear_range(start, len);
+    }
+
+    /// [`ScalableShadow::clear_thread`] over `len` contiguous
+    /// granules, with one ranged epoch bump for the span.
+    pub fn clear_thread_range(&self, start: usize, len: usize, tid: WideThreadId) {
+        self.inner.clear_thread_range(start, len, tid);
+    }
+
     /// Raw encoded state, for tests.
     pub fn raw(&self, granule: usize) -> u64 {
         self.inner.raw(granule)

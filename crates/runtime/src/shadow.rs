@@ -511,6 +511,48 @@ impl<W: ShadowWord> Shadow<W> {
         self.epochs.bump(granule);
     }
 
+    /// Clears `len` contiguous granules at once (a whole-block `free`
+    /// or sharing cast): a straight word-level sweep of release
+    /// stores — no CAS, the clear is unconditional — followed by ONE
+    /// [`EpochTable::bump_granule_range`] covering the span, so a
+    /// block hand-off invalidates exactly the owned runs it covers,
+    /// once per region instead of once per granule.
+    pub fn clear_range(&self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        for g in start..start + len {
+            self.words[g].clear();
+        }
+        self.epochs.bump_granule_range(start, start + len);
+    }
+
+    /// [`Shadow::clear_thread`] over `len` contiguous granules: one
+    /// bit-subtracting CAS sweep, then ONE ranged epoch bump for the
+    /// whole span. The per-word CAS loop is kept (a concurrent access
+    /// may race the subtraction), but the O(granules) epoch traffic
+    /// collapses to one bump per covered region.
+    pub fn clear_thread_range(&self, start: usize, len: usize, tid: ThreadId) {
+        if len == 0 {
+            return;
+        }
+        for g in start..start + len {
+            let w = &self.words[g];
+            let mut cur = w.load();
+            loop {
+                let new = bitmap::clear_thread(cur, tid.0 as u32);
+                if new == cur {
+                    break;
+                }
+                match w.compare_exchange(cur, new) {
+                    Ok(_) => break,
+                    Err(now) => cur = now,
+                }
+            }
+        }
+        self.epochs.bump_granule_range(start, start + len);
+    }
+
     /// Raw bits, for tests and diagnostics.
     pub fn raw(&self, granule: usize) -> u64 {
         self.words[granule].load()

@@ -527,6 +527,54 @@ impl ShardedShadow {
         self.epochs.bump(granule);
     }
 
+    /// Clears `len` contiguous granules at once (a whole-block `free`
+    /// or sharing cast): one unconditional word-level store sweep
+    /// over every shard and overflow word of the span — the clear is
+    /// a reset, not a read-modify-write, so no CAS protocol is
+    /// needed — then ONE [`EpochTable::bump_granule_range`] covering
+    /// the span: each epoch region the block touches is bumped once,
+    /// however many granules (or shard words) it holds.
+    pub fn clear_range(&self, start: usize, len: usize) {
+        if len == 0 {
+            return;
+        }
+        let stride = self.geom.words_per_granule();
+        for w in &self.words[start * stride..(start + len) * stride] {
+            w.store(0, Ordering::SeqCst);
+        }
+        self.epochs.bump_granule_range(start, start + len);
+    }
+
+    /// [`ShardedShadow::clear_thread`] over `len` contiguous
+    /// granules: the per-granule bit-subtracting CAS loop is kept
+    /// (exact within the geometry's shards, `SHARED_READ` overflow
+    /// left intact), but the whole span pays ONE ranged epoch bump
+    /// instead of one per granule.
+    pub fn clear_thread_range(&self, start: usize, len: usize, tid: WideThreadId) {
+        if len == 0 {
+            return;
+        }
+        for granule in start..start + len {
+            let base = self.base(granule);
+            let mut buf = [0u64; MAX_WORDS_PER_GRANULE];
+            loop {
+                let snap = self.snapshot(granule, &mut buf);
+                match sharded::clear_thread(snap, self.geom, tid.0) {
+                    None => break,
+                    Some((index, word)) => {
+                        if self.words[base + index]
+                            .compare_exchange(snap[index], word, Ordering::SeqCst, Ordering::SeqCst)
+                            .is_ok()
+                        {
+                            break;
+                        }
+                    }
+                }
+            }
+        }
+        self.epochs.bump_granule_range(start, start + len);
+    }
+
     /// The raw shard-0 word (for tids `1..=63` this is the paper's
     /// single-word encoding), for tests and diagnostics.
     pub fn raw(&self, granule: usize) -> u64 {

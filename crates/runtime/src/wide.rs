@@ -24,7 +24,7 @@ use sharc_testkit::sync::RawMutex;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 
-use crate::arena::GRANULE_WORDS;
+use crate::arena::{granule_span, GRANULE_WORDS};
 
 /// A `locked(l)` access without `l` held, reported by a wide-tid
 /// context (the narrow [`crate::locks::LockNotHeld`] carries a
@@ -333,15 +333,6 @@ impl WideArena {
         self.data[i].store(v, Ordering::Release);
     }
 
-    /// The granule span `(first, len)` covered by payload words
-    /// `start .. start + words` (`words > 0`).
-    #[inline]
-    fn granule_span(start: usize, words: usize) -> (usize, usize) {
-        let g0 = start / GRANULE_WORDS;
-        let g1 = (start + words - 1) / GRANULE_WORDS;
-        (g0, g1 - g0 + 1)
-    }
-
     /// A ranged dynamic-mode read: ONE `chkread` over the whole
     /// granule span, then the loads — `each(i, value)` fires once per
     /// word. Conflicts are counted per granule, as in the narrow
@@ -357,7 +348,7 @@ impl WideArena {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, false);
         let tid = ctx.tid;
         ctx.conflicts +=
@@ -381,7 +372,7 @@ impl WideArena {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, true);
         let tid = ctx.tid;
         ctx.conflicts +=
@@ -406,7 +397,7 @@ impl WideArena {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, false);
         let tid = ctx.tid;
         ctx.conflicts += self.shadow.check_range_read_cached(
@@ -435,7 +426,7 @@ impl WideArena {
             return;
         }
         ctx.checked_accesses += words as u64;
-        let (g0, glen) = Self::granule_span(start, words);
+        let (g0, glen) = granule_span(start, words);
         ctx.emit_range(g0, glen, true);
         let tid = ctx.tid;
         ctx.conflicts += self.shadow.check_range_write_cached(
@@ -452,27 +443,27 @@ impl WideArena {
     }
 
     /// Clears the shadow state covering `words` starting at `start`
-    /// (used by `free` and after successful sharing casts).
+    /// (used by `free` and after successful sharing casts): one
+    /// word-level ranged clear, one epoch bump per covered region.
     pub fn clear_range(&self, start: usize, words: usize) {
         if words == 0 {
             return;
         }
-        let g0 = start / GRANULE_WORDS;
-        let g1 = (start + words - 1) / GRANULE_WORDS;
-        for g in g0..=g1 {
-            self.shadow.clear(g);
-        }
+        let (g0, glen) = granule_span(start, words);
+        self.shadow.clear_range(g0, glen);
     }
 
     /// Thread exit: clears every shadow bit this thread set
     /// (non-overlapping lifetimes are not races) and records the exit
-    /// on the spine.
+    /// on the spine. The access log is coalesced into contiguous runs
+    /// first, so the clear cost scales with the footprint, not the
+    /// access count.
     pub fn thread_exit(&self, ctx: &mut WideThreadCtx) {
         let tid = ctx.tid;
         ctx.owned_cache.invalidate_all();
-        for g in ctx.access_log.drain(..) {
-            self.shadow.clear_thread(g, tid);
-        }
+        crate::arena::drain_logged_runs(&mut ctx.access_log, |start, len| {
+            self.shadow.clear_thread_range(start, len, tid)
+        });
         if let Some(sink) = &ctx.sink {
             sink.record(sharc_checker::CheckEvent::ThreadExit { tid: tid.0 });
         }

@@ -163,16 +163,19 @@ pub fn run_with_events(params: &Params, sink: Arc<dyn EventSink>) -> NativeRun {
     let per_worker = params.n_transforms.div_ceil(params.workers);
 
     // Main hands out ownership of each descriptor before the workers
-    // start (the arrays exist before the threads are spawned).
+    // start (the arrays exist before the threads are spawned): fill
+    // every descriptor with a checked write, then hand the whole
+    // batch off as ONE ranged cast with one ranged shadow clear.
     for idx in 0..params.n_transforms {
         arena.write_checked(&mut main_ctx, idx * GRANULE_WORDS, idx as u64);
-        sink.record(CheckEvent::SharingCast {
-            tid: 1,
-            granule: idx,
-            refs: 1,
-        });
-        arena.clear_range(idx * GRANULE_WORDS, GRANULE_WORDS);
     }
+    sink.record(CheckEvent::RangeCast {
+        tid: 1,
+        granule: 0,
+        len: params.n_transforms,
+        refs: 1,
+    });
+    arena.clear_range(0, params.n_transforms * GRANULE_WORDS);
 
     let mut handles = Vec::new();
     for w in 0..params.workers {

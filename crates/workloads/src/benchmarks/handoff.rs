@@ -170,19 +170,19 @@ fn run_with_sink<P: AccessPolicy>(params: &Params, sink: Option<Arc<dyn EventSin
         P::write_range(&arena, &mut producer, start, words, &mut |i| {
             (b as u64) << 8 | (i - start) as u64
         });
-        // The sharing cast: one reference, ownership moves. Clearing
-        // the shadow range is the runtime effect; the event records
-        // it for replay.
+        // The sharing cast: one reference, ownership moves. The whole
+        // block hands off as ONE ranged event — clearing the shadow
+        // range is the runtime effect; the event records it for
+        // replay.
         let g0 = start / GRANULE_WORDS;
         let g1 = (start + words - 1) / GRANULE_WORDS;
-        for g in g0..=g1 {
-            if let Some(s) = &sink {
-                s.record(CheckEvent::SharingCast {
-                    tid: 1,
-                    granule: g,
-                    refs: 1,
-                });
-            }
+        if let Some(s) = &sink {
+            s.record(CheckEvent::RangeCast {
+                tid: 1,
+                granule: g0,
+                len: g1 - g0 + 1,
+                refs: 1,
+            });
         }
         arena.clear_range(start, words);
         // Publish the block index. The queue itself is lock-protected;
@@ -329,7 +329,12 @@ mod tests {
         let (_, trace) = run_traced(&Params::default());
         let stripped: Vec<CheckEvent> = trace
             .into_iter()
-            .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+            .filter(|e| {
+                !matches!(
+                    e,
+                    CheckEvent::SharingCast { .. } | CheckEvent::RangeCast { .. }
+                )
+            })
             .collect();
         let conflicts = replay(&stripped, &mut BitmapBackend::new());
         assert!(!conflicts.is_empty(), "no cast, no transfer, real conflict");
@@ -342,7 +347,7 @@ mod tests {
         assert!(has(|e| matches!(e, CheckEvent::Fork { .. })));
         assert!(has(|e| matches!(e, CheckEvent::RangeRead { .. })));
         assert!(has(|e| matches!(e, CheckEvent::RangeWrite { .. })));
-        assert!(has(|e| matches!(e, CheckEvent::SharingCast { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::RangeCast { .. })));
         assert!(has(|e| matches!(e, CheckEvent::Acquire { .. })));
         assert!(has(|e| matches!(e, CheckEvent::Release { .. })));
         assert!(has(|e| matches!(e, CheckEvent::ThreadExit { .. })));

@@ -206,13 +206,14 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<dyn EventSink>
                     }
                     if let Some(s) = &sink {
                         let base = block_granule(idx);
-                        for g in base..base + BLOCK_GRANULES {
-                            s.record(CheckEvent::SharingCast {
-                                tid,
-                                granule: g,
-                                refs: 1,
-                            });
-                        }
+                        // One-operation hand-off: a single ranged
+                        // cast covers the whole block.
+                        s.record(CheckEvent::RangeCast {
+                            tid,
+                            granule: base,
+                            len: BLOCK_GRANULES,
+                            refs: 1,
+                        });
                         // The block is private again: the compression
                         // loop reads the input and writes the output
                         // in place, lock-free — the access pattern
@@ -263,21 +264,21 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<dyn EventSink>
                 // into the hand-off slot (the RC write barrier below
                 // is the runtime effect the events record).
                 let base = block_granule(idx);
-                for g in base..base + BLOCK_GRANULES {
-                    s.record(CheckEvent::Alloc { granule: g });
-                }
+                s.record(CheckEvent::RangeFree {
+                    granule: base,
+                    len: BLOCK_GRANULES,
+                });
                 s.record(CheckEvent::RangeWrite {
                     tid: 1,
                     granule: base,
                     len: BLOCK_GRANULES,
                 });
-                for g in base..base + BLOCK_GRANULES {
-                    s.record(CheckEvent::SharingCast {
-                        tid: 1,
-                        granule: g,
-                        refs: 1,
-                    });
-                }
+                s.record(CheckEvent::RangeCast {
+                    tid: 1,
+                    granule: base,
+                    len: BLOCK_GRANULES,
+                    refs: 1,
+                });
             }
             if checked {
                 // Publish the block pointer into the hand-off slot,
@@ -320,13 +321,12 @@ fn run_with_sink(params: &Params, checked: bool, sink: Option<Arc<dyn EventSink>
             // cast, then the writer's ordered ranged read of the
             // whole block.
             let base = block_granule(*idx);
-            for g in base..base + BLOCK_GRANULES {
-                s.record(CheckEvent::SharingCast {
-                    tid: 1,
-                    granule: g,
-                    refs: 1,
-                });
-            }
+            s.record(CheckEvent::RangeCast {
+                tid: 1,
+                granule: base,
+                len: BLOCK_GRANULES,
+                refs: 1,
+            });
             s.record(CheckEvent::RangeRead {
                 tid: 1,
                 granule: base,
@@ -531,10 +531,33 @@ mod tests {
         let (_, trace) = run_traced(&Params::scaled(Scale::quick()));
         let stripped: Vec<CheckEvent> = trace
             .into_iter()
-            .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+            .filter(|e| {
+                !matches!(
+                    e,
+                    CheckEvent::SharingCast { .. } | CheckEvent::RangeCast { .. }
+                )
+            })
             .collect();
         let conflicts = replay(&stripped, &mut BitmapBackend::new());
         assert!(!conflicts.is_empty(), "no cast, no transfer, real conflict");
+    }
+
+    #[test]
+    fn every_block_hand_off_is_one_ranged_operation() {
+        // The acceptance bar for the ranged spine: each reader ->
+        // worker -> writer transfer is ONE RangeCast (three per
+        // block), each block birth is ONE RangeFree — never the
+        // O(granules) per-granule expansion.
+        let params = Params::scaled(Scale::quick());
+        let blocks = params.input_size.div_ceil(params.block);
+        let (_, trace) = run_traced(&params);
+        let count = |f: fn(&CheckEvent) -> bool| trace.iter().filter(|e| f(e)).count();
+        assert_eq!(
+            count(|e| matches!(e, CheckEvent::RangeCast { .. })),
+            3 * blocks
+        );
+        assert_eq!(count(|e| matches!(e, CheckEvent::RangeFree { .. })), blocks);
+        assert_eq!(count(|e| matches!(e, CheckEvent::SharingCast { .. })), 0);
     }
 
     #[test]

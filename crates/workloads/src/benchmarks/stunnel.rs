@@ -192,18 +192,18 @@ fn run_with_sink<P: WidePolicy>(params: &Params, sink: Option<Arc<dyn EventSink>
             key.wrapping_add((i - params.hs(c)) as u64)
         });
         if is_checked {
-            // The dynamic hand-off: one `oneref` cast per granule,
-            // then the shadow forgets the acceptor ever owned it.
+            // The dynamic hand-off: ONE ranged `oneref` cast for the
+            // whole handshake buffer, then the shadow forgets the
+            // acceptor ever owned it.
             let g0 = params.hs(c) / GRANULE_WORDS;
             let g1 = (params.hs(c) + HS_WORDS - 1) / GRANULE_WORDS;
             if let Some(s) = &acceptor.sink {
-                for g in g0..=g1 {
-                    s.record(CheckEvent::SharingCast {
-                        tid: 1,
-                        granule: g,
-                        refs: 1,
-                    });
-                }
+                s.record(CheckEvent::RangeCast {
+                    tid: 1,
+                    granule: g0,
+                    len: g1 - g0 + 1,
+                    refs: 1,
+                });
             }
             arena.clear_range(params.hs(c), HS_WORDS);
         }
@@ -587,7 +587,12 @@ mod tests {
         let (_, trace) = run_traced(&p);
         let stripped: Vec<CheckEvent> = trace
             .into_iter()
-            .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+            .filter(|e| {
+                !matches!(
+                    e,
+                    CheckEvent::SharingCast { .. } | CheckEvent::RangeCast { .. }
+                )
+            })
             .collect();
         let conflicts = replay(&stripped, &mut wide_bitmap(&p));
         assert!(!conflicts.is_empty(), "no cast, no transfer, real conflict");
@@ -601,7 +606,14 @@ mod tests {
         assert!(has(|e| matches!(e, CheckEvent::Fork { .. })));
         assert!(has(|e| matches!(e, CheckEvent::RangeRead { .. })));
         assert!(has(|e| matches!(e, CheckEvent::RangeWrite { .. })));
-        assert!(has(|e| matches!(e, CheckEvent::SharingCast { .. })));
+        assert!(has(|e| matches!(e, CheckEvent::RangeCast { .. })));
+        // One-operation hand-off: exactly one ranged cast per client,
+        // never the O(granules) per-granule expansion.
+        let rcasts = trace
+            .iter()
+            .filter(|e| matches!(e, CheckEvent::RangeCast { .. }))
+            .count();
+        assert_eq!(rcasts, p.clients, "one RangeCast per handshake hand-off");
         assert!(has(|e| matches!(e, CheckEvent::LockedAccess { .. })));
         assert!(has(|e| matches!(e, CheckEvent::Acquire { .. })));
         assert!(has(|e| matches!(e, CheckEvent::Release { .. })));

@@ -177,8 +177,10 @@ impl std::str::FromStr for DetectorKind {
 
 /// Converts a VM trace into the unified [`checker::CheckEvent`]
 /// vocabulary: addresses become granules
-/// ([`sharc_checker::GRANULE_CELLS`] cells each), frees become
-/// granule resets, sharing casts and exits carry over verbatim.
+/// ([`sharc_checker::GRANULE_CELLS`] cells each), frees become ONE
+/// [`checker::CheckEvent::RangeFree`] per block, sharing casts become
+/// ONE [`checker::CheckEvent::RangeCast`] per referent — the
+/// one-operation block hand-off, never an O(granules) expansion.
 pub fn trace_to_check_events(trace: &[interp::TraceEvent]) -> Vec<checker::CheckEvent> {
     use checker::CheckEvent as E;
     use interp::TraceEvent as T;
@@ -212,10 +214,19 @@ pub fn trace_to_check_events(trace: &[interp::TraceEvent]) -> Vec<checker::Check
                 child: child as u32,
             }),
             T::ThreadExit { tid } => out.push(E::ThreadExit { tid: tid as u32 }),
-            T::Alloc { addr, size } | T::Free { addr, size } => {
+            T::Alloc { addr, size } => {
                 for g in granule(addr)..=granule(addr + size.max(1) - 1) {
                     out.push(E::Alloc { granule: g });
                 }
+            }
+            T::Free { addr, size } => {
+                // A ranged free: ONE event for the whole block, not
+                // one granule reset per covered granule.
+                let g0 = granule(addr);
+                out.push(E::RangeFree {
+                    granule: g0,
+                    len: granule(addr + size.max(1) - 1) - g0 + 1,
+                });
             }
             T::SharingCast {
                 tid,
@@ -223,13 +234,15 @@ pub fn trace_to_check_events(trace: &[interp::TraceEvent]) -> Vec<checker::Check
                 size,
                 refs,
             } => {
-                for g in granule(addr)..=granule(addr + size.max(1) - 1) {
-                    out.push(E::SharingCast {
-                        tid: tid as u32,
-                        granule: g,
-                        refs: refs as u64,
-                    });
-                }
+                // A ranged cast: the whole referent hands off as one
+                // operation, exactly as the VM performs it.
+                let g0 = granule(addr);
+                out.push(E::RangeCast {
+                    tid: tid as u32,
+                    granule: g0,
+                    len: granule(addr + size.max(1) - 1) - g0 + 1,
+                    refs: refs as u64,
+                });
             }
         }
     }

@@ -869,14 +869,278 @@ fn ranged_sharded_checks_agree_up_to_256_threads() {
     );
 }
 
+// ----- Ranged casts & frees (this PR) -----
+
+/// Vocabulary for the ranged-clear differential: cached buffer sweeps
+/// interleaved with **ranged clears** (`free` / block-granular
+/// sharing casts) and **ranged thread exits**. The adversarial case
+/// is a sweep that summarizes a run into the owned cache followed by
+/// a `clear_range` through the middle of it: the single ranged epoch
+/// bump must invalidate the summary exactly like the per-granule
+/// clear fold's one-bump-per-granule does, or the cached instance
+/// skips re-registration and its shadow words drift from the fold's.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum HandoffOp {
+    Sweep {
+        tid: u32,
+        start: usize,
+        len: usize,
+        is_write: bool,
+    },
+    ClearRange {
+        start: usize,
+        len: usize,
+    },
+    ExitRange {
+        tid: u32,
+        start: usize,
+        len: usize,
+    },
+}
+
+fn handoff_op_gen(threads: u32) -> Gen<HandoffOp> {
+    let span = gen::pair(
+        gen::usize_range(0..RANGE_GRANULES),
+        gen::usize_range(1..RANGE_GRANULES + 1),
+    );
+    gen::one_of(vec![
+        gen::pair(
+            gen::pair(gen::u32_range(1..threads + 1), gen::bool_any()),
+            span.clone(),
+        )
+        .map(|&((tid, is_write), (start, len))| HandoffOp::Sweep {
+            tid,
+            start,
+            len: len.min(RANGE_GRANULES - start),
+            is_write,
+        }),
+        span.clone().map(|&(start, len)| HandoffOp::ClearRange {
+            start,
+            len: len.min(RANGE_GRANULES - start),
+        }),
+        gen::pair(gen::u32_range(1..threads + 1), span).map(|&(tid, (start, len))| {
+            HandoffOp::ExitRange {
+                tid,
+                start,
+                len: len.min(RANGE_GRANULES - start),
+            }
+        }),
+    ])
+}
+
+/// The ranged-clear contract on the narrow and adaptive engines: a
+/// `clear_range` / `clear_thread_range` (one word-level sweep, ONE
+/// epoch bump per covered region) leaves verdicts and final shadow
+/// words bit-identical to the per-granule `clear` / `clear_thread`
+/// fold it replaces. The ranged instance runs every sweep through the
+/// owned-run cache so a missing or short epoch bump surfaces as a
+/// stale summary and diverging words.
+#[test]
+fn ranged_clears_equal_per_granule_clear_fold() {
+    forall!(
+        "ranged_clears_equal_per_granule_clear_fold",
+        cfg(),
+        gen::vec_of(handoff_op_gen(THREADS), 0..96),
+        |ops| {
+            let ranged: Shadow = Shadow::new(RANGE_GRANULES);
+            let folded: Shadow = Shadow::new(RANGE_GRANULES);
+            let ad_ranged = ScalableShadow::new(RANGE_GRANULES);
+            let ad_folded = ScalableShadow::new(RANGE_GRANULES);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            let mut ad_caches: HashMap<u32, OwnedCache> = HashMap::new();
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    HandoffOp::Sweep {
+                        tid,
+                        start,
+                        len,
+                        is_write,
+                    } => {
+                        let t8 = ThreadId(tid as u8);
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let ad_cache = ad_caches.entry(tid).or_default();
+                        let got = if is_write {
+                            [
+                                ranged.check_range_write_cached(
+                                    start,
+                                    len,
+                                    t8,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                folded.check_range_write(start, len, t8, |_| {}, |_| {}),
+                                ad_ranged.check_range_write_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    ad_cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                ad_folded.check_range_write(start, len, tw, |_| {}, |_| {}),
+                            ]
+                        } else {
+                            [
+                                ranged.check_range_read_cached(
+                                    start,
+                                    len,
+                                    t8,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                folded.check_range_read(start, len, t8, |_| {}, |_| {}),
+                                ad_ranged.check_range_read_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    ad_cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                ad_folded.check_range_read(start, len, tw, |_| {}, |_| {}),
+                            ]
+                        };
+                        prop_assert!(
+                            got[0] == got[1] && got[2] == got[3],
+                            "op {} (sweep {}..{}): [ranged, folded, ad-ranged, ad-folded] {:?}",
+                            i,
+                            start,
+                            start + len,
+                            got
+                        );
+                    }
+                    HandoffOp::ClearRange { start, len } => {
+                        ranged.clear_range(start, len);
+                        ad_ranged.clear_range(start, len);
+                        for g in start..start + len {
+                            folded.clear(g);
+                            ad_folded.clear(g);
+                        }
+                    }
+                    HandoffOp::ExitRange { tid, start, len } => {
+                        ranged.clear_thread_range(start, len, ThreadId(tid as u8));
+                        ad_ranged.clear_thread_range(start, len, WideThreadId(tid));
+                        for g in start..start + len {
+                            folded.clear_thread(g, ThreadId(tid as u8));
+                            ad_folded.clear_thread(g, WideThreadId(tid));
+                        }
+                    }
+                }
+            }
+            for g in 0..RANGE_GRANULES {
+                prop_assert!(
+                    ranged.raw(g) == folded.raw(g),
+                    "narrow word of granule {}",
+                    g
+                );
+                prop_assert!(
+                    ad_ranged.raw(g) == ad_folded.raw(g),
+                    "adaptive word of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
+/// The same ranged-clear contract on the multi-shard geometry, with
+/// tids up to 256: `clear_range` / `clear_thread_range` on the
+/// sharded engine end bit-identical — every shard word — to the
+/// per-granule clear fold, under cached sweeps from threads that
+/// straddle shard boundaries.
+#[test]
+fn wide_ranged_clears_equal_per_granule_clear_fold() {
+    let geom = ShadowGeometry::for_threads(WIDE_THREADS as usize);
+    assert!(geom.shards() > 1, "the point is a multi-shard geometry");
+    forall!(
+        "wide_ranged_clears_equal_per_granule_clear_fold",
+        cfg(),
+        gen::vec_of(handoff_op_gen(WIDE_THREADS), 0..96),
+        |ops| {
+            let ranged = ShardedShadow::with_geometry(RANGE_GRANULES, geom);
+            let folded = ShardedShadow::with_geometry(RANGE_GRANULES, geom);
+            let mut caches: HashMap<u32, OwnedCache> = HashMap::new();
+            for (i, &op) in ops.iter().enumerate() {
+                match op {
+                    HandoffOp::Sweep {
+                        tid,
+                        start,
+                        len,
+                        is_write,
+                    } => {
+                        let tw = WideThreadId(tid);
+                        let cache = caches.entry(tid).or_default();
+                        let got = if is_write {
+                            [
+                                ranged.check_range_write_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                folded.check_range_write(start, len, tw, |_| {}, |_| {}),
+                            ]
+                        } else {
+                            [
+                                ranged.check_range_read_cached(
+                                    start,
+                                    len,
+                                    tw,
+                                    cache,
+                                    |_| {},
+                                    |_| {},
+                                ),
+                                folded.check_range_read(start, len, tw, |_| {}, |_| {}),
+                            ]
+                        };
+                        prop_assert!(
+                            got[0] == got[1],
+                            "op {} (wide sweep {}..{}): [ranged, folded] {:?}",
+                            i,
+                            start,
+                            start + len,
+                            got
+                        );
+                    }
+                    HandoffOp::ClearRange { start, len } => {
+                        ranged.clear_range(start, len);
+                        for g in start..start + len {
+                            folded.clear(g);
+                        }
+                    }
+                    HandoffOp::ExitRange { tid, start, len } => {
+                        ranged.clear_thread_range(start, len, WideThreadId(tid));
+                        for g in start..start + len {
+                            folded.clear_thread(g, WideThreadId(tid));
+                        }
+                    }
+                }
+            }
+            for g in 0..RANGE_GRANULES {
+                prop_assert!(
+                    ranged.raw_words(g) == folded.raw_words(g),
+                    "wide words of granule {}",
+                    g
+                );
+            }
+        }
+    );
+}
+
 /// The whole `CheckEvent` vocabulary over tids `1..=threads`: point
-/// and ranged accesses, lock traffic, forks, sharing casts, exits,
-/// and allocs. Shared by the lowering differential (narrow tids) and
-/// the streaming differential (narrow *and* cross-shard tids).
+/// and ranged accesses, lock traffic, forks, sharing casts (point and
+/// ranged), exits, allocs, and ranged frees. Shared by the lowering
+/// differential (narrow tids) and the streaming differential (narrow
+/// *and* cross-shard tids).
 fn spine_event_gen(threads: u32) -> Gen<CheckEvent> {
     use CheckEvent as E;
     gen::pair(
-        gen::u32_range(0..12),
+        gen::u32_range(0..14),
         gen::pair(
             gen::u32_range(1..threads + 1),
             gen::usize_range(0..GRANULES),
@@ -902,6 +1166,13 @@ fn spine_event_gen(threads: u32) -> Gen<CheckEvent> {
                 refs: 1,
             },
             10 => E::ThreadExit { tid },
+            11 => E::RangeCast {
+                tid,
+                granule,
+                len,
+                refs: 1,
+            },
+            12 => E::RangeFree { granule, len },
             _ => E::Alloc { granule },
         }
     })
@@ -928,7 +1199,10 @@ fn range_replay_lowering_is_bit_identical_for_every_backend() {
             prop_assert!(
                 !lowered.iter().any(|e| matches!(
                     e,
-                    CheckEvent::RangeRead { .. } | CheckEvent::RangeWrite { .. }
+                    CheckEvent::RangeRead { .. }
+                        | CheckEvent::RangeWrite { .. }
+                        | CheckEvent::RangeCast { .. }
+                        | CheckEvent::RangeFree { .. }
                 )),
                 "lowering leaves only per-granule events"
             );
@@ -1077,7 +1351,12 @@ fn stunnel_wide_trace_pins_all_backends() {
     let no_cast: Vec<CheckEvent> = trace
         .iter()
         .copied()
-        .filter(|e| !matches!(e, CheckEvent::SharingCast { .. }))
+        .filter(|e| {
+            !matches!(
+                e,
+                CheckEvent::SharingCast { .. } | CheckEvent::RangeCast { .. }
+            )
+        })
         .collect();
     let mut sharc2 = BitmapBackend::with_geometry(geom);
     assert!(
