@@ -327,6 +327,16 @@ fn main() {
     // JSON's `online` array; the bounds are asserted below.
     let online_rows = sharc_bench::online_rows(&mut g, smoke);
 
+    // ---- Binary traces + parallel replay ----
+    //
+    // The archive rows: one 10⁷-event synthetic spine trace (10⁶
+    // under --smoke) encoded as text v3 and binary v4, decoded back,
+    // and replayed sequentially vs region-sharded over 4 workers.
+    // Heavy laps, so the sample count drops to 3 for these rows.
+    g.sample_size(3);
+    let trace_rows = vec![sharc_bench::trace_replay_rows(&mut g, smoke)];
+    g.sample_size(if smoke { 5 } else { 20 });
+
     // Machine-readable trajectory across PRs: the full row set plus
     // the deterministic flush/miss counters, at the repo root — the
     // ONLY place this group's JSON lands (the old duplicate under
@@ -337,6 +347,7 @@ fn main() {
         &stunnel_rows,
         &online_rows,
         &elision_rows,
+        &trace_rows,
     );
 
     // The acceptance criterion, enforced at bench time: the cached
@@ -397,4 +408,11 @@ fn main() {
     // beats the per-granule cast+clear loop >=4x on 4 KiB blocks, and
     // the win holds at 64 KiB.
     sharc_bench::assert_ranged_cast_wins(&g);
+
+    // Binary-trace acceptance gates: binary v4 at most 1/4 the bytes
+    // of text on the same trace, encode+decode >=2x faster; parallel
+    // replay >=2x faster than sequential on a multi-core host (with
+    // an honest overhead bound on a single CPU — see the gate).
+    sharc_bench::assert_trace_wins(&g, &trace_rows[0]);
+    sharc_bench::assert_parallel_replay_wins(&g, &trace_rows[0]);
 }

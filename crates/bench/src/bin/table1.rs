@@ -122,9 +122,15 @@ fn main() {
         let online = sharc_bench::online_rows(&mut b, true);
         sharc_bench::elision_vm_rows(&mut b);
         let elision = sharc_bench::elision_rows();
-        sharc_bench::write_checker_json_at_repo_root(&b, &counters, &stunnel, &online, &elision);
+        b.sample_size(3);
+        let trace = vec![sharc_bench::trace_replay_rows(&mut b, true)];
+        sharc_bench::write_checker_json_at_repo_root(
+            &b, &counters, &stunnel, &online, &elision, &trace,
+        );
         sharc_bench::assert_epoch_wins(&b);
         sharc_bench::assert_online_bounds(&b, &online);
         sharc_bench::assert_elision_wins(&b);
+        sharc_bench::assert_trace_wins(&b, &trace[0]);
+        sharc_bench::assert_parallel_replay_wins(&b, &trace[0]);
     }
 }

@@ -382,6 +382,34 @@ pub fn geometry_for_trace(events: &[CheckEvent]) -> ShadowGeometry {
     ShadowGeometry::for_threads((max_trace_tid(events) as usize).max(1))
 }
 
+/// One past the largest granule any event in `events` touches (0 for
+/// a trace with no granule-addressed events). Range events count
+/// their whole extent. This is the granule-space twin of
+/// [`max_trace_tid`]: the binary trace header records it, and the
+/// parallel replay partition is sized from it.
+pub fn trace_granule_span(events: &[CheckEvent]) -> usize {
+    events
+        .iter()
+        .map(|e| match *e {
+            CheckEvent::Read { granule, .. }
+            | CheckEvent::Write { granule, .. }
+            | CheckEvent::SharingCast { granule, .. }
+            | CheckEvent::Alloc { granule } => granule + 1,
+            CheckEvent::RangeRead { granule, len, .. }
+            | CheckEvent::RangeWrite { granule, len, .. }
+            | CheckEvent::RangeCast { granule, len, .. }
+            | CheckEvent::RangeFree { granule, len } => granule + len.max(1),
+            CheckEvent::LockedAccess { .. }
+            | CheckEvent::Acquire { .. }
+            | CheckEvent::Release { .. }
+            | CheckEvent::Fork { .. }
+            | CheckEvent::Join { .. }
+            | CheckEvent::ThreadExit { .. } => 0,
+        })
+        .max()
+        .unwrap_or(0)
+}
+
 /// Expands every range event into its per-granule events, leaving
 /// everything else verbatim — the explicit form of the lowering
 /// [`replay`] performs implicitly. `replay(events) ==

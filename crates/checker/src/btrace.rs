@@ -1,0 +1,741 @@
+//! Binary [`CheckEvent`](crate::CheckEvent) traces — format **v4**,
+//! the archive format for full-scale runs (`.sbt`, "sharc binary
+//! trace").
+//!
+//! The text formats v1–v3 ([`crate::trace`]) spend ~14 bytes per
+//! event; at the 10⁷–10⁸ events of a stunnel-fleet run that is
+//! gigabytes of decimal digits, most of them repeating the same tid
+//! and nearly the same granule line after line. v4 stores the same
+//! linearization bit-exactly in a fraction of the space:
+//!
+//! ```text
+//! offset  size  field
+//! 0       4     magic  b"SBT4"
+//! 4       1     version (4)
+//! 5       3     reserved (zero)
+//! 8       4     max tid              (little-endian u32)
+//! 12      4     shard count          (ShadowGeometry::for_threads)
+//! 16      8     event count          (little-endian u64)
+//! 24      8     granule span         (little-endian u64)
+//! 32      …     per-thread blocks
+//! …       …     block index footer
+//! end-12  8     footer offset        (little-endian u64)
+//! end-4   4     end magic  b"4TBS"
+//! ```
+//!
+//! **Per-thread blocks.** The event stream is cut into maximal runs
+//! of events with the same [`recording_tid`] — the bursts a real
+//! workload emits — so the tid is paid once per run, not once per
+//! event. A block is `uleb(tid) uleb(count)` followed by `count`
+//! events; blocks in file order concatenate to exactly the recorded
+//! linearization, which is what keeps replay verdicts bit-identical
+//! to the text file (no per-event sequence numbers, no reordering).
+//!
+//! **Per-event encoding.** One opcode byte, then LEB128 varint
+//! operands. Granules are delta-encoded: each block carries a granule
+//! register (starting at 0) and every granule operand is the
+//! zigzag-LEB128 difference from the previous granule in the same
+//! block — a thread sweeping a buffer pays one byte per event.
+//! Lengths, refcounts, lock ids, and fork/join child tids are plain
+//! LEB128 (they are small in practice). `exit` is the opcode alone
+//! and `fork`/`join` spell only the child: the block tid already
+//! names the event's own tid, exactly as [`recording_tid`] defines
+//! it.
+//!
+//! **Block index footer.** `uleb(n)` then one `uleb(offset-delta)
+//! uleb(tid) uleb(count)` triple per block, offsets relative to the
+//! previous block's start (the first is absolute). A reader can jump
+//! to any block without decoding its predecessors — the hook for
+//! mmap-style random access and region-sharded decoding — and the
+//! trailer locates the footer from the end of the file alone.
+//!
+//! [`BinaryTraceReader`] is zero-copy: it borrows the byte slice
+//! (read, mapped, or in memory), validates the framing once, and
+//! decodes events on demand with [`BinaryTraceReader::events`].
+//! Round-tripping is exact in both directions and pinned by the
+//! property tests below: `parse_binary ∘ to_binary` is the identity
+//! on any event vector, and text→binary→text reproduces the v3 file
+//! byte-for-byte.
+//!
+//! [`recording_tid`]: crate::sink::recording_tid
+
+use crate::backend::{max_trace_tid, trace_granule_span, CheckEvent};
+use crate::geometry::ShadowGeometry;
+use crate::sink::recording_tid;
+
+/// Leading magic of a v4 binary trace (`sharc trace` and `sharc
+/// replay` sniff this to tell binary from text).
+pub const BTRACE_MAGIC: [u8; 4] = *b"SBT4";
+/// Trailing magic, after the footer-offset word.
+pub const BTRACE_END_MAGIC: [u8; 4] = *b"4TBS";
+/// The format version this module reads and writes.
+pub const BTRACE_VERSION: u8 = 4;
+/// Fixed header size in bytes.
+pub const HEADER_LEN: usize = 32;
+/// Fixed trailer size in bytes (footer offset + end magic).
+pub const TRAILER_LEN: usize = 12;
+
+// Opcodes, one byte per event. The numbering is part of the on-disk
+// format: append only, never renumber.
+const OP_READ: u8 = 0;
+const OP_WRITE: u8 = 1;
+const OP_RANGE_READ: u8 = 2;
+const OP_RANGE_WRITE: u8 = 3;
+const OP_LOCKED: u8 = 4;
+const OP_CAST: u8 = 5;
+const OP_RANGE_CAST: u8 = 6;
+const OP_RANGE_FREE: u8 = 7;
+const OP_ACQUIRE: u8 = 8;
+const OP_RELEASE: u8 = 9;
+const OP_FORK: u8 = 10;
+const OP_JOIN: u8 = 11;
+const OP_EXIT: u8 = 12;
+const OP_ALLOC: u8 = 13;
+
+/// True if `bytes` starts like a v4 binary trace. A text trace can
+/// never collide: its first byte is `#`, a keyword letter, or
+/// whitespace, none of which is `S` followed by `BT4`… within the
+/// trace vocabulary.
+pub fn is_binary(bytes: &[u8]) -> bool {
+    bytes.len() >= 4 && bytes[..4] == BTRACE_MAGIC
+}
+
+fn write_uleb(out: &mut Vec<u8>, mut v: u64) {
+    loop {
+        let byte = (v & 0x7f) as u8;
+        v >>= 7;
+        if v == 0 {
+            out.push(byte);
+            return;
+        }
+        out.push(byte | 0x80);
+    }
+}
+
+fn write_granule_delta(out: &mut Vec<u8>, prev: &mut i64, granule: usize) {
+    let g = granule as i64;
+    let delta = g.wrapping_sub(*prev);
+    *prev = g;
+    // Zigzag: small negative deltas stay one byte.
+    write_uleb(out, ((delta << 1) ^ (delta >> 63)) as u64);
+}
+
+fn read_uleb(bytes: &[u8], pos: &mut usize) -> Result<u64, String> {
+    let mut v: u64 = 0;
+    let mut shift = 0u32;
+    loop {
+        let byte = *bytes
+            .get(*pos)
+            .ok_or_else(|| format!("truncated varint at byte {}", *pos))?;
+        *pos += 1;
+        if shift >= 63 && byte > 1 {
+            return Err(format!("varint overflow at byte {}", *pos - 1));
+        }
+        v |= u64::from(byte & 0x7f) << shift;
+        if byte & 0x80 == 0 {
+            return Ok(v);
+        }
+        shift += 7;
+    }
+}
+
+fn read_granule_delta(bytes: &[u8], pos: &mut usize, prev: &mut i64) -> Result<usize, String> {
+    let z = read_uleb(bytes, pos)?;
+    let delta = ((z >> 1) as i64) ^ -((z & 1) as i64);
+    let g = prev.wrapping_add(delta);
+    if g < 0 {
+        return Err(format!("granule delta underflows below zero at byte {pos}"));
+    }
+    *prev = g;
+    Ok(g as usize)
+}
+
+/// Encodes `events` in the v4 binary framing. Deterministic: the
+/// same event vector always produces the same bytes, so
+/// binary→text→binary round trips are byte-identical (`cmp`-clean),
+/// not merely event-identical.
+pub fn to_binary(events: &[CheckEvent]) -> Vec<u8> {
+    // ~2.5 bytes/event is the steady state for access-dominated
+    // traces; headroom avoids one realloc on the tail.
+    let mut out = Vec::with_capacity(HEADER_LEN + TRAILER_LEN + events.len() * 3 + 64);
+    let max_tid = max_trace_tid(events);
+    let shards = ShadowGeometry::for_threads((max_tid as usize).max(1)).shards();
+    out.extend_from_slice(&BTRACE_MAGIC);
+    out.push(BTRACE_VERSION);
+    out.extend_from_slice(&[0u8; 3]);
+    out.extend_from_slice(&max_tid.to_le_bytes());
+    out.extend_from_slice(&(shards as u32).to_le_bytes());
+    out.extend_from_slice(&(events.len() as u64).to_le_bytes());
+    out.extend_from_slice(&(trace_granule_span(events) as u64).to_le_bytes());
+
+    // (absolute offset, tid, event count) per block, for the footer.
+    let mut index: Vec<(u64, u32, u64)> = Vec::new();
+    let mut i = 0;
+    while i < events.len() {
+        let tid = recording_tid(&events[i]);
+        let mut end = i + 1;
+        while end < events.len() && recording_tid(&events[end]) == tid {
+            end += 1;
+        }
+        index.push((out.len() as u64, tid, (end - i) as u64));
+        write_uleb(&mut out, u64::from(tid));
+        write_uleb(&mut out, (end - i) as u64);
+        let mut prev: i64 = 0;
+        for e in &events[i..end] {
+            match *e {
+                CheckEvent::Read { granule, .. } => {
+                    out.push(OP_READ);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                }
+                CheckEvent::Write { granule, .. } => {
+                    out.push(OP_WRITE);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                }
+                CheckEvent::RangeRead { granule, len, .. } => {
+                    out.push(OP_RANGE_READ);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                    write_uleb(&mut out, len as u64);
+                }
+                CheckEvent::RangeWrite { granule, len, .. } => {
+                    out.push(OP_RANGE_WRITE);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                    write_uleb(&mut out, len as u64);
+                }
+                CheckEvent::LockedAccess { lock, .. } => {
+                    out.push(OP_LOCKED);
+                    write_uleb(&mut out, lock as u64);
+                }
+                CheckEvent::SharingCast { granule, refs, .. } => {
+                    out.push(OP_CAST);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                    write_uleb(&mut out, refs);
+                }
+                CheckEvent::RangeCast {
+                    granule, len, refs, ..
+                } => {
+                    out.push(OP_RANGE_CAST);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                    write_uleb(&mut out, len as u64);
+                    write_uleb(&mut out, refs);
+                }
+                CheckEvent::RangeFree { granule, len } => {
+                    out.push(OP_RANGE_FREE);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                    write_uleb(&mut out, len as u64);
+                }
+                CheckEvent::Acquire { lock, .. } => {
+                    out.push(OP_ACQUIRE);
+                    write_uleb(&mut out, lock as u64);
+                }
+                CheckEvent::Release { lock, .. } => {
+                    out.push(OP_RELEASE);
+                    write_uleb(&mut out, lock as u64);
+                }
+                CheckEvent::Fork { child, .. } => {
+                    out.push(OP_FORK);
+                    write_uleb(&mut out, u64::from(child));
+                }
+                CheckEvent::Join { child, .. } => {
+                    out.push(OP_JOIN);
+                    write_uleb(&mut out, u64::from(child));
+                }
+                CheckEvent::ThreadExit { .. } => out.push(OP_EXIT),
+                CheckEvent::Alloc { granule } => {
+                    out.push(OP_ALLOC);
+                    write_granule_delta(&mut out, &mut prev, granule);
+                }
+            }
+        }
+        i = end;
+    }
+
+    let footer_off = out.len() as u64;
+    write_uleb(&mut out, index.len() as u64);
+    let mut prev_off = 0u64;
+    for &(off, tid, count) in &index {
+        write_uleb(&mut out, off - prev_off);
+        prev_off = off;
+        write_uleb(&mut out, u64::from(tid));
+        write_uleb(&mut out, count);
+    }
+    out.extend_from_slice(&footer_off.to_le_bytes());
+    out.extend_from_slice(&BTRACE_END_MAGIC);
+    out
+}
+
+/// One entry of the block index footer.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct BlockEntry {
+    /// Absolute byte offset of the block's `uleb(tid)`.
+    pub offset: usize,
+    /// The block's recording tid.
+    pub tid: u32,
+    /// Events in the block.
+    pub events: u64,
+}
+
+/// A validated, zero-copy view of a v4 binary trace: borrows the
+/// byte slice (heap buffer or memory-mapped file alike), checks the
+/// framing once in [`BinaryTraceReader::new`], and decodes events
+/// lazily. Nothing is copied until an event is materialized.
+#[derive(Debug, Clone, Copy)]
+pub struct BinaryTraceReader<'a> {
+    data: &'a [u8],
+    max_tid: u32,
+    shards: u32,
+    event_count: u64,
+    granule_span: u64,
+    footer_off: usize,
+}
+
+impl<'a> BinaryTraceReader<'a> {
+    /// Validates the header and trailer of `data` and returns the
+    /// reader. Block payloads are *not* decoded here — corruption
+    /// inside a block surfaces from [`BinaryTraceReader::events`].
+    pub fn new(data: &'a [u8]) -> Result<Self, String> {
+        if !is_binary(data) {
+            return Err("not a binary trace (missing SBT4 magic)".to_string());
+        }
+        if data.len() < HEADER_LEN + TRAILER_LEN {
+            return Err(format!(
+                "binary trace truncated: {} bytes is shorter than header + trailer",
+                data.len()
+            ));
+        }
+        if data[4] != BTRACE_VERSION {
+            return Err(format!(
+                "unsupported binary trace version {} (this reader speaks v{BTRACE_VERSION})",
+                data[4]
+            ));
+        }
+        let end = data.len();
+        if data[end - 4..] != BTRACE_END_MAGIC {
+            return Err("binary trace truncated: end magic missing".to_string());
+        }
+        let fixed = |at: usize| -> [u8; 8] { data[at..at + 8].try_into().expect("8 bytes") };
+        let footer_off = u64::from_le_bytes(fixed(end - TRAILER_LEN)) as usize;
+        if footer_off < HEADER_LEN || footer_off > end - TRAILER_LEN {
+            return Err(format!(
+                "binary trace footer offset {footer_off} out of bounds"
+            ));
+        }
+        Ok(BinaryTraceReader {
+            data,
+            max_tid: u32::from_le_bytes(data[8..12].try_into().expect("4 bytes")),
+            shards: u32::from_le_bytes(data[12..16].try_into().expect("4 bytes")),
+            event_count: u64::from_le_bytes(fixed(16)),
+            granule_span: u64::from_le_bytes(fixed(24)),
+            footer_off,
+        })
+    }
+
+    /// The format version (always [`BTRACE_VERSION`] once validated).
+    pub fn version(&self) -> u8 {
+        BTRACE_VERSION
+    }
+
+    /// The largest tid the trace names, from the header.
+    pub fn max_tid(&self) -> u32 {
+        self.max_tid
+    }
+
+    /// The recorded shard geometry (what
+    /// [`ShadowGeometry::for_threads`] derived from the max tid at
+    /// encode time) — a replayer can size its backend before
+    /// decoding a single event.
+    pub fn geometry(&self) -> ShadowGeometry {
+        ShadowGeometry::with_shards(self.shards as usize)
+    }
+
+    /// Total events, from the header.
+    pub fn event_count(&self) -> u64 {
+        self.event_count
+    }
+
+    /// One past the largest granule any event touches, from the
+    /// header.
+    pub fn granule_span(&self) -> u64 {
+        self.granule_span
+    }
+
+    /// Total size in bytes of the framed trace.
+    pub fn len_bytes(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Parses the block index footer: one entry per per-thread block,
+    /// in file (= linearization) order.
+    pub fn blocks(&self) -> Result<Vec<BlockEntry>, String> {
+        let bytes = &self.data[..self.data.len() - TRAILER_LEN];
+        let mut pos = self.footer_off;
+        let n = read_uleb(bytes, &mut pos)?;
+        let mut entries = Vec::with_capacity(n.min(1 << 20) as usize);
+        let mut prev_off = 0u64;
+        for _ in 0..n {
+            let off = prev_off + read_uleb(bytes, &mut pos)?;
+            prev_off = off;
+            let tid = read_uleb(bytes, &mut pos)?;
+            let events = read_uleb(bytes, &mut pos)?;
+            if off as usize >= self.footer_off {
+                return Err(format!("block offset {off} points past the footer"));
+            }
+            entries.push(BlockEntry {
+                offset: off as usize,
+                tid: u32::try_from(tid).map_err(|_| format!("block tid {tid} overflows u32"))?,
+                events,
+            });
+        }
+        if pos != bytes.len() {
+            return Err(format!(
+                "binary trace footer has {} trailing bytes",
+                bytes.len() - pos
+            ));
+        }
+        Ok(entries)
+    }
+
+    /// A streaming decoder over every event, in linearization order.
+    /// Each item is `Ok(event)` or the first framing error.
+    pub fn events(&self) -> EventIter<'a> {
+        EventIter {
+            data: self.data,
+            pos: HEADER_LEN,
+            end: self.footer_off,
+            block_tid: 0,
+            left_in_block: 0,
+            prev_granule: 0,
+            failed: false,
+        }
+    }
+
+    /// Decodes the whole trace, verifying the header's event count.
+    pub fn decode(&self) -> Result<Vec<CheckEvent>, String> {
+        let mut out = Vec::with_capacity(self.event_count.min(1 << 28) as usize);
+        for e in self.events() {
+            out.push(e?);
+        }
+        if out.len() as u64 != self.event_count {
+            return Err(format!(
+                "binary trace decoded {} events but the header promises {}",
+                out.len(),
+                self.event_count
+            ));
+        }
+        Ok(out)
+    }
+}
+
+/// Streaming event decoder; see [`BinaryTraceReader::events`].
+#[derive(Debug)]
+pub struct EventIter<'a> {
+    data: &'a [u8],
+    pos: usize,
+    end: usize,
+    block_tid: u32,
+    left_in_block: u64,
+    prev_granule: i64,
+    failed: bool,
+}
+
+impl EventIter<'_> {
+    fn decode_next(&mut self) -> Result<Option<CheckEvent>, String> {
+        use CheckEvent as E;
+        if self.left_in_block == 0 {
+            // Block boundary (or clean end of the block region).
+            if self.pos == self.end {
+                return Ok(None);
+            }
+            let bytes = &self.data[..self.end];
+            let tid = read_uleb(bytes, &mut self.pos)?;
+            self.block_tid =
+                u32::try_from(tid).map_err(|_| format!("block tid {tid} overflows u32"))?;
+            self.left_in_block = read_uleb(bytes, &mut self.pos)?;
+            self.prev_granule = 0;
+            if self.left_in_block == 0 {
+                return Err("empty block in binary trace".to_string());
+            }
+        }
+        let bytes = &self.data[..self.end];
+        let op = *bytes
+            .get(self.pos)
+            .ok_or_else(|| "truncated block: opcode missing".to_string())?;
+        self.pos += 1;
+        let tid = self.block_tid;
+        let e = match op {
+            OP_READ => E::Read {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+            },
+            OP_WRITE => E::Write {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+            },
+            OP_RANGE_READ => E::RangeRead {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+                len: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_RANGE_WRITE => E::RangeWrite {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+                len: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_LOCKED => E::LockedAccess {
+                tid,
+                lock: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_CAST => E::SharingCast {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+                refs: read_uleb(bytes, &mut self.pos)?,
+            },
+            OP_RANGE_CAST => E::RangeCast {
+                tid,
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+                len: read_uleb(bytes, &mut self.pos)? as usize,
+                refs: read_uleb(bytes, &mut self.pos)?,
+            },
+            OP_RANGE_FREE => E::RangeFree {
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+                len: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_ACQUIRE => E::Acquire {
+                tid,
+                lock: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_RELEASE => E::Release {
+                tid,
+                lock: read_uleb(bytes, &mut self.pos)? as usize,
+            },
+            OP_FORK => E::Fork {
+                parent: tid,
+                child: u32::try_from(read_uleb(bytes, &mut self.pos)?)
+                    .map_err(|_| "fork child overflows u32".to_string())?,
+            },
+            OP_JOIN => E::Join {
+                parent: tid,
+                child: u32::try_from(read_uleb(bytes, &mut self.pos)?)
+                    .map_err(|_| "join child overflows u32".to_string())?,
+            },
+            OP_EXIT => E::ThreadExit { tid },
+            OP_ALLOC => E::Alloc {
+                granule: read_granule_delta(bytes, &mut self.pos, &mut self.prev_granule)?,
+            },
+            other => return Err(format!("unknown opcode {other} at byte {}", self.pos - 1)),
+        };
+        self.left_in_block -= 1;
+        Ok(Some(e))
+    }
+}
+
+impl Iterator for EventIter<'_> {
+    type Item = Result<CheckEvent, String>;
+
+    fn next(&mut self) -> Option<Self::Item> {
+        if self.failed {
+            return None;
+        }
+        match self.decode_next() {
+            Ok(Some(e)) => Some(Ok(e)),
+            Ok(None) => None,
+            Err(e) => {
+                self.failed = true;
+                Some(Err(e))
+            }
+        }
+    }
+}
+
+/// Convenience: validate + decode in one call, the binary twin of
+/// [`crate::trace::parse_text`].
+pub fn parse_binary(bytes: &[u8]) -> Result<Vec<CheckEvent>, String> {
+    BinaryTraceReader::new(bytes)?.decode()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{parse_text, to_text};
+    use sharc_testkit::{forall, gen, prop_assert_eq, Gen};
+
+    /// The full 14-variant vocabulary, wide tids included (the
+    /// cross-shard boundary matters: the header records the shard
+    /// geometry of the widest tid).
+    fn event_gen() -> Gen<CheckEvent> {
+        gen::pair(
+            gen::u32_range(0..14),
+            gen::triple(
+                gen::u32_range(1..300),
+                gen::usize_range(0..4096),
+                gen::u64_range(1..5),
+            ),
+        )
+        .map(|&(kind, (tid, granule, refs))| {
+            let lock = granule % 8;
+            let len = (granule % 7) + 1;
+            match kind {
+                0 => CheckEvent::Read { tid, granule },
+                1 => CheckEvent::Write { tid, granule },
+                2 => CheckEvent::LockedAccess { tid, lock },
+                3 => CheckEvent::SharingCast { tid, granule, refs },
+                4 => CheckEvent::Acquire { tid, lock },
+                5 => CheckEvent::Release { tid, lock },
+                6 => CheckEvent::Fork {
+                    parent: tid,
+                    child: tid + 1,
+                },
+                7 => CheckEvent::Join {
+                    parent: tid,
+                    child: tid + 1,
+                },
+                8 => CheckEvent::ThreadExit { tid },
+                9 => CheckEvent::RangeRead { tid, granule, len },
+                10 => CheckEvent::RangeWrite { tid, granule, len },
+                11 => CheckEvent::RangeCast {
+                    tid,
+                    granule,
+                    len,
+                    refs,
+                },
+                12 => CheckEvent::RangeFree { granule, len },
+                _ => CheckEvent::Alloc { granule },
+            }
+        })
+    }
+
+    #[test]
+    fn round_trip_is_identity_over_the_whole_vocabulary() {
+        forall!(
+            "btrace_round_trip_is_identity",
+            gen::vec_of(event_gen(), 0..96),
+            |events| {
+                let bytes = to_binary(events);
+                let parsed = parse_binary(&bytes).expect("well-formed");
+                prop_assert_eq!(&parsed, events);
+            }
+        );
+    }
+
+    #[test]
+    fn text_to_binary_to_text_is_the_identity_on_the_file() {
+        // The tentpole round trip at the *file* level: any v3 text
+        // file survives text→binary→text byte-for-byte, so archiving
+        // a text trace as .sbt and later exporting it back is
+        // lossless on the artifact, not merely on the event vector.
+        forall!(
+            "btrace_text_binary_text_identity",
+            gen::vec_of(event_gen(), 0..96),
+            |events| {
+                let text = to_text(events);
+                let via_binary = to_text(
+                    &parse_binary(&to_binary(&parse_text(&text).expect("v3 parses")))
+                        .expect("v4 parses"),
+                );
+                prop_assert_eq!(&via_binary, &text);
+            }
+        );
+    }
+
+    #[test]
+    fn binary_re_encode_is_byte_identical() {
+        // Determinism at the byte level: decode→encode reproduces
+        // the exact file (blocking is a pure function of the event
+        // sequence), which is what `ci/check.sh` pins with `cmp` on
+        // the CLI convert round trip.
+        forall!(
+            "btrace_re_encode_byte_identical",
+            gen::vec_of(event_gen(), 0..96),
+            |events| {
+                let a = to_binary(events);
+                let b = to_binary(&parse_binary(&a).expect("parses"));
+                prop_assert_eq!(&a, &b);
+            }
+        );
+    }
+
+    #[test]
+    fn header_records_geometry_and_counts() {
+        let events = vec![
+            CheckEvent::Fork {
+                parent: 1,
+                child: 200,
+            },
+            CheckEvent::Write {
+                tid: 200,
+                granule: 4095,
+            },
+            CheckEvent::RangeWrite {
+                tid: 200,
+                granule: 4096,
+                len: 8,
+            },
+        ];
+        let bytes = to_binary(&events);
+        let r = BinaryTraceReader::new(&bytes).expect("valid");
+        assert_eq!(r.version(), 4);
+        assert_eq!(r.max_tid(), 200);
+        assert_eq!(r.event_count(), 3);
+        assert_eq!(r.granule_span(), 4104);
+        assert_eq!(
+            r.geometry(),
+            ShadowGeometry::for_threads(200),
+            "header geometry sizes the replay backend without decoding"
+        );
+        let blocks = r.blocks().expect("footer parses");
+        assert_eq!(
+            blocks.iter().map(|b| (b.tid, b.events)).collect::<Vec<_>>(),
+            vec![(1, 1), (200, 2)],
+            "blocks are maximal same-recording-tid runs"
+        );
+    }
+
+    #[test]
+    fn per_thread_blocks_preserve_the_interleaving() {
+        // Alternating tids force one block per event; the decoded
+        // order must still be the recorded linearization exactly.
+        let mut events = Vec::new();
+        for i in 0..10usize {
+            let tid = 1 + (i % 2) as u32;
+            events.push(CheckEvent::Write { tid, granule: i });
+        }
+        assert_eq!(parse_binary(&to_binary(&events)).unwrap(), events);
+    }
+
+    #[test]
+    fn corrupt_framing_is_rejected_loudly() {
+        let good = to_binary(&[CheckEvent::Read { tid: 1, granule: 7 }]);
+        // Text input.
+        assert!(BinaryTraceReader::new(b"# sharc-trace v3\n")
+            .unwrap_err()
+            .contains("magic"));
+        // Truncation that loses the trailer.
+        assert!(BinaryTraceReader::new(&good[..good.len() - 3])
+            .unwrap_err()
+            .contains("end magic"));
+        // A version bump fails loudly instead of misparsing.
+        let mut v5 = good.clone();
+        v5[4] = 5;
+        assert!(BinaryTraceReader::new(&v5)
+            .unwrap_err()
+            .contains("version 5"));
+        // An unknown opcode inside a block surfaces from decode.
+        let mut bad_op = good.clone();
+        bad_op[HEADER_LEN + 2] = 0x7e; // the event's opcode byte
+        assert!(parse_binary(&bad_op).unwrap_err().contains("opcode"));
+        // A lying header count surfaces from decode.
+        let mut short_count = good;
+        short_count[16] = 2;
+        assert!(parse_binary(&short_count)
+            .unwrap_err()
+            .contains("promises 2"));
+    }
+
+    #[test]
+    fn empty_trace_round_trips() {
+        let bytes = to_binary(&[]);
+        let r = BinaryTraceReader::new(&bytes).expect("valid");
+        assert_eq!(r.event_count(), 0);
+        assert_eq!(r.blocks().unwrap(), vec![]);
+        assert_eq!(r.decode().unwrap(), vec![]);
+    }
+}

@@ -39,6 +39,16 @@
 //!   (`sharc native --trace-out` / `sharc replay`): an exact,
 //!   line-oriented round-trip so one recorded execution can be
 //!   re-judged by any backend in a later process.
+//! * [`btrace`] — the binary trace format v4 (`.sbt`): per-thread
+//!   blocks, one opcode byte per event, zigzag-LEB128 granule
+//!   deltas, a block index footer, and a zero-copy
+//!   [`BinaryTraceReader`] — the archive format that makes
+//!   10⁷–10⁸-event runs practical to keep and re-judge.
+//! * [`parallel`] — [`ParallelReplay`]: region-sharded parallel
+//!   replay over N worker threads, each running [`apply_event`]
+//!   against its own backend on a disjoint set of
+//!   [`EpochTable::region_of`] granule regions, with sync events
+//!   broadcast; merged conflicts are bit-identical to [`replay`].
 //!
 //! ## The granule constant
 //!
@@ -50,26 +60,30 @@
 //! `runtime::GRANULE_WORDS`.
 
 pub mod backend;
+pub mod btrace;
 pub mod cache;
 pub mod epoch;
 pub mod geometry;
+pub mod parallel;
 pub mod sink;
 pub mod step;
 pub mod stream;
 pub mod trace;
 
 pub use backend::{
-    apply_event, geometry_for_trace, lower_ranges, max_trace_tid, replay, BitmapBackend,
-    CheckBackend, CheckEvent, CheckKind, Conflict, Verdict,
+    apply_event, geometry_for_trace, lower_ranges, max_trace_tid, replay, trace_granule_span,
+    BitmapBackend, CheckBackend, CheckEvent, CheckKind, Conflict, Verdict,
 };
+pub use btrace::{is_binary as is_binary_trace, parse_binary, to_binary, BinaryTraceReader};
 pub use cache::{OwnedCache, RUN_SLOTS};
 pub use epoch::{EpochTable, DEFAULT_REGIONS};
 pub use geometry::{ShadowGeometry, THREADS_PER_SHARD};
+pub use parallel::ParallelReplay;
 pub use sink::{recording_tid, EventLog, EventSink};
 pub use step::range::RangeStep;
 pub use step::{Access, Transition};
 pub use stream::{StreamStats, StreamingSink};
-pub use trace::{parse_text as parse_trace, to_text as trace_to_text};
+pub use trace::{keyword as event_keyword, parse_text as parse_trace, to_text as trace_to_text};
 
 /// Bytes of payload memory covered by one shadow granule (§4.2.1:
 /// "for every 16 bytes of memory, SharC maintains n additional

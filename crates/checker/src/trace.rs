@@ -98,17 +98,85 @@ pub fn to_text(events: &[CheckEvent]) -> String {
     out
 }
 
+/// The text-format keyword for `e` — the same vocabulary
+/// [`to_text`]/[`parse_text`] speak, exposed so tooling (`sharc
+/// trace info`) can bucket per-kind counts without re-matching the
+/// enum.
+pub fn keyword(e: &CheckEvent) -> &'static str {
+    match e {
+        CheckEvent::Read { .. } => "read",
+        CheckEvent::Write { .. } => "write",
+        CheckEvent::RangeRead { .. } => "rread",
+        CheckEvent::RangeWrite { .. } => "rwrite",
+        CheckEvent::LockedAccess { .. } => "locked",
+        CheckEvent::SharingCast { .. } => "cast",
+        CheckEvent::RangeCast { .. } => "rcast",
+        CheckEvent::RangeFree { .. } => "rfree",
+        CheckEvent::Acquire { .. } => "acquire",
+        CheckEvent::Release { .. } => "release",
+        CheckEvent::Fork { .. } => "fork",
+        CheckEvent::Join { .. } => "join",
+        CheckEvent::ThreadExit { .. } => "exit",
+        CheckEvent::Alloc { .. } => "alloc",
+    }
+}
+
+/// Renders a parse failure: the 1-based line number, a snippet of
+/// the offending line (truncated, so a megabyte of garbage does not
+/// become a megabyte of error), and the detail. Every error this
+/// module produces goes through here — header lines included — so a
+/// failure always says *where* and *what it saw*, not just why.
+fn line_error(line_no: usize, raw: &str, detail: &str) -> String {
+    const SNIPPET_MAX: usize = 48;
+    let trimmed = raw.trim();
+    let snippet: String = if trimmed.chars().count() > SNIPPET_MAX {
+        trimmed
+            .chars()
+            .take(SNIPPET_MAX)
+            .chain("...".chars())
+            .collect()
+    } else {
+        trimmed.to_string()
+    };
+    format!("trace line {line_no}: `{snippet}`: {detail}")
+}
+
 /// Parses the line format back into events. Blank lines and `#`
 /// comments are skipped; anything else that fails to parse reports
-/// its 1-based line number.
+/// its 1-based line number plus a snippet of the offending line.
+/// Header comments are the one kind of comment that is *not* waved
+/// through blindly: a `# sharc-trace vN` line with an unknown
+/// version fails loudly (with its line number like any other error)
+/// instead of silently misparsing a future format.
 pub fn parse_text(text: &str) -> Result<Vec<CheckEvent>, String> {
     let mut events = Vec::new();
     for (i, raw) in text.lines().enumerate() {
         let line = raw.trim();
-        if line.is_empty() || line.starts_with('#') {
+        if line.is_empty() {
             continue;
         }
-        events.push(parse_line(line).map_err(|e| format!("trace line {}: {e}", i + 1))?);
+        if let Some(rest) = line.strip_prefix("# sharc-trace v") {
+            match rest.trim().parse::<u32>() {
+                Ok(v) if (1..=3).contains(&v) => continue,
+                Ok(v) => {
+                    return Err(line_error(
+                        i + 1,
+                        raw,
+                        &format!(
+                            "unsupported text trace version v{v} \
+                             (this parser reads v1-v3; v4 is the binary `.sbt` format)"
+                        ),
+                    ))
+                }
+                Err(_) => {
+                    return Err(line_error(i + 1, raw, "malformed trace version header"));
+                }
+            }
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        events.push(parse_line(line).map_err(|e| line_error(i + 1, raw, &e))?);
     }
     Ok(events)
 }
@@ -399,20 +467,76 @@ mod tests {
         assert_eq!(parsed, vec![CheckEvent::Read { tid: 2, granule: 7 }]);
     }
 
+    /// Every malformed form reports the 1-based line *and* a snippet
+    /// of the offending line, so a failure deep in a 10⁷-line trace
+    /// is locatable without opening the file. One case per form.
     #[test]
-    fn malformed_lines_report_their_line_number() {
-        let e = parse_text("read 2 7\nwobble 1\n").unwrap_err();
-        assert!(e.contains("line 2"), "{e}");
-        assert!(e.contains("wobble"), "{e}");
-        let e = parse_text("cast 1 2\n").unwrap_err();
-        assert!(e.contains("refs"), "{e}");
-        let e = parse_text("exit 1 2\n").unwrap_err();
-        assert!(e.contains("trailing"), "{e}");
-        let e = parse_text("rread 1 2\n").unwrap_err();
-        assert!(e.contains("len"), "{e}");
-        let e = parse_text("rcast 1 2 3\n").unwrap_err();
-        assert!(e.contains("refs"), "{e}");
-        let e = parse_text("rfree 2\n").unwrap_err();
-        assert!(e.contains("len"), "{e}");
+    fn every_malformed_form_reports_line_and_snippet() {
+        // (input, expected line tag, expected detail fragment); each
+        // input puts the bad line second so a correct line count is
+        // actually exercised.
+        let cases: &[(&str, &str, &str)] = &[
+            // Unknown keyword.
+            ("read 2 7\nwobble 1\n", "line 2", "unknown event"),
+            // Missing operand, per operand-bearing event shape.
+            ("read 2 7\nread 3\n", "line 2", "granule operand"),
+            ("read 2 7\nwrite 3\n", "line 2", "granule operand"),
+            ("read 2 7\nrread 1 2\n", "line 2", "len operand"),
+            ("read 2 7\nrwrite 1 2\n", "line 2", "len operand"),
+            ("read 2 7\nlocked 1\n", "line 2", "lock operand"),
+            ("read 2 7\ncast 1 2\n", "line 2", "refs operand"),
+            ("read 2 7\nrcast 1 2 3\n", "line 2", "refs operand"),
+            ("read 2 7\nrfree 2\n", "line 2", "len operand"),
+            ("read 2 7\nacquire 1\n", "line 2", "lock operand"),
+            ("read 2 7\nrelease 1\n", "line 2", "lock operand"),
+            ("read 2 7\nfork 1\n", "line 2", "child operand"),
+            ("read 2 7\njoin 1\n", "line 2", "child operand"),
+            ("read 2 7\nexit\n", "line 2", "tid operand"),
+            ("read 2 7\nalloc\n", "line 2", "granule operand"),
+            // Non-numeric operand.
+            ("read 2 7\nread two 7\n", "line 2", "not a number"),
+            // Trailing operand.
+            ("read 2 7\nexit 1 2\n", "line 2", "trailing"),
+            // Header lines fail with a line number too: an unknown
+            // future version must not be skipped as a comment...
+            (
+                "# sharc-trace v9\nread 2 7\n",
+                "line 1",
+                "unsupported text trace version v9",
+            ),
+            // ...and a mangled version header is not a comment either.
+            (
+                "read 2 7\n# sharc-trace vX\n",
+                "line 2",
+                "malformed trace version header",
+            ),
+        ];
+        for (input, line, detail) in cases {
+            let e = parse_text(input).unwrap_err();
+            assert!(e.contains(line), "{input:?}: expected {line:?} in {e:?}");
+            assert!(
+                e.contains(detail),
+                "{input:?}: expected {detail:?} in {e:?}"
+            );
+            // The snippet: the offending line's text, backquoted.
+            let bad = input
+                .lines()
+                .find(|l| e.contains(&format!("`{}`", l.trim())))
+                .unwrap_or_else(|| panic!("{input:?}: no snippet in {e:?}"));
+            assert!(!bad.is_empty());
+        }
+        // Long garbage is truncated in the snippet, not echoed whole.
+        let long = format!("read 2 7\nwobble {}\n", "x".repeat(500));
+        let e = parse_text(&long).unwrap_err();
+        assert!(e.contains("..."), "{e}");
+        assert!(e.len() < 160, "snippet not truncated: {e}");
+    }
+
+    #[test]
+    fn v1_through_v3_headers_still_parse() {
+        for h in [TRACE_HEADER_V1, TRACE_HEADER_V2, TRACE_HEADER] {
+            let parsed = parse_text(&format!("{h}\nread 2 7\n")).expect("supported version");
+            assert_eq!(parsed, vec![CheckEvent::Read { tid: 2, granule: 7 }]);
+        }
     }
 }

@@ -10,7 +10,9 @@
 //! sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel>
 //!              [--detector sharc|eraser|vc] [--trace-out <path>]
 //!              [--online [--ring-cap N]]
-//! sharc replay <trace-file>       [--detector sharc|eraser|vc]
+//! sharc replay <trace-file>       [--detector sharc|eraser|vc] [--jobs N]
+//! sharc trace convert <in> <out>  [--lower]
+//! sharc trace info <trace-file>
 //! ```
 //!
 //! `--detector` selects which engine judges the execution: SharC's
@@ -24,10 +26,21 @@
 //! interface — `sharc native handoff --detector eraser` shows the
 //! lockset false positive on an ownership transfer that
 //! `--detector sharc` accepts. `--trace-out` saves the recorded
-//! trace as line-oriented text, and `replay` re-judges a saved trace
-//! offline — the verdict is a function of the file alone, so the
-//! same execution can be interrogated by every engine long after the
-//! threads are gone.
+//! trace as line-oriented text — or as the binary v4 `.sbt` format
+//! when the path ends in `.sbt` — and `replay` re-judges a saved
+//! trace offline (sniffing text vs binary by magic) — the verdict is
+//! a function of the file alone, so the same execution can be
+//! interrogated by every engine long after the threads are gone.
+//! `replay --jobs N` shards the granule space across N worker
+//! threads by epoch region; the merged verdict is bit-identical to
+//! the sequential replay for every detector.
+//!
+//! `trace convert` rewrites a trace between the text and binary
+//! formats (output format chosen by the `.sbt` extension); `--lower`
+//! additionally expands range events to per-granule point events —
+//! the v1 vocabulary, for feeding old readers. `trace info` prints a
+//! file's version, size, per-kind event counts, widest tid, granule
+//! span, and bytes/event without judging it.
 //!
 //! `--online` switches `native` from record-then-replay to the
 //! streaming pipeline: events flow through per-thread bounded rings
@@ -49,7 +62,9 @@ fn usage() -> ExitCode {
          sharc native <pfscan|handoff|pbzip2|aget|dillo|fftw|stunnel> \
          [--detector sharc|eraser|vc] [--trace-out <path>] \
          [--online [--ring-cap N]]\n  \
-         sharc replay <trace-file> [--detector sharc|eraser|vc]"
+         sharc replay <trace-file> [--detector sharc|eraser|vc] [--jobs N]\n  \
+         sharc trace convert <in> <out> [--lower]\n  \
+         sharc trace info <trace-file>"
     );
     ExitCode::from(2)
 }
@@ -166,13 +181,16 @@ fn cmd_native(args: &[String]) -> ExitCode {
     report_conflicts(name, &conflicts)
 }
 
-/// `sharc replay <trace-file> [--detector …]`: re-judge a saved trace
-/// offline, without re-running any threads.
+/// `sharc replay <trace-file> [--detector …] [--jobs N]`: re-judge a
+/// saved trace offline, without re-running any threads. Text or
+/// binary input is sniffed by magic; `--jobs N` replays with the
+/// region-sharded parallel engine (verdicts unchanged).
 fn cmd_replay(args: &[String]) -> ExitCode {
     let Some(path) = args.first() else {
         return usage();
     };
     let mut detector = DetectorKind::Sharc;
+    let mut jobs = 1usize;
     let mut i = 1;
     while i < args.len() {
         match args[i].as_str() {
@@ -180,6 +198,16 @@ fn cmd_replay(args: &[String]) -> ExitCode {
                 Ok(d) => detector = d,
                 Err(()) => return usage(),
             },
+            "--jobs" => {
+                match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+                    Some(n) if n > 0 => jobs = n,
+                    _ => {
+                        eprintln!("sharc: --jobs needs a positive integer");
+                        return usage();
+                    }
+                }
+                i += 2;
+            }
             other => {
                 eprintln!("sharc: unknown flag {other}");
                 return usage();
@@ -193,9 +221,83 @@ fn cmd_replay(args: &[String]) -> ExitCode {
             return ExitCode::FAILURE;
         }
     };
-    println!("{path}: {} trace events", trace.len());
-    let (name, conflicts) = sharc::judge_trace(&trace, detector);
+    if jobs > 1 {
+        println!("{path}: {} trace events, {jobs} replay jobs", trace.len());
+    } else {
+        println!("{path}: {} trace events", trace.len());
+    }
+    let (name, conflicts) = sharc::judge_trace_jobs(&trace, detector, jobs);
     report_conflicts(name, &conflicts)
+}
+
+/// `sharc trace convert <in> <out> [--lower]` and
+/// `sharc trace info <trace-file>`: offline trace-file tooling.
+fn cmd_trace(args: &[String]) -> ExitCode {
+    match args.first().map(String::as_str) {
+        Some("convert") => {
+            let (Some(input), Some(output)) = (args.get(1), args.get(2)) else {
+                eprintln!("sharc: trace convert needs <in> and <out> paths");
+                return usage();
+            };
+            let mut lower = false;
+            for flag in &args[3..] {
+                match flag.as_str() {
+                    "--lower" => lower = true,
+                    other => {
+                        eprintln!("sharc: unknown flag {other}");
+                        return usage();
+                    }
+                }
+            }
+            let mut trace = match sharc::read_trace_file(std::path::Path::new(input)) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("sharc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            if lower {
+                trace = sharc::checker::lower_ranges(&trace);
+            }
+            if let Err(e) = sharc::write_trace_file(std::path::Path::new(output), &trace) {
+                eprintln!("sharc: cannot write trace to {output}: {e}");
+                return ExitCode::FAILURE;
+            }
+            println!("{} events converted to {output}", trace.len());
+            ExitCode::SUCCESS
+        }
+        Some("info") => {
+            let Some(path) = args.get(1) else {
+                eprintln!("sharc: trace info needs a trace file");
+                return usage();
+            };
+            let info = match sharc::trace_file_info(std::path::Path::new(path)) {
+                Ok(i) => i,
+                Err(e) => {
+                    eprintln!("sharc: {e}");
+                    return ExitCode::FAILURE;
+                }
+            };
+            let per_event = if info.events > 0 {
+                info.bytes as f64 / info.events as f64
+            } else {
+                0.0
+            };
+            println!(
+                "{path}: {} v{}, {} bytes, {} events ({per_event:.2} bytes/event)",
+                info.format, info.version, info.bytes, info.events
+            );
+            println!(
+                "  max tid {}, granule span {}",
+                info.max_tid, info.granule_span
+            );
+            for (kw, n) in &info.counts {
+                println!("  {kw:<8} {n}");
+            }
+            ExitCode::SUCCESS
+        }
+        _ => usage(),
+    }
 }
 
 fn report_conflicts(detector: &str, conflicts: &[sharc::checker::Conflict]) -> ExitCode {
@@ -217,6 +319,9 @@ fn main() -> ExitCode {
     }
     if args.first().map(String::as_str) == Some("replay") {
         return cmd_replay(&args[1..]);
+    }
+    if args.first().map(String::as_str) == Some("trace") {
+        return cmd_trace(&args[1..]);
     }
     let (cmd, path) = match (args.first(), args.get(1)) {
         (Some(c), Some(p)) => (c.as_str(), p.as_str()),

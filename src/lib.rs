@@ -523,20 +523,143 @@ pub fn judge_trace(
     }
 }
 
-/// Writes a trace in the offline text format of [`checker::trace`].
+/// [`judge_trace`], replayed by [`checker::ParallelReplay`] over
+/// `jobs` region-sharded workers instead of the sequential fold.
+/// Verdicts are bit-identical to [`judge_trace`]'s for every engine
+/// (the 256-tid `forall!` differential pins this); only wall-clock
+/// changes. `jobs <= 1` falls back to the sequential path.
+pub fn judge_trace_jobs(
+    trace: &[checker::CheckEvent],
+    kind: DetectorKind,
+    jobs: usize,
+) -> (&'static str, Vec<checker::Conflict>) {
+    use sharc_checker::CheckBackend as _;
+    if jobs <= 1 {
+        return judge_trace(trace, kind);
+    }
+    let engine = checker::ParallelReplay::new(jobs);
+    match kind {
+        DetectorKind::Sharc => {
+            let geom = checker::geometry_for_trace(trace);
+            let raw = engine.replay(trace, move || {
+                Box::new(checker::BitmapBackend::with_geometry(geom)) as _
+            });
+            ("sharc", dedup_conflicts(raw))
+        }
+        DetectorKind::Eraser => {
+            let name = detectors::BaselineBackend::new(detectors::Eraser::new()).name();
+            let raw = engine.replay(trace, || {
+                Box::new(detectors::BaselineBackend::new(detectors::Eraser::new())) as _
+            });
+            (name, dedup_conflicts(raw))
+        }
+        DetectorKind::Vc => {
+            let name = detectors::BaselineBackend::new(detectors::VcDetector::new()).name();
+            let raw = engine.replay(trace, || {
+                Box::new(detectors::BaselineBackend::new(detectors::VcDetector::new())) as _
+            });
+            (name, dedup_conflicts(raw))
+        }
+    }
+}
+
+/// Writes a trace file: the binary v4 format of [`checker::btrace`]
+/// when the path ends in `.sbt`, the offline text format of
+/// [`checker::trace`] otherwise.
 pub fn write_trace_file(
     path: &std::path::Path,
     events: &[checker::CheckEvent],
 ) -> std::io::Result<()> {
-    std::fs::write(path, checker::trace::to_text(events))
+    if path.extension().is_some_and(|e| e == "sbt") {
+        std::fs::write(path, checker::to_binary(events))
+    } else {
+        std::fs::write(path, checker::trace::to_text(events))
+    }
 }
 
 /// Reads a trace written by [`write_trace_file`] (or by hand — the
-/// format is line-oriented text).
+/// text format is line-oriented). The format is sniffed from the
+/// file's first bytes, not its name: the binary v4 magic decodes
+/// through [`checker::BinaryTraceReader`], anything else parses as
+/// v1–v3 text.
 pub fn read_trace_file(path: &std::path::Path) -> Result<Vec<checker::CheckEvent>, String> {
-    let text = std::fs::read_to_string(path)
-        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    if checker::is_binary_trace(&bytes) {
+        return checker::parse_binary(&bytes);
+    }
+    let text = String::from_utf8(bytes)
+        .map_err(|_| format!("{}: neither a binary trace nor UTF-8 text", path.display()))?;
     checker::trace::parse_text(&text)
+}
+
+/// What `sharc trace info` prints: the format and a content summary
+/// of one trace file, computed without judging it.
+#[derive(Debug)]
+pub struct TraceInfo {
+    /// `"text"` or `"binary"`.
+    pub format: &'static str,
+    /// Format version: 1–3 for text, 4 for binary.
+    pub version: u32,
+    /// File size in bytes.
+    pub bytes: u64,
+    /// Decoded event count.
+    pub events: usize,
+    /// Widest tid the trace names (0 if it names none).
+    pub max_tid: u32,
+    /// One past the highest granule any event touches (0 if none).
+    pub granule_span: usize,
+    /// `(keyword, count)` for every event kind that occurs, in
+    /// vocabulary order.
+    pub counts: Vec<(&'static str, usize)>,
+}
+
+/// Summarizes the trace file at `path`: sniffs text vs binary by
+/// magic, decodes it, and tallies per-kind event counts.
+pub fn trace_file_info(path: &std::path::Path) -> Result<TraceInfo, String> {
+    let bytes = std::fs::read(path).map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    let file_bytes = bytes.len() as u64;
+    let (format, version, events) = if checker::is_binary_trace(&bytes) {
+        let reader = checker::BinaryTraceReader::new(&bytes)?;
+        let version = reader.version() as u32;
+        ("binary", version, reader.decode()?)
+    } else {
+        let text = String::from_utf8(bytes)
+            .map_err(|_| format!("{}: neither a binary trace nor UTF-8 text", path.display()))?;
+        // Header-less event lines are the original v1 vocabulary.
+        let version = text
+            .lines()
+            .find_map(|l| l.trim().strip_prefix("# sharc-trace v"))
+            .and_then(|v| v.trim().parse::<u32>().ok())
+            .unwrap_or(1);
+        ("text", version, checker::trace::parse_text(&text)?)
+    };
+    const VOCABULARY: [&str; 14] = [
+        "read", "write", "rread", "rwrite", "locked", "cast", "rcast", "rfree", "acquire",
+        "release", "fork", "join", "exit", "alloc",
+    ];
+    let mut tally = [0usize; VOCABULARY.len()];
+    for e in &events {
+        let kw = checker::event_keyword(e);
+        let slot = VOCABULARY
+            .iter()
+            .position(|&k| k == kw)
+            .expect("keyword is in the vocabulary");
+        tally[slot] += 1;
+    }
+    Ok(TraceInfo {
+        format,
+        version,
+        bytes: file_bytes,
+        events: events.len(),
+        max_tid: checker::max_trace_tid(&events),
+        granule_span: checker::trace_granule_span(&events),
+        counts: VOCABULARY
+            .iter()
+            .zip(tally)
+            .filter(|&(_, n)| n > 0)
+            .map(|(&k, n)| (k, n))
+            .collect(),
+    })
 }
 
 /// Runs `workload` once with real threads, recording its
@@ -624,10 +747,11 @@ pub fn run_native_streaming(
 /// The most common imports for users of the crate.
 pub mod prelude {
     pub use crate::{
-        check, check_and_run, explain_elision, judge_trace, native_trace, read_trace_file, run,
-        run_full_checks, run_native_events, run_native_streaming, run_native_with_detector,
-        run_with_detector, write_trace_file, CheckedProgram, DetectorKind, DetectorRun,
-        NativeDetectorRun, NativeWorkload, RunConfig, RunOutcome, StreamingRun, DEFAULT_RING_CAP,
+        check, check_and_run, explain_elision, judge_trace, judge_trace_jobs, native_trace,
+        read_trace_file, run, run_full_checks, run_native_events, run_native_streaming,
+        run_native_with_detector, run_with_detector, trace_file_info, write_trace_file,
+        CheckedProgram, DetectorKind, DetectorRun, NativeDetectorRun, NativeWorkload, RunConfig,
+        RunOutcome, StreamingRun, TraceInfo, DEFAULT_RING_CAP,
     };
     pub use minic::{Diagnostic, Severity};
     pub use sharc_interp::{ConflictKind, ExitStatus, SchedPolicy};
